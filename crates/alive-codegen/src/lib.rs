@@ -1,0 +1,640 @@
+//! C++ code generation from Alive transformations (paper §4, Fig. 7).
+//!
+//! After a transformation is proved correct it can be turned into C++ that
+//! uses LLVM's pattern-matching library (`llvm/IR/PatternMatch.h`), ready
+//! for inclusion in an InstCombine-style pass. The generated code has two
+//! parts:
+//!
+//! 1. an `if` whose condition `match(...)`es the source template DAG
+//!    rooted at the instruction `I` and evaluates the precondition;
+//! 2. a body that materializes the target template (constants via `APInt`
+//!    arithmetic, instructions via `BinaryOperator::Create*` etc.) and
+//!    replaces all uses of the root.
+//!
+//! Like the paper's generator, cleanup of newly-dead instructions is left
+//! to a later DCE pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use alive_ir::parse_transform;
+//! use alive_codegen::generate_cpp;
+//!
+//! let t = parse_transform(r"
+//! Pre: isSignBit(C1)
+//! %b = xor %a, C1
+//! %d = add %b, C2
+//! =>
+//! %d = add %a, C1 ^ C2
+//! ").unwrap();
+//! let cpp = generate_cpp(&t).unwrap();
+//! assert!(cpp.contains("m_Add"));
+//! assert!(cpp.contains("m_Xor"));
+//! assert!(cpp.contains("isSignBit"));
+//! assert!(cpp.contains("replaceAllUsesWith"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use alive_ir::ast::{
+    BinOp, CBinop, CExpr, CExprArg, CUnop, ConvOp, ICmpPred, Inst, Operand, Pred, PredArg,
+    Stmt,
+};
+use alive_ir::{validate, Transform};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors during code generation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CodegenError {
+    /// Description of the unsupported construct.
+    pub message: String,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codegen error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+fn cerr(message: impl Into<String>) -> CodegenError {
+    CodegenError {
+        message: message.into(),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'v');
+    }
+    s
+}
+
+/// Generates the C++ for one transformation.
+///
+/// # Errors
+///
+/// Fails for constructs with no pattern-matching equivalent (memory
+/// operations and `unreachable` are not supported by InstCombine-style
+/// matching).
+pub fn generate_cpp(t: &Transform) -> Result<String, CodegenError> {
+    validate(t).map_err(|e| cerr(e.to_string()))?;
+    let generator = Generator::new(t)?;
+    generator.emit()
+}
+
+struct Generator<'t> {
+    t: &'t Transform,
+    /// Source statement for each defined register.
+    src_def: HashMap<&'t str, &'t Stmt>,
+    root: &'t str,
+}
+
+impl<'t> Generator<'t> {
+    fn new(t: &'t Transform) -> Result<Generator<'t>, CodegenError> {
+        for s in t.source.iter().chain(&t.target) {
+            if s.inst.is_memory_op() || matches!(s.inst, Inst::Unreachable) {
+                return Err(cerr(
+                    "memory operations are not supported by the C++ generator",
+                ));
+            }
+        }
+        let mut src_def = HashMap::new();
+        for s in &t.source {
+            if let Some(n) = &s.name {
+                src_def.insert(n.as_str(), s);
+            }
+        }
+        Ok(Generator {
+            t,
+            root: t.root(),
+            src_def,
+        })
+    }
+
+    fn emit(&self) -> Result<String, CodegenError> {
+        let mut value_decls: Vec<String> = Vec::new();
+        let mut const_decls: Vec<String> = Vec::new();
+        let mut clauses: Vec<String> = Vec::new();
+        let mut bound: HashSet<String> = HashSet::new();
+
+        self.emit_match(
+            self.root,
+            "I",
+            &mut clauses,
+            &mut value_decls,
+            &mut const_decls,
+            &mut bound,
+        )?;
+
+        if self.t.pre != Pred::True {
+            clauses.push(self.pred_cpp(&self.t.pre)?);
+        }
+
+        let mut body: Vec<String> = Vec::new();
+        let mut tgt_names: HashMap<String, String> = HashMap::new();
+        let tgt_len = self.t.target.len();
+        for (i, s) in self.t.target.iter().enumerate() {
+            let name = s.name.as_deref().expect("non-memory target stmts define");
+            let var = format!("t_{}", sanitize(name));
+            let is_root = i + 1 == tgt_len;
+            let code = self.build_inst(&s.inst, &var, &mut body, &tgt_names)?;
+            body.push(code);
+            tgt_names.insert(name.to_string(), var.clone());
+            if is_root {
+                body.push(format!("I->replaceAllUsesWith({var});"));
+                body.push(format!("return {var};"));
+            }
+        }
+
+        let mut out = String::new();
+        if let Some(n) = &self.t.name {
+            out.push_str(&format!("// {n}\n"));
+        }
+        out.push_str("{\n");
+        if !value_decls.is_empty() {
+            out.push_str(&format!("  Value *{};\n", value_decls.join(", *")));
+        }
+        if !const_decls.is_empty() {
+            let mut uniq: Vec<String> = Vec::new();
+            for d in &const_decls {
+                if !uniq.contains(d) {
+                    uniq.push(d.clone());
+                }
+            }
+            out.push_str(&format!("  ConstantInt *{};\n", uniq.join(", *")));
+        }
+        out.push_str(&format!("  if ({}) {{\n", clauses.join(" &&\n      ")));
+        for line in &body {
+            out.push_str(&format!("    {line}\n"));
+        }
+        out.push_str("  }\n}\n");
+        Ok(out)
+    }
+
+    /// Emits match clauses for the instruction defining `reg`, matched
+    /// against the C++ expression `subject`.
+    fn emit_match(
+        &self,
+        reg: &str,
+        subject: &str,
+        clauses: &mut Vec<String>,
+        value_decls: &mut Vec<String>,
+        const_decls: &mut Vec<String>,
+        bound: &mut HashSet<String>,
+    ) -> Result<(), CodegenError> {
+        let stmt = self.src_def[reg];
+        let mut sub_matches: Vec<(String, String)> = Vec::new();
+        let mut extra_clauses: Vec<String> = Vec::new();
+        let pattern = self.inst_pattern(
+            &stmt.inst,
+            value_decls,
+            const_decls,
+            bound,
+            &mut sub_matches,
+            &mut extra_clauses,
+        )?;
+        clauses.push(format!("match({subject}, {pattern})"));
+        clauses.extend(extra_clauses);
+        for (sub_reg, var) in sub_matches {
+            self.emit_match(&sub_reg, &var, clauses, value_decls, const_decls, bound)?;
+        }
+        Ok(())
+    }
+
+    /// The `m_*` pattern for an instruction. Registers defined by other
+    /// source instructions are bound with `m_Value` and matched in their
+    /// own clause (one clause per instruction, like the paper's generator).
+    #[allow(clippy::too_many_arguments)]
+    fn inst_pattern(
+        &self,
+        inst: &Inst,
+        value_decls: &mut Vec<String>,
+        const_decls: &mut Vec<String>,
+        bound: &mut HashSet<String>,
+        sub_matches: &mut Vec<(String, String)>,
+        extra_clauses: &mut Vec<String>,
+    ) -> Result<String, CodegenError> {
+        let mut operand_pattern = |op: &Operand| -> Result<String, CodegenError> {
+            match op {
+                Operand::Reg(name, _) => {
+                    let var = sanitize(name);
+                    if bound.contains(&var) {
+                        Ok(format!("m_Specific({var})"))
+                    } else {
+                        bound.insert(var.clone());
+                        if self.src_def.contains_key(name.as_str()) {
+                            sub_matches.push((name.clone(), var.clone()));
+                        }
+                        value_decls.push(var.clone());
+                        Ok(format!("m_Value({var})"))
+                    }
+                }
+                Operand::Const(CExpr::Sym(s), _) => {
+                    let var = sanitize(s);
+                    if bound.contains(&var) {
+                        Ok(format!("m_Specific({var})"))
+                    } else {
+                        bound.insert(var.clone());
+                        const_decls.push(var.clone());
+                        Ok(format!("m_ConstantInt({var})"))
+                    }
+                }
+                Operand::Const(CExpr::Lit(n), _) => Ok(format!("m_SpecificInt({n})")),
+                Operand::Const(e, _) => {
+                    // A constant expression in the source: bind a fresh
+                    // ConstantInt and require it to equal the expression.
+                    let var = format!("CE{}", const_decls.len());
+                    const_decls.push(var.clone());
+                    let apint = self.cexpr_cpp(e)?;
+                    extra_clauses.push(format!("{var}->getValue() == {apint}"));
+                    Ok(format!("m_ConstantInt({var})"))
+                }
+                Operand::Undef(_) => Ok("m_Undef()".to_string()),
+            }
+        };
+
+        match inst {
+            Inst::BinOp { op, a, b, .. } => {
+                let pa = operand_pattern(a)?;
+                let pb = operand_pattern(b)?;
+                Ok(format!("{}({pa}, {pb})", binop_matcher(*op)))
+            }
+            Inst::ICmp { pred, a, b } => {
+                let pa = operand_pattern(a)?;
+                let pb = operand_pattern(b)?;
+                Ok(format!(
+                    "m_ICmp(ICmpInst::{}, {pa}, {pb})",
+                    icmp_pred_cpp(*pred)
+                ))
+            }
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let pc = operand_pattern(cond)?;
+                let pt = operand_pattern(on_true)?;
+                let pf = operand_pattern(on_false)?;
+                Ok(format!("m_Select({pc}, {pt}, {pf})"))
+            }
+            Inst::Conv { op, arg, .. } => {
+                let pa = operand_pattern(arg)?;
+                let m = match op {
+                    ConvOp::ZExt => "m_ZExt",
+                    ConvOp::SExt => "m_SExt",
+                    ConvOp::Trunc => "m_Trunc",
+                    ConvOp::Bitcast => "m_BitCast",
+                    ConvOp::PtrToInt => "m_PtrToInt",
+                    ConvOp::IntToPtr => "m_IntToPtr",
+                };
+                Ok(format!("{m}({pa})"))
+            }
+            Inst::Copy { val } => operand_pattern(val),
+            other => Err(cerr(format!("unsupported source instruction {other:?}"))),
+        }
+    }
+
+    fn pred_cpp(&self, p: &Pred) -> Result<String, CodegenError> {
+        Ok(match p {
+            Pred::True => "true".to_string(),
+            Pred::Not(a) => format!("!({})", self.pred_cpp(a)?),
+            Pred::And(a, b) => format!("{} && {}", self.pred_cpp(a)?, self.pred_cpp(b)?),
+            Pred::Or(a, b) => format!("({} || {})", self.pred_cpp(a)?, self.pred_cpp(b)?),
+            Pred::Cmp(op, a, b) => {
+                let (av, bv) = (self.cexpr_cpp(a)?, self.cexpr_cpp(b)?);
+                use alive_ir::PredCmpOp::*;
+                match op {
+                    Eq => format!("{av} == {bv}"),
+                    Ne => format!("{av} != {bv}"),
+                    Slt => format!("({av}).slt({bv})"),
+                    Sle => format!("({av}).sle({bv})"),
+                    Sgt => format!("({av}).sgt({bv})"),
+                    Sge => format!("({av}).sge({bv})"),
+                    Ult => format!("({av}).ult({bv})"),
+                    Ule => format!("({av}).ule({bv})"),
+                    Ugt => format!("({av}).ugt({bv})"),
+                    Uge => format!("({av}).uge({bv})"),
+                }
+            }
+            Pred::Fun(name, args) => {
+                let mut cpp_args = Vec::new();
+                for a in args {
+                    cpp_args.push(match a {
+                        PredArg::Reg(r) => sanitize(r),
+                        PredArg::Expr(e) => self.cexpr_cpp(e)?,
+                    });
+                }
+                match name.as_str() {
+                    "isPowerOf2" => format!("({}).isPowerOf2()", cpp_args[0]),
+                    "isSignBit" => format!("({}).isSignBit()", cpp_args[0]),
+                    "hasOneUse" => format!("{}->hasOneUse()", cpp_args[0]),
+                    "MaskedValueIsZero" => {
+                        format!("MaskedValueIsZero({}, {})", cpp_args[0], cpp_args[1])
+                    }
+                    other => format!("{}({})", other, cpp_args.join(", ")),
+                }
+            }
+        })
+    }
+
+    fn cexpr_cpp(&self, e: &CExpr) -> Result<String, CodegenError> {
+        Ok(match e {
+            CExpr::Lit(n) => format!("APInt(W, {n})"),
+            CExpr::Sym(s) => format!("{}->getValue()", sanitize(s)),
+            CExpr::Unop(CUnop::Neg, a) => format!("-({})", self.cexpr_cpp(a)?),
+            CExpr::Unop(CUnop::Not, a) => format!("~({})", self.cexpr_cpp(a)?),
+            CExpr::Binop(op, a, b) => {
+                let (av, bv) = (self.cexpr_cpp(a)?, self.cexpr_cpp(b)?);
+                match op {
+                    CBinop::Add => format!("({av} + {bv})"),
+                    CBinop::Sub => format!("({av} - {bv})"),
+                    CBinop::Mul => format!("({av} * {bv})"),
+                    CBinop::SDiv => format!("({av}).sdiv({bv})"),
+                    CBinop::UDiv => format!("({av}).udiv({bv})"),
+                    CBinop::SRem => format!("({av}).srem({bv})"),
+                    CBinop::URem => format!("({av}).urem({bv})"),
+                    CBinop::Shl => format!("({av}).shl({bv})"),
+                    CBinop::LShr => format!("({av}).lshr({bv})"),
+                    CBinop::AShr => format!("({av}).ashr({bv})"),
+                    CBinop::And => format!("({av} & {bv})"),
+                    CBinop::Or => format!("({av} | {bv})"),
+                    CBinop::Xor => format!("({av} ^ {bv})"),
+                }
+            }
+            CExpr::Fun(name, args) => {
+                let mut cpp_args = Vec::new();
+                for a in args {
+                    cpp_args.push(match a {
+                        CExprArg::Reg(r) => sanitize(r),
+                        CExprArg::Expr(x) => self.cexpr_cpp(x)?,
+                    });
+                }
+                match name.as_str() {
+                    "log2" => format!("APInt(W, ({}).logBase2())", cpp_args[0]),
+                    "width" => format!(
+                        "APInt(W, {}->getType()->getScalarSizeInBits())",
+                        cpp_args[0]
+                    ),
+                    "abs" => format!("({}).abs()", cpp_args[0]),
+                    "umax" => format!("APIntOps::umax({}, {})", cpp_args[0], cpp_args[1]),
+                    "umin" => format!("APIntOps::umin({}, {})", cpp_args[0], cpp_args[1]),
+                    "smax" | "max" => {
+                        format!("APIntOps::smax({}, {})", cpp_args[0], cpp_args[1])
+                    }
+                    "smin" | "min" => {
+                        format!("APIntOps::smin({}, {})", cpp_args[0], cpp_args[1])
+                    }
+                    other => return Err(cerr(format!("unknown constant function {other}()"))),
+                }
+            }
+        })
+    }
+
+    /// A C++ expression naming the `Value*` for a target operand;
+    /// constant expressions are materialized into the body first.
+    fn target_operand(
+        &self,
+        op: &Operand,
+        body: &mut Vec<String>,
+        tgt_names: &HashMap<String, String>,
+    ) -> Result<String, CodegenError> {
+        match op {
+            Operand::Reg(name, _) => Ok(tgt_names
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| sanitize(name))),
+            Operand::Const(CExpr::Sym(s), _) => Ok(sanitize(s)),
+            Operand::Const(e, _) => {
+                let var = format!("C_new{}", body.len());
+                let apint = self.cexpr_cpp(e)?;
+                body.push(format!(
+                    "Constant *{var} = ConstantInt::get(I->getType(), {apint});"
+                ));
+                Ok(var)
+            }
+            Operand::Undef(_) => Ok("UndefValue::get(I->getType())".to_string()),
+        }
+    }
+
+    fn build_inst(
+        &self,
+        inst: &Inst,
+        var: &str,
+        body: &mut Vec<String>,
+        tgt_names: &HashMap<String, String>,
+    ) -> Result<String, CodegenError> {
+        match inst {
+            Inst::BinOp { op, flags, a, b } => {
+                let av = self.target_operand(a, body, tgt_names)?;
+                let bv = self.target_operand(b, body, tgt_names)?;
+                let mut code = format!(
+                    "BinaryOperator *{var} = BinaryOperator::Create{}({av}, {bv}, \"\", I);",
+                    binop_create(*op)
+                );
+                for f in flags {
+                    let setter = match f {
+                        alive_ir::Flag::Nsw => format!("{var}->setHasNoSignedWrap(true);"),
+                        alive_ir::Flag::Nuw => format!("{var}->setHasNoUnsignedWrap(true);"),
+                        alive_ir::Flag::Exact => format!("{var}->setIsExact(true);"),
+                    };
+                    code.push_str(&format!("\n    {setter}"));
+                }
+                Ok(code)
+            }
+            Inst::ICmp { pred, a, b } => {
+                let av = self.target_operand(a, body, tgt_names)?;
+                let bv = self.target_operand(b, body, tgt_names)?;
+                Ok(format!(
+                    "ICmpInst *{var} = new ICmpInst(I, ICmpInst::{}, {av}, {bv});",
+                    icmp_pred_cpp(*pred)
+                ))
+            }
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let cv = self.target_operand(cond, body, tgt_names)?;
+                let tv = self.target_operand(on_true, body, tgt_names)?;
+                let fv = self.target_operand(on_false, body, tgt_names)?;
+                Ok(format!(
+                    "SelectInst *{var} = SelectInst::Create({cv}, {tv}, {fv}, \"\", I);"
+                ))
+            }
+            Inst::Conv { op, arg, .. } => {
+                let av = self.target_operand(arg, body, tgt_names)?;
+                let kind = match op {
+                    ConvOp::ZExt => "Instruction::ZExt",
+                    ConvOp::SExt => "Instruction::SExt",
+                    ConvOp::Trunc => "Instruction::Trunc",
+                    ConvOp::Bitcast => "Instruction::BitCast",
+                    ConvOp::PtrToInt => "Instruction::PtrToInt",
+                    ConvOp::IntToPtr => "Instruction::IntToPtr",
+                };
+                Ok(format!(
+                    "CastInst *{var} = CastInst::Create({kind}, {av}, I->getType(), \"\", I);"
+                ))
+            }
+            Inst::Copy { val } => {
+                let av = self.target_operand(val, body, tgt_names)?;
+                Ok(format!("Value *{var} = {av};"))
+            }
+            other => Err(cerr(format!("unsupported target instruction {other:?}"))),
+        }
+    }
+}
+
+fn binop_matcher(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "m_Add",
+        BinOp::Sub => "m_Sub",
+        BinOp::Mul => "m_Mul",
+        BinOp::UDiv => "m_UDiv",
+        BinOp::SDiv => "m_SDiv",
+        BinOp::URem => "m_URem",
+        BinOp::SRem => "m_SRem",
+        BinOp::Shl => "m_Shl",
+        BinOp::LShr => "m_LShr",
+        BinOp::AShr => "m_AShr",
+        BinOp::And => "m_And",
+        BinOp::Or => "m_Or",
+        BinOp::Xor => "m_Xor",
+    }
+}
+
+fn binop_create(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "Add",
+        BinOp::Sub => "Sub",
+        BinOp::Mul => "Mul",
+        BinOp::UDiv => "UDiv",
+        BinOp::SDiv => "SDiv",
+        BinOp::URem => "URem",
+        BinOp::SRem => "SRem",
+        BinOp::Shl => "Shl",
+        BinOp::LShr => "LShr",
+        BinOp::AShr => "AShr",
+        BinOp::And => "And",
+        BinOp::Or => "Or",
+        BinOp::Xor => "Xor",
+    }
+}
+
+fn icmp_pred_cpp(p: ICmpPred) -> &'static str {
+    match p {
+        ICmpPred::Eq => "ICMP_EQ",
+        ICmpPred::Ne => "ICMP_NE",
+        ICmpPred::Ugt => "ICMP_UGT",
+        ICmpPred::Uge => "ICMP_UGE",
+        ICmpPred::Ult => "ICMP_ULT",
+        ICmpPred::Ule => "ICMP_ULE",
+        ICmpPred::Sgt => "ICMP_SGT",
+        ICmpPred::Sge => "ICMP_SGE",
+        ICmpPred::Slt => "ICMP_SLT",
+        ICmpPred::Sle => "ICMP_SLE",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_ir::parse_transform;
+
+    #[test]
+    fn figure7_example() {
+        let t = parse_transform(
+            "Pre: isSignBit(C1)\n%b = xor %a, C1\n%d = add %b, C2\n=>\n%d = add %a, C1 ^ C2",
+        )
+        .unwrap();
+        let cpp = generate_cpp(&t).unwrap();
+        assert!(
+            cpp.contains("match(I, m_Add(m_Value(b), m_ConstantInt(C2)))"),
+            "{cpp}"
+        );
+        assert!(
+            cpp.contains("match(b, m_Xor(m_Value(a), m_ConstantInt(C1)))"),
+            "{cpp}"
+        );
+        assert!(cpp.contains("isSignBit()"), "{cpp}");
+        assert!(cpp.contains("getValue() ^ C2->getValue()"), "{cpp}");
+        assert!(cpp.contains("BinaryOperator::CreateAdd(a"), "{cpp}");
+        assert!(cpp.contains("I->replaceAllUsesWith"), "{cpp}");
+    }
+
+    #[test]
+    fn repeated_register_uses_m_specific() {
+        let t = parse_transform("%r = udiv %x, %x\n=>\n%r = 1").unwrap();
+        let cpp = generate_cpp(&t).unwrap();
+        assert!(cpp.contains("m_UDiv(m_Value(x), m_Specific(x))"), "{cpp}");
+    }
+
+    #[test]
+    fn literal_operands_use_specific_int() {
+        let t = parse_transform("%a = xor %x, -1\n%r = add %a, 1\n=>\n%r = sub 0, %x").unwrap();
+        let cpp = generate_cpp(&t).unwrap();
+        assert!(cpp.contains("m_SpecificInt(-1)"), "{cpp}");
+        assert!(cpp.contains("m_SpecificInt(1)"), "{cpp}");
+    }
+
+    #[test]
+    fn flags_are_set_on_created_instructions() {
+        let t = parse_transform("%r = mul nsw %x, 2\n=>\n%r = shl nsw %x, 1").unwrap();
+        let cpp = generate_cpp(&t).unwrap();
+        assert!(cpp.contains("setHasNoSignedWrap(true)"), "{cpp}");
+    }
+
+    #[test]
+    fn select_and_icmp() {
+        let t =
+            parse_transform("%c = icmp eq %x, %y\n%r = select %c, %x, %y\n=>\n%r = %y").unwrap();
+        let cpp = generate_cpp(&t).unwrap();
+        assert!(cpp.contains("m_Select"), "{cpp}");
+        assert!(cpp.contains("m_ICmp(ICmpInst::ICMP_EQ"), "{cpp}");
+    }
+
+    #[test]
+    fn memory_ops_are_rejected() {
+        let t = parse_transform("store %v, %p\n%r = load %p\n=>\n%r = %v").unwrap();
+        assert!(generate_cpp(&t).is_err());
+    }
+
+    #[test]
+    fn precondition_comparisons() {
+        let t = parse_transform(
+            "Pre: C1 u>= C2\n%0 = shl nsw %a, C1\n%1 = ashr %0, C2\n=>\n%1 = shl nsw %a, C1-C2",
+        )
+        .unwrap();
+        let cpp = generate_cpp(&t).unwrap();
+        assert!(cpp.contains(".uge("), "{cpp}");
+        assert!(cpp.contains("C1->getValue() - C2->getValue()"), "{cpp}");
+    }
+
+    #[test]
+    fn whole_corpus_generates_where_supported() {
+        let mut generated = 0;
+        for e in alive_suite::corpus() {
+            match generate_cpp(&e.transform) {
+                Ok(cpp) => {
+                    assert!(cpp.contains("match("), "{}: no match clause", e.name);
+                    generated += 1;
+                }
+                Err(err) => {
+                    assert!(
+                        err.message.contains("memory"),
+                        "{} unexpectedly failed: {err}",
+                        e.name
+                    );
+                }
+            }
+        }
+        assert!(generated > 100, "only {generated} entries generated");
+    }
+}

@@ -1,0 +1,46 @@
+//! The Alive domain-specific language.
+//!
+//! Alive (PLDI 2015) is a DSL for specifying LLVM peephole optimizations
+//! as `source => target` templates with optional preconditions. This crate
+//! implements the language front end:
+//!
+//! * [`ast`] — the abstract syntax (Fig. 1 of the paper): instructions,
+//!   operands, constant expressions, preconditions, types;
+//! * [`lexer`] / [`parser`] — text to AST ([`parse_transform`],
+//!   [`parse_transforms`]);
+//! * a pretty-printer (the [`std::fmt::Display`] impls) that round-trips
+//!   with the parser;
+//! * [`validate()`] — the scoping and SSA well-formedness rules of §2.1.
+//!
+//! # Examples
+//!
+//! ```
+//! use alive_ir::{parse_transform, validate};
+//!
+//! let t = parse_transform(r"
+//! Pre: isPowerOf2(C1)
+//! %r = mul nsw %x, C1
+//! =>
+//! %r = shl nsw %x, log2(C1)
+//! ").unwrap();
+//! validate(&t).unwrap();
+//! assert_eq!(t.root(), "r");
+//! assert_eq!(t.inputs(), vec!["x"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+mod printer;
+pub mod validate;
+
+pub use ast::{
+    BinOp, CBinop, CExpr, CExprArg, CUnop, ConvOp, Flag, ICmpPred, Inst, Operand, Pred,
+    PredArg, PredCmpOp, Stmt, Transform, Type,
+};
+pub use lexer::{lex, LexError};
+pub use parser::{parse_transform, parse_transforms, ParseError};
+pub use validate::{validate, ValidateError};

@@ -1,0 +1,939 @@
+//! Recursive-descent parser for the Alive DSL.
+//!
+//! The accepted grammar follows Fig. 1 of the paper plus the headers used
+//! throughout (`Name:`/`Pre:`), LLVM-style optional type annotations
+//! (`add i8 %x, %y`, `zext i8 %x to i16`), constant expressions, and
+//! precondition predicates.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, SpannedTok, Tok};
+use std::fmt;
+
+/// Parse errors with source line information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Parses a single transformation.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+///
+/// # Examples
+///
+/// ```
+/// let t = alive_ir::parse_transform(r"
+/// %1 = xor %x, -1
+/// %2 = add %1, C
+/// =>
+/// %2 = sub C-1, %x
+/// ").unwrap();
+/// assert_eq!(t.root(), "2");
+/// assert_eq!(t.inputs(), vec!["x"]);
+/// ```
+pub fn parse_transform(src: &str) -> Result<Transform, ParseError> {
+    let mut transforms = parse_transforms(src)?;
+    match transforms.len() {
+        1 => Ok(transforms.pop().expect("len checked")),
+        0 => Err(ParseError {
+            message: "no transformation found".into(),
+            line: 1,
+        }),
+        n => Err(ParseError {
+            message: format!("expected one transformation, found {n}"),
+            line: 1,
+        }),
+    }
+}
+
+/// Parses a file that may contain several transformations, each introduced
+/// by an optional `Name:` header.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+pub fn parse_transforms(src: &str) -> Result<Vec<Transform>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    p.skip_newlines();
+    while !p.at(&Tok::Eof) {
+        out.push(p.transform()?);
+        p.skip_newlines();
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.at(t) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{t}`, found `{}`", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            line: self.line(),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.at(&Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    fn transform(&mut self) -> Result<Transform, ParseError> {
+        let mut name = None;
+        let mut pre = Pred::True;
+
+        // Optional headers in any order (Name:, Pre:).
+        loop {
+            match self.peek() {
+                Tok::Ident(s) if s == "Name" && *self.peek2() == Tok::Colon => {
+                    self.bump();
+                    self.bump();
+                    name = Some(self.rest_of_line());
+                }
+                Tok::Ident(s) if s == "Pre" && *self.peek2() == Tok::Colon => {
+                    self.bump();
+                    self.bump();
+                    pre = self.pred()?;
+                    self.expect(&Tok::Newline)?;
+                }
+                _ => break,
+            }
+            self.skip_newlines();
+        }
+
+        let source = self.stmts_until_arrow()?;
+        self.expect(&Tok::Arrow)?;
+        self.expect(&Tok::Newline)?;
+        let target = self.stmts_until_end()?;
+        Ok(Transform {
+            name,
+            pre,
+            source,
+            target,
+        })
+    }
+
+    fn rest_of_line(&mut self) -> String {
+        let mut s = String::new();
+        while !self.at(&Tok::Newline) && !self.at(&Tok::Eof) {
+            let t = self.bump();
+            s.push_str(&t.to_string());
+        }
+        if self.at(&Tok::Newline) {
+            self.bump();
+        }
+        s
+    }
+
+    fn stmts_until_arrow(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        self.skip_newlines();
+        while !self.at(&Tok::Arrow) {
+            if self.at(&Tok::Eof) {
+                return Err(self.err("unexpected end of input before `=>`".into()));
+            }
+            out.push(self.stmt()?);
+            self.skip_newlines();
+        }
+        Ok(out)
+    }
+
+    fn stmts_until_end(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        self.skip_newlines();
+        // A target ends at EOF or at the start of the next transformation
+        // (`Name:` header).
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(s) if s == "Name" && *self.peek2() == Tok::Colon => break,
+                _ => {}
+            }
+            out.push(self.stmt()?);
+            self.skip_newlines();
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "store" => {
+                self.bump();
+                let val = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let ptr = self.operand()?;
+                self.end_of_stmt()?;
+                Ok(Stmt {
+                    name: None,
+                    inst: Inst::Store { val, ptr },
+                })
+            }
+            Tok::Ident(s) if s == "unreachable" => {
+                self.bump();
+                self.end_of_stmt()?;
+                Ok(Stmt {
+                    name: None,
+                    inst: Inst::Unreachable,
+                })
+            }
+            Tok::Reg(name) => {
+                self.bump();
+                self.expect(&Tok::Equals)?;
+                let inst = self.inst()?;
+                self.end_of_stmt()?;
+                Ok(Stmt {
+                    name: Some(name),
+                    inst,
+                })
+            }
+            other => Err(self.err(format!("expected a statement, found `{other}`"))),
+        }
+    }
+
+    fn end_of_stmt(&mut self) -> Result<(), ParseError> {
+        if self.at(&Tok::Newline) {
+            self.bump();
+            Ok(())
+        } else if self.at(&Tok::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected end of statement, found `{}`",
+                self.peek()
+            )))
+        }
+    }
+
+    fn inst(&mut self) -> Result<Inst, ParseError> {
+        if let Tok::Ident(mnemonic) = self.peek().clone() {
+            if let Some(op) = BinOp::from_mnemonic(&mnemonic) {
+                self.bump();
+                let mut flags = Vec::new();
+                while let Tok::Ident(f) = self.peek().clone() {
+                    match f.as_str() {
+                        "nsw" => {
+                            self.bump();
+                            flags.push(Flag::Nsw);
+                        }
+                        "nuw" => {
+                            self.bump();
+                            flags.push(Flag::Nuw);
+                        }
+                        "exact" => {
+                            self.bump();
+                            flags.push(Flag::Exact);
+                        }
+                        _ => break,
+                    }
+                }
+                let ann = self.try_type()?;
+                let mut a = self.operand()?;
+                self.expect(&Tok::Comma)?;
+                let mut b = self.operand()?;
+                if let Some(t) = &ann {
+                    annotate(&mut a, t);
+                    annotate(&mut b, t);
+                }
+                return Ok(Inst::BinOp { op, flags, a, b });
+            }
+            if let Some(op) = ConvOp::from_mnemonic(&mnemonic) {
+                self.bump();
+                let arg = self.operand()?;
+                let mut to = None;
+                if let Tok::Ident(s) = self.peek().clone() {
+                    if s == "to" {
+                        self.bump();
+                        to = Some(self.ty()?);
+                    }
+                }
+                return Ok(Inst::Conv { op, arg, to });
+            }
+            match mnemonic.as_str() {
+                "select" => {
+                    self.bump();
+                    let cond = self.operand()?;
+                    self.expect(&Tok::Comma)?;
+                    let on_true = self.operand()?;
+                    self.expect(&Tok::Comma)?;
+                    let on_false = self.operand()?;
+                    return Ok(Inst::Select {
+                        cond,
+                        on_true,
+                        on_false,
+                    });
+                }
+                "icmp" => {
+                    self.bump();
+                    let pred = match self.bump() {
+                        Tok::Ident(p) => ICmpPred::from_mnemonic(&p).ok_or_else(|| {
+                            self.err(format!("unknown icmp predicate `{p}`"))
+                        })?,
+                        other => {
+                            return Err(
+                                self.err(format!("expected icmp predicate, found `{other}`"))
+                            )
+                        }
+                    };
+                    let ann = self.try_type()?;
+                    let mut a = self.operand()?;
+                    self.expect(&Tok::Comma)?;
+                    let mut b = self.operand()?;
+                    if let Some(t) = &ann {
+                        annotate(&mut a, t);
+                        annotate(&mut b, t);
+                    }
+                    return Ok(Inst::ICmp { pred, a, b });
+                }
+                "alloca" => {
+                    self.bump();
+                    let ty = self.ty()?;
+                    let count = if self.at(&Tok::Comma) {
+                        self.bump();
+                        self.operand()?
+                    } else {
+                        Operand::Const(CExpr::Lit(1), None)
+                    };
+                    return Ok(Inst::Alloca { ty, count });
+                }
+                "load" => {
+                    self.bump();
+                    let ptr = self.operand()?;
+                    return Ok(Inst::Load { ptr });
+                }
+                "getelementptr" => {
+                    self.bump();
+                    let ptr = self.operand()?;
+                    let mut idxs = Vec::new();
+                    while self.at(&Tok::Comma) {
+                        self.bump();
+                        idxs.push(self.operand()?);
+                    }
+                    return Ok(Inst::Gep { ptr, idxs });
+                }
+                _ => {}
+            }
+        }
+        // Fallback: a bare operand is a copy (`%x = %y` / `%x = C+1`).
+        let val = self.operand()?;
+        Ok(Inst::Copy { val })
+    }
+
+    /// Parses an operand: optional type annotation then register, `undef`,
+    /// or a constant expression.
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        let ty = self.try_type()?;
+        match self.peek().clone() {
+            Tok::Reg(name) => {
+                self.bump();
+                Ok(Operand::Reg(name, ty))
+            }
+            Tok::Ident(s) if s == "undef" => {
+                self.bump();
+                Ok(Operand::Undef(ty))
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Operand::Const(CExpr::Lit(1), Some(Type::Int(1))))
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Operand::Const(CExpr::Lit(0), Some(Type::Int(1))))
+            }
+            Tok::Ident(s) if s == "null" => {
+                self.bump();
+                Ok(Operand::Const(CExpr::Lit(0), ty))
+            }
+            _ => {
+                let e = self.cexpr()?;
+                Ok(Operand::Const(e, ty))
+            }
+        }
+    }
+
+    /// Tries to parse a type if the next tokens look like one.
+    fn try_type(&mut self) -> Result<Option<Type>, ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if is_int_type(s) || s == "void" => Ok(Some(self.ty()?)),
+            Tok::LBracket => Ok(Some(self.ty()?)),
+            _ => Ok(None),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        let mut base = match self.bump() {
+            Tok::Ident(s) if is_int_type(&s) => {
+                let w: u32 = s[1..].parse().expect("validated by is_int_type");
+                if w == 0 || w > 128 {
+                    return Err(self.err(format!("unsupported bitwidth i{w}")));
+                }
+                Type::Int(w)
+            }
+            Tok::Ident(s) if s == "void" => Type::Void,
+            Tok::LBracket => {
+                let n = match self.bump() {
+                    Tok::Num(n) if n >= 0 => n as u64,
+                    other => {
+                        return Err(self.err(format!("expected array size, found `{other}`")))
+                    }
+                };
+                match self.bump() {
+                    Tok::Ident(x) if x == "x" => {}
+                    other => {
+                        return Err(self.err(format!("expected `x` in array type, found `{other}`")))
+                    }
+                }
+                let elem = self.ty()?;
+                self.expect(&Tok::RBracket)?;
+                Type::Array(n, Box::new(elem))
+            }
+            other => return Err(self.err(format!("expected a type, found `{other}`"))),
+        };
+        while self.at(&Tok::Star) {
+            self.bump();
+            base = Type::Ptr(Box::new(base));
+        }
+        Ok(base)
+    }
+
+    // ---- constant expressions ----
+    //
+    // Precedence (low to high): `|`  `^`  `&`  `<< >>`  `+ -`  `* / /u % %u`
+    // then unary `- ~` and atoms.
+
+    fn cexpr(&mut self) -> Result<CExpr, ParseError> {
+        self.cexpr_or()
+    }
+
+    fn cexpr_or(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.cexpr_xor()?;
+        while self.at(&Tok::Pipe) {
+            self.bump();
+            let rhs = self.cexpr_xor()?;
+            lhs = CExpr::Binop(CBinop::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cexpr_xor(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.cexpr_and()?;
+        while self.at(&Tok::Caret) {
+            self.bump();
+            let rhs = self.cexpr_and()?;
+            lhs = CExpr::Binop(CBinop::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cexpr_and(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.cexpr_shift()?;
+        while self.at(&Tok::Amp) {
+            self.bump();
+            let rhs = self.cexpr_shift()?;
+            lhs = CExpr::Binop(CBinop::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cexpr_shift(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.cexpr_add()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => CBinop::Shl,
+                Tok::Shr => CBinop::LShr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.cexpr_add()?;
+            lhs = CExpr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cexpr_add(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.cexpr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => CBinop::Add,
+                Tok::Minus => CBinop::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.cexpr_mul()?;
+            lhs = CExpr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cexpr_mul(&mut self) -> Result<CExpr, ParseError> {
+        let mut lhs = self.cexpr_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => CBinop::Mul,
+                Tok::Slash => CBinop::SDiv,
+                Tok::SlashU => CBinop::UDiv,
+                Tok::Percent => CBinop::SRem,
+                Tok::PercentU => CBinop::URem,
+                // `%u` lexes as a register named `u` (see lexer); in infix
+                // position it can only mean unsigned remainder.
+                Tok::Reg(r) if r == "u" => CBinop::URem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.cexpr_unary()?;
+            lhs = CExpr::Binop(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cexpr_unary(&mut self) -> Result<CExpr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.cexpr_unary()?;
+                Ok(match e {
+                    CExpr::Lit(n) => CExpr::Lit(-n),
+                    other => CExpr::Unop(CUnop::Neg, Box::new(other)),
+                })
+            }
+            Tok::Tilde => {
+                self.bump();
+                let e = self.cexpr_unary()?;
+                Ok(CExpr::Unop(CUnop::Not, Box::new(e)))
+            }
+            _ => self.cexpr_atom(),
+        }
+    }
+
+    fn cexpr_atom(&mut self) -> Result<CExpr, ParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(CExpr::Lit(n))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.cexpr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.at(&Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&Tok::RParen) {
+                        loop {
+                            args.push(self.cexpr_fun_arg()?);
+                            if self.at(&Tok::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(CExpr::Fun(name, args))
+                } else {
+                    Ok(CExpr::Sym(name))
+                }
+            }
+            other => Err(self.err(format!(
+                "expected a constant expression, found `{other}`"
+            ))),
+        }
+    }
+
+    fn cexpr_fun_arg(&mut self) -> Result<CExprArg, ParseError> {
+        if let Tok::Reg(name) = self.peek().clone() {
+            // Registers are only valid as direct arguments (e.g. width(%x),
+            // MaskedValueIsZero(%V, ~C1)); they cannot participate in
+            // arithmetic inside constant expressions.
+            self.bump();
+            return Ok(CExprArg::Reg(name));
+        }
+        Ok(CExprArg::Expr(self.cexpr()?))
+    }
+
+    // ---- preconditions ----
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        self.pred_or()
+    }
+
+    fn pred_or(&mut self) -> Result<Pred, ParseError> {
+        let mut lhs = self.pred_and()?;
+        while self.at(&Tok::OrOr) {
+            self.bump();
+            let rhs = self.pred_and()?;
+            lhs = Pred::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_and(&mut self) -> Result<Pred, ParseError> {
+        let mut lhs = self.pred_unary()?;
+        while self.at(&Tok::AndAnd) {
+            self.bump();
+            let rhs = self.pred_unary()?;
+            lhs = Pred::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_unary(&mut self) -> Result<Pred, ParseError> {
+        if self.at(&Tok::Bang) {
+            self.bump();
+            let p = self.pred_unary()?;
+            return Ok(Pred::Not(Box::new(p)));
+        }
+        self.pred_atom()
+    }
+
+    fn pred_atom(&mut self) -> Result<Pred, ParseError> {
+        if self.at(&Tok::LParen) {
+            // Could be a parenthesized predicate or a parenthesized constant
+            // expression starting a comparison. Try predicate first via
+            // backtracking.
+            let save = self.pos;
+            self.bump();
+            if let Ok(p) = self.pred() {
+                if self.at(&Tok::RParen) {
+                    self.bump();
+                    // If a comparison operator follows, this was actually a
+                    // parenthesized constant expression; fall through.
+                    if self.peek_cmp_op().is_none() {
+                        return Ok(p);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        if let Tok::Ident(s) = self.peek().clone() {
+            if s == "true" && !matches!(self.peek2(), Tok::LParen) {
+                self.bump();
+                return Ok(Pred::True);
+            }
+        }
+        // Parse a constant expression, then require a comparison or a
+        // predicate function call.
+        let lhs = self.cexpr()?;
+        if let Some(op) = self.peek_cmp_op() {
+            self.bump();
+            let rhs = self.cexpr()?;
+            return Ok(Pred::Cmp(op, lhs, rhs));
+        }
+        match lhs {
+            CExpr::Fun(name, args) => {
+                let pargs = args
+                    .into_iter()
+                    .map(|a| match a {
+                        CExprArg::Reg(r) => PredArg::Reg(r),
+                        CExprArg::Expr(e) => PredArg::Expr(e),
+                    })
+                    .collect();
+                Ok(Pred::Fun(name, pargs))
+            }
+            other => Err(self.err(format!(
+                "expected comparison or predicate, found bare expression {other:?}"
+            ))),
+        }
+    }
+
+    fn peek_cmp_op(&self) -> Option<PredCmpOp> {
+        Some(match self.peek() {
+            Tok::EqEq => PredCmpOp::Eq,
+            Tok::NotEq => PredCmpOp::Ne,
+            Tok::Lt => PredCmpOp::Slt,
+            Tok::Le => PredCmpOp::Sle,
+            Tok::Gt => PredCmpOp::Sgt,
+            Tok::Ge => PredCmpOp::Sge,
+            Tok::ULt => PredCmpOp::Ult,
+            Tok::ULe => PredCmpOp::Ule,
+            Tok::UGt => PredCmpOp::Ugt,
+            Tok::UGe => PredCmpOp::Uge,
+            _ => return None,
+        })
+    }
+}
+
+fn is_int_type(s: &str) -> bool {
+    s.len() >= 2 && s.starts_with('i') && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+fn annotate(op: &mut Operand, ty: &Type) {
+    match op {
+        Operand::Reg(_, t) | Operand::Const(_, t) | Operand::Undef(t) => {
+            if t.is_none() {
+                *t = Some(ty.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_intro_example() {
+        let t = parse_transform(
+            "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x",
+        )
+        .unwrap();
+        assert_eq!(t.root(), "2");
+        assert_eq!(t.inputs(), vec!["x"]);
+        assert_eq!(t.constant_symbols(), vec!["C".to_string()]);
+        assert_eq!(t.source.len(), 2);
+        assert_eq!(t.target.len(), 1);
+        match &t.target[0].inst {
+            Inst::BinOp { op: BinOp::Sub, a, .. } => match a {
+                Operand::Const(CExpr::Binop(CBinop::Sub, lhs, rhs), _) => {
+                    assert_eq!(**lhs, CExpr::Sym("C".into()));
+                    assert_eq!(**rhs, CExpr::Lit(1));
+                }
+                other => panic!("unexpected operand {other:?}"),
+            },
+            other => panic!("unexpected inst {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure2_example_with_pre() {
+        let t = parse_transform(
+            "Pre: C2 == 0 && MaskedValueIsZero(%V, ~C1)\n\
+             %t0 = or %B, %V\n\
+             %t1 = and %t0, C1\n\
+             %t2 = and %B, C2\n\
+             %R = or %t1, %t2\n\
+             =>\n\
+             %R = and %t0, (C1 | C2)",
+        )
+        .unwrap();
+        assert_eq!(t.root(), "R");
+        match &t.pre {
+            Pred::And(l, r) => {
+                assert!(matches!(**l, Pred::Cmp(PredCmpOp::Eq, _, _)));
+                match &**r {
+                    Pred::Fun(name, args) => {
+                        assert_eq!(name, "MaskedValueIsZero");
+                        assert_eq!(args.len(), 2);
+                        assert!(matches!(args[0], PredArg::Reg(_)));
+                        assert!(matches!(
+                            args[1],
+                            PredArg::Expr(CExpr::Unop(CUnop::Not, _))
+                        ));
+                    }
+                    other => panic!("unexpected pred {other:?}"),
+                }
+            }
+            other => panic!("unexpected pre {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nsw_flags_and_typed_operands() {
+        let t = parse_transform(
+            "%1 = add nsw i32 %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true",
+        )
+        .unwrap();
+        match &t.source[0].inst {
+            Inst::BinOp { op, flags, a, .. } => {
+                assert_eq!(*op, BinOp::Add);
+                assert_eq!(flags, &[Flag::Nsw]);
+                assert_eq!(a.type_annotation(), Some(&Type::Int(32)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &t.target[0].inst {
+            Inst::Copy { val } => {
+                assert_eq!(val, &Operand::Const(CExpr::Lit(1), Some(Type::Int(1))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_undef_example() {
+        let t =
+            parse_transform("%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3").unwrap();
+        match &t.source[0].inst {
+            Inst::Select { cond, on_true, .. } => {
+                assert!(matches!(cond, Operand::Undef(None)));
+                assert_eq!(
+                    on_true,
+                    &Operand::Const(CExpr::Lit(-1), Some(Type::Int(4)))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pr21245_precondition() {
+        let t = parse_transform(
+            "Pre: C2 % (1<<C1) == 0\n\
+             %s = shl nsw %X, C1\n\
+             %r = sdiv %s, C2\n\
+             =>\n\
+             %r = sdiv %X, C2/(1<<C1)",
+        )
+        .unwrap();
+        assert!(matches!(t.pre, Pred::Cmp(PredCmpOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn named_transforms_in_one_file() {
+        let ts = parse_transforms(
+            "Name: first\n%r = add %x, 0\n=>\n%r = %x\n\
+             Name: second\n%r = mul %x, 1\n=>\n%r = %x\n",
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].name.as_deref(), Some("first"));
+        assert_eq!(ts[1].name.as_deref(), Some("second"));
+        assert!(matches!(ts[1].source[0].inst, Inst::BinOp { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn memory_ops() {
+        let t = parse_transform(
+            "%p = alloca i8, 4\n%v = load %p\nstore %v, %q\n%r = load %q\n=>\n%r = %v",
+        )
+        .unwrap();
+        assert_eq!(t.source.len(), 4);
+        assert!(matches!(t.source[0].inst, Inst::Alloca { .. }));
+        assert!(matches!(t.source[2].inst, Inst::Store { .. }));
+        assert_eq!(t.root(), "r");
+    }
+
+    #[test]
+    fn gep_with_indices() {
+        let t = parse_transform(
+            "%p = getelementptr %base, %i, 3\n%v = load %p\n=>\n%v = load %p",
+        )
+        .unwrap();
+        match &t.source[0].inst {
+            Inst::Gep { idxs, .. } => assert_eq!(idxs.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conversion_with_to() {
+        let t = parse_transform("%r = zext i8 %x to i16\n=>\n%r = zext i8 %x to i16").unwrap();
+        match &t.source[0].inst {
+            Inst::Conv { op, to, arg } => {
+                assert_eq!(*op, ConvOp::ZExt);
+                assert_eq!(*to, Some(Type::Int(16)));
+                assert_eq!(arg.type_annotation(), Some(&Type::Int(8)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precondition_functions_and_logic() {
+        let t = parse_transform(
+            "Pre: isPowerOf2(%Power) && hasOneUse(%Y) || !isSignBit(C1)\n\
+             %r = udiv %X, %Y\n=>\n%r = udiv %X, %Y",
+        )
+        .unwrap();
+        assert!(matches!(t.pre, Pred::Or(_, _)));
+    }
+
+    #[test]
+    fn unsigned_remainder_in_cexpr() {
+        let t = parse_transform("%r = add %x, C1 %u C2\n=>\n%r = add %x, C1 %u C2").unwrap();
+        match &t.source[0].inst {
+            Inst::BinOp { b, .. } => match b {
+                Operand::Const(CExpr::Binop(CBinop::URem, _, _), _) => {}
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_transform("%r = add %x, 1\n=>\n%r = bogus %x").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn log2_function_call() {
+        let t = parse_transform(
+            "Pre: isPowerOf2(C1)\n%r = mul nsw %x, C1\n=>\n%r = shl nsw %x, log2(C1)",
+        )
+        .unwrap();
+        match &t.target[0].inst {
+            Inst::BinOp { b, .. } => match b {
+                Operand::Const(CExpr::Fun(name, args), _) => {
+                    assert_eq!(name, "log2");
+                    assert_eq!(args.len(), 1);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

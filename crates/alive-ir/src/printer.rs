@@ -1,0 +1,299 @@
+//! Pretty-printing of Alive transformations back to DSL syntax.
+//!
+//! The printer and parser round-trip: `parse(print(t)) == t` (validated by
+//! property tests over the corpus).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for CUnop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CUnop::Neg => "-",
+            CUnop::Not => "~",
+        })
+    }
+}
+
+impl CBinop {
+    /// Surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CBinop::Add => "+",
+            CBinop::Sub => "-",
+            CBinop::Mul => "*",
+            CBinop::SDiv => "/",
+            CBinop::UDiv => "/u",
+            CBinop::SRem => "%",
+            CBinop::URem => "%u",
+            CBinop::Shl => "<<",
+            CBinop::LShr => ">>",
+            CBinop::AShr => ">>a",
+            CBinop::And => "&",
+            CBinop::Or => "|",
+            CBinop::Xor => "^",
+        }
+    }
+
+    fn precedence(self) -> u8 {
+        match self {
+            CBinop::Or => 1,
+            CBinop::Xor => 2,
+            CBinop::And => 3,
+            CBinop::Shl | CBinop::LShr | CBinop::AShr => 4,
+            CBinop::Add | CBinop::Sub => 5,
+            CBinop::Mul | CBinop::SDiv | CBinop::UDiv | CBinop::SRem | CBinop::URem => 6,
+        }
+    }
+}
+
+impl CExpr {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            CExpr::Lit(n) => write!(f, "{n}"),
+            CExpr::Sym(s) => write!(f, "{s}"),
+            CExpr::Unop(op, a) => {
+                write!(f, "{op}")?;
+                a.fmt_prec(f, 7)
+            }
+            CExpr::Binop(op, a, b) => {
+                let prec = op.precedence();
+                let need = prec < parent;
+                if need {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // Right operand binds tighter to preserve left associativity.
+                b.fmt_prec(f, prec + 1)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            CExpr::Fun(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match a {
+                        CExprArg::Reg(r) => write!(f, "%{r}")?,
+                        CExprArg::Expr(e) => e.fmt_prec(f, 0)?,
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for CExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl fmt::Display for PredCmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PredCmpOp::Eq => "==",
+            PredCmpOp::Ne => "!=",
+            PredCmpOp::Slt => "<",
+            PredCmpOp::Sle => "<=",
+            PredCmpOp::Sgt => ">",
+            PredCmpOp::Sge => ">=",
+            PredCmpOp::Ult => "u<",
+            PredCmpOp::Ule => "u<=",
+            PredCmpOp::Ugt => "u>",
+            PredCmpOp::Uge => "u>=",
+        })
+    }
+}
+
+impl Pred {
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent: u8) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::Not(p) => {
+                write!(f, "!")?;
+                p.fmt_prec(f, 3)
+            }
+            Pred::And(a, b) => {
+                let need = 2 < parent;
+                if need {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, 2)?;
+                write!(f, " && ")?;
+                b.fmt_prec(f, 3)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Pred::Or(a, b) => {
+                let need = 1 < parent;
+                if need {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, 1)?;
+                write!(f, " || ")?;
+                b.fmt_prec(f, 2)?;
+                if need {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Pred::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Pred::Fun(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match a {
+                        PredArg::Reg(r) => write!(f, "%{r}")?,
+                        PredArg::Expr(e) => write!(f, "{e}")?,
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(n, t) => {
+                if let Some(t) = t {
+                    write!(f, "{t} ")?;
+                }
+                write!(f, "%{n}")
+            }
+            Operand::Const(e, t) => {
+                if let Some(t) = t {
+                    write!(f, "{t} ")?;
+                }
+                write!(f, "{e}")
+            }
+            Operand::Undef(t) => {
+                if let Some(t) = t {
+                    write!(f, "{t} ")?;
+                }
+                write!(f, "undef")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::BinOp { op, flags, a, b } => {
+                write!(f, "{op}")?;
+                for fl in flags {
+                    write!(f, " {fl}")?;
+                }
+                write!(f, " {a}, {b}")
+            }
+            Inst::Conv { op, arg, to } => {
+                write!(f, "{op} {arg}")?;
+                if let Some(t) = to {
+                    write!(f, " to {t}")?;
+                }
+                Ok(())
+            }
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+            } => write!(f, "select {cond}, {on_true}, {on_false}"),
+            Inst::ICmp { pred, a, b } => write!(f, "icmp {pred} {a}, {b}"),
+            Inst::Alloca { ty, count } => write!(f, "alloca {ty}, {count}"),
+            Inst::Load { ptr } => write!(f, "load {ptr}"),
+            Inst::Store { val, ptr } => write!(f, "store {val}, {ptr}"),
+            Inst::Gep { ptr, idxs } => {
+                write!(f, "getelementptr {ptr}")?;
+                for i in idxs {
+                    write!(f, ", {i}")?;
+                }
+                Ok(())
+            }
+            Inst::Copy { val } => write!(f, "{val}"),
+            Inst::Unreachable => write!(f, "unreachable"),
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "%{n} = {}", self.inst),
+            None => write!(f, "{}", self.inst),
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = &self.name {
+            writeln!(f, "Name: {n}")?;
+        }
+        if self.pre != Pred::True {
+            writeln!(f, "Pre: {}", self.pre)?;
+        }
+        for s in &self.source {
+            writeln!(f, "{s}")?;
+        }
+        writeln!(f, "=>")?;
+        for s in &self.target {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_transform;
+
+    fn round_trip(src: &str) {
+        let t1 = parse_transform(src).unwrap();
+        let printed = t1.to_string();
+        let t2 = parse_transform(&printed)
+            .unwrap_or_else(|e| panic!("reparse of\n{printed}\nfailed: {e}"));
+        assert_eq!(t1, t2, "round trip mismatch for\n{printed}");
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x");
+        round_trip(
+            "Pre: C2 % (1<<C1) == 0\n%s = shl nsw %X, C1\n%r = sdiv %s, C2\n=>\n%r = sdiv %X, C2/(1<<C1)",
+        );
+        round_trip("%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3");
+        round_trip(
+            "Pre: isPowerOf2(%P) && hasOneUse(%Y)\n%s = shl %P, %A\n%Y = lshr %s, %B\n%r = udiv %X, %Y\n=>\n%sub = sub %A, %B\n%Y = shl %P, %sub\n%r = udiv %X, %Y",
+        );
+        round_trip("%p = alloca i8, 4\n%v = load %p\nstore %v, %p\n%r = load %p\n=>\n%r = %v");
+        round_trip("%r = zext i8 %x to i16\n=>\n%r = zext i8 %x to i16");
+        round_trip("Name: X\nPre: !(C1 u>= C2) || C1 == 0\n%r = add %x, C1 %u C2\n=>\n%r = %x");
+    }
+
+    #[test]
+    fn operator_precedence_survives() {
+        round_trip("%r = add %x, C1 | C2 & C3\n=>\n%r = %x");
+        round_trip("%r = add %x, (C1 | C2) & C3\n=>\n%r = %x");
+        round_trip("%r = add %x, C1 - C2 - C3\n=>\n%r = %x");
+        round_trip("%r = add %x, C1 - (C2 - C3)\n=>\n%r = %x");
+        round_trip("%r = add %x, -C1 * ~C2\n=>\n%r = %x");
+    }
+}

@@ -1,0 +1,246 @@
+//! Well-formedness checks for Alive transformations (paper §2.1,
+//! "Scoping").
+//!
+//! * SSA: every register is defined at most once per template, and uses
+//!   appear after definitions.
+//! * The source and target share a common root: the target must (re)define
+//!   the root of the source DAG.
+//! * Every temporary defined in the source must be used by a later source
+//!   instruction or be overwritten in the target.
+//! * Every value defined in the target must be used by a later target
+//!   instruction or overwrite a source value.
+//! * Targets may not introduce fresh input variables.
+
+use crate::ast::{Inst, Operand, Transform};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A well-formedness violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidateError {
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid transformation: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn err(message: impl Into<String>) -> ValidateError {
+    ValidateError {
+        message: message.into(),
+    }
+}
+
+/// Checks all well-formedness rules.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate(t: &Transform) -> Result<(), ValidateError> {
+    if t.source.is_empty() {
+        return Err(err("source template is empty"));
+    }
+    if t.target.is_empty() {
+        return Err(err("target template is empty"));
+    }
+
+    // SSA within each template.
+    check_ssa(&t.source, "source")?;
+    check_ssa(&t.target, "target")?;
+
+    let src_defs: Vec<&str> = t.source_defs();
+    if src_defs.is_empty() {
+        return Err(err("source template defines no values"));
+    }
+    let root = t.root();
+
+    let tgt_defs: Vec<&str> = t.target_defs();
+    if !tgt_defs.contains(&root) {
+        return Err(err(format!(
+            "target does not define the root value %{root}"
+        )));
+    }
+
+    // Uses must be defined: in the target, a register must be an input, a
+    // source def, or an earlier target def.
+    let inputs: HashSet<&str> = t.inputs().into_iter().collect();
+    let src_def_set: HashSet<&str> = src_defs.iter().copied().collect();
+    let mut seen: HashSet<&str> = HashSet::new();
+    for s in &t.target {
+        for r in s.inst.used_regs() {
+            let known = inputs.contains(r)
+                || src_def_set.contains(r)
+                || seen.contains(r);
+            if !known {
+                return Err(err(format!(
+                    "target uses %{r} which is neither an input nor previously defined"
+                )));
+            }
+        }
+        if let Some(n) = &s.name {
+            seen.insert(n);
+        }
+    }
+
+    // Every source temporary must be used later in the source or be
+    // overwritten by the target (dead source values indicate a template
+    // error).
+    for (i, s) in t.source.iter().enumerate() {
+        let Some(name) = &s.name else { continue };
+        if name == root {
+            continue;
+        }
+        let used_later = t.source[i + 1..]
+            .iter()
+            .any(|later| later.inst.used_regs().contains(&name.as_str()));
+        let overwritten = tgt_defs.contains(&name.as_str());
+        if !used_later && !overwritten {
+            return Err(err(format!(
+                "source temporary %{name} is never used nor overwritten in the target"
+            )));
+        }
+    }
+
+    // Every target instruction must feed a later target instruction or
+    // overwrite a source value.
+    for (i, s) in t.target.iter().enumerate() {
+        let Some(name) = &s.name else { continue };
+        let used_later = t.target[i + 1..]
+            .iter()
+            .any(|later| later.inst.used_regs().contains(&name.as_str()));
+        let overwrites = src_def_set.contains(name.as_str());
+        if !used_later && !overwrites {
+            return Err(err(format!(
+                "target value %{name} is never used and does not overwrite a source value"
+            )));
+        }
+    }
+
+    // select condition cannot be a non-boolean literal-typed operand;
+    // and alloca count must be constant.
+    for s in t.source.iter().chain(&t.target) {
+        if let Inst::Alloca { count, .. } = &s.inst {
+            if !matches!(count, Operand::Const(_, _)) {
+                return Err(err("alloca element count must be a constant"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_ssa(stmts: &[crate::ast::Stmt], which: &str) -> Result<(), ValidateError> {
+    let mut defined: HashSet<&str> = HashSet::new();
+    for s in stmts {
+        if let Some(n) = &s.name {
+            if !defined.insert(n) {
+                return Err(err(format!(
+                    "{which} template defines %{n} more than once"
+                )));
+            }
+        }
+    }
+    // Forward references within the source template are not allowed.
+    if which == "source" {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let all: HashSet<&str> = stmts.iter().filter_map(|s| s.name.as_deref()).collect();
+        for s in stmts {
+            for r in s.inst.used_regs() {
+                if all.contains(r) && !seen.contains(r) {
+                    return Err(err(format!(
+                        "source uses %{r} before its definition"
+                    )));
+                }
+            }
+            if let Some(n) = &s.name {
+                seen.insert(n);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_transform;
+
+    fn ok(src: &str) {
+        let t = parse_transform(src).unwrap();
+        validate(&t).unwrap();
+    }
+
+    fn bad(src: &str, needle: &str) {
+        let t = parse_transform(src).unwrap();
+        let e = validate(&t).unwrap_err();
+        assert!(
+            e.message.contains(needle),
+            "expected error about `{needle}`, got: {}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn accepts_paper_examples() {
+        ok("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x");
+        ok("Pre: C2 == 0 && MaskedValueIsZero(%V, ~C1)\n%t0 = or %B, %V\n%t1 = and %t0, C1\n%t2 = and %B, C2\n%R = or %t1, %t2\n=>\n%R = and %t0, (C1 | C2)");
+        ok("%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3");
+    }
+
+    #[test]
+    fn rejects_missing_root_in_target() {
+        bad(
+            "%a = add %x, 1\n=>\n%b = add %x, 2",
+            "does not define the root",
+        );
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        bad(
+            "%a = add %x, 1\n%a = add %x, 2\n=>\n%a = %x",
+            "more than once",
+        );
+    }
+
+    #[test]
+    fn rejects_dead_source_temporary() {
+        bad(
+            "%t = add %x, 1\n%r = add %x, 2\n=>\n%r = %x",
+            "never used nor overwritten",
+        );
+    }
+
+    #[test]
+    fn accepts_source_temporary_overwritten_in_target() {
+        ok("%t = shl %P, %A\n%r = udiv %X, %t\n=>\n%t = shl %P, %A\n%r = udiv %X, %t");
+    }
+
+    #[test]
+    fn rejects_dead_target_value() {
+        bad(
+            "%r = add %x, 1\n=>\n%dead = add %x, 2\n%r = add %x, 1",
+            "never used and does not overwrite",
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_target_register() {
+        bad(
+            "%r = add %x, 1\n=>\n%r = add %ghost, 1",
+            "neither an input nor previously defined",
+        );
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_source() {
+        bad(
+            "%r = add %t, 1\n%t = add %x, 1\n=>\n%r = %x\n",
+            "before its definition",
+        );
+    }
+}

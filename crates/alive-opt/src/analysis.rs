@@ -1,0 +1,400 @@
+//! Known-bits dataflow analysis for mini-LLVM.
+//!
+//! Alive preconditions consult LLVM dataflow analyses through built-in
+//! predicates such as `MaskedValueIsZero` and `isPowerOf2` (paper §2.3).
+//! The pass needs concrete (must-)analysis results to decide whether a
+//! rewrite may fire; this module provides a classic known-zero/known-one
+//! forward analysis over the straight-line IR.
+
+use crate::ir::{Function, MInst, MValue};
+use alive_ir::ast::{BinOp, ConvOp};
+use alive_smt::BvVal;
+
+/// Per-value known bits: a bit may be known-zero, known-one, or unknown.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KnownBits {
+    /// Mask of bits known to be zero.
+    pub zero: BvVal,
+    /// Mask of bits known to be one.
+    pub one: BvVal,
+}
+
+impl KnownBits {
+    /// Nothing known at a given width.
+    pub fn unknown(width: u32) -> KnownBits {
+        KnownBits {
+            zero: BvVal::zero(width),
+            one: BvVal::zero(width),
+        }
+    }
+
+    /// Exact constant.
+    pub fn constant(v: BvVal) -> KnownBits {
+        KnownBits {
+            zero: v.not(),
+            one: v,
+        }
+    }
+
+    /// Width of the tracked value.
+    pub fn width(&self) -> u32 {
+        self.zero.width()
+    }
+
+    /// Is the value fully known?
+    pub fn is_constant(&self) -> Option<BvVal> {
+        if self.zero.or(self.one) == BvVal::ones(self.width()) {
+            Some(self.one)
+        } else {
+            None
+        }
+    }
+
+    /// Are all bits in `mask` known zero?
+    pub fn masked_value_is_zero(&self, mask: BvVal) -> bool {
+        self.zero.and(mask) == mask
+    }
+
+    /// Is the value provably a (non-zero) power of two?
+    ///
+    /// A must-analysis: `false` means "cannot prove", not "is not".
+    pub fn is_power_of_two(&self) -> bool {
+        match self.is_constant() {
+            Some(v) => v.is_power_of_two(),
+            None => {
+                // Exactly one bit not known-zero, and that bit known-one.
+                let candidates = self.zero.not();
+                candidates.is_power_of_two() && self.one == candidates
+            }
+        }
+    }
+
+    /// Is the value provably non-zero?
+    pub fn is_non_zero(&self) -> bool {
+        !self.one.is_zero()
+    }
+
+    /// Is the value provably non-negative (sign bit known zero)?
+    pub fn is_non_negative(&self) -> bool {
+        self.zero.bit(self.width() - 1)
+    }
+}
+
+/// Computes known bits for every value of `f`.
+///
+/// Rewrites may leave instructions referencing later-defined values, so
+/// the analysis is demand-driven over the (acyclic) value graph rather
+/// than a single forward sweep.
+pub fn known_bits(f: &Function) -> Vec<KnownBits> {
+    let n = f.params.len() + f.insts.len();
+    let mut out: Vec<Option<KnownBits>> = vec![None; n];
+    for (i, &w) in f.params.iter().enumerate() {
+        out[i] = Some(KnownBits::unknown(w));
+    }
+    for idx in 0..f.insts.len() {
+        compute(f, f.id_of_inst(idx), &mut out);
+    }
+    out.into_iter()
+        .map(|o| o.expect("all values computed"))
+        .collect()
+}
+
+fn compute(f: &Function, root: u32, out: &mut Vec<Option<KnownBits>>) {
+    let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+    while let Some((id, expanded)) = stack.pop() {
+        if out[id as usize].is_some() {
+            continue;
+        }
+        let inst = f.inst_of(id).expect("parameters pre-seeded");
+        if !expanded {
+            stack.push((id, true));
+            for op in inst.operands() {
+                if let MValue::Reg(r) = op {
+                    if out[r as usize].is_none() {
+                        stack.push((r, false));
+                    }
+                }
+            }
+            continue;
+        }
+        let kb = transfer(f, inst, out);
+        out[id as usize] = Some(kb);
+    }
+}
+
+/// Known bits of an operand given already-computed results.
+fn value_bits(f: &Function, v: MValue, env: &[Option<KnownBits>]) -> KnownBits {
+    let _ = f;
+    match v {
+        MValue::Const(c) => KnownBits::constant(c),
+        MValue::Undef(w) => KnownBits::unknown(w),
+        MValue::Reg(r) => env[r as usize].expect("operand computed before use"),
+    }
+}
+
+fn transfer(f: &Function, inst: &MInst, env: &[Option<KnownBits>]) -> KnownBits {
+    let w = inst.result_width(f);
+    match inst {
+        MInst::Bin { op, a, b, .. } => {
+            let ka = value_bits(f, *a, env);
+            let kb = value_bits(f, *b, env);
+            match op {
+                BinOp::And => KnownBits {
+                    zero: ka.zero.or(kb.zero),
+                    one: ka.one.and(kb.one),
+                },
+                BinOp::Or => KnownBits {
+                    zero: ka.zero.and(kb.zero),
+                    one: ka.one.or(kb.one),
+                },
+                BinOp::Xor => {
+                    let known = ka.zero.or(ka.one).and(kb.zero.or(kb.one));
+                    let val = ka.one.xor(kb.one);
+                    KnownBits {
+                        zero: known.and(val.not()),
+                        one: known.and(val),
+                    }
+                }
+                BinOp::Shl => {
+                    if let Some(sh) = kb.is_constant() {
+                        if sh.to_unsigned() < w as u128 {
+                            return KnownBits {
+                                zero: ka
+                                    .zero
+                                    .shl(sh)
+                                    .or(BvVal::ones(w).lshr(BvVal::new(
+                                        w,
+                                        w as u128 - sh.to_unsigned(),
+                                    ))
+                                    .and(BvVal::ones(w))),
+                                one: ka.one.shl(sh),
+                            };
+                        }
+                    }
+                    KnownBits::unknown(w)
+                }
+                BinOp::LShr => {
+                    if let Some(sh) = kb.is_constant() {
+                        if sh.to_unsigned() < w as u128 {
+                            let high_zeros = if sh.is_zero() {
+                                BvVal::zero(w)
+                            } else {
+                                BvVal::ones(w).shl(BvVal::new(
+                                    w,
+                                    w as u128 - sh.to_unsigned(),
+                                ))
+                            };
+                            return KnownBits {
+                                zero: ka.zero.lshr(sh).or(high_zeros),
+                                one: ka.one.lshr(sh),
+                            };
+                        }
+                    }
+                    KnownBits::unknown(w)
+                }
+                BinOp::URem => {
+                    if let Some(d) = kb.is_constant() {
+                        if d.is_power_of_two() {
+                            let mask = d.sub(BvVal::one(w));
+                            return KnownBits {
+                                zero: mask.not(),
+                                one: BvVal::zero(w),
+                            };
+                        }
+                    }
+                    KnownBits::unknown(w)
+                }
+                _ => match (ka.is_constant(), kb.is_constant()) {
+                    // Fully-constant folding (avoiding UB cases).
+                    (Some(x), Some(y)) => {
+                        let safe = !matches!(
+                            op,
+                            BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem
+                        ) || !y.is_zero();
+                        let shift_ok = !matches!(
+                            op,
+                            BinOp::Shl | BinOp::LShr | BinOp::AShr
+                        ) || y.to_unsigned() < w as u128;
+                        if safe && shift_ok {
+                            let v = match op {
+                                BinOp::Add => x.add(y),
+                                BinOp::Sub => x.sub(y),
+                                BinOp::Mul => x.mul(y),
+                                BinOp::UDiv => x.udiv(y),
+                                BinOp::SDiv => x.sdiv(y),
+                                BinOp::URem => x.urem(y),
+                                BinOp::SRem => x.srem(y),
+                                BinOp::Shl => x.shl(y),
+                                BinOp::LShr => x.lshr(y),
+                                BinOp::AShr => x.ashr(y),
+                                _ => unreachable!("bitwise handled above"),
+                            };
+                            KnownBits::constant(v)
+                        } else {
+                            KnownBits::unknown(w)
+                        }
+                    }
+                    _ => KnownBits::unknown(w),
+                },
+            }
+        }
+        MInst::ICmp { .. } => KnownBits::unknown(1),
+        MInst::Select { t, e, .. } => {
+            let kt = value_bits(f, *t, env);
+            let ke = value_bits(f, *e, env);
+            KnownBits {
+                zero: kt.zero.and(ke.zero),
+                one: kt.one.and(ke.one),
+            }
+        }
+        MInst::Conv { op, a, to } => {
+            let ka = value_bits(f, *a, env);
+            let aw = ka.width();
+            match op {
+                ConvOp::ZExt => KnownBits {
+                    zero: ka.zero.zext(*to).or({
+                        // Extended bits are zero.
+                        BvVal::ones(*to).shl(BvVal::new(*to, aw as u128))
+                    }),
+                    one: ka.one.zext(*to),
+                },
+                ConvOp::SExt => {
+                    // Without knowing the sign bit, extended bits unknown.
+                    if ka.zero.bit(aw - 1) {
+                        KnownBits {
+                            zero: ka
+                                .zero
+                                .zext(*to)
+                                .or(BvVal::ones(*to).shl(BvVal::new(*to, aw as u128))),
+                            one: ka.one.zext(*to),
+                        }
+                    } else if ka.one.bit(aw - 1) {
+                        KnownBits {
+                            zero: ka.zero.zext(*to),
+                            one: ka
+                                .one
+                                .zext(*to)
+                                .or(BvVal::ones(*to).shl(BvVal::new(*to, aw as u128))),
+                        }
+                    } else {
+                        KnownBits {
+                            zero: ka.zero.zext(*to).and(BvVal::ones(*to).lshr(BvVal::new(
+                                *to,
+                                (*to - aw) as u128,
+                            ))),
+                            one: ka.one.zext(*to),
+                        }
+                    }
+                }
+                ConvOp::Trunc => KnownBits {
+                    zero: ka.zero.trunc(*to),
+                    one: ka.one.trunc(*to),
+                },
+                _ => KnownBits::unknown(*to),
+            }
+        }
+        MInst::Copy { a } => value_bits(f, *a, env),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Function;
+    use alive_ir::ast::Flag;
+
+    #[test]
+    fn constants_are_fully_known() {
+        let k = KnownBits::constant(BvVal::new(8, 0b1010_0101));
+        assert_eq!(k.is_constant(), Some(BvVal::new(8, 0b1010_0101)));
+        assert!(k.masked_value_is_zero(BvVal::new(8, 0b0101_1010)));
+        assert!(!k.masked_value_is_zero(BvVal::new(8, 1)));
+    }
+
+    #[test]
+    fn and_with_mask_knows_zeros() {
+        let mut f = Function::new("t", vec![8]);
+        let r = f.push(MInst::Bin {
+            op: BinOp::And,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Const(BvVal::new(8, 0x0F)),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert!(kb[r as usize].masked_value_is_zero(BvVal::new(8, 0xF0)));
+        assert!(!kb[r as usize].masked_value_is_zero(BvVal::new(8, 0x01)));
+    }
+
+    #[test]
+    fn or_with_bit_knows_nonzero() {
+        let mut f = Function::new("t", vec![8]);
+        let r = f.push(MInst::Bin {
+            op: BinOp::Or,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Const(BvVal::new(8, 1)),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert!(kb[r as usize].is_non_zero());
+    }
+
+    #[test]
+    fn shl_of_one_is_power_of_two_when_constant() {
+        let mut f = Function::new("t", vec![8]);
+        let r = f.push(MInst::Bin {
+            op: BinOp::Shl,
+            flags: vec![],
+            a: MValue::Const(BvVal::new(8, 1)),
+            b: MValue::Const(BvVal::new(8, 3)),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert!(kb[r as usize].is_power_of_two());
+        assert_eq!(kb[r as usize].is_constant(), Some(BvVal::new(8, 8)));
+    }
+
+    #[test]
+    fn urem_pow2_bounds() {
+        let mut f = Function::new("t", vec![8]);
+        let r = f.push(MInst::Bin {
+            op: BinOp::URem,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Const(BvVal::new(8, 8)),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert!(kb[r as usize].masked_value_is_zero(BvVal::new(8, 0xF8)));
+    }
+
+    #[test]
+    fn zext_upper_bits_known_zero() {
+        let mut f = Function::new("t", vec![4]);
+        let r = f.push(MInst::Conv {
+            op: ConvOp::ZExt,
+            a: MValue::Reg(0),
+            to: 8,
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert!(kb[r as usize].masked_value_is_zero(BvVal::new(8, 0xF0)));
+        assert!(kb[r as usize].is_non_negative());
+    }
+
+    #[test]
+    fn unknown_params_are_unknown() {
+        let mut f = Function::new("t", vec![8, 8]);
+        let r = f.push(MInst::Bin {
+            op: BinOp::Add,
+            flags: vec![Flag::Nsw],
+            a: MValue::Reg(0),
+            b: MValue::Reg(1),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert_eq!(kb[r as usize], KnownBits::unknown(8));
+        assert!(!kb[r as usize].is_power_of_two());
+    }
+}

@@ -1,0 +1,408 @@
+//! A miniature LLVM-like SSA IR ("mini-LLVM").
+//!
+//! This is the substrate standing in for LLVM itself: the peephole pass
+//! applies verified Alive transformations to these functions, the
+//! interpreter executes them (with UB and poison tracking), and the
+//! workload generator produces them in bulk. Functions are straight-line
+//! SSA — InstCombine does not modify control flow (paper §2.1), so
+//! branches are unnecessary for exercising it.
+
+use alive_ir::ast::{BinOp, ConvOp, Flag, ICmpPred};
+use alive_smt::BvVal;
+use std::fmt;
+
+/// A dense SSA value id: parameters first, then instruction results.
+pub type ValueId = u32;
+
+/// An operand of a mini-LLVM instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MValue {
+    /// Reference to a parameter or instruction result.
+    Reg(ValueId),
+    /// An immediate constant.
+    Const(BvVal),
+    /// The `undef` value.
+    Undef(u32),
+}
+
+impl MValue {
+    /// Bitwidth of the operand (register widths come from the function).
+    pub fn width(&self, f: &Function) -> u32 {
+        match self {
+            MValue::Reg(r) => f.width_of(*r),
+            MValue::Const(v) => v.width(),
+            MValue::Undef(w) => *w,
+        }
+    }
+}
+
+/// A mini-LLVM instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MInst {
+    /// Integer binary operation.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Poison-generating attributes present on this instruction.
+        flags: Vec<Flag>,
+        /// Left operand.
+        a: MValue,
+        /// Right operand.
+        b: MValue,
+    },
+    /// Integer comparison (result width 1).
+    ICmp {
+        /// Predicate.
+        pred: ICmpPred,
+        /// Left operand.
+        a: MValue,
+        /// Right operand.
+        b: MValue,
+    },
+    /// Ternary select.
+    Select {
+        /// i1 condition.
+        c: MValue,
+        /// Value when true.
+        t: MValue,
+        /// Value when false.
+        e: MValue,
+    },
+    /// Width conversion (zext/sext/trunc).
+    Conv {
+        /// Conversion kind.
+        op: ConvOp,
+        /// Operand.
+        a: MValue,
+        /// Result width.
+        to: u32,
+    },
+    /// Identity (used to splice rewrites; folded away by DCE).
+    Copy {
+        /// The forwarded value.
+        a: MValue,
+    },
+}
+
+impl MInst {
+    /// Operands of the instruction.
+    pub fn operands(&self) -> Vec<MValue> {
+        match self {
+            MInst::Bin { a, b, .. } | MInst::ICmp { a, b, .. } => vec![*a, *b],
+            MInst::Select { c, t, e } => vec![*c, *t, *e],
+            MInst::Conv { a, .. } | MInst::Copy { a } => vec![*a],
+        }
+    }
+
+    /// Rewrites the operands in place.
+    pub fn map_operands(&mut self, mut fun: impl FnMut(MValue) -> MValue) {
+        match self {
+            MInst::Bin { a, b, .. } | MInst::ICmp { a, b, .. } => {
+                *a = fun(*a);
+                *b = fun(*b);
+            }
+            MInst::Select { c, t, e } => {
+                *c = fun(*c);
+                *t = fun(*t);
+                *e = fun(*e);
+            }
+            MInst::Conv { a, .. } | MInst::Copy { a } => *a = fun(*a),
+        }
+    }
+
+    /// Result width of the instruction given the function context.
+    pub fn result_width(&self, f: &Function) -> u32 {
+        match self {
+            MInst::Bin { a, .. } => a.width(f),
+            MInst::ICmp { .. } => 1,
+            MInst::Select { t, .. } => t.width(f),
+            MInst::Conv { to, .. } => *to,
+            MInst::Copy { a } => a.width(f),
+        }
+    }
+
+    /// Abstract cost of executing this instruction once (used by the
+    /// execution-time experiment; multiplies/divides dominate).
+    pub fn cost(&self) -> u64 {
+        match self {
+            MInst::Bin { op, .. } => match op {
+                BinOp::Mul => 3,
+                BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem => 20,
+                _ => 1,
+            },
+            MInst::ICmp { .. } | MInst::Select { .. } | MInst::Conv { .. } => 1,
+            MInst::Copy { .. } => 0,
+        }
+    }
+}
+
+/// A straight-line SSA function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter widths; parameter `i` is value id `i`.
+    pub params: Vec<u32>,
+    /// Instructions; instruction `i` defines value id `params.len() + i`.
+    pub insts: Vec<MInst>,
+    /// The returned value.
+    pub ret: MValue,
+}
+
+impl Function {
+    /// Creates an empty function with the given parameter widths.
+    pub fn new(name: impl Into<String>, params: Vec<u32>) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            insts: Vec::new(),
+            ret: MValue::Const(BvVal::zero(1)),
+        }
+    }
+
+    /// Value id of parameter `i`.
+    pub fn param(&self, i: usize) -> ValueId {
+        debug_assert!(i < self.params.len());
+        i as ValueId
+    }
+
+    /// Appends an instruction and returns its value id.
+    pub fn push(&mut self, inst: MInst) -> ValueId {
+        self.insts.push(inst);
+        (self.params.len() + self.insts.len() - 1) as ValueId
+    }
+
+    /// The instruction defining `id`, if `id` is not a parameter.
+    pub fn inst_of(&self, id: ValueId) -> Option<&MInst> {
+        let idx = (id as usize).checked_sub(self.params.len())?;
+        self.insts.get(idx)
+    }
+
+    /// Index into `insts` for a value id, if it is an instruction result.
+    pub fn inst_index(&self, id: ValueId) -> Option<usize> {
+        (id as usize).checked_sub(self.params.len())
+    }
+
+    /// The value id of instruction index `idx`.
+    pub fn id_of_inst(&self, idx: usize) -> ValueId {
+        (self.params.len() + idx) as ValueId
+    }
+
+    /// Width of a value id.
+    pub fn width_of(&self, id: ValueId) -> u32 {
+        if (id as usize) < self.params.len() {
+            self.params[id as usize]
+        } else {
+            self.inst_of(id)
+                .expect("value id in range")
+                .result_width(self)
+        }
+    }
+
+    /// Number of uses of `id` among instructions and the return value.
+    pub fn use_count(&self, id: ValueId) -> usize {
+        let mut n = 0;
+        for inst in &self.insts {
+            n += inst
+                .operands()
+                .iter()
+                .filter(|v| matches!(v, MValue::Reg(r) if *r == id))
+                .count();
+        }
+        if matches!(self.ret, MValue::Reg(r) if r == id) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Total abstract cost of all live instructions.
+    pub fn static_cost(&self) -> u64 {
+        let live = self.live_set();
+        self.insts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| live[*i])
+            .map(|(_, inst)| inst.cost())
+            .sum()
+    }
+
+    /// Liveness of each instruction (reachable from the return value).
+    pub fn live_set(&self) -> Vec<bool> {
+        let mut live = vec![false; self.insts.len()];
+        let mut stack: Vec<ValueId> = Vec::new();
+        if let MValue::Reg(r) = self.ret {
+            stack.push(r);
+        }
+        while let Some(id) = stack.pop() {
+            let Some(idx) = self.inst_index(id) else {
+                continue;
+            };
+            if idx >= self.insts.len() || live[idx] {
+                continue;
+            }
+            live[idx] = true;
+            for op in self.insts[idx].operands() {
+                if let MValue::Reg(r) = op {
+                    stack.push(r);
+                }
+            }
+        }
+        live
+    }
+
+    /// Removes dead instructions, compacting value ids and restoring
+    /// topological (definition-before-use) order — rewrites may leave
+    /// forward references, which this normalizes away.
+    pub fn dce(&mut self) {
+        // Post-order DFS from the return value: operands first.
+        let mut order: Vec<usize> = Vec::new();
+        let mut state: Vec<u8> = vec![0; self.insts.len()]; // 0 new, 1 open, 2 done
+        let mut stack: Vec<(ValueId, bool)> = Vec::new();
+        if let MValue::Reg(r) = self.ret {
+            stack.push((r, false));
+        }
+        while let Some((id, expanded)) = stack.pop() {
+            let Some(idx) = self.inst_index(id) else {
+                continue;
+            };
+            if idx >= self.insts.len() || state[idx] == 2 {
+                continue;
+            }
+            if expanded {
+                state[idx] = 2;
+                order.push(idx);
+                continue;
+            }
+            if state[idx] == 1 {
+                continue; // already scheduled for post-visit
+            }
+            state[idx] = 1;
+            stack.push((id, true));
+            for op in self.insts[idx].operands() {
+                if let MValue::Reg(r) = op {
+                    stack.push((r, false));
+                }
+            }
+        }
+        let mut remap: Vec<Option<ValueId>> = vec![None; self.params.len() + self.insts.len()];
+        for p in 0..self.params.len() {
+            remap[p] = Some(p as ValueId);
+        }
+        let mut new_insts = Vec::with_capacity(order.len());
+        for idx in order {
+            let mut ni = self.insts[idx].clone();
+            ni.map_operands(|v| match v {
+                MValue::Reg(r) => MValue::Reg(
+                    remap[r as usize].expect("operands precede users in post-order"),
+                ),
+                other => other,
+            });
+            new_insts.push(ni);
+            remap[self.params.len() + idx] =
+                Some((self.params.len() + new_insts.len() - 1) as ValueId);
+        }
+        self.insts = new_insts;
+        if let MValue::Reg(r) = self.ret {
+            self.ret = MValue::Reg(remap[r as usize].expect("return value must be live"));
+        }
+    }
+
+    /// Total number of instructions (including dead ones).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when the function has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "define {}({} params) {{", self.name, self.params.len())?;
+        for (i, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "  %{} = {:?}", self.params.len() + i, inst)?;
+        }
+        writeln!(f, "  ret {:?}", self.ret)?;
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Function {
+        let mut f = Function::new("t", vec![8, 8]);
+        let x = f.param(0);
+        let y = f.param(1);
+        let a = f.push(MInst::Bin {
+            op: BinOp::Add,
+            flags: vec![],
+            a: MValue::Reg(x),
+            b: MValue::Reg(y),
+        });
+        let dead = f.push(MInst::Bin {
+            op: BinOp::Mul,
+            flags: vec![],
+            a: MValue::Reg(x),
+            b: MValue::Const(BvVal::new(8, 3)),
+        });
+        let _ = dead;
+        let r = f.push(MInst::Bin {
+            op: BinOp::Xor,
+            flags: vec![],
+            a: MValue::Reg(a),
+            b: MValue::Const(BvVal::new(8, 0xFF)),
+        });
+        f.ret = MValue::Reg(r);
+        f
+    }
+
+    #[test]
+    fn widths_and_ids() {
+        let f = sample();
+        assert_eq!(f.width_of(0), 8);
+        assert_eq!(f.width_of(2), 8); // add
+        assert_eq!(f.inst_index(2), Some(0));
+        assert_eq!(f.id_of_inst(0), 2);
+    }
+
+    #[test]
+    fn use_counts() {
+        let f = sample();
+        assert_eq!(f.use_count(0), 2); // x used by add and dead mul
+        assert_eq!(f.use_count(2), 1); // add used by xor
+        assert_eq!(f.use_count(4), 1); // xor is returned
+    }
+
+    #[test]
+    fn dce_removes_dead_mul() {
+        let mut f = sample();
+        assert_eq!(f.len(), 3);
+        f.dce();
+        assert_eq!(f.len(), 2);
+        // Still returns the xor of the add.
+        assert!(matches!(f.insts[1], MInst::Bin { op: BinOp::Xor, .. }));
+        assert_eq!(f.ret, MValue::Reg(3));
+    }
+
+    #[test]
+    fn static_cost_ignores_dead_code() {
+        let f = sample();
+        // live: add (1) + xor (1); the dead mul (3) is not counted.
+        assert_eq!(f.static_cost(), 2);
+    }
+
+    #[test]
+    fn icmp_result_width_is_one() {
+        let mut f = Function::new("t", vec![8]);
+        let c = f.push(MInst::ICmp {
+            pred: ICmpPred::Eq,
+            a: MValue::Reg(0),
+            b: MValue::Const(BvVal::zero(8)),
+        });
+        assert_eq!(f.width_of(c), 1);
+    }
+}

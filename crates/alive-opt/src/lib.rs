@@ -1,0 +1,60 @@
+//! The mini-LLVM substrate: an SSA IR, a peephole pass that applies
+//! verified Alive transformations, an interpreter with UB/poison tracking,
+//! a known-bits analysis for precondition evaluation, and a deterministic
+//! workload generator.
+//!
+//! The paper's evaluation (§6.4, Fig. 9) links Alive-generated C++ into
+//! LLVM and compiles the LLVM nightly suite plus SPEC. LLVM itself is not
+//! available here, so this crate is the substitute substrate: the pass
+//! *interprets* verified Alive templates over a miniature LLVM-like IR —
+//! exercising the same match/precondition/rewrite logic the generated C++
+//! would — and the workload generator stands in for the compiled
+//! benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use alive_ir::parse_transform;
+//! use alive_opt::{Function, MInst, MValue, Peephole};
+//! use alive_opt::interp::{run, Exec, Outcome};
+//! use alive_smt::BvVal;
+//! use alive_ir::BinOp;
+//!
+//! // Build  f(x) = x * 8  and optimize it with mul->shl.
+//! let mut f = Function::new("f", vec![8]);
+//! let r = f.push(MInst::Bin {
+//!     op: BinOp::Mul,
+//!     flags: vec![],
+//!     a: MValue::Reg(0),
+//!     b: MValue::Const(BvVal::new(8, 8)),
+//! });
+//! f.ret = MValue::Reg(r);
+//!
+//! let pass = Peephole::new([(
+//!     "mul-pow2".to_string(),
+//!     parse_transform("Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)").unwrap(),
+//! )]);
+//! let stats = pass.run(&mut f);
+//! assert_eq!(stats.total_fires(), 1);
+//! assert_eq!(
+//!     run(&f, &[BvVal::new(8, 5)]),
+//!     Outcome::Return(Exec::Val(BvVal::new(8, 40)))
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod interp;
+pub mod ir;
+pub mod matcher;
+pub mod pass;
+pub mod workload;
+
+pub use analysis::{known_bits, KnownBits};
+pub use interp::{run, Exec, Outcome};
+pub use ir::{Function, MInst, MValue, ValueId};
+pub use matcher::{apply_at, match_at, Binding};
+pub use pass::{PassStats, Peephole};
+pub use workload::{generate_workload, WorkloadConfig};

@@ -1,0 +1,868 @@
+//! Matching Alive source templates against mini-LLVM DAGs and applying the
+//! rewrite — the interpreted equivalent of the C++ that `alive-codegen`
+//! emits (paper §4): first a pattern match binds template registers and
+//! abstract constants, then the precondition is evaluated against
+//! dataflow-analysis facts, then the target template is materialized.
+
+use crate::analysis::KnownBits;
+use crate::ir::{Function, MInst, MValue};
+use alive_ir::ast::{
+    CBinop, CExpr, CExprArg, CUnop, Inst, Operand, Pred, PredArg, PredCmpOp, Stmt, Type,
+};
+use alive_ir::Transform;
+use alive_smt::BvVal;
+use std::collections::HashMap;
+
+/// Bindings of template names to IR entities.
+#[derive(Clone, Debug, Default)]
+pub struct Binding {
+    /// Template register -> IR value.
+    pub regs: HashMap<String, MValue>,
+    /// Abstract constant -> concrete value.
+    pub consts: HashMap<String, BvVal>,
+}
+
+/// Attempts to match the source template of `t` rooted at instruction
+/// index `root_idx`, including the precondition.
+pub fn match_at(
+    f: &Function,
+    root_idx: usize,
+    t: &Transform,
+    kb: &[KnownBits],
+) -> Option<Binding> {
+    let mut src_def: HashMap<&str, &Stmt> = HashMap::new();
+    for s in &t.source {
+        if let Some(n) = &s.name {
+            src_def.insert(n, s);
+        }
+    }
+    let root_stmt = src_def.get(t.root())?;
+    // Memory templates are not applied by the interpreted pass (mirroring
+    // the C++ generator's restriction).
+    if t.source
+        .iter()
+        .chain(&t.target)
+        .any(|s| s.inst.is_memory_op() || matches!(s.inst, Inst::Unreachable))
+    {
+        return None;
+    }
+
+    let mut binding = Binding::default();
+    let mut deferred: Vec<(CExpr, BvVal)> = Vec::new();
+    let root_inst = f.inst_of(f.id_of_inst(root_idx))?;
+    if !match_inst(
+        f,
+        &root_stmt.inst,
+        root_inst,
+        &src_def,
+        &mut binding,
+        &mut deferred,
+    ) {
+        return None;
+    }
+    // Deferred constant-expression operand checks.
+    for (e, actual) in &deferred {
+        match eval_cexpr(e, actual.width(), &binding, f) {
+            Some(v) if v == *actual => {}
+            _ => return None,
+        }
+    }
+    // Precondition.
+    if !eval_pred(&t.pre, &binding, f, kb) {
+        return None;
+    }
+    Some(binding)
+}
+
+fn match_value(
+    f: &Function,
+    templ: &Operand,
+    actual: MValue,
+    src_def: &HashMap<&str, &Stmt>,
+    binding: &mut Binding,
+    deferred: &mut Vec<(CExpr, BvVal)>,
+) -> bool {
+    // Explicit type annotations constrain the width.
+    if let Some(Type::Int(w)) = templ.type_annotation() {
+        if actual.width(f) != *w {
+            return false;
+        }
+    }
+    match templ {
+        Operand::Reg(name, _) => {
+            if let Some(&prev) = binding.regs.get(name) {
+                return prev == actual;
+            }
+            if let Some(stmt) = src_def.get(name.as_str()) {
+                // Must be an instruction result matching the defining stmt.
+                let MValue::Reg(id) = actual else { return false };
+                let Some(inst) = f.inst_of(id) else {
+                    return false;
+                };
+                binding.regs.insert(name.clone(), actual);
+                if !match_inst(f, &stmt.inst, inst, src_def, binding, deferred) {
+                    return false;
+                }
+                true
+            } else {
+                binding.regs.insert(name.clone(), actual);
+                true
+            }
+        }
+        Operand::Const(CExpr::Sym(s), _) => {
+            let MValue::Const(v) = actual else { return false };
+            if let Some(&prev) = binding.consts.get(s) {
+                return prev == v;
+            }
+            binding.consts.insert(s.clone(), v);
+            true
+        }
+        Operand::Const(CExpr::Lit(n), _) => {
+            let MValue::Const(v) = actual else { return false };
+            v == BvVal::from_i128(v.width(), *n)
+        }
+        Operand::Const(e, _) => {
+            let MValue::Const(v) = actual else { return false };
+            deferred.push((e.clone(), v));
+            true
+        }
+        Operand::Undef(_) => matches!(actual, MValue::Undef(_)),
+    }
+}
+
+fn match_inst(
+    f: &Function,
+    templ: &Inst,
+    actual: &MInst,
+    src_def: &HashMap<&str, &Stmt>,
+    binding: &mut Binding,
+    deferred: &mut Vec<(CExpr, BvVal)>,
+) -> bool {
+    match (templ, actual) {
+        (
+            Inst::BinOp {
+                op,
+                flags,
+                a,
+                b,
+            },
+            MInst::Bin {
+                op: aop,
+                flags: aflags,
+                a: aa,
+                b: ab,
+            },
+        ) => {
+            op == aop
+                && flags.iter().all(|fl| aflags.contains(fl))
+                && match_value(f, a, *aa, src_def, binding, deferred)
+                && match_value(f, b, *ab, src_def, binding, deferred)
+        }
+        (
+            Inst::ICmp { pred, a, b },
+            MInst::ICmp {
+                pred: apred,
+                a: aa,
+                b: ab,
+            },
+        ) => {
+            pred == apred
+                && match_value(f, a, *aa, src_def, binding, deferred)
+                && match_value(f, b, *ab, src_def, binding, deferred)
+        }
+        (
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+            },
+            MInst::Select { c, t, e },
+        ) => {
+            match_value(f, cond, *c, src_def, binding, deferred)
+                && match_value(f, on_true, *t, src_def, binding, deferred)
+                && match_value(f, on_false, *e, src_def, binding, deferred)
+        }
+        (Inst::Conv { op, arg, to }, MInst::Conv { op: aop, a, to: ato }) => {
+            if op != aop {
+                return false;
+            }
+            if let Some(Type::Int(w)) = to {
+                if ato != w {
+                    return false;
+                }
+            }
+            match_value(f, arg, *a, src_def, binding, deferred)
+        }
+        (Inst::Copy { val }, _) => {
+            // A bare copy template matches any instruction producing the
+            // operand — only meaningful for literal roots, so reject.
+            let _ = val;
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Concretely evaluates a constant expression under a binding.
+pub fn eval_cexpr(
+    e: &CExpr,
+    width: u32,
+    binding: &Binding,
+    f: &Function,
+) -> Option<BvVal> {
+    Some(match e {
+        CExpr::Lit(n) => BvVal::from_i128(width, *n),
+        CExpr::Sym(s) => {
+            let v = *binding.consts.get(s)?;
+            if v.width() != width {
+                return None;
+            }
+            v
+        }
+        CExpr::Unop(CUnop::Neg, a) => eval_cexpr(a, width, binding, f)?.neg(),
+        CExpr::Unop(CUnop::Not, a) => eval_cexpr(a, width, binding, f)?.not(),
+        CExpr::Binop(op, a, b) => {
+            let x = eval_cexpr(a, width, binding, f)?;
+            let y = eval_cexpr(b, width, binding, f)?;
+            match op {
+                CBinop::Add => x.add(y),
+                CBinop::Sub => x.sub(y),
+                CBinop::Mul => x.mul(y),
+                CBinop::SDiv => x.sdiv(y),
+                CBinop::UDiv => x.udiv(y),
+                CBinop::SRem => x.srem(y),
+                CBinop::URem => x.urem(y),
+                CBinop::Shl => x.shl(y),
+                CBinop::LShr => x.lshr(y),
+                CBinop::AShr => x.ashr(y),
+                CBinop::And => x.and(y),
+                CBinop::Or => x.or(y),
+                CBinop::Xor => x.xor(y),
+            }
+        }
+        CExpr::Fun(name, args) => match name.as_str() {
+            "log2" => eval_fun_arg(args, 0, width, binding, f)?.log2(),
+            "abs" => eval_fun_arg(args, 0, width, binding, f)?.abs(),
+            "umax" => {
+                let a = eval_fun_arg(args, 0, width, binding, f)?;
+                let b = eval_fun_arg(args, 1, width, binding, f)?;
+                if a.ult(b) {
+                    b
+                } else {
+                    a
+                }
+            }
+            "umin" => {
+                let a = eval_fun_arg(args, 0, width, binding, f)?;
+                let b = eval_fun_arg(args, 1, width, binding, f)?;
+                if a.ult(b) {
+                    a
+                } else {
+                    b
+                }
+            }
+            "smax" | "max" => {
+                let a = eval_fun_arg(args, 0, width, binding, f)?;
+                let b = eval_fun_arg(args, 1, width, binding, f)?;
+                if a.slt(b) {
+                    b
+                } else {
+                    a
+                }
+            }
+            "smin" | "min" => {
+                let a = eval_fun_arg(args, 0, width, binding, f)?;
+                let b = eval_fun_arg(args, 1, width, binding, f)?;
+                if a.slt(b) {
+                    a
+                } else {
+                    b
+                }
+            }
+            "width" => match args.first()? {
+                CExprArg::Reg(r) => {
+                    let v = binding.regs.get(r)?;
+                    BvVal::new(width, v.width(f) as u128)
+                }
+                CExprArg::Expr(_) => return None,
+            },
+            "cttz" => eval_fun_arg(args, 0, width, binding, f)?.cttz(),
+            "ctlz" => eval_fun_arg(args, 0, width, binding, f)?.ctlz(),
+            _ => return None,
+        },
+    })
+}
+
+fn eval_fun_arg(
+    args: &[CExprArg],
+    i: usize,
+    width: u32,
+    binding: &Binding,
+    f: &Function,
+) -> Option<BvVal> {
+    match args.get(i)? {
+        CExprArg::Expr(e) => eval_cexpr(e, width, binding, f),
+        CExprArg::Reg(_) => None,
+    }
+}
+
+/// Width at which a precondition expression should be evaluated: the width
+/// of any symbol or register it mentions.
+fn pred_width(e: &CExpr, binding: &Binding) -> Option<u32> {
+    for s in e.symbols() {
+        if let Some(v) = binding.consts.get(s) {
+            return Some(v.width());
+        }
+    }
+    None
+}
+
+/// Concretely evaluates a precondition against the binding and the
+/// known-bits analysis (must-analyses return `false` when unprovable).
+pub fn eval_pred(p: &Pred, binding: &Binding, f: &Function, kb: &[KnownBits]) -> bool {
+    match p {
+        Pred::True => true,
+        Pred::Not(a) => !eval_pred(a, binding, f, kb),
+        Pred::And(a, b) => eval_pred(a, binding, f, kb) && eval_pred(b, binding, f, kb),
+        Pred::Or(a, b) => eval_pred(a, binding, f, kb) || eval_pred(b, binding, f, kb),
+        Pred::Cmp(op, a, b) => {
+            let Some(w) = pred_width(a, binding).or_else(|| pred_width(b, binding)) else {
+                return false;
+            };
+            let (Some(x), Some(y)) = (
+                eval_cexpr(a, w, binding, f),
+                eval_cexpr(b, w, binding, f),
+            ) else {
+                return false;
+            };
+            match op {
+                PredCmpOp::Eq => x == y,
+                PredCmpOp::Ne => x != y,
+                PredCmpOp::Slt => x.slt(y),
+                PredCmpOp::Sle => x.sle(y),
+                PredCmpOp::Sgt => y.slt(x),
+                PredCmpOp::Sge => y.sle(x),
+                PredCmpOp::Ult => x.ult(y),
+                PredCmpOp::Ule => x.ule(y),
+                PredCmpOp::Ugt => y.ult(x),
+                PredCmpOp::Uge => y.ule(x),
+            }
+        }
+        Pred::Fun(name, args) => eval_pred_fun(name, args, binding, f, kb),
+    }
+}
+
+fn arg_known_bits(
+    arg: &PredArg,
+    binding: &Binding,
+    f: &Function,
+    kb: &[KnownBits],
+) -> Option<KnownBits> {
+    match arg {
+        PredArg::Reg(r) => match binding.regs.get(r)? {
+            MValue::Reg(id) => kb.get(*id as usize).copied(),
+            MValue::Const(v) => Some(KnownBits::constant(*v)),
+            MValue::Undef(w) => Some(KnownBits::unknown(*w)),
+        },
+        PredArg::Expr(e) => {
+            let w = pred_width(e, binding)?;
+            eval_cexpr(e, w, binding, f).map(KnownBits::constant)
+        }
+    }
+}
+
+fn eval_pred_fun(
+    name: &str,
+    args: &[PredArg],
+    binding: &Binding,
+    f: &Function,
+    kb: &[KnownBits],
+) -> bool {
+    match name {
+        "isPowerOf2" => arg_known_bits(&args[0], binding, f, kb)
+            .is_some_and(|k| k.is_power_of_two()),
+        "isPowerOf2OrZero" => arg_known_bits(&args[0], binding, f, kb)
+            .and_then(|k| k.is_constant())
+            .is_some_and(|v| v.is_zero() || v.is_power_of_two()),
+        "isSignBit" => arg_known_bits(&args[0], binding, f, kb)
+            .and_then(|k| k.is_constant())
+            .is_some_and(|v| v == BvVal::int_min(v.width())),
+        "isShiftedMask" => arg_known_bits(&args[0], binding, f, kb)
+            .and_then(|k| k.is_constant())
+            .is_some_and(|v| {
+                if v.is_zero() {
+                    return false;
+                }
+                let filled = v.or(v.sub(BvVal::one(v.width())));
+                filled.add(BvVal::one(v.width())).and(filled).is_zero()
+            }),
+        "MaskedValueIsZero" => {
+            let (Some(kv), Some(km)) = (
+                arg_known_bits(&args[0], binding, f, kb),
+                arg_known_bits(&args[1], binding, f, kb),
+            ) else {
+                return false;
+            };
+            let Some(mask) = km.is_constant() else {
+                return false;
+            };
+            kv.masked_value_is_zero(mask)
+        }
+        "isKnownNonZero" | "CannotBeZero" => arg_known_bits(&args[0], binding, f, kb)
+            .is_some_and(|k| k.is_non_zero()),
+        "isNonNegative" => arg_known_bits(&args[0], binding, f, kb)
+            .is_some_and(|k| k.is_non_negative()),
+        "hasOneUse" => match args.first() {
+            Some(PredArg::Reg(r)) => match binding.regs.get(r) {
+                Some(MValue::Reg(id)) => f.use_count(*id) == 1,
+                _ => false,
+            },
+            _ => false,
+        },
+        "WillNotOverflowSignedAdd" | "WillNotOverflowUnsignedAdd"
+        | "WillNotOverflowSignedSub" | "WillNotOverflowUnsignedSub"
+        | "WillNotOverflowSignedMul" | "WillNotOverflowUnsignedMul" => {
+            let (Some(ka), Some(kb2)) = (
+                arg_known_bits(&args[0], binding, f, kb),
+                arg_known_bits(&args[1], binding, f, kb),
+            ) else {
+                return false;
+            };
+            let (Some(x), Some(y)) = (ka.is_constant(), kb2.is_constant()) else {
+                return false;
+            };
+            let w = x.width();
+            match name {
+                "WillNotOverflowSignedAdd" => {
+                    x.sext(w + 1).add(y.sext(w + 1)) == x.add(y).sext(w + 1)
+                }
+                "WillNotOverflowUnsignedAdd" => {
+                    x.zext(w + 1).add(y.zext(w + 1)) == x.add(y).zext(w + 1)
+                }
+                "WillNotOverflowSignedSub" => {
+                    x.sext(w + 1).sub(y.sext(w + 1)) == x.sub(y).sext(w + 1)
+                }
+                "WillNotOverflowUnsignedSub" => {
+                    x.zext(w + 1).sub(y.zext(w + 1)) == x.sub(y).zext(w + 1)
+                }
+                "WillNotOverflowSignedMul" => {
+                    x.sext(2 * w).mul(y.sext(2 * w)) == x.mul(y).sext(2 * w)
+                }
+                "WillNotOverflowUnsignedMul" => {
+                    x.zext(2 * w).mul(y.zext(2 * w)) == x.mul(y).zext(2 * w)
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Applies the target template at a matched site. Returns `false` (leaving
+/// `f` untouched) when the target cannot be materialized.
+pub fn apply_at(
+    f: &mut Function,
+    root_idx: usize,
+    t: &Transform,
+    binding: &Binding,
+) -> bool {
+    match stage_rewrite(f, root_idx, t, binding) {
+        Some(staged) => {
+            for (slot, inst) in staged {
+                match slot {
+                    Some(idx) => f.insts[idx] = inst,
+                    None => {
+                        f.insts.push(inst);
+                    }
+                }
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+/// Plans the rewrite without mutating `f`; `None` means inapplicable.
+fn stage_rewrite(
+    f: &Function,
+    root_idx: usize,
+    t: &Transform,
+    binding: &Binding,
+) -> Option<Vec<(Option<usize>, MInst)>> {
+    let root_name = t.root();
+    // A non-final target statement must not read the (old) root value.
+    for s in &t.target[..t.target.len().saturating_sub(1)] {
+        if s.inst.used_regs().contains(&root_name) {
+            return None;
+        }
+    }
+    let root_width = f.insts[root_idx].result_width(f);
+
+    let mut new_names: HashMap<String, MValue> = HashMap::new();
+    let mut staged: Vec<(Option<usize>, MInst)> = Vec::new(); // (overwrite slot, inst)
+    // Widths of values defined by staged instructions (they are not in `f`
+    // yet, or they replace a slot whose old width may differ).
+    let mut pending: HashMap<u32, u32> = HashMap::new();
+
+    let w_of = |v: MValue, pending: &HashMap<u32, u32>, f: &Function| -> u32 {
+        match v {
+            MValue::Reg(id) => pending
+                .get(&id)
+                .copied()
+                .unwrap_or_else(|| f.width_of(id)),
+            MValue::Const(c) => c.width(),
+            MValue::Undef(w) => w,
+        }
+    };
+
+    let resolve = |op: &Operand,
+                   width_hint: Option<u32>,
+                   new_names: &HashMap<String, MValue>,
+                   f: &Function|
+     -> Option<MValue> {
+        match op {
+            Operand::Reg(name, _) => new_names
+                .get(name)
+                .copied()
+                .or_else(|| binding.regs.get(name).copied()),
+            Operand::Const(e, ann) => {
+                let w = match ann {
+                    Some(Type::Int(w)) => *w,
+                    _ => width_hint?,
+                };
+                eval_cexpr(e, w, binding, f).map(MValue::Const)
+            }
+            Operand::Undef(ann) => {
+                let w = match ann {
+                    Some(Type::Int(w)) => *w,
+                    _ => width_hint?,
+                };
+                Some(MValue::Undef(w))
+            }
+        }
+    };
+
+    let mut appended = 0usize;
+    for (i, s) in t.target.iter().enumerate() {
+        let name = s.name.as_deref().expect("non-memory target stmt defines");
+        let is_root = i + 1 == t.target.len();
+        // Width hints: the width of any operand resolvable without a hint,
+        // else the root/overwritten width.
+        let overwrite_width = binding
+            .regs
+            .get(name)
+            .map(|v| w_of(*v, &pending, f))
+            .or(if is_root { Some(root_width) } else { None });
+
+        let (inst, result_width) = match &s.inst {
+            Inst::BinOp { op, flags, a, b } => {
+                let hint = resolve(a, None, &new_names, f)
+                    .or_else(|| resolve(b, None, &new_names, f))
+                    .map(|v| w_of(v, &pending, f))
+                    .or(overwrite_width);
+                let av = resolve(a, hint, &new_names, f)?;
+                let bv = resolve(b, hint, &new_names, f)?;
+                let w = w_of(av, &pending, f);
+                if w != w_of(bv, &pending, f) {
+                    return None;
+                }
+                (
+                    MInst::Bin {
+                        op: *op,
+                        flags: flags.clone(),
+                        a: av,
+                        b: bv,
+                    },
+                    w,
+                )
+            }
+            Inst::ICmp { pred, a, b } => {
+                let hint = resolve(a, None, &new_names, f)
+                    .or_else(|| resolve(b, None, &new_names, f))
+                    .map(|v| w_of(v, &pending, f));
+                let av = resolve(a, hint, &new_names, f)?;
+                let bv = resolve(b, hint, &new_names, f)?;
+                if w_of(av, &pending, f) != w_of(bv, &pending, f) {
+                    return None;
+                }
+                (
+                    MInst::ICmp {
+                        pred: *pred,
+                        a: av,
+                        b: bv,
+                    },
+                    1,
+                )
+            }
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let cv = resolve(cond, Some(1), &new_names, f)?;
+                let hint = resolve(on_true, None, &new_names, f)
+                    .or_else(|| resolve(on_false, None, &new_names, f))
+                    .map(|v| w_of(v, &pending, f))
+                    .or(overwrite_width);
+                let tv = resolve(on_true, hint, &new_names, f)?;
+                let ev = resolve(on_false, hint, &new_names, f)?;
+                let w = w_of(tv, &pending, f);
+                if w != w_of(ev, &pending, f) || w_of(cv, &pending, f) != 1 {
+                    return None;
+                }
+                (
+                    MInst::Select {
+                        c: cv,
+                        t: tv,
+                        e: ev,
+                    },
+                    w,
+                )
+            }
+            Inst::Conv { op, arg, to } => {
+                let av = resolve(arg, None, &new_names, f)?;
+                let to_w = match to {
+                    Some(Type::Int(w)) => *w,
+                    _ => overwrite_width?,
+                };
+                let from_w = w_of(av, &pending, f);
+                let ok = match op {
+                    alive_ir::ConvOp::ZExt | alive_ir::ConvOp::SExt => from_w < to_w,
+                    alive_ir::ConvOp::Trunc => from_w > to_w,
+                    _ => true,
+                };
+                if !ok {
+                    return None;
+                }
+                (
+                    MInst::Conv {
+                        op: *op,
+                        a: av,
+                        to: to_w,
+                    },
+                    to_w,
+                )
+            }
+            Inst::Copy { val } => {
+                let av = resolve(val, overwrite_width, &new_names, f)?;
+                let w = w_of(av, &pending, f);
+                (MInst::Copy { a: av }, w)
+            }
+            _ => return None,
+        };
+
+        // Where does this instruction live?
+        let slot = if is_root {
+            Some(root_idx)
+        } else if let Some(MValue::Reg(id)) = binding.regs.get(name) {
+            // Overwrites a matched source instruction.
+            f.inst_index(*id)
+        } else {
+            None
+        };
+        let value_id = match slot {
+            Some(idx) => f.id_of_inst(idx),
+            None => {
+                // Will be appended; the id is known in advance.
+                let id = f.id_of_inst(f.insts.len() + appended);
+                appended += 1;
+                id
+            }
+        };
+        pending.insert(value_id, result_width);
+        staged.push((slot, inst));
+        new_names.insert(name.to_string(), MValue::Reg(value_id));
+    }
+    Some(staged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::known_bits;
+    use crate::interp::{run, Exec, Outcome};
+    use alive_ir::ast::BinOp;
+    use alive_ir::parse_transform;
+
+    /// x ^ -1 then + C  ==>  (C-1) - x (the intro example).
+    fn intro() -> Transform {
+        parse_transform("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x").unwrap()
+    }
+
+    fn build_intro_fn() -> (Function, usize) {
+        let mut f = Function::new("t", vec![8]);
+        let x = f.param(0);
+        let a = f.push(MInst::Bin {
+            op: BinOp::Xor,
+            flags: vec![],
+            a: MValue::Reg(x),
+            b: MValue::Const(BvVal::ones(8)),
+        });
+        let r = f.push(MInst::Bin {
+            op: BinOp::Add,
+            flags: vec![],
+            a: MValue::Reg(a),
+            b: MValue::Const(BvVal::new(8, 100)),
+        });
+        f.ret = MValue::Reg(r);
+        let root_idx = f.inst_index(r).unwrap();
+        (f, root_idx)
+    }
+
+    #[test]
+    fn matches_and_applies_intro_example() {
+        let t = intro();
+        let (mut f, root_idx) = build_intro_fn();
+        let kb = known_bits(&f);
+        let b = match_at(&f, root_idx, &t, &kb).expect("should match");
+        assert_eq!(b.consts["C"], BvVal::new(8, 100));
+        assert!(apply_at(&mut f, root_idx, &t, &b));
+        // Behavior preserved on a sample of inputs.
+        for x in [0u128, 1, 5, 100, 200, 255] {
+            let out = run(&f, &[BvVal::new(8, x)]);
+            let expect = BvVal::new(8, x).not().add(BvVal::new(8, 100));
+            assert_eq!(out, Outcome::Return(Exec::Val(expect)), "x={x}");
+        }
+        // The rewritten root is a sub.
+        assert!(matches!(
+            f.insts[root_idx],
+            MInst::Bin { op: BinOp::Sub, .. }
+        ));
+    }
+
+    #[test]
+    fn no_match_when_shape_differs() {
+        let t = intro();
+        let mut f = Function::new("t", vec![8]);
+        let r = f.push(MInst::Bin {
+            op: BinOp::Add,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Const(BvVal::new(8, 100)),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert!(match_at(&f, 0, &t, &kb).is_none());
+    }
+
+    #[test]
+    fn precondition_gates_match() {
+        // mul nsw x, C => shl with isPowerOf2(C): only fires for powers of 2.
+        let t = parse_transform(
+            "Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)",
+        )
+        .unwrap();
+        for (c, expect) in [(8u128, true), (12, false), (0, false)] {
+            let mut f = Function::new("t", vec![8]);
+            let r = f.push(MInst::Bin {
+                op: BinOp::Mul,
+                flags: vec![],
+                a: MValue::Reg(0),
+                b: MValue::Const(BvVal::new(8, c)),
+            });
+            f.ret = MValue::Reg(r);
+            let kb = known_bits(&f);
+            assert_eq!(match_at(&f, 0, &t, &kb).is_some(), expect, "C={c}");
+        }
+    }
+
+    #[test]
+    fn flags_must_be_present_to_match() {
+        let t = parse_transform("%r = add nsw %x, %y\n=>\n%r = add %x, %y").unwrap();
+        let mut f = Function::new("t", vec![8, 8]);
+        let r = f.push(MInst::Bin {
+            op: BinOp::Add,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Reg(1),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert!(match_at(&f, 0, &t, &kb).is_none(), "no nsw on instruction");
+    }
+
+    #[test]
+    fn repeated_register_requires_same_value() {
+        let t = parse_transform("%r = udiv %x, %x\n=>\n%r = 1").unwrap();
+        let mut f = Function::new("t", vec![8, 8]);
+        let r1 = f.push(MInst::Bin {
+            op: BinOp::UDiv,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Reg(0),
+        });
+        let r2 = f.push(MInst::Bin {
+            op: BinOp::UDiv,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Reg(1),
+        });
+        f.ret = MValue::Reg(r2);
+        let kb = known_bits(&f);
+        assert!(match_at(&f, f.inst_index(r1).unwrap(), &t, &kb).is_some());
+        assert!(match_at(&f, f.inst_index(r2).unwrap(), &t, &kb).is_none());
+    }
+
+    #[test]
+    fn masked_value_is_zero_uses_analysis() {
+        // Pre: MaskedValueIsZero(%x, ~C) ; and %x, C => %x
+        let t = parse_transform(
+            "Pre: MaskedValueIsZero(%x, ~C)\n%r = and %x, C\n=>\n%r = %x",
+        )
+        .unwrap();
+        // %x = urem param, 8 -> top 5 bits zero; and with 0x07 is identity.
+        let mut f = Function::new("t", vec![8]);
+        let x = f.push(MInst::Bin {
+            op: BinOp::URem,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Const(BvVal::new(8, 8)),
+        });
+        let r = f.push(MInst::Bin {
+            op: BinOp::And,
+            flags: vec![],
+            a: MValue::Reg(x),
+            b: MValue::Const(BvVal::new(8, 0x07)),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        let idx = f.inst_index(r).unwrap();
+        let b = match_at(&f, idx, &t, &kb).expect("provable by known bits");
+        assert!(apply_at(&mut f, idx, &t, &b));
+        assert!(matches!(f.insts[idx], MInst::Copy { .. }));
+    }
+
+    #[test]
+    fn has_one_use_counts_uses() {
+        let t = parse_transform(
+            "Pre: hasOneUse(%a)\n%a = xor %x, -1\n%r = add %a, 1\n=>\n%r = sub 0, %x",
+        )
+        .unwrap();
+        let mut f = Function::new("t", vec![8]);
+        let a = f.push(MInst::Bin {
+            op: BinOp::Xor,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Const(BvVal::ones(8)),
+        });
+        let r = f.push(MInst::Bin {
+            op: BinOp::Add,
+            flags: vec![],
+            a: MValue::Reg(a),
+            b: MValue::Const(BvVal::new(8, 1)),
+        });
+        f.ret = MValue::Reg(r);
+        let kb = known_bits(&f);
+        assert!(match_at(&f, 1, &t, &kb).is_some());
+        // Add a second use of %a: precondition now fails.
+        let extra = f.push(MInst::Bin {
+            op: BinOp::And,
+            flags: vec![],
+            a: MValue::Reg(a),
+            b: MValue::Reg(a),
+        });
+        let _ = extra;
+        let kb = known_bits(&f);
+        assert!(match_at(&f, 1, &t, &kb).is_none());
+    }
+}

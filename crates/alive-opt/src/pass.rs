@@ -1,0 +1,260 @@
+//! The peephole pass driver: applies a set of (verified) Alive
+//! transformations to mini-LLVM functions until fixpoint, counting which
+//! optimization fired how often — the data behind the paper's Fig. 9.
+
+use crate::analysis::known_bits;
+use crate::ir::Function;
+use crate::matcher::{apply_at, match_at};
+use alive_ir::Transform;
+use std::collections::HashMap;
+
+/// A compiled peephole optimizer holding an ordered list of rewrites.
+#[derive(Debug, Default)]
+pub struct Peephole {
+    opts: Vec<(String, Transform)>,
+    /// Bound on fixpoint sweeps per function.
+    pub max_sweeps: usize,
+}
+
+/// Statistics from running the pass.
+#[derive(Clone, Debug, Default)]
+pub struct PassStats {
+    /// Per-optimization invocation counts.
+    pub fires: HashMap<String, u64>,
+    /// Number of sweeps executed.
+    pub sweeps: u64,
+    /// Number of instructions visited.
+    pub visited: u64,
+}
+
+impl PassStats {
+    /// Total number of rewrites applied.
+    pub fn total_fires(&self) -> u64 {
+        self.fires.values().sum()
+    }
+
+    /// Merges another run's statistics into this one.
+    pub fn merge(&mut self, other: &PassStats) {
+        for (k, v) in &other.fires {
+            *self.fires.entry(k.clone()).or_default() += v;
+        }
+        self.sweeps += other.sweeps;
+        self.visited += other.visited;
+    }
+
+    /// Invocation counts sorted descending (the Fig. 9 series).
+    pub fn sorted_counts(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .fires
+            .iter()
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl Peephole {
+    /// Builds an optimizer from named transformations.
+    ///
+    /// The caller is responsible for only supplying *verified*
+    /// transformations; `alive::verified_peephole` does this end to end.
+    pub fn new(opts: impl IntoIterator<Item = (String, Transform)>) -> Peephole {
+        Peephole {
+            opts: opts.into_iter().collect(),
+            max_sweeps: 8,
+        }
+    }
+
+    /// Number of optimizations installed.
+    pub fn len(&self) -> usize {
+        self.opts.len()
+    }
+
+    /// `true` if no optimizations are installed.
+    pub fn is_empty(&self) -> bool {
+        self.opts.is_empty()
+    }
+
+    /// Optimization names, in priority order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.opts.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Runs the pass on one function until fixpoint (bounded), then DCE.
+    pub fn run(&self, f: &mut Function) -> PassStats {
+        let mut stats = PassStats::default();
+        for _ in 0..self.max_sweeps {
+            stats.sweeps += 1;
+            let mut changed = false;
+            let mut kb = known_bits(f);
+            let mut idx = 0;
+            while idx < f.insts.len() {
+                stats.visited += 1;
+                for (name, t) in &self.opts {
+                    if let Some(binding) = match_at(f, idx, t, &kb) {
+                        if apply_at(f, idx, t, &binding) {
+                            *stats.fires.entry(name.clone()).or_default() += 1;
+                            changed = true;
+                            // Rewrites may append instructions and change
+                            // value facts; recompute the analysis.
+                            kb = known_bits(f);
+                            break;
+                        }
+                    }
+                }
+                idx += 1;
+            }
+            if !changed {
+                break;
+            }
+        }
+        f.dce();
+        stats
+    }
+
+    /// Runs the pass over a whole module, merging statistics.
+    pub fn run_module(&self, funcs: &mut [Function]) -> PassStats {
+        let mut stats = PassStats::default();
+        for f in funcs {
+            stats.merge(&self.run(f));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, Outcome};
+    use crate::ir::{MInst, MValue};
+    use alive_ir::ast::BinOp;
+    use alive_ir::parse_transform;
+    use alive_smt::BvVal;
+
+    fn simple_opts() -> Peephole {
+        Peephole::new([
+            (
+                "add-zero".to_string(),
+                parse_transform("%r = add %x, 0\n=>\n%r = %x").unwrap(),
+            ),
+            (
+                "mul-pow2".to_string(),
+                parse_transform("Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)")
+                    .unwrap(),
+            ),
+            (
+                "not-plus-one".to_string(),
+                parse_transform("%a = xor %x, -1\n%r = add %a, 1\n=>\n%r = sub 0, %x").unwrap(),
+            ),
+        ])
+    }
+
+    fn chain_fn() -> Function {
+        // r = ((x * 8) + 0) ; then ~r + 1
+        let mut f = Function::new("t", vec![8]);
+        let m = f.push(MInst::Bin {
+            op: BinOp::Mul,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Const(BvVal::new(8, 8)),
+        });
+        let az = f.push(MInst::Bin {
+            op: BinOp::Add,
+            flags: vec![],
+            a: MValue::Reg(m),
+            b: MValue::Const(BvVal::zero(8)),
+        });
+        let n = f.push(MInst::Bin {
+            op: BinOp::Xor,
+            flags: vec![],
+            a: MValue::Reg(az),
+            b: MValue::Const(BvVal::ones(8)),
+        });
+        let r = f.push(MInst::Bin {
+            op: BinOp::Add,
+            flags: vec![],
+            a: MValue::Reg(n),
+            b: MValue::Const(BvVal::new(8, 1)),
+        });
+        f.ret = MValue::Reg(r);
+        f
+    }
+
+    #[test]
+    fn pass_reaches_fixpoint_and_preserves_semantics() {
+        let pass = simple_opts();
+        let mut f = chain_fn();
+        let original = f.clone();
+        let stats = pass.run(&mut f);
+        assert!(stats.total_fires() >= 3, "fires: {:?}", stats.fires);
+        assert!(stats.fires.contains_key("add-zero"));
+        assert!(stats.fires.contains_key("mul-pow2"));
+        assert!(stats.fires.contains_key("not-plus-one"));
+        // Differential check across all inputs.
+        for x in 0..=255u128 {
+            let inp = [BvVal::new(8, x)];
+            let a = run(&original, &inp);
+            let b = run(&f, &inp);
+            assert!(b.refines(&a), "x={x}: {a:?} vs {b:?}");
+        }
+        // The optimized function is shorter.
+        assert!(f.len() < original.len());
+    }
+
+    #[test]
+    fn module_statistics_accumulate() {
+        let pass = simple_opts();
+        let mut funcs = vec![chain_fn(), chain_fn(), chain_fn()];
+        let stats = pass.run_module(&mut funcs);
+        assert_eq!(stats.fires["add-zero"], 3);
+        let sorted = stats.sorted_counts();
+        assert_eq!(sorted.len(), 3);
+        assert!(sorted[0].1 >= sorted[1].1);
+    }
+
+    #[test]
+    fn empty_pass_changes_nothing() {
+        let pass = Peephole::new([]);
+        let mut f = chain_fn();
+        let before = f.clone();
+        let stats = pass.run(&mut f);
+        assert_eq!(stats.total_fires(), 0);
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn optimized_output_costs_less() {
+        let pass = simple_opts();
+        let mut f = chain_fn();
+        let before = f.static_cost();
+        pass.run(&mut f);
+        assert!(f.static_cost() < before, "mul should become shl");
+    }
+
+    #[test]
+    fn run_handles_ub_refinement() {
+        // udiv x, x => 1 fires; for x=0 the original is UB, so anything
+        // (here: 1) refines it.
+        let pass = Peephole::new([(
+            "udiv-self".to_string(),
+            parse_transform("%r = udiv %x, %x\n=>\n%r = 1").unwrap(),
+        )]);
+        let mut f = Function::new("t", vec![8]);
+        let r = f.push(MInst::Bin {
+            op: BinOp::UDiv,
+            flags: vec![],
+            a: MValue::Reg(0),
+            b: MValue::Reg(0),
+        });
+        f.ret = MValue::Reg(r);
+        let original = f.clone();
+        let stats = pass.run(&mut f);
+        assert_eq!(stats.total_fires(), 1);
+        for x in 0..=255u128 {
+            let inp = [BvVal::new(8, x)];
+            assert!(run(&f, &inp).refines(&run(&original, &inp)));
+        }
+        assert_eq!(run(&original, &[BvVal::zero(8)]), Outcome::Ub);
+    }
+}

@@ -1,0 +1,170 @@
+//! Clause storage.
+//!
+//! Clauses live in a single arena (`ClauseDb`) and are referenced by
+//! [`ClauseRef`] indices. Each clause carries an activity (for learned-clause
+//! reduction), an LBD score, and a `learnt` flag.
+
+use crate::lit::Lit;
+
+/// Index of a clause in the [`ClauseDb`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    /// A sentinel that never names a real clause (used for "no reason").
+    pub const UNDEF: ClauseRef = ClauseRef(u32::MAX);
+}
+
+/// A single clause: a disjunction of literals plus solver metadata.
+#[derive(Debug)]
+pub struct Clause {
+    lits: Vec<Lit>,
+    /// Activity used for learned-clause garbage collection.
+    pub activity: f64,
+    /// Literal-block-distance (glue) of a learned clause.
+    pub lbd: u32,
+    /// Whether the clause was learned (eligible for deletion).
+    pub learnt: bool,
+    /// Tombstone flag set when the clause has been removed.
+    pub deleted: bool,
+}
+
+impl Clause {
+    fn new(lits: Vec<Lit>, learnt: bool) -> Clause {
+        Clause {
+            lits,
+            activity: 0.0,
+            lbd: 0,
+            learnt,
+            deleted: false,
+        }
+    }
+
+    /// The literals of the clause. The first two are the watched literals.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Mutable access for watch maintenance (literal reordering only).
+    #[inline]
+    pub(crate) fn lits_mut(&mut self) -> &mut [Lit] {
+        &mut self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// `true` when the clause has no literals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+}
+
+/// Arena of clauses.
+#[derive(Debug, Default)]
+pub struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Number of non-deleted learnt clauses.
+    pub num_learnt: usize,
+    /// Number of non-deleted problem clauses.
+    pub num_problem: usize,
+}
+
+impl ClauseDb {
+    /// Creates an empty database.
+    pub fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    /// Allocates a clause and returns its reference.
+    pub fn alloc(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        let idx = self.clauses.len() as u32;
+        self.clauses.push(Clause::new(lits, learnt));
+        if learnt {
+            self.num_learnt += 1;
+        } else {
+            self.num_problem += 1;
+        }
+        ClauseRef(idx)
+    }
+
+    /// Marks a clause deleted. Watches must be purged separately.
+    pub fn free(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.0 as usize];
+        debug_assert!(!c.deleted);
+        c.deleted = true;
+        if c.learnt {
+            self.num_learnt -= 1;
+        } else {
+            self.num_problem -= 1;
+        }
+        c.lits.clear();
+        c.lits.shrink_to_fit();
+    }
+
+    /// Borrows a clause.
+    #[inline]
+    pub fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.0 as usize]
+    }
+
+    /// Mutably borrows a clause.
+    #[inline]
+    pub fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.0 as usize]
+    }
+
+    /// Iterates over the references of all live learnt clauses.
+    pub fn learnt_refs(&self) -> Vec<ClauseRef> {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+            .collect()
+    }
+
+    /// Total number of slots (live and dead) in the arena.
+    pub fn arena_len(&self) -> usize {
+        self.clauses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(n: usize) -> Vec<Lit> {
+        (0..n).map(|i| Var::from_index(i).positive()).collect()
+    }
+
+    #[test]
+    fn alloc_and_free_bookkeeping() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(3), false);
+        let b = db.alloc(lits(2), true);
+        assert_eq!(db.num_problem, 1);
+        assert_eq!(db.num_learnt, 1);
+        assert_eq!(db.get(a).len(), 3);
+        db.free(b);
+        assert_eq!(db.num_learnt, 0);
+        assert!(db.get(b).deleted);
+        assert_eq!(db.learnt_refs().len(), 0);
+    }
+
+    #[test]
+    fn learnt_refs_lists_live_learnts() {
+        let mut db = ClauseDb::new();
+        let _ = db.alloc(lits(2), false);
+        let l1 = db.alloc(lits(2), true);
+        let l2 = db.alloc(lits(4), true);
+        assert_eq!(db.learnt_refs(), vec![l1, l2]);
+    }
+}

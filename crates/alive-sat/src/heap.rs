@@ -1,0 +1,152 @@
+//! Binary max-heap over variables keyed by VSIDS activity.
+
+use crate::lit::Var;
+
+/// A max-heap of variables ordered by an external activity array.
+///
+/// Supports `decrease`-free usage: activities only grow (until a global
+/// rescale, which preserves order), so we only ever need `increase`
+/// (sift up) and pop.
+#[derive(Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    indices: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarHeap {
+    /// Creates an empty heap.
+    pub fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Grows the index table to cover `n` variables.
+    pub fn reserve_vars(&mut self, n: usize) {
+        if self.indices.len() < n {
+            self.indices.resize(n, ABSENT);
+        }
+    }
+
+    /// Is `v` currently in the heap?
+    pub fn contains(&self, v: Var) -> bool {
+        self.indices
+            .get(v.index())
+            .is_some_and(|&i| i != ABSENT)
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        self.reserve_vars(v.index() + 1);
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v);
+        self.indices[v.index()] = i;
+        self.sift_up(i, activity);
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    pub fn update(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&i) = self.indices.get(v.index()) {
+            if i != ABSENT {
+                self.sift_up(i, activity);
+            }
+        }
+    }
+
+    /// Removes and returns the variable with maximal activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.indices[top.index()] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.indices[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] <= activity[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.indices[self.heap[i].index()] = i;
+        self.indices[self.heap[j].index()] = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        for i in 0..4 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var::from_index(0)));
+        assert_eq!(h.pop(&activity), None);
+    }
+
+    #[test]
+    fn update_reorders_after_bump() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.update(Var::from_index(0), &activity);
+        assert_eq!(h.pop(&activity), Some(Var::from_index(0)));
+    }
+}

@@ -1,0 +1,44 @@
+//! A CDCL SAT solver.
+//!
+//! This crate is the decision-procedure substrate of the `alive-rs`
+//! reproduction of *Provably Correct Peephole Optimizations with Alive*
+//! (PLDI 2015). The paper uses the Z3 SMT solver; since that is not
+//! available here, the SMT stack is built from scratch, and this crate
+//! provides the propositional core: a MiniSat-lineage conflict-driven
+//! clause-learning solver with
+//!
+//! * two-watched-literal unit propagation,
+//! * first-UIP conflict analysis with recursive clause minimization,
+//! * VSIDS branching with phase saving,
+//! * Luby-sequence restarts,
+//! * activity-based learned-clause database reduction, and
+//! * incremental solving under assumptions with unsat-core extraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use alive_sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! // (x | y) & (!x | y) & (x | !y)  =>  x = y = true
+//! solver.add_clause([x.positive(), y.positive()]);
+//! solver.add_clause([x.negative(), y.positive()]);
+//! solver.add_clause([x.positive(), y.negative()]);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.value(x), Some(true));
+//! assert_eq!(solver.value(y), Some(true));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clause;
+mod heap;
+mod lit;
+mod solver;
+
+pub use clause::{Clause, ClauseDb, ClauseRef};
+pub use lit::{LBool, Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

@@ -1,0 +1,918 @@
+//! The CDCL solver.
+//!
+//! A MiniSat-lineage solver: two-watched-literal propagation, first-UIP
+//! conflict analysis with clause minimization, VSIDS branching with phase
+//! saving, Luby restarts, and activity-based learned-clause reduction.
+//! Solving under assumptions makes the solver incremental, which the SMT
+//! layer uses for model enumeration and CEGIS.
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The configured conflict budget was exhausted.
+    Unknown,
+}
+
+/// Aggregate statistics of a solver's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses deleted by DB reduction.
+    pub deleted_clauses: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// The *other* watched literal; lets us skip satisfied clauses cheaply.
+    blocker: Lit,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct VarData {
+    reason: ClauseRef,
+    level: u32,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use alive_sat::{Solver, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([a.positive(), b.positive()]);
+/// s.add_clause([a.negative()]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    /// Watch lists indexed by literal code: clauses watching `!lit`… by
+    /// convention, `watches[l.code()]` are the clauses in which `l` is a
+    /// watched literal whose falsification must be handled.
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    vardata: Vec<VarData>,
+    /// Saved phase per variable for phase-saving.
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    order: VarHeap,
+    var_inc: f64,
+    cla_inc: f64,
+
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    /// Clauses of length 1 asserted at level 0.
+    ok: bool,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+
+    // scratch buffers for conflict analysis
+    seen: Vec<bool>,
+    analyze_toclear: Vec<Lit>,
+
+    /// Final conflict clause (in terms of assumptions) after Unsat-under-assumptions.
+    conflict: Vec<Lit>,
+    /// Snapshot of the assignment taken when `Sat` is returned.
+    model: Vec<LBool>,
+
+    max_learnts: f64,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            vardata: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            order: VarHeap::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            ok: true,
+            stats: SolverStats::default(),
+            conflict_budget: None,
+            seen: Vec::new(),
+            analyze_toclear: Vec::new(),
+            conflict: Vec::new(),
+            model: Vec::new(),
+            max_learnts: 1000.0,
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Limits the number of conflicts a single `solve` may spend.
+    ///
+    /// `None` (the default) means no limit. When the budget is exhausted
+    /// [`Solver::solve`] returns [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.vardata.push(VarData {
+            reason: ClauseRef::UNDEF,
+            level: 0,
+        });
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.order.reserve_vars(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Adds a clause; returns `false` if the formula became trivially unsat.
+    ///
+    /// May be called between `solve` calls (the solver backtracks to level 0
+    /// first). Tautologies are silently dropped; duplicate literals are
+    /// removed.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        c.sort_unstable();
+        c.dedup();
+        // Drop tautologies and false literals; detect satisfied clauses.
+        let mut out = Vec::with_capacity(c.len());
+        let mut i = 0;
+        while i < c.len() {
+            let l = c[i];
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: contains l and !l (adjacent after sort)
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+            i += 1;
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], ClauseRef::UNDEF);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(out, false);
+                self.attach_clause(cref);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            (c.lits()[0], c.lits()[1])
+        };
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    /// The model value of a variable from the most recent `Sat` answer.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).copied().and_then(LBool::to_bool)
+    }
+
+    /// The current value of a literal.
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_positive() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    /// Model value of a literal after `Sat` (defaulting unassigned to false).
+    pub fn lit_model(&self, l: Lit) -> bool {
+        match self.value(l.var()) {
+            Some(b) => b == l.is_positive(),
+            None => !l.is_positive(),
+        }
+    }
+
+    /// After a `solve` under assumptions returned `Unsat`, the subset of
+    /// assumption literals involved in the contradiction (negated).
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict
+    }
+
+    #[inline]
+    fn level(&self, v: Var) -> u32 {
+        self.vardata[v.index()].level
+    }
+
+    #[inline]
+    fn reason(&self, v: Var) -> ClauseRef {
+        self.vardata[v.index()].reason
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: ClauseRef) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        self.assigns[l.var().index()] = LBool::from_bool(l.is_positive());
+        self.vardata[l.var().index()] = VarData {
+            reason,
+            level: self.decision_level(),
+        };
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'outer: while i < ws.len() {
+                let w = ws[i];
+                // Fast path: blocker satisfied.
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                {
+                    let c = self.db.get_mut(cref);
+                    if c.deleted {
+                        ws.swap_remove(i);
+                        continue;
+                    }
+                    // Normalize: ensure the false literal (!p) is at slot 1.
+                    let lits = c.lits_mut();
+                    if lits[0] == !p {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], !p);
+                }
+                let first = self.db.get(cref).lits()[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.get(cref).len();
+                for k in 2..len {
+                    let lk = self.db.get(cref).lits()[k];
+                    if self.lit_value(lk) != LBool::False {
+                        let c = self.db.get_mut(cref);
+                        c.lits_mut().swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'outer;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[i] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                i += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                } else {
+                    self.unchecked_enqueue(first, cref);
+                }
+            }
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for idx in (lim..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.polarity[v.index()] = l.is_positive();
+            if !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.update(v, &self.activity);
+    }
+
+    fn cla_bump(&mut self, cref: ClauseRef) {
+        let c = self.db.get_mut(cref);
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE_LIMIT {
+            self.cla_inc *= 1e-20;
+            // rescale lazily during reduce; good enough to rescale now:
+            for i in 0..self.db.arena_len() {
+                let cl = self.db.get_mut(ClauseRef(i as u32));
+                cl.activity *= 1e-20;
+            }
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
+    /// The asserting literal is placed first in the learnt clause.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            debug_assert_ne!(confl, ClauseRef::UNDEF);
+            self.cla_bump(confl);
+            let clen = self.db.get(confl).len();
+            let start = if p.is_some() { 1 } else { 0 };
+            for k in start..clen {
+                let q = self.db.get(confl).lits()[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level(v) > 0 {
+                    self.seen[v.index()] = true;
+                    self.var_bump(v);
+                    if self.level(v) >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand from the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                p = Some(pl);
+                break;
+            }
+            confl = self.reason(pl.var());
+            p = Some(pl);
+        }
+        let _ = p;
+
+        // Conflict-clause minimization (recursive, reason-subsumption).
+        self.analyze_toclear = learnt.clone();
+        for l in &self.analyze_toclear {
+            self.seen[l.var().index()] = true;
+        }
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| {
+                self.reason(l.var()) == ClauseRef::UNDEF || !self.lit_redundant(l)
+            })
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        for l in std::mem::take(&mut self.analyze_toclear) {
+            self.seen[l.var().index()] = false;
+        }
+        // Also clear seen flags for any remaining learnt lits (idempotent).
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Find the backtrack level: the max level among learnt[1..].
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level(learnt[i].var()) > self.level(learnt[max_i].var()) {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level(learnt[1].var())
+        };
+        (learnt, bt)
+    }
+
+    /// Is `l` redundant in the learnt clause (implied by the other lits)?
+    fn lit_redundant(&mut self, l: Lit) -> bool {
+        let mut stack = vec![l];
+        let mut to_unmark: Vec<Var> = Vec::new();
+        while let Some(q) = stack.pop() {
+            let r = self.reason(q.var());
+            if r == ClauseRef::UNDEF {
+                for v in to_unmark {
+                    self.seen[v.index()] = false;
+                }
+                return false;
+            }
+            let clen = self.db.get(r).len();
+            for k in 1..clen {
+                let p = self.db.get(r).lits()[k];
+                let v = p.var();
+                if !self.seen[v.index()] && self.level(v) > 0 {
+                    if self.reason(v) == ClauseRef::UNDEF {
+                        for u in to_unmark {
+                            self.seen[u.index()] = false;
+                        }
+                        return false;
+                    }
+                    self.seen[v.index()] = true;
+                    to_unmark.push(v);
+                    stack.push(p);
+                }
+            }
+        }
+        // Keep marks: they only help subsume further literals this round, and
+        // the marks are recorded for clearing via analyze_toclear additions.
+        self.analyze_toclear
+            .extend(to_unmark.into_iter().map(|v| v.positive()));
+        true
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        loop {
+            let v = self.order.pop(&self.activity)?;
+            if self.assigns[v.index()] == LBool::Undef {
+                self.stats.decisions += 1;
+                return Some(v.lit(self.polarity[v.index()]));
+            }
+        }
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnts = self.db.learnt_refs();
+        // Sort ascending by activity: delete the least active half, keeping
+        // binary/glue clauses.
+        learnts.sort_by(|&a, &b| {
+            self.db
+                .get(a)
+                .activity
+                .partial_cmp(&self.db.get(b).activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = learnts
+            .iter()
+            .map(|&cref| {
+                let first = self.db.get(cref).lits()[0];
+                self.lit_value(first) == LBool::True && self.reason(first.var()) == cref
+            })
+            .collect();
+        let half = learnts.len() / 2;
+        for (i, &cref) in learnts.iter().enumerate() {
+            if i >= half {
+                break;
+            }
+            let c = self.db.get(cref);
+            if c.len() <= 2 || c.lbd <= 3 || locked[i] {
+                continue;
+            }
+            self.db.free(cref);
+            self.stats.deleted_clauses += 1;
+        }
+        // Purge watches of deleted clauses lazily during propagation; also
+        // sweep now to keep lists tight.
+        for list in &mut self.watches {
+            list.retain(|w| !self.db.get(w.cref).deleted);
+        }
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level(l.var())).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Solves the formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On `Unsat`, [`Solver::unsat_core`] lists the subset of assumptions
+    /// (negated) that participated in the contradiction.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let budget_start = self.stats.conflicts;
+        let mut luby_idx = 0u64;
+        loop {
+            let restart_limit = 100 * luby(luby_idx);
+            luby_idx += 1;
+            match self.search(assumptions, restart_limit, budget_start) {
+                Some(r) => {
+                    self.cancel_until(0);
+                    return r;
+                }
+                None => {
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    /// Runs the CDCL loop until sat/unsat/restart/budget.
+    /// `None` means "restart requested".
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        restart_limit: u64,
+        budget_start: u64,
+    ) -> Option<SolveResult> {
+        let mut conflicts_this_run = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_run += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                // Conflict below/at assumption levels: extract the core.
+                let (learnt, bt_level) = self.analyze(confl);
+                let assumption_level = self.num_assumption_levels(assumptions);
+                if self.decision_level() <= assumption_level {
+                    self.conflict = self.analyze_final(confl);
+                    return Some(SolveResult::Unsat);
+                }
+                self.cancel_until(bt_level.max(0));
+                let lbd = self.compute_lbd(&learnt);
+                if learnt.len() == 1 {
+                    if self.lit_value(learnt[0]) == LBool::False {
+                        self.ok = false;
+                        return Some(SolveResult::Unsat);
+                    }
+                    if self.decision_level() > 0 {
+                        self.cancel_until(0);
+                    }
+                    if self.lit_value(learnt[0]) == LBool::Undef {
+                        self.unchecked_enqueue(learnt[0], ClauseRef::UNDEF);
+                    }
+                } else {
+                    let first = learnt[0];
+                    let cref = self.db.alloc(learnt, true);
+                    self.db.get_mut(cref).lbd = lbd;
+                    self.attach_clause(cref);
+                    self.cla_bump(cref);
+                    self.unchecked_enqueue(first, cref);
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        return Some(SolveResult::Unknown);
+                    }
+                }
+                if self.db.num_learnt as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.2;
+                }
+                if conflicts_this_run >= restart_limit {
+                    return None; // restart
+                }
+            } else {
+                // No conflict: extend with assumptions, then decide.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: create a pseudo level so the
+                            // indexing over assumptions advances.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // Conflicting assumption.
+                            self.conflict = self.final_core_for(a);
+                            return Some(SolveResult::Unsat);
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, ClauseRef::UNDEF);
+                        }
+                    }
+                } else if let Some(l) = self.pick_branch_lit() {
+                    self.trail_lim.push(self.trail.len());
+                    self.unchecked_enqueue(l, ClauseRef::UNDEF);
+                } else {
+                    self.model = self.assigns.clone();
+                    return Some(SolveResult::Sat);
+                }
+            }
+        }
+    }
+
+    fn num_assumption_levels(&self, assumptions: &[Lit]) -> u32 {
+        (assumptions.len() as u32).min(self.decision_level())
+    }
+
+    /// Builds an unsat core when a conflict happened within assumption levels.
+    fn analyze_final(&mut self, confl: ClauseRef) -> Vec<Lit> {
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.num_vars()];
+        let clen = self.db.get(confl).len();
+        let mut queue: Vec<Var> = Vec::new();
+        for k in 0..clen {
+            let v = self.db.get(confl).lits()[k].var();
+            if self.level(v) > 0 {
+                seen[v.index()] = true;
+                queue.push(v);
+            }
+        }
+        for idx in (0..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var();
+            if !seen[v.index()] {
+                continue;
+            }
+            let r = self.reason(v);
+            if r == ClauseRef::UNDEF {
+                out.push(!l); // decision/assumption literal
+            } else {
+                let clen = self.db.get(r).len();
+                for k in 1..clen {
+                    let w = self.db.get(r).lits()[k].var();
+                    if self.level(w) > 0 {
+                        seen[w.index()] = true;
+                    }
+                }
+            }
+            seen[v.index()] = false;
+        }
+        out
+    }
+
+    /// Core when an assumption was directly falsified by earlier assumptions.
+    fn final_core_for(&mut self, a: Lit) -> Vec<Lit> {
+        let mut out = vec![!a];
+        let mut seen = vec![false; self.num_vars()];
+        seen[a.var().index()] = true;
+        for idx in (0..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var();
+            if !seen[v.index()] {
+                continue;
+            }
+            let r = self.reason(v);
+            if r == ClauseRef::UNDEF {
+                if self.level(v) > 0 && l != !a {
+                    out.push(!l);
+                }
+            } else {
+                let clen = self.db.get(r).len();
+                for k in 1..clen {
+                    let w = self.db.get(r).lits()[k].var();
+                    if self.level(w) > 0 {
+                        seen[w.index()] = true;
+                    }
+                }
+            }
+            seen[v.index()] = false;
+        }
+        out
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence that contains index i, and the index within.
+    let mut k = 1u32;
+    loop {
+        if i + 2 == (1u64 << k) {
+            return 1u64 << (k - 1);
+        }
+        if i + 2 < (1u64 << k) {
+            i -= (1u64 << (k - 1)) - 1;
+            k = 1;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn single_unit() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([a.positive()]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause([a.positive()]));
+        assert!(!s.add_clause([a.negative()]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause([w[0].negative(), w[1].positive()]);
+        }
+        s.add_clause([vars[0].positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in &vars {
+            assert_eq!(s.value(*v), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: var p(i,j) = pigeon i in hole j.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause([row[0].positive(), row[1].positive()]);
+        }
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    s.add_clause([p[i][j].negative(), p[k][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_are_respected() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.negative(), b.positive()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive()]),
+            SolveResult::Sat
+        );
+        assert_eq!(s.value(b), Some(true));
+        // Solver stays reusable; opposite assumption also sat.
+        assert_eq!(
+            s.solve_with_assumptions(&[a.negative()]),
+            SolveResult::Sat
+        );
+        assert_eq!(s.value(a), Some(false));
+    }
+
+    #[test]
+    fn unsat_under_assumptions_reports_core() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.negative(), b.negative()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive(), b.positive()]),
+            SolveResult::Unsat
+        );
+        assert!(!s.unsat_core().is_empty());
+        // Still satisfiable without assumptions.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.positive(), b.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([a.negative()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        s.add_clause([b.negative()]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,65 @@
+//! Conflict-budget and statistics behavior.
+
+use alive_sat::{SolveResult, Solver, Var};
+
+/// A hard random-ish 3-SAT-style instance the solver cannot finish within
+/// a one-conflict budget.
+fn hard_instance(s: &mut Solver, n: usize) -> Vec<Var> {
+    let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+    // Pigeonhole: n pigeons, n-1 holes encoded positionally.
+    let holes = n - 1;
+    let mut p = vec![vec![Var::from_index(0); holes]; n];
+    for row in p.iter_mut() {
+        for slot in row.iter_mut() {
+            *slot = s.new_var();
+        }
+    }
+    for row in &p {
+        s.add_clause(row.iter().map(|v| v.positive()));
+    }
+    for j in 0..holes {
+        for i in 0..n {
+            for k in (i + 1)..n {
+                s.add_clause([p[i][j].negative(), p[k][j].negative()]);
+            }
+        }
+    }
+    vars
+}
+
+#[test]
+fn budget_exhaustion_returns_unknown() {
+    let mut s = Solver::new();
+    let _ = hard_instance(&mut s, 8);
+    s.set_conflict_budget(Some(1));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    // Removing the budget lets the solver finish (unsat).
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn stats_accumulate() {
+    let mut s = Solver::new();
+    let _ = hard_instance(&mut s, 7);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let st = s.stats();
+    assert!(st.conflicts > 0);
+    assert!(st.decisions > 0);
+    assert!(st.propagations > 0);
+}
+
+#[test]
+fn solver_is_reusable_after_unknown() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause([a.positive(), b.positive()]);
+    s.set_conflict_budget(Some(0));
+    // Trivial formula may still solve without conflicts; force budget off
+    // afterwards and confirm correctness either way.
+    let first = s.solve();
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(matches!(first, SolveResult::Sat | SolveResult::Unknown));
+}

@@ -1,0 +1,666 @@
+//! Bit-blasting of bitvector terms to CNF.
+//!
+//! Every term is translated to SAT literals (one per bit) with Tseitin
+//! encoding: word-level operators become the usual hardware circuits —
+//! ripple-carry adders, barrel shifters, shift-add multipliers and a
+//! restoring divider. The translation is cached per term, so shared
+//! subterms are encoded once (the term pool is hash-consed, making sharing
+//! pervasive).
+
+use crate::term::{Op, TermId, TermPool};
+use crate::value::{BvVal, Sort};
+use alive_sat::{Lit, Solver};
+use std::collections::HashMap;
+
+/// The SAT-level image of a term: one literal (Bool) or a little-endian
+/// vector of literals (BitVec).
+#[derive(Clone, Debug)]
+pub enum Blasted {
+    /// Image of a boolean term.
+    Bool(Lit),
+    /// Image of a bitvector term, least-significant bit first.
+    Bv(Vec<Lit>),
+}
+
+impl Blasted {
+    fn as_bool(&self) -> Lit {
+        match self {
+            Blasted::Bool(l) => *l,
+            Blasted::Bv(_) => panic!("expected boolean blasting"),
+        }
+    }
+
+    fn as_bv(&self) -> &[Lit] {
+        match self {
+            Blasted::Bv(v) => v,
+            Blasted::Bool(_) => panic!("expected bitvector blasting"),
+        }
+    }
+}
+
+/// Incremental bit-blasting context layered over a [`Solver`].
+#[derive(Debug, Default)]
+pub struct Blaster {
+    cache: HashMap<TermId, Blasted>,
+    lit_true: Option<Lit>,
+}
+
+impl Blaster {
+    /// Creates an empty blaster.
+    pub fn new() -> Blaster {
+        Blaster::default()
+    }
+
+    /// The constant-true literal (created on first use).
+    pub fn lit_true(&mut self, sat: &mut Solver) -> Lit {
+        match self.lit_true {
+            Some(l) => l,
+            None => {
+                let v = sat.new_var();
+                let l = v.positive();
+                sat.add_clause([l]);
+                self.lit_true = Some(l);
+                l
+            }
+        }
+    }
+
+    /// The constant-false literal.
+    pub fn lit_false(&mut self, sat: &mut Solver) -> Lit {
+        !self.lit_true(sat)
+    }
+
+    fn lit_const(&mut self, sat: &mut Solver, b: bool) -> Lit {
+        if b {
+            self.lit_true(sat)
+        } else {
+            self.lit_false(sat)
+        }
+    }
+
+    /// Looks up the cached blasting of a term, if present.
+    pub fn cached(&self, id: TermId) -> Option<&Blasted> {
+        self.cache.get(&id)
+    }
+
+    /// Blasts a boolean term to a single literal.
+    pub fn blast_bool(&mut self, pool: &TermPool, sat: &mut Solver, id: TermId) -> Lit {
+        debug_assert_eq!(pool.sort(id), Sort::Bool);
+        self.blast(pool, sat, id).as_bool()
+    }
+
+    /// Blasts a bitvector term to its bit literals.
+    pub fn blast_bv(&mut self, pool: &TermPool, sat: &mut Solver, id: TermId) -> Vec<Lit> {
+        self.blast(pool, sat, id).as_bv().to_vec()
+    }
+
+    /// Blasts any term, memoized.
+    pub fn blast(&mut self, pool: &TermPool, sat: &mut Solver, root: TermId) -> Blasted {
+        // Iterative post-order to avoid deep recursion on ite-chains.
+        let mut stack = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if self.cache.contains_key(&id) {
+                continue;
+            }
+            if !expanded {
+                stack.push((id, true));
+                for c in pool.term(id).op.children() {
+                    if !self.cache.contains_key(&c) {
+                        stack.push((c, false));
+                    }
+                }
+                continue;
+            }
+            let b = self.encode(pool, sat, id);
+            self.cache.insert(id, b);
+        }
+        self.cache[&root].clone()
+    }
+
+    /// Encodes one term whose children are already cached.
+    fn encode(&mut self, pool: &TermPool, sat: &mut Solver, id: TermId) -> Blasted {
+        let term = pool.term(id).clone();
+        let width = match term.sort {
+            Sort::BitVec(w) => w,
+            Sort::Bool => 0,
+        };
+        match &term.op {
+            Op::BoolConst(b) => Blasted::Bool(self.lit_const(sat, *b)),
+            Op::BvConst(v) => {
+                let bits = (0..v.width())
+                    .map(|i| self.lit_const(sat, v.bit(i)))
+                    .collect();
+                Blasted::Bv(bits)
+            }
+            Op::Var(_) => match term.sort {
+                Sort::Bool => Blasted::Bool(sat.new_var().positive()),
+                Sort::BitVec(w) => {
+                    Blasted::Bv((0..w).map(|_| sat.new_var().positive()).collect())
+                }
+            },
+            Op::Not(a) => Blasted::Bool(!self.get_bool(*a)),
+            Op::And(cs) => {
+                let lits: Vec<Lit> = cs.iter().map(|&c| self.get_bool(c)).collect();
+                Blasted::Bool(self.mk_and_many(sat, &lits))
+            }
+            Op::Or(cs) => {
+                let lits: Vec<Lit> = cs.iter().map(|&c| self.get_bool(c)).collect();
+                Blasted::Bool(self.mk_or_many(sat, &lits))
+            }
+            Op::Xor(a, b) => {
+                let (a, b) = (self.get_bool(*a), self.get_bool(*b));
+                Blasted::Bool(self.mk_xor(sat, a, b))
+            }
+            Op::Implies(a, b) => {
+                let (a, b) = (self.get_bool(*a), self.get_bool(*b));
+                Blasted::Bool(self.mk_or(sat, !a, b))
+            }
+            Op::Eq(a, b) => match pool.sort(*a) {
+                Sort::Bool => {
+                    let (a, b) = (self.get_bool(*a), self.get_bool(*b));
+                    let x = self.mk_xor(sat, a, b);
+                    Blasted::Bool(!x)
+                }
+                Sort::BitVec(_) => {
+                    let av = self.get_bv(*a);
+                    let bv = self.get_bv(*b);
+                    let mut eqs = Vec::with_capacity(av.len());
+                    for (x, y) in av.iter().zip(&bv) {
+                        let xo = self.mk_xor(sat, *x, *y);
+                        eqs.push(!xo);
+                    }
+                    Blasted::Bool(self.mk_and_many(sat, &eqs))
+                }
+            },
+            Op::Ite(c, t, e) => {
+                let cl = self.get_bool(*c);
+                match pool.sort(*t) {
+                    Sort::Bool => {
+                        let (tl, el) = (self.get_bool(*t), self.get_bool(*e));
+                        Blasted::Bool(self.mk_mux(sat, cl, tl, el))
+                    }
+                    Sort::BitVec(_) => {
+                        let tv = self.get_bv(*t);
+                        let ev = self.get_bv(*e);
+                        let bits = tv
+                            .iter()
+                            .zip(&ev)
+                            .map(|(&x, &y)| self.mk_mux(sat, cl, x, y))
+                            .collect();
+                        Blasted::Bv(bits)
+                    }
+                }
+            }
+            Op::BvNot(a) => {
+                Blasted::Bv(self.get_bv(*a).iter().map(|&l| !l).collect())
+            }
+            Op::BvAnd(a, b) => self.bitwise(sat, *a, *b, BitOp::And),
+            Op::BvOr(a, b) => self.bitwise(sat, *a, *b, BitOp::Or),
+            Op::BvXor(a, b) => self.bitwise(sat, *a, *b, BitOp::Xor),
+            Op::BvNeg(a) => {
+                let av = self.get_bv(*a);
+                let inv: Vec<Lit> = av.iter().map(|&l| !l).collect();
+                let t = self.lit_true(sat);
+                let one: Vec<Lit> = std::iter::once(t)
+                    .chain(std::iter::repeat(!t))
+                    .take(inv.len())
+                    .collect();
+                Blasted::Bv(self.adder(sat, &inv, &one, !t).0)
+            }
+            Op::BvAdd(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let f = self.lit_false(sat);
+                Blasted::Bv(self.adder(sat, &av, &bv, f).0)
+            }
+            Op::BvSub(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let binv: Vec<Lit> = bv.iter().map(|&l| !l).collect();
+                let t = self.lit_true(sat);
+                Blasted::Bv(self.adder(sat, &av, &binv, t).0)
+            }
+            Op::BvMul(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                Blasted::Bv(self.multiplier(sat, &av, &bv))
+            }
+            Op::BvUdiv(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let (q, _r) = self.divider(sat, &av, &bv);
+                Blasted::Bv(q)
+            }
+            Op::BvUrem(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let (_q, r) = self.divider(sat, &av, &bv);
+                Blasted::Bv(r)
+            }
+            Op::BvSdiv(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                Blasted::Bv(self.signed_divrem(sat, &av, &bv).0)
+            }
+            Op::BvSrem(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                Blasted::Bv(self.signed_divrem(sat, &av, &bv).1)
+            }
+            Op::BvShl(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let f = self.lit_false(sat);
+                Blasted::Bv(self.barrel_shift(sat, &av, &bv, ShiftDir::Left, f))
+            }
+            Op::BvLshr(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let f = self.lit_false(sat);
+                Blasted::Bv(self.barrel_shift(sat, &av, &bv, ShiftDir::Right, f))
+            }
+            Op::BvAshr(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let sign = *av.last().expect("non-empty bv");
+                Blasted::Bv(self.barrel_shift(sat, &av, &bv, ShiftDir::Right, sign))
+            }
+            Op::BvUlt(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                Blasted::Bool(self.mk_ult(sat, &av, &bv))
+            }
+            Op::BvUle(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let gt = self.mk_ult(sat, &bv, &av);
+                Blasted::Bool(!gt)
+            }
+            Op::BvSlt(a, b) => {
+                let (mut av, mut bv) = (self.get_bv(*a), self.get_bv(*b));
+                // Flip sign bits to reduce signed compare to unsigned.
+                let n = av.len();
+                av[n - 1] = !av[n - 1];
+                bv[n - 1] = !bv[n - 1];
+                Blasted::Bool(self.mk_ult(sat, &av, &bv))
+            }
+            Op::BvSle(a, b) => {
+                let (mut av, mut bv) = (self.get_bv(*a), self.get_bv(*b));
+                let n = av.len();
+                av[n - 1] = !av[n - 1];
+                bv[n - 1] = !bv[n - 1];
+                let gt = self.mk_ult(sat, &bv, &av);
+                Blasted::Bool(!gt)
+            }
+            Op::ZExt(a) => {
+                let av = self.get_bv(*a);
+                let f = self.lit_false(sat);
+                let mut bits = av;
+                bits.resize(width as usize, f);
+                Blasted::Bv(bits)
+            }
+            Op::SExt(a) => {
+                let av = self.get_bv(*a);
+                let sign = *av.last().expect("non-empty bv");
+                let mut bits = av;
+                bits.resize(width as usize, sign);
+                Blasted::Bv(bits)
+            }
+            Op::Extract(a, hi, lo) => {
+                let av = self.get_bv(*a);
+                Blasted::Bv(av[*lo as usize..=*hi as usize].to_vec())
+            }
+            Op::Concat(a, b) => {
+                let (av, bv) = (self.get_bv(*a), self.get_bv(*b));
+                let mut bits = bv; // low part first (little endian)
+                bits.extend(av);
+                Blasted::Bv(bits)
+            }
+        }
+    }
+
+    #[inline]
+    fn get_bool(&self, id: TermId) -> Lit {
+        self.cache[&id].as_bool()
+    }
+
+    #[inline]
+    fn get_bv(&self, id: TermId) -> Vec<Lit> {
+        self.cache[&id].as_bv().to_vec()
+    }
+
+    fn bitwise(&mut self, sat: &mut Solver, a: TermId, b: TermId, op: BitOp) -> Blasted {
+        let (av, bv) = (self.get_bv(a), self.get_bv(b));
+        let bits = av
+            .iter()
+            .zip(&bv)
+            .map(|(&x, &y)| match op {
+                BitOp::And => self.mk_and(sat, x, y),
+                BitOp::Or => self.mk_or(sat, x, y),
+                BitOp::Xor => self.mk_xor(sat, x, y),
+            })
+            .collect();
+        Blasted::Bv(bits)
+    }
+
+    // ---- gates ----
+
+    /// `g <-> a & b`, with constant/structural short-circuits.
+    pub fn mk_and(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        let t = self.lit_true(sat);
+        let f = !t;
+        if a == f || b == f || a == !b {
+            return f;
+        }
+        if a == t {
+            return b;
+        }
+        if b == t || a == b {
+            return a;
+        }
+        let g = sat.new_var().positive();
+        sat.add_clause([!g, a]);
+        sat.add_clause([!g, b]);
+        sat.add_clause([g, !a, !b]);
+        g
+    }
+
+    /// `g <-> a | b`.
+    pub fn mk_or(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        let g = self.mk_and(sat, !a, !b);
+        !g
+    }
+
+    /// `g <-> a ^ b`.
+    pub fn mk_xor(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        let t = self.lit_true(sat);
+        let f = !t;
+        if a == f {
+            return b;
+        }
+        if b == f {
+            return a;
+        }
+        if a == t {
+            return !b;
+        }
+        if b == t {
+            return !a;
+        }
+        if a == b {
+            return f;
+        }
+        if a == !b {
+            return t;
+        }
+        let g = sat.new_var().positive();
+        sat.add_clause([!g, a, b]);
+        sat.add_clause([!g, !a, !b]);
+        sat.add_clause([g, !a, b]);
+        sat.add_clause([g, a, !b]);
+        g
+    }
+
+    /// `g <-> (s ? t : e)`.
+    pub fn mk_mux(&mut self, sat: &mut Solver, s: Lit, t: Lit, e: Lit) -> Lit {
+        let tt = self.lit_true(sat);
+        let f = !tt;
+        if s == tt {
+            return t;
+        }
+        if s == f {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        if t == tt && e == f {
+            return s;
+        }
+        if t == f && e == tt {
+            return !s;
+        }
+        let g = sat.new_var().positive();
+        sat.add_clause([!g, !s, t]);
+        sat.add_clause([g, !s, !t]);
+        sat.add_clause([!g, s, e]);
+        sat.add_clause([g, s, !e]);
+        // Redundant but propagation-friendly clauses.
+        sat.add_clause([!g, t, e]);
+        sat.add_clause([g, !t, !e]);
+        g
+    }
+
+    fn mk_and_many(&mut self, sat: &mut Solver, lits: &[Lit]) -> Lit {
+        let mut acc = self.lit_true(sat);
+        for &l in lits {
+            acc = self.mk_and(sat, acc, l);
+        }
+        acc
+    }
+
+    fn mk_or_many(&mut self, sat: &mut Solver, lits: &[Lit]) -> Lit {
+        let mut acc = self.lit_false(sat);
+        for &l in lits {
+            acc = self.mk_or(sat, acc, l);
+        }
+        acc
+    }
+
+    // ---- word-level circuits ----
+
+    /// Ripple-carry adder; returns (sum bits, carry out).
+    fn adder(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit], carry_in: Lit) -> (Vec<Lit>, Lit) {
+        debug_assert_eq!(a.len(), b.len());
+        let mut carry = carry_in;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.mk_xor(sat, x, y);
+            let s = self.mk_xor(sat, xy, carry);
+            let c1 = self.mk_and(sat, x, y);
+            let c2 = self.mk_and(sat, xy, carry);
+            carry = self.mk_or(sat, c1, c2);
+            sum.push(s);
+        }
+        (sum, carry)
+    }
+
+    /// Shift-add multiplier (low `w` bits of the product).
+    fn multiplier(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let f = self.lit_false(sat);
+        let mut acc: Vec<Lit> = vec![f; w];
+        for i in 0..w {
+            // Partial product: (a << i) & replicate(b[i]), but only the
+            // affected upper bits need adding.
+            let bi = b[i];
+            if bi == f {
+                continue;
+            }
+            let mut pp = vec![f; w];
+            for j in i..w {
+                pp[j] = self.mk_and(sat, a[j - i], bi);
+            }
+            let (s, _c) = self.adder(sat, &acc, &pp, f);
+            acc = s;
+        }
+        acc
+    }
+
+    /// Unsigned comparator: `a <u b`.
+    fn mk_ult(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let mut lt = self.lit_false(sat);
+        for (&x, &y) in a.iter().zip(b) {
+            // From LSB to MSB: lt = (x == y) ? lt : (!x & y)
+            let xo = self.mk_xor(sat, x, y);
+            let here = self.mk_and(sat, !x, y);
+            lt = self.mk_mux(sat, xo, here, lt);
+        }
+        lt
+    }
+
+    /// Barrel shifter with overflow handling; `fill` supplies shifted-in /
+    /// saturated bits (false for shl/lshr, the sign for ashr).
+    fn barrel_shift(
+        &mut self,
+        sat: &mut Solver,
+        a: &[Lit],
+        amount: &[Lit],
+        dir: ShiftDir,
+        fill: Lit,
+    ) -> Vec<Lit> {
+        let w = a.len();
+        let f = self.lit_false(sat);
+        let stages = (0..).take_while(|&k| (1u128 << k) < w as u128).count();
+        let mut cur: Vec<Lit> = a.to_vec();
+        for k in 0..stages {
+            let s = 1usize << k;
+            let bit = amount[k];
+            let mut next = Vec::with_capacity(w);
+            for j in 0..w {
+                let shifted = match dir {
+                    ShiftDir::Left => {
+                        if j >= s {
+                            cur[j - s]
+                        } else {
+                            fill_for(dir, fill, f)
+                        }
+                    }
+                    ShiftDir::Right => {
+                        if j + s < w {
+                            cur[j + s]
+                        } else {
+                            fill
+                        }
+                    }
+                };
+                next.push(self.mk_mux(sat, bit, shifted, cur[j]));
+            }
+            cur = next;
+        }
+        // Any amount bit at or above `stages` makes the shift >= w... unless
+        // those bits exactly encode a value < w. Since 2^stages >= w, any
+        // set bit in positions stages.. means amount >= 2^stages >= w.
+        let high: Vec<Lit> = amount[stages..].to_vec();
+        let overflow = self.mk_or_many(sat, &high);
+        // Within-range amounts below 2^stages can still reach >= w when w is
+        // not a power of two, but then the barrel stages have already
+        // saturated the result to the fill pattern, so no extra check is
+        // needed.
+        let fill_bit = fill_for(dir, fill, f);
+        cur.iter()
+            .map(|&l| self.mk_mux(sat, overflow, fill_bit, l))
+            .collect()
+    }
+
+    /// Restoring divider; returns `(quotient, remainder)` with SMT-LIB
+    /// division-by-zero semantics (q = ones, r = dividend).
+    fn divider(&mut self, sat: &mut Solver, a: &[Lit], d: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let f = self.lit_false(sat);
+        // (w+1)-bit remainder register and zero-extended divisor.
+        let mut r: Vec<Lit> = vec![f; w + 1];
+        let mut dext: Vec<Lit> = d.to_vec();
+        dext.push(f);
+        let mut q = vec![f; w];
+        for i in (0..w).rev() {
+            // r = (r << 1) | a[i]
+            let mut shifted = Vec::with_capacity(w + 1);
+            shifted.push(a[i]);
+            shifted.extend_from_slice(&r[..w]);
+            // ge = shifted >= dext
+            let lt = self.mk_ult(sat, &shifted, &dext);
+            let ge = !lt;
+            // r = ge ? shifted - dext : shifted
+            let dinv: Vec<Lit> = dext.iter().map(|&l| !l).collect();
+            let t = self.lit_true(sat);
+            let (diff, _) = self.adder(sat, &shifted, &dinv, t);
+            r = shifted
+                .iter()
+                .zip(&diff)
+                .map(|(&s, &dl)| self.mk_mux(sat, ge, dl, s))
+                .collect();
+            q[i] = ge;
+        }
+        r.truncate(w);
+        (q, r)
+    }
+
+    /// Signed division and remainder via sign fix-up around the unsigned
+    /// divider (SMT-LIB `bvsdiv`/`bvsrem` semantics).
+    fn signed_divrem(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let sign_a = a[w - 1];
+        let sign_b = b[w - 1];
+        let abs_a = self.abs(sat, a);
+        let abs_b = self.abs(sat, b);
+        let (uq, ur) = self.divider(sat, &abs_a, &abs_b);
+        let q_sign = self.mk_xor(sat, sign_a, sign_b);
+        let neg_q = self.negate(sat, &uq);
+        let q: Vec<Lit> = uq
+            .iter()
+            .zip(&neg_q)
+            .map(|(&p, &n)| self.mk_mux(sat, q_sign, n, p))
+            .collect();
+        let neg_r = self.negate(sat, &ur);
+        let r: Vec<Lit> = ur
+            .iter()
+            .zip(&neg_r)
+            .map(|(&p, &n)| self.mk_mux(sat, sign_a, n, p))
+            .collect();
+        (q, r)
+    }
+
+    fn abs(&mut self, sat: &mut Solver, a: &[Lit]) -> Vec<Lit> {
+        let sign = a[a.len() - 1];
+        let neg = self.negate(sat, a);
+        a.iter()
+            .zip(&neg)
+            .map(|(&p, &n)| self.mk_mux(sat, sign, n, p))
+            .collect()
+    }
+
+    fn negate(&mut self, sat: &mut Solver, a: &[Lit]) -> Vec<Lit> {
+        let inv: Vec<Lit> = a.iter().map(|&l| !l).collect();
+        let t = self.lit_true(sat);
+        let one: Vec<Lit> = std::iter::once(t)
+            .chain(std::iter::repeat(!t))
+            .take(a.len())
+            .collect();
+        self.adder(sat, &inv, &one, !t).0
+    }
+
+    /// Reads the value of a blasted bitvector term from the SAT model.
+    pub fn model_bv(&self, sat: &Solver, id: TermId, width: u32) -> Option<BvVal> {
+        match self.cache.get(&id)? {
+            Blasted::Bv(bits) => {
+                let mut v = 0u128;
+                for (i, &l) in bits.iter().enumerate() {
+                    if sat.lit_model(l) {
+                        v |= 1 << i;
+                    }
+                }
+                Some(BvVal::new(width, v))
+            }
+            Blasted::Bool(_) => None,
+        }
+    }
+
+    /// Reads the value of a blasted boolean term from the SAT model.
+    pub fn model_bool(&self, sat: &Solver, id: TermId) -> Option<bool> {
+        match self.cache.get(&id)? {
+            Blasted::Bool(l) => Some(sat.lit_model(*l)),
+            Blasted::Bv(_) => None,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum BitOp {
+    And,
+    Or,
+    Xor,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ShiftDir {
+    Left,
+    Right,
+}
+
+#[inline]
+fn fill_for(dir: ShiftDir, fill: Lit, false_lit: Lit) -> Lit {
+    match dir {
+        ShiftDir::Left => false_lit,
+        ShiftDir::Right => fill,
+    }
+}

@@ -1,0 +1,213 @@
+//! Exists-forall solving by counterexample-guided instantiation (CEGIS).
+//!
+//! The Alive correctness conditions are of the form
+//! `∀ inputs, target-undef ∃ source-undef : ok(...)` (paper §3.1.2). Their
+//! negation — what we hand to the solver — is `∃ x ∀ u : ¬ok(x, u)`. With
+//! no source `undef` variables the formula is quantifier-free and a single
+//! SAT call decides it; otherwise this module runs the classic CEGIS loop:
+//!
+//! 1. guess a candidate `x*` consistent with all universal instantiations
+//!    seen so far;
+//! 2. check `∃ u : ok(x*, u)`; if none exists, `x*` is a true witness;
+//! 3. otherwise add the instantiation `¬ok(x, u*)` and repeat.
+//!
+//! Termination is guaranteed because bitvector domains are finite (each
+//! counterexample `u*` removes at least `x*` from the candidate space).
+
+use crate::eval::Assignment;
+use crate::solver::{SatResult, SmtSolver};
+use crate::subst::substitute_assignment;
+use crate::term::{TermId, TermPool};
+
+/// Result of an exists-forall query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EfResult {
+    /// A witness for the existential variables such that the matrix holds
+    /// for all values of the universal variables.
+    Sat(Assignment),
+    /// No such witness exists.
+    Unsat,
+    /// Iteration or conflict budget exhausted.
+    Unknown,
+}
+
+/// Configuration for [`solve_exists_forall`].
+#[derive(Clone, Copy, Debug)]
+pub struct EfConfig {
+    /// Maximum CEGIS refinement iterations.
+    pub max_iterations: usize,
+    /// SAT conflict budget per sub-query (None = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Seed the candidate solver with the all-zeros instantiation of the
+    /// universal variables before the first guess. Saves one round trip in
+    /// the common case; disable to measure the unseeded loop (ablation).
+    pub seed_with_zero: bool,
+}
+
+impl Default for EfConfig {
+    fn default() -> EfConfig {
+        EfConfig {
+            max_iterations: 4096,
+            conflict_budget: None,
+            seed_with_zero: true,
+        }
+    }
+}
+
+/// Solves `∃ exist_vars ∀ univ_vars : matrix`.
+///
+/// `matrix` must be boolean. Variables not listed in either set are
+/// treated as existential (they end up in the witness if blasted).
+pub fn solve_exists_forall(
+    pool: &mut TermPool,
+    exist_vars: &[TermId],
+    univ_vars: &[TermId],
+    matrix: TermId,
+    config: &EfConfig,
+) -> EfResult {
+    if univ_vars.is_empty() {
+        // Quantifier-free: single query.
+        let mut s = SmtSolver::new();
+        s.set_conflict_budget(config.conflict_budget);
+        s.assert_term(pool, matrix);
+        return match s.check() {
+            SatResult::Sat => EfResult::Sat(s.model(pool, exist_vars)),
+            SatResult::Unsat => EfResult::Unsat,
+            SatResult::Unknown => EfResult::Unknown,
+        };
+    }
+
+    let mut candidates = SmtSolver::new();
+    candidates.set_conflict_budget(config.conflict_budget);
+    if config.seed_with_zero {
+        // Seed with one instantiation (all universals zero) so the first
+        // candidate is already filtered.
+        let zero_env = {
+            let mut env = Assignment::new();
+            for &u in univ_vars {
+                match pool.sort(u) {
+                    crate::value::Sort::Bool => env.set(u, false),
+                    crate::value::Sort::BitVec(w) => {
+                        env.set(u, crate::value::BvVal::zero(w))
+                    }
+                }
+            }
+            env
+        };
+        let seeded = substitute_assignment(pool, matrix, &zero_env);
+        candidates.assert_term(pool, seeded);
+    } else {
+        let t = pool.tru();
+        candidates.assert_term(pool, t);
+    }
+
+    let not_matrix = pool.not(matrix);
+
+    for _ in 0..config.max_iterations {
+        match candidates.check() {
+            SatResult::Unsat => return EfResult::Unsat,
+            SatResult::Unknown => return EfResult::Unknown,
+            SatResult::Sat => {}
+        }
+        let x_star = candidates.model(pool, exist_vars);
+
+        // Verify: does some u break the candidate?  ∃u: ¬matrix(x*, u)
+        let check_term = substitute_assignment(pool, not_matrix, &x_star);
+        let mut verifier = SmtSolver::new();
+        verifier.set_conflict_budget(config.conflict_budget);
+        verifier.assert_term(pool, check_term);
+        match verifier.check() {
+            SatResult::Unsat => return EfResult::Sat(x_star),
+            SatResult::Unknown => return EfResult::Unknown,
+            SatResult::Sat => {
+                let u_star = verifier.model(pool, univ_vars);
+                let refined = substitute_assignment(pool, matrix, &u_star);
+                candidates.assert_term(pool, refined);
+            }
+        }
+    }
+    EfResult::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{BvVal, Sort};
+
+    #[test]
+    fn qf_case_delegates_to_plain_solve() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(4));
+        let seven = p.bv(4, 7);
+        let eq = p.eq(x, seven);
+        match solve_exists_forall(&mut p, &[x], &[], eq, &EfConfig::default()) {
+            EfResult::Sat(m) => assert_eq!(m.get(x).unwrap().as_bv(), BvVal::new(4, 7)),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_x_forall_u_x_and_u_commutative_identity() {
+        // ∃x ∀u: x & u == u  has the witness x = 1111.
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(4));
+        let u = p.var("u", Sort::BitVec(4));
+        let conj = p.bv_and(x, u);
+        let matrix = p.eq(conj, u);
+        match solve_exists_forall(&mut p, &[x], &[u], matrix, &EfConfig::default()) {
+            EfResult::Sat(m) => {
+                assert_eq!(m.get(x).unwrap().as_bv(), BvVal::ones(4));
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_x_forall_u_x_equals_u_is_unsat() {
+        // No x equals every u (width 4 has 16 distinct values).
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(4));
+        let u = p.var("u", Sort::BitVec(4));
+        let matrix = p.eq(x, u);
+        assert_eq!(
+            solve_exists_forall(&mut p, &[x], &[u], matrix, &EfConfig::default()),
+            EfResult::Unsat
+        );
+    }
+
+    #[test]
+    fn forall_u_tautology_with_no_existentials() {
+        // ∀u: u | !u == ones — trivially true, no existentials to find.
+        let mut p = TermPool::new();
+        let u = p.var("u", Sort::BitVec(4));
+        let nu = p.bv_not(u);
+        let or = p.bv_or(u, nu);
+        let ones = p.bv(4, 0xF);
+        let matrix = p.eq(or, ones);
+        match solve_exists_forall(&mut p, &[], &[u], matrix, &EfConfig::default()) {
+            EfResult::Sat(_) => {}
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iteration_budget_yields_unknown() {
+        // ∃x ∀u: (x ^ u) <u 8  is false at width 4, but give the loop only
+        // one iteration so it cannot finish refuting all candidates.
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(4));
+        let u = p.var("u", Sort::BitVec(4));
+        let xu = p.bv_xor(x, u);
+        let eight = p.bv(4, 8);
+        let matrix = p.bv_ult(xu, eight);
+        let config = EfConfig {
+            max_iterations: 1,
+            conflict_budget: None,
+            ..EfConfig::default()
+        };
+        assert_eq!(
+            solve_exists_forall(&mut p, &[x], &[u], matrix, &config),
+            EfResult::Unknown
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! The user-facing SMT solver: assert terms, check satisfiability, read
+//! models. Incremental: terms may be asserted between `check` calls, and
+//! `check_assuming` solves under temporary assumptions without polluting
+//! the clause database with non-definitional clauses.
+
+use crate::blast::Blaster;
+use crate::eval::Assignment;
+use crate::term::{TermId, TermPool};
+use crate::value::{Sort, Value};
+use alive_sat::{SolveResult, Solver};
+
+/// Result of an SMT `check`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// Satisfiable; a model is available.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource limit reached.
+    Unknown,
+}
+
+/// An incremental SMT solver for QF_BV formulas.
+///
+/// The solver does not own the [`TermPool`]; the pool is passed to each
+/// call so several solvers can share one pool (the CEGIS loop relies on
+/// this).
+///
+/// # Examples
+///
+/// ```
+/// use alive_smt::{SmtSolver, TermPool, SatResult, Sort, BvVal};
+///
+/// let mut pool = TermPool::new();
+/// let x = pool.var("x", Sort::BitVec(8));
+/// let c5 = pool.bv(8, 5);
+/// let c3 = pool.bv(8, 3);
+/// let sum = pool.bv_add(x, c3);
+/// let eq = pool.eq(sum, c5);
+///
+/// let mut solver = SmtSolver::new();
+/// solver.assert_term(&pool, eq);
+/// assert_eq!(solver.check(), SatResult::Sat);
+/// assert_eq!(solver.model_bv(&pool, x), BvVal::new(8, 2));
+/// ```
+#[derive(Debug, Default)]
+pub struct SmtSolver {
+    sat: Solver,
+    blaster: Blaster,
+    trivially_false: bool,
+    num_asserts: usize,
+}
+
+impl SmtSolver {
+    /// Creates an empty solver.
+    pub fn new() -> SmtSolver {
+        SmtSolver::default()
+    }
+
+    /// Limits SAT conflicts per `check` call (None = unlimited).
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.sat.set_conflict_budget(budget);
+    }
+
+    /// Number of top-level assertions made.
+    pub fn num_assertions(&self) -> usize {
+        self.num_asserts
+    }
+
+    /// Asserts a boolean term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not boolean.
+    pub fn assert_term(&mut self, pool: &TermPool, t: TermId) {
+        assert_eq!(pool.sort(t), Sort::Bool, "assertion must be boolean");
+        self.num_asserts += 1;
+        if let Some(b) = pool.as_bool_const(t) {
+            if !b {
+                self.trivially_false = true;
+            }
+            return;
+        }
+        let l = self.blaster.blast_bool(pool, &mut self.sat, t);
+        self.sat.add_clause([l]);
+    }
+
+    /// Checks satisfiability of the asserted formula.
+    pub fn check(&mut self) -> SatResult {
+        if self.trivially_false {
+            return SatResult::Unsat;
+        }
+        match self.sat.solve() {
+            SolveResult::Sat => SatResult::Sat,
+            SolveResult::Unsat => SatResult::Unsat,
+            SolveResult::Unknown => SatResult::Unknown,
+        }
+    }
+
+    /// Checks satisfiability under temporary assumptions.
+    ///
+    /// Gate clauses for the assumption terms are added permanently (they
+    /// are pure definitions), but the assumptions themselves hold only for
+    /// this call.
+    pub fn check_assuming(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
+        if self.trivially_false {
+            return SatResult::Unsat;
+        }
+        let mut lits = Vec::with_capacity(assumptions.len());
+        for &t in assumptions {
+            if let Some(b) = pool.as_bool_const(t) {
+                if !b {
+                    return SatResult::Unsat;
+                }
+                continue;
+            }
+            lits.push(self.blaster.blast_bool(pool, &mut self.sat, t));
+        }
+        match self.sat.solve_with_assumptions(&lits) {
+            SolveResult::Sat => SatResult::Sat,
+            SolveResult::Unsat => SatResult::Unsat,
+            SolveResult::Unknown => SatResult::Unknown,
+        }
+    }
+
+    /// Reads a bitvector variable (or any blasted bv term) from the model.
+    ///
+    /// Terms that never reached the SAT solver are unconstrained; they
+    /// default to zero, which is a legitimate completion of the model.
+    pub fn model_bv(&self, pool: &TermPool, t: TermId) -> crate::value::BvVal {
+        let w = pool.width(t);
+        self.blaster
+            .model_bv(&self.sat, t, w)
+            .unwrap_or_else(|| crate::value::BvVal::zero(w))
+    }
+
+    /// Reads a boolean term from the model (unconstrained defaults to false).
+    pub fn model_bool(&self, pool: &TermPool, t: TermId) -> bool {
+        debug_assert_eq!(pool.sort(t), Sort::Bool);
+        self.blaster.model_bool(&self.sat, t).unwrap_or(false)
+    }
+
+    /// Builds an [`Assignment`] for the given variables from the model.
+    pub fn model(&self, pool: &TermPool, vars: &[TermId]) -> Assignment {
+        let mut a = Assignment::new();
+        for &v in vars {
+            let value: Value = match pool.sort(v) {
+                Sort::Bool => Value::Bool(self.model_bool(pool, v)),
+                Sort::BitVec(_) => Value::Bv(self.model_bv(pool, v)),
+            };
+            a.set(v, value);
+        }
+        a
+    }
+
+    /// Adds a blocking clause excluding the current model of `vars`.
+    ///
+    /// Used for all-models enumeration (type assignments, attribute
+    /// inference).
+    pub fn block_model(&mut self, pool: &mut TermPool, vars: &[TermId]) {
+        let mut diffs = Vec::with_capacity(vars.len());
+        for &v in vars {
+            match pool.sort(v) {
+                Sort::Bool => {
+                    let b = self.model_bool(pool, v);
+                    let c = pool.bool_const(b);
+                    diffs.push(pool.ne(v, c));
+                }
+                Sort::BitVec(_) => {
+                    let val = self.model_bv(pool, v);
+                    let c = pool.bv_const(val);
+                    diffs.push(pool.ne(v, c));
+                }
+            }
+        }
+        let clause = pool.or(diffs);
+        self.assert_term(pool, clause);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BvVal;
+
+    #[test]
+    fn simple_equation() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(8));
+        let c = p.bv(8, 100);
+        let two = p.bv(8, 2);
+        let dbl = p.bv_mul(x, two);
+        let eq = p.eq(dbl, c);
+        let mut s = SmtSolver::new();
+        s.assert_term(&p, eq);
+        assert_eq!(s.check(), SatResult::Sat);
+        let v = s.model_bv(&p, x);
+        assert_eq!(v.mul(BvVal::new(8, 2)), BvVal::new(8, 100));
+    }
+
+    #[test]
+    fn unsat_equation() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(8));
+        // x + 1 == x is unsat.
+        let one = p.bv(8, 1);
+        let inc = p.bv_add(x, one);
+        let eq = p.eq(inc, x);
+        let mut s = SmtSolver::new();
+        s.assert_term(&p, eq);
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn trivially_false_assertion() {
+        let mut p = TermPool::new();
+        let f = p.fls();
+        let mut s = SmtSolver::new();
+        s.assert_term(&p, f);
+        assert_eq!(s.check(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn check_assuming_is_temporary() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(4));
+        let zero = p.bv(4, 0);
+        let is_zero = p.eq(x, zero);
+        let not_zero = p.not(is_zero);
+        let mut s = SmtSolver::new();
+        assert_eq!(s.check_assuming(&p, &[is_zero]), SatResult::Sat);
+        assert_eq!(s.model_bv(&p, x), BvVal::zero(4));
+        assert_eq!(s.check_assuming(&p, &[not_zero]), SatResult::Sat);
+        assert_ne!(s.model_bv(&p, x), BvVal::zero(4));
+        assert_eq!(
+            s.check_assuming(&p, &[is_zero, not_zero]),
+            SatResult::Unsat
+        );
+        // No permanent damage.
+        assert_eq!(s.check(), SatResult::Sat);
+    }
+
+    #[test]
+    fn model_enumeration_via_blocking() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(2));
+        let three = p.bv(2, 3);
+        let lt = p.bv_ult(x, three);
+        let mut s = SmtSolver::new();
+        s.assert_term(&p, lt);
+        let mut seen = Vec::new();
+        loop {
+            match s.check() {
+                SatResult::Sat => {
+                    seen.push(s.model_bv(&p, x).bits());
+                    s.block_model(&mut p, &[x]);
+                }
+                SatResult::Unsat => break,
+                SatResult::Unknown => panic!("unexpected unknown"),
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

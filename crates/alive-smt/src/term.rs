@@ -1,0 +1,1120 @@
+//! Hash-consed SMT terms over booleans and bitvectors.
+//!
+//! All terms live in a [`TermPool`]; a [`TermId`] is an index into it.
+//! Constructors perform light simplification (constant folding, identity and
+//! annihilator rules) so the formulas handed to the bit-blaster stay small.
+//! The simplifications are validated against the reference evaluator by
+//! property tests.
+
+use crate::value::{BvVal, Sort, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a term inside a [`TermPool`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    /// Dense index of the term.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The operator (and children) of a term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Boolean constant.
+    BoolConst(bool),
+    /// Bitvector constant.
+    BvConst(BvVal),
+    /// Free variable (never hash-consed together; carries a unique id).
+    Var(u32),
+
+    // Boolean connectives.
+    /// Logical negation.
+    Not(TermId),
+    /// N-ary conjunction.
+    And(Vec<TermId>),
+    /// N-ary disjunction.
+    Or(Vec<TermId>),
+    /// Exclusive or.
+    Xor(TermId, TermId),
+    /// Implication.
+    Implies(TermId, TermId),
+
+    /// Equality at either sort.
+    Eq(TermId, TermId),
+    /// If-then-else; branches at either sort.
+    Ite(TermId, TermId, TermId),
+
+    // Bitvector bitwise.
+    /// Bitwise complement.
+    BvNot(TermId),
+    /// Bitwise and.
+    BvAnd(TermId, TermId),
+    /// Bitwise or.
+    BvOr(TermId, TermId),
+    /// Bitwise xor.
+    BvXor(TermId, TermId),
+
+    // Bitvector arithmetic.
+    /// Two's complement negation.
+    BvNeg(TermId),
+    /// Wrapping addition.
+    BvAdd(TermId, TermId),
+    /// Wrapping subtraction.
+    BvSub(TermId, TermId),
+    /// Wrapping multiplication.
+    BvMul(TermId, TermId),
+    /// Unsigned division (SMT-LIB total semantics).
+    BvUdiv(TermId, TermId),
+    /// Unsigned remainder.
+    BvUrem(TermId, TermId),
+    /// Signed division.
+    BvSdiv(TermId, TermId),
+    /// Signed remainder.
+    BvSrem(TermId, TermId),
+
+    // Shifts.
+    /// Shift left.
+    BvShl(TermId, TermId),
+    /// Logical shift right.
+    BvLshr(TermId, TermId),
+    /// Arithmetic shift right.
+    BvAshr(TermId, TermId),
+
+    // Comparisons (result sort Bool).
+    /// Unsigned less-than.
+    BvUlt(TermId, TermId),
+    /// Unsigned less-or-equal.
+    BvUle(TermId, TermId),
+    /// Signed less-than.
+    BvSlt(TermId, TermId),
+    /// Signed less-or-equal.
+    BvSle(TermId, TermId),
+
+    // Width changes.
+    /// Zero-extend to the result width.
+    ZExt(TermId),
+    /// Sign-extend to the result width.
+    SExt(TermId),
+    /// Extract bits hi..=lo.
+    Extract(TermId, u32, u32),
+    /// Concatenation (first operand is the high part).
+    Concat(TermId, TermId),
+}
+
+impl Op {
+    /// Children of the operator, in order.
+    pub fn children(&self) -> Vec<TermId> {
+        match self {
+            Op::BoolConst(_) | Op::BvConst(_) | Op::Var(_) => vec![],
+            Op::Not(a) | Op::BvNot(a) | Op::BvNeg(a) | Op::ZExt(a) | Op::SExt(a)
+            | Op::Extract(a, _, _) => vec![*a],
+            Op::And(cs) | Op::Or(cs) => cs.clone(),
+            Op::Xor(a, b)
+            | Op::Implies(a, b)
+            | Op::Eq(a, b)
+            | Op::BvAnd(a, b)
+            | Op::BvOr(a, b)
+            | Op::BvXor(a, b)
+            | Op::BvAdd(a, b)
+            | Op::BvSub(a, b)
+            | Op::BvMul(a, b)
+            | Op::BvUdiv(a, b)
+            | Op::BvUrem(a, b)
+            | Op::BvSdiv(a, b)
+            | Op::BvSrem(a, b)
+            | Op::BvShl(a, b)
+            | Op::BvLshr(a, b)
+            | Op::BvAshr(a, b)
+            | Op::BvUlt(a, b)
+            | Op::BvUle(a, b)
+            | Op::BvSlt(a, b)
+            | Op::BvSle(a, b)
+            | Op::Concat(a, b) => vec![*a, *b],
+            Op::Ite(c, t, e) => vec![*c, *t, *e],
+        }
+    }
+}
+
+/// A term: operator plus result sort.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Term {
+    /// The operator and children.
+    pub op: Op,
+    /// The result sort.
+    pub sort: Sort,
+}
+
+/// Arena of hash-consed terms.
+///
+/// # Examples
+///
+/// ```
+/// use alive_smt::{TermPool, Sort, BvVal};
+///
+/// let mut p = TermPool::new();
+/// let x = p.var("x", Sort::BitVec(8));
+/// let zero = p.bv_const(BvVal::zero(8));
+/// let sum = p.bv_add(x, zero);
+/// assert_eq!(sum, x, "x + 0 simplifies to x");
+/// ```
+#[derive(Debug, Default)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    dedup: HashMap<Term, TermId>,
+    var_names: Vec<String>,
+}
+
+impl TermPool {
+    /// Creates an empty pool.
+    pub fn new() -> TermPool {
+        TermPool::default()
+    }
+
+    /// Number of distinct terms allocated.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if no terms exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Borrows a term.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.terms[id.index()].sort
+    }
+
+    /// The bitwidth of a bitvector term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is boolean.
+    pub fn width(&self, id: TermId) -> u32 {
+        self.sort(id).width()
+    }
+
+    /// The display name of a variable term, if it is one.
+    pub fn var_name(&self, id: TermId) -> Option<&str> {
+        match self.term(id).op {
+            Op::Var(v) => Some(&self.var_names[v as usize]),
+            _ => None,
+        }
+    }
+
+    /// Is the term a variable?
+    pub fn is_var(&self, id: TermId) -> bool {
+        matches!(self.term(id).op, Op::Var(_))
+    }
+
+    /// The constant value of a term if it is a constant.
+    pub fn as_const(&self, id: TermId) -> Option<Value> {
+        match self.term(id).op {
+            Op::BoolConst(b) => Some(Value::Bool(b)),
+            Op::BvConst(v) => Some(Value::Bv(v)),
+            _ => None,
+        }
+    }
+
+    /// The constant bitvector value of a term, if any.
+    pub fn as_bv_const(&self, id: TermId) -> Option<BvVal> {
+        match self.term(id).op {
+            Op::BvConst(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The constant boolean value of a term, if any.
+    pub fn as_bool_const(&self, id: TermId) -> Option<bool> {
+        match self.term(id).op {
+            Op::BoolConst(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.dedup.get(&term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.clone());
+        self.dedup.insert(term, id);
+        id
+    }
+
+    // ---- leaves ----
+
+    /// Creates a fresh free variable of the given sort.
+    ///
+    /// Each call creates a distinct variable even for equal names; names are
+    /// only for diagnostics and models.
+    pub fn var(&mut self, name: impl Into<String>, sort: Sort) -> TermId {
+        let v = self.var_names.len() as u32;
+        self.var_names.push(name.into());
+        // Vars are unique by id, so interning always creates a new slot.
+        self.intern(Term {
+            op: Op::Var(v),
+            sort,
+        })
+    }
+
+    /// Boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        self.intern(Term {
+            op: Op::BoolConst(b),
+            sort: Sort::Bool,
+        })
+    }
+
+    /// The constant `true`.
+    pub fn tru(&mut self) -> TermId {
+        self.bool_const(true)
+    }
+
+    /// The constant `false`.
+    pub fn fls(&mut self) -> TermId {
+        self.bool_const(false)
+    }
+
+    /// Bitvector constant.
+    pub fn bv_const(&mut self, v: BvVal) -> TermId {
+        self.intern(Term {
+            op: Op::BvConst(v),
+            sort: Sort::BitVec(v.width()),
+        })
+    }
+
+    /// Bitvector constant from width and bits.
+    pub fn bv(&mut self, width: u32, bits: u128) -> TermId {
+        self.bv_const(BvVal::new(width, bits))
+    }
+
+    // ---- boolean connectives ----
+
+    /// Logical negation.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        if let Some(b) = self.as_bool_const(a) {
+            return self.bool_const(!b);
+        }
+        if let Op::Not(inner) = self.term(a).op {
+            return inner;
+        }
+        self.intern(Term {
+            op: Op::Not(a),
+            sort: Sort::Bool,
+        })
+    }
+
+    /// N-ary conjunction (flattens, drops `true`, annihilates on `false`).
+    pub fn and(&mut self, items: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut out: Vec<TermId> = Vec::new();
+        for t in items {
+            debug_assert_eq!(self.sort(t), Sort::Bool);
+            match &self.term(t).op {
+                Op::BoolConst(true) => {}
+                Op::BoolConst(false) => return self.fls(),
+                Op::And(inner) => out.extend(inner.iter().copied()),
+                _ => out.push(t),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        // x & !x = false
+        for &t in &out {
+            if let Op::Not(inner) = self.term(t).op {
+                if out.binary_search(&inner).is_ok() {
+                    return self.fls();
+                }
+            }
+        }
+        match out.len() {
+            0 => self.tru(),
+            1 => out[0],
+            _ => self.intern(Term {
+                op: Op::And(out),
+                sort: Sort::Bool,
+            }),
+        }
+    }
+
+    /// Binary conjunction.
+    pub fn and2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.and([a, b])
+    }
+
+    /// N-ary disjunction (flattens, drops `false`, annihilates on `true`).
+    pub fn or(&mut self, items: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut out: Vec<TermId> = Vec::new();
+        for t in items {
+            debug_assert_eq!(self.sort(t), Sort::Bool);
+            match &self.term(t).op {
+                Op::BoolConst(false) => {}
+                Op::BoolConst(true) => return self.tru(),
+                Op::Or(inner) => out.extend(inner.iter().copied()),
+                _ => out.push(t),
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        for &t in &out {
+            if let Op::Not(inner) = self.term(t).op {
+                if out.binary_search(&inner).is_ok() {
+                    return self.tru();
+                }
+            }
+        }
+        match out.len() {
+            0 => self.fls(),
+            1 => out[0],
+            _ => self.intern(Term {
+                op: Op::Or(out),
+                sort: Sort::Bool,
+            }),
+        }
+    }
+
+    /// Binary disjunction.
+    pub fn or2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.or([a, b])
+    }
+
+    /// Exclusive or of booleans.
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        debug_assert_eq!(self.sort(b), Sort::Bool);
+        if a == b {
+            return self.fls();
+        }
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(x), Some(y)) => return self.bool_const(x ^ y),
+            (Some(false), None) => return b,
+            (None, Some(false)) => return a,
+            (Some(true), None) => return self.not(b),
+            (None, Some(true)) => return self.not(a),
+            _ => {}
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Term {
+            op: Op::Xor(a, b),
+            sort: Sort::Bool,
+        })
+    }
+
+    /// Implication `a => b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.as_bool_const(a), self.as_bool_const(b)) {
+            (Some(false), _) | (_, Some(true)) => return self.tru(),
+            (Some(true), _) => return b,
+            (_, Some(false)) => return self.not(a),
+            _ => {}
+        }
+        if a == b {
+            return self.tru();
+        }
+        self.intern(Term {
+            op: Op::Implies(a, b),
+            sort: Sort::Bool,
+        })
+    }
+
+    /// Equality (both operands must share a sort).
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.sort(a), self.sort(b), "eq sort mismatch");
+        if a == b {
+            return self.tru();
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.bool_const(x == y),
+            _ => {}
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Term {
+            op: Op::Eq(a, b),
+            sort: Sort::Bool,
+        })
+    }
+
+    /// Disequality.
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// If-then-else over either sort.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        debug_assert_eq!(self.sort(c), Sort::Bool);
+        assert_eq!(self.sort(t), self.sort(e), "ite branch sort mismatch");
+        if let Some(b) = self.as_bool_const(c) {
+            return if b { t } else { e };
+        }
+        if t == e {
+            return t;
+        }
+        // Boolean-sorted ite with constant branches folds to connectives.
+        if self.sort(t) == Sort::Bool {
+            match (self.as_bool_const(t), self.as_bool_const(e)) {
+                (Some(true), Some(false)) => return c,
+                (Some(false), Some(true)) => return self.not(c),
+                (Some(true), None) => return self.or2(c, e),
+                (Some(false), None) => {
+                    let nc = self.not(c);
+                    return self.and2(nc, e);
+                }
+                (None, Some(true)) => {
+                    let nc = self.not(c);
+                    return self.or2(nc, t);
+                }
+                (None, Some(false)) => return self.and2(c, t),
+                _ => {}
+            }
+        }
+        let sort = self.sort(t);
+        self.intern(Term {
+            op: Op::Ite(c, t, e),
+            sort,
+        })
+    }
+
+    // ---- bitvector bitwise ----
+
+    /// Bitwise complement.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        if let Some(v) = self.as_bv_const(a) {
+            return self.bv_const(v.not());
+        }
+        if let Op::BvNot(inner) = self.term(a).op {
+            return inner;
+        }
+        let sort = self.sort(a);
+        self.intern(Term {
+            op: Op::BvNot(a),
+            sort,
+        })
+    }
+
+    /// Bitwise and.
+    pub fn bv_and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_bitwise(a, b, BvKind::And)
+    }
+
+    /// Bitwise or.
+    pub fn bv_or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_bitwise(a, b, BvKind::Or)
+    }
+
+    /// Bitwise xor.
+    pub fn bv_xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_bitwise(a, b, BvKind::Xor)
+    }
+
+    fn bv_bitwise(&mut self, a: TermId, b: TermId, kind: BvKind) -> TermId {
+        self.check_same_bv(a, b);
+        let w = self.width(a);
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            let v = match kind {
+                BvKind::And => x.and(y),
+                BvKind::Or => x.or(y),
+                BvKind::Xor => x.xor(y),
+            };
+            return self.bv_const(v);
+        }
+        // Identity / annihilator / idempotence rules.
+        let zero = BvVal::zero(w);
+        let ones = BvVal::ones(w);
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(c) = self.as_bv_const(x) {
+                match kind {
+                    BvKind::And if c == zero => return self.bv_const(zero),
+                    BvKind::And if c == ones => return y,
+                    BvKind::Or if c == ones => return self.bv_const(ones),
+                    BvKind::Or if c == zero => return y,
+                    BvKind::Xor if c == zero => return y,
+                    BvKind::Xor if c == ones => return self.bv_not(y),
+                    _ => {}
+                }
+            }
+        }
+        if a == b {
+            return match kind {
+                BvKind::And | BvKind::Or => a,
+                BvKind::Xor => self.bv_const(zero),
+            };
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let sort = self.sort(a);
+        let op = match kind {
+            BvKind::And => Op::BvAnd(a, b),
+            BvKind::Or => Op::BvOr(a, b),
+            BvKind::Xor => Op::BvXor(a, b),
+        };
+        self.intern(Term { op, sort })
+    }
+
+    // ---- bitvector arithmetic ----
+
+    /// Two's complement negation.
+    pub fn bv_neg(&mut self, a: TermId) -> TermId {
+        if let Some(v) = self.as_bv_const(a) {
+            return self.bv_const(v.neg());
+        }
+        if let Op::BvNeg(inner) = self.term(a).op {
+            return inner;
+        }
+        let sort = self.sort(a);
+        self.intern(Term {
+            op: Op::BvNeg(a),
+            sort,
+        })
+    }
+
+    /// Wrapping addition.
+    pub fn bv_add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.check_same_bv(a, b);
+        let w = self.width(a);
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bv_const(x.add(y));
+        }
+        for (x, y) in [(a, b), (b, a)] {
+            if self.as_bv_const(x) == Some(BvVal::zero(w)) {
+                return y;
+            }
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let sort = self.sort(a);
+        self.intern(Term {
+            op: Op::BvAdd(a, b),
+            sort,
+        })
+    }
+
+    /// Wrapping subtraction.
+    pub fn bv_sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.check_same_bv(a, b);
+        let w = self.width(a);
+        if a == b {
+            return self.bv_const(BvVal::zero(w));
+        }
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bv_const(x.sub(y));
+        }
+        if self.as_bv_const(b) == Some(BvVal::zero(w)) {
+            return a;
+        }
+        let sort = self.sort(a);
+        self.intern(Term {
+            op: Op::BvSub(a, b),
+            sort,
+        })
+    }
+
+    /// Wrapping multiplication.
+    pub fn bv_mul(&mut self, a: TermId, b: TermId) -> TermId {
+        self.check_same_bv(a, b);
+        let w = self.width(a);
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bv_const(x.mul(y));
+        }
+        for (x, y) in [(a, b), (b, a)] {
+            if let Some(c) = self.as_bv_const(x) {
+                if c.is_zero() {
+                    return self.bv_const(BvVal::zero(w));
+                }
+                if c == BvVal::one(w) {
+                    return y;
+                }
+            }
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let sort = self.sort(a);
+        self.intern(Term {
+            op: Op::BvMul(a, b),
+            sort,
+        })
+    }
+
+    /// Unsigned division (total, SMT-LIB semantics).
+    pub fn bv_udiv(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binop_no_fold_by_zero(a, b, BvDivKind::Udiv)
+    }
+
+    /// Unsigned remainder.
+    pub fn bv_urem(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binop_no_fold_by_zero(a, b, BvDivKind::Urem)
+    }
+
+    /// Signed division.
+    pub fn bv_sdiv(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binop_no_fold_by_zero(a, b, BvDivKind::Sdiv)
+    }
+
+    /// Signed remainder.
+    pub fn bv_srem(&mut self, a: TermId, b: TermId) -> TermId {
+        self.binop_no_fold_by_zero(a, b, BvDivKind::Srem)
+    }
+
+    fn binop_no_fold_by_zero(&mut self, a: TermId, b: TermId, kind: BvDivKind) -> TermId {
+        self.check_same_bv(a, b);
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            let v = match kind {
+                BvDivKind::Udiv => x.udiv(y),
+                BvDivKind::Urem => x.urem(y),
+                BvDivKind::Sdiv => x.sdiv(y),
+                BvDivKind::Srem => x.srem(y),
+            };
+            return self.bv_const(v);
+        }
+        let sort = self.sort(a);
+        let op = match kind {
+            BvDivKind::Udiv => Op::BvUdiv(a, b),
+            BvDivKind::Urem => Op::BvUrem(a, b),
+            BvDivKind::Sdiv => Op::BvSdiv(a, b),
+            BvDivKind::Srem => Op::BvSrem(a, b),
+        };
+        self.intern(Term { op, sort })
+    }
+
+    // ---- shifts ----
+
+    /// Shift left.
+    pub fn bv_shl(&mut self, a: TermId, b: TermId) -> TermId {
+        self.shift(a, b, ShiftKind::Shl)
+    }
+
+    /// Logical shift right.
+    pub fn bv_lshr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.shift(a, b, ShiftKind::Lshr)
+    }
+
+    /// Arithmetic shift right.
+    pub fn bv_ashr(&mut self, a: TermId, b: TermId) -> TermId {
+        self.shift(a, b, ShiftKind::Ashr)
+    }
+
+    fn shift(&mut self, a: TermId, b: TermId, kind: ShiftKind) -> TermId {
+        self.check_same_bv(a, b);
+        let w = self.width(a);
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            let v = match kind {
+                ShiftKind::Shl => x.shl(y),
+                ShiftKind::Lshr => x.lshr(y),
+                ShiftKind::Ashr => x.ashr(y),
+            };
+            return self.bv_const(v);
+        }
+        if self.as_bv_const(b) == Some(BvVal::zero(w)) {
+            return a;
+        }
+        let sort = self.sort(a);
+        let op = match kind {
+            ShiftKind::Shl => Op::BvShl(a, b),
+            ShiftKind::Lshr => Op::BvLshr(a, b),
+            ShiftKind::Ashr => Op::BvAshr(a, b),
+        };
+        self.intern(Term { op, sort })
+    }
+
+    // ---- comparisons ----
+
+    /// Unsigned less-than.
+    pub fn bv_ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(a, b, CmpKind::Ult)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn bv_ule(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(a, b, CmpKind::Ule)
+    }
+
+    /// Signed less-than.
+    pub fn bv_slt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(a, b, CmpKind::Slt)
+    }
+
+    /// Signed less-or-equal.
+    pub fn bv_sle(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(a, b, CmpKind::Sle)
+    }
+
+    /// Unsigned greater-than (swapped `ult`).
+    pub fn bv_ugt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_ult(b, a)
+    }
+
+    /// Unsigned greater-or-equal (swapped `ule`).
+    pub fn bv_uge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_ule(b, a)
+    }
+
+    /// Signed greater-than (swapped `slt`).
+    pub fn bv_sgt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_slt(b, a)
+    }
+
+    /// Signed greater-or-equal (swapped `sle`).
+    pub fn bv_sge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_sle(b, a)
+    }
+
+    fn cmp(&mut self, a: TermId, b: TermId, kind: CmpKind) -> TermId {
+        self.check_same_bv(a, b);
+        if a == b {
+            return self.bool_const(matches!(kind, CmpKind::Ule | CmpKind::Sle));
+        }
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            let v = match kind {
+                CmpKind::Ult => x.ult(y),
+                CmpKind::Ule => x.ule(y),
+                CmpKind::Slt => x.slt(y),
+                CmpKind::Sle => x.sle(y),
+            };
+            return self.bool_const(v);
+        }
+        let op = match kind {
+            CmpKind::Ult => Op::BvUlt(a, b),
+            CmpKind::Ule => Op::BvUle(a, b),
+            CmpKind::Slt => Op::BvSlt(a, b),
+            CmpKind::Sle => Op::BvSle(a, b),
+        };
+        self.intern(Term {
+            op,
+            sort: Sort::Bool,
+        })
+    }
+
+    // ---- width changes ----
+
+    /// Zero-extension to `new_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is smaller than the operand's width.
+    pub fn zext(&mut self, a: TermId, new_width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(new_width >= w, "zext to smaller width");
+        if new_width == w {
+            return a;
+        }
+        if let Some(v) = self.as_bv_const(a) {
+            return self.bv_const(v.zext(new_width));
+        }
+        self.intern(Term {
+            op: Op::ZExt(a),
+            sort: Sort::BitVec(new_width),
+        })
+    }
+
+    /// Sign-extension to `new_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is smaller than the operand's width.
+    pub fn sext(&mut self, a: TermId, new_width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(new_width >= w, "sext to smaller width");
+        if new_width == w {
+            return a;
+        }
+        if let Some(v) = self.as_bv_const(a) {
+            return self.bv_const(v.sext(new_width));
+        }
+        self.intern(Term {
+            op: Op::SExt(a),
+            sort: Sort::BitVec(new_width),
+        })
+    }
+
+    /// Truncation to `new_width` (an `Extract(new_width-1, 0)`).
+    pub fn trunc(&mut self, a: TermId, new_width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(new_width <= w, "trunc to larger width");
+        if new_width == w {
+            return a;
+        }
+        self.extract(a, new_width - 1, 0)
+    }
+
+    /// Extraction of bits `hi..=lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi` is out of range.
+    pub fn extract(&mut self, a: TermId, hi: u32, lo: u32) -> TermId {
+        let w = self.width(a);
+        assert!(hi >= lo && hi < w, "bad extract range [{hi}:{lo}] on i{w}");
+        if lo == 0 && hi == w - 1 {
+            return a;
+        }
+        if let Some(v) = self.as_bv_const(a) {
+            return self.bv_const(v.extract(hi, lo));
+        }
+        self.intern(Term {
+            op: Op::Extract(a, hi, lo),
+            sort: Sort::BitVec(hi - lo + 1),
+        })
+    }
+
+    /// Concatenation; `a` supplies the high bits.
+    pub fn concat(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a) + self.width(b);
+        assert!(w <= 128, "concat width {w} exceeds 128");
+        if let (Some(x), Some(y)) = (self.as_bv_const(a), self.as_bv_const(b)) {
+            return self.bv_const(x.concat(y));
+        }
+        self.intern(Term {
+            op: Op::Concat(a, b),
+            sort: Sort::BitVec(w),
+        })
+    }
+
+    fn check_same_bv(&self, a: TermId, b: TermId) {
+        let (sa, sb) = (self.sort(a), self.sort(b));
+        assert!(
+            matches!(sa, Sort::BitVec(_)) && sa == sb,
+            "bitvector sort mismatch: {sa} vs {sb}"
+        );
+    }
+
+    /// Renders a term as an S-expression for diagnostics.
+    pub fn display(&self, id: TermId) -> String {
+        let mut s = String::new();
+        self.fmt_term(id, &mut s);
+        s
+    }
+
+    fn fmt_term(&self, id: TermId, out: &mut String) {
+        use std::fmt::Write;
+        let t = self.term(id);
+        let name = match &t.op {
+            Op::BoolConst(b) => {
+                let _ = write!(out, "{b}");
+                return;
+            }
+            Op::BvConst(v) => {
+                let _ = write!(out, "{v:?}");
+                return;
+            }
+            Op::Var(v) => {
+                let _ = write!(out, "{}", self.var_names[*v as usize]);
+                return;
+            }
+            Op::Not(_) => "not",
+            Op::And(_) => "and",
+            Op::Or(_) => "or",
+            Op::Xor(..) => "xor",
+            Op::Implies(..) => "=>",
+            Op::Eq(..) => "=",
+            Op::Ite(..) => "ite",
+            Op::BvNot(_) => "bvnot",
+            Op::BvAnd(..) => "bvand",
+            Op::BvOr(..) => "bvor",
+            Op::BvXor(..) => "bvxor",
+            Op::BvNeg(_) => "bvneg",
+            Op::BvAdd(..) => "bvadd",
+            Op::BvSub(..) => "bvsub",
+            Op::BvMul(..) => "bvmul",
+            Op::BvUdiv(..) => "bvudiv",
+            Op::BvUrem(..) => "bvurem",
+            Op::BvSdiv(..) => "bvsdiv",
+            Op::BvSrem(..) => "bvsrem",
+            Op::BvShl(..) => "bvshl",
+            Op::BvLshr(..) => "bvlshr",
+            Op::BvAshr(..) => "bvashr",
+            Op::BvUlt(..) => "bvult",
+            Op::BvUle(..) => "bvule",
+            Op::BvSlt(..) => "bvslt",
+            Op::BvSle(..) => "bvsle",
+            Op::ZExt(_) => "zext",
+            Op::SExt(_) => "sext",
+            Op::Extract(_, hi, lo) => {
+                let _ = write!(out, "(extract[{hi}:{lo}] ");
+                self.fmt_term(t.op.children()[0], out);
+                out.push(')');
+                return;
+            }
+            Op::Concat(..) => "concat",
+        };
+        let _ = write!(out, "({name}");
+        for c in t.op.children() {
+            out.push(' ');
+            self.fmt_term(c, out);
+        }
+        out.push(')');
+    }
+}
+
+impl fmt::Display for TermPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TermPool({} terms)", self.terms.len())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum BvKind {
+    And,
+    Or,
+    Xor,
+}
+
+#[derive(Clone, Copy)]
+enum BvDivKind {
+    Udiv,
+    Urem,
+    Sdiv,
+    Srem,
+}
+
+#[derive(Clone, Copy)]
+enum ShiftKind {
+    Shl,
+    Lshr,
+    Ashr,
+}
+
+#[derive(Clone, Copy)]
+enum CmpKind {
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(8));
+        let y = p.var("y", Sort::BitVec(8));
+        let a = p.bv_add(x, y);
+        let b = p.bv_add(y, x); // commutative canonicalization
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_vars_are_distinct() {
+        let mut p = TermPool::new();
+        let x1 = p.var("x", Sort::BitVec(8));
+        let x2 = p.var("x", Sort::BitVec(8));
+        assert_ne!(x1, x2);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut p = TermPool::new();
+        let a = p.bv(8, 3);
+        let b = p.bv(8, 5);
+        let s = p.bv_add(a, b);
+        assert_eq!(p.as_bv_const(s), Some(BvVal::new(8, 8)));
+        let c = p.bv_ult(a, b);
+        assert_eq!(p.as_bool_const(c), Some(true));
+    }
+
+    #[test]
+    fn identities() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(8));
+        let zero = p.bv(8, 0);
+        let ones = p.bv(8, 0xFF);
+        assert_eq!(p.bv_add(x, zero), x);
+        assert_eq!(p.bv_sub(x, zero), x);
+        assert_eq!(p.bv_and(x, ones), x);
+        assert_eq!(p.bv_or(x, zero), x);
+        assert_eq!(p.bv_xor(x, zero), x);
+        assert_eq!(p.bv_and(x, zero), zero);
+        let notx = p.bv_not(x);
+        assert_eq!(p.bv_xor(x, ones), notx);
+        assert_eq!(p.bv_not(notx), x);
+        assert_eq!(p.bv_sub(x, x), zero);
+        let xx = p.bv_xor(x, x);
+        assert_eq!(xx, zero);
+    }
+
+    #[test]
+    fn boolean_simplifications() {
+        let mut p = TermPool::new();
+        let a = p.var("a", Sort::Bool);
+        let t = p.tru();
+        let f = p.fls();
+        assert_eq!(p.and2(a, t), a);
+        assert_eq!(p.and2(a, f), f);
+        assert_eq!(p.or2(a, f), a);
+        assert_eq!(p.or2(a, t), t);
+        let na = p.not(a);
+        assert_eq!(p.and2(a, na), f);
+        assert_eq!(p.or2(a, na), t);
+        assert_eq!(p.not(na), a);
+        assert_eq!(p.implies(f, a), t);
+        assert_eq!(p.implies(t, a), a);
+        assert_eq!(p.eq(a, a), t);
+    }
+
+    #[test]
+    fn ite_simplifications() {
+        let mut p = TermPool::new();
+        let c = p.var("c", Sort::Bool);
+        let x = p.var("x", Sort::BitVec(4));
+        let y = p.var("y", Sort::BitVec(4));
+        let t = p.tru();
+        assert_eq!(p.ite(t, x, y), x);
+        assert_eq!(p.ite(c, x, x), x);
+        let f = p.fls();
+        let b = p.var("b", Sort::Bool);
+        assert_eq!(p.ite(c, t, f), c);
+        assert_eq!(p.ite(c, f, t), p.not(c));
+        assert_eq!(p.ite(c, b, f), p.and2(c, b));
+    }
+
+    #[test]
+    fn width_change_folding() {
+        let mut p = TermPool::new();
+        let v = p.bv(4, 0b1010);
+        assert_eq!(p.as_bv_const(p.clone_id(v)), Some(BvVal::new(4, 0b1010)));
+        let z = p.zext(v, 8);
+        assert_eq!(p.as_bv_const(z), Some(BvVal::new(8, 0b1010)));
+        let s = p.sext(v, 8);
+        assert_eq!(p.as_bv_const(s), Some(BvVal::new(8, 0b1111_1010)));
+        let x = p.var("x", Sort::BitVec(8));
+        assert_eq!(p.zext(x, 8), x);
+        assert_eq!(p.trunc(x, 8), x);
+        let e = p.extract(x, 7, 0);
+        assert_eq!(e, x);
+    }
+
+    impl TermPool {
+        fn clone_id(&self, id: TermId) -> TermId {
+            id
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(8));
+        let one = p.bv(8, 1);
+        let s = p.bv_add(x, one);
+        let d = p.display(s);
+        assert!(d.contains("bvadd"), "{d}");
+        assert!(d.contains('x'), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sort mismatch")]
+    fn eq_sort_mismatch_panics() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(8));
+        let b = p.var("b", Sort::Bool);
+        let _ = p.eq(x, b);
+    }
+}

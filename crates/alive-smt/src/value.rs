@@ -1,0 +1,572 @@
+//! Concrete bitvector values and the reference semantics of every operation.
+//!
+//! [`BvVal`] is the ground truth the bit-blaster and simplifier are tested
+//! against. All operations follow SMT-LIB semantics (e.g. `bvudiv x 0` is
+//! all-ones), which is safe here because Alive's definedness constraints
+//! (Table 1 of the paper) exclude the partial cases before the values
+//! matter.
+
+use std::fmt;
+
+/// A concrete bitvector value of a given width (1..=128 bits).
+///
+/// The payload is kept masked to `width` bits at all times.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BvVal {
+    width: u32,
+    bits: u128,
+}
+
+impl BvVal {
+    /// Creates a value, masking `bits` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 128.
+    pub fn new(width: u32, bits: u128) -> BvVal {
+        assert!((1..=128).contains(&width), "bitwidth {width} out of range");
+        BvVal {
+            width,
+            bits: bits & Self::mask(width),
+        }
+    }
+
+    /// The all-zeros value.
+    pub fn zero(width: u32) -> BvVal {
+        BvVal::new(width, 0)
+    }
+
+    /// The all-ones value (-1 in two's complement).
+    pub fn ones(width: u32) -> BvVal {
+        BvVal::new(width, u128::MAX)
+    }
+
+    /// The value 1.
+    pub fn one(width: u32) -> BvVal {
+        BvVal::new(width, 1)
+    }
+
+    /// The minimum signed value (sign bit set, rest zero).
+    pub fn int_min(width: u32) -> BvVal {
+        BvVal::new(width, 1u128 << (width - 1))
+    }
+
+    /// The maximum signed value.
+    pub fn int_max(width: u32) -> BvVal {
+        BvVal::new(width, Self::mask(width) >> 1)
+    }
+
+    /// Creates a value from a signed integer (two's complement wrap).
+    pub fn from_i128(width: u32, v: i128) -> BvVal {
+        BvVal::new(width, v as u128)
+    }
+
+    fn mask(width: u32) -> u128 {
+        if width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        }
+    }
+
+    /// The width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// The raw (unsigned) payload.
+    #[inline]
+    pub fn bits(self) -> u128 {
+        self.bits
+    }
+
+    /// The value interpreted as unsigned.
+    #[inline]
+    pub fn to_unsigned(self) -> u128 {
+        self.bits
+    }
+
+    /// The value interpreted as signed two's complement.
+    pub fn to_signed(self) -> i128 {
+        if self.width == 128 {
+            self.bits as i128
+        } else if self.bits >> (self.width - 1) & 1 == 1 {
+            (self.bits as i128) - (1i128 << self.width)
+        } else {
+            self.bits as i128
+        }
+    }
+
+    /// Bit `i` (0 = least significant).
+    #[inline]
+    pub fn bit(self, i: u32) -> bool {
+        debug_assert!(i < self.width);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// The sign (most significant) bit.
+    #[inline]
+    pub fn sign_bit(self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Is this the all-zeros value?
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    // ---- arithmetic (wrapping, SMT-LIB semantics) ----
+
+    /// Wrapping addition.
+    pub fn add(self, rhs: BvVal) -> BvVal {
+        self.binop(rhs, |a, b| a.wrapping_add(b))
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(self, rhs: BvVal) -> BvVal {
+        self.binop(rhs, |a, b| a.wrapping_sub(b))
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(self, rhs: BvVal) -> BvVal {
+        self.binop(rhs, |a, b| a.wrapping_mul(b))
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(self) -> BvVal {
+        BvVal::new(self.width, (self.bits ^ Self::mask(self.width)).wrapping_add(1))
+    }
+
+    /// Unsigned division; division by zero yields all-ones (SMT-LIB).
+    pub fn udiv(self, rhs: BvVal) -> BvVal {
+        if rhs.is_zero() {
+            BvVal::ones(self.width)
+        } else {
+            BvVal::new(self.width, self.bits / rhs.bits)
+        }
+    }
+
+    /// Unsigned remainder; remainder by zero yields the dividend (SMT-LIB).
+    pub fn urem(self, rhs: BvVal) -> BvVal {
+        if rhs.is_zero() {
+            self
+        } else {
+            BvVal::new(self.width, self.bits % rhs.bits)
+        }
+    }
+
+    /// Signed (truncated) division, SMT-LIB `bvsdiv`.
+    ///
+    /// Division by zero yields 1 or -1 depending on the dividend's sign;
+    /// `INT_MIN / -1` wraps to `INT_MIN`. Alive's definedness constraints
+    /// exclude both cases.
+    pub fn sdiv(self, rhs: BvVal) -> BvVal {
+        if rhs.is_zero() {
+            return if self.sign_bit() {
+                BvVal::one(self.width)
+            } else {
+                BvVal::ones(self.width)
+            };
+        }
+        let a = self.to_signed();
+        let b = rhs.to_signed();
+        // i128 overflow is only possible at width 128 with INT_MIN / -1.
+        let q = a.wrapping_div(b);
+        BvVal::from_i128(self.width, q)
+    }
+
+    /// Signed remainder (sign follows the dividend), SMT-LIB `bvsrem`.
+    pub fn srem(self, rhs: BvVal) -> BvVal {
+        if rhs.is_zero() {
+            return self;
+        }
+        let a = self.to_signed();
+        let b = rhs.to_signed();
+        BvVal::from_i128(self.width, a.wrapping_rem(b))
+    }
+
+    // ---- bitwise ----
+
+    /// Bitwise and.
+    pub fn and(self, rhs: BvVal) -> BvVal {
+        self.binop(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise or.
+    pub fn or(self, rhs: BvVal) -> BvVal {
+        self.binop(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise exclusive or.
+    pub fn xor(self, rhs: BvVal) -> BvVal {
+        self.binop(rhs, |a, b| a ^ b)
+    }
+
+    /// Bitwise complement.
+    pub fn not(self) -> BvVal {
+        BvVal::new(self.width, !self.bits)
+    }
+
+    // ---- shifts (shift amount is the full-width second operand) ----
+
+    /// Logical shift left; shifts of `width` or more yield zero.
+    pub fn shl(self, rhs: BvVal) -> BvVal {
+        if rhs.bits >= self.width as u128 {
+            BvVal::zero(self.width)
+        } else {
+            BvVal::new(self.width, self.bits << rhs.bits)
+        }
+    }
+
+    /// Logical shift right; shifts of `width` or more yield zero.
+    pub fn lshr(self, rhs: BvVal) -> BvVal {
+        if rhs.bits >= self.width as u128 {
+            BvVal::zero(self.width)
+        } else {
+            BvVal::new(self.width, self.bits >> rhs.bits)
+        }
+    }
+
+    /// Arithmetic shift right; saturates to the sign fill.
+    pub fn ashr(self, rhs: BvVal) -> BvVal {
+        let fill = if self.sign_bit() {
+            BvVal::ones(self.width)
+        } else {
+            BvVal::zero(self.width)
+        };
+        if rhs.bits >= self.width as u128 {
+            fill
+        } else {
+            let sh = rhs.bits as u32;
+            let shifted = self.bits >> sh;
+            let fill_bits = fill.bits & !(Self::mask(self.width) >> sh);
+            BvVal::new(self.width, shifted | fill_bits)
+        }
+    }
+
+    // ---- comparisons ----
+
+    /// Unsigned less-than.
+    pub fn ult(self, rhs: BvVal) -> bool {
+        self.bits < rhs.bits
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(self, rhs: BvVal) -> bool {
+        self.bits <= rhs.bits
+    }
+
+    /// Signed less-than.
+    pub fn slt(self, rhs: BvVal) -> bool {
+        self.to_signed() < rhs.to_signed()
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(self, rhs: BvVal) -> bool {
+        self.to_signed() <= rhs.to_signed()
+    }
+
+    // ---- width changes ----
+
+    /// Zero extension to `new_width` (must be >= current width).
+    pub fn zext(self, new_width: u32) -> BvVal {
+        assert!(new_width >= self.width);
+        BvVal::new(new_width, self.bits)
+    }
+
+    /// Sign extension to `new_width` (must be >= current width).
+    pub fn sext(self, new_width: u32) -> BvVal {
+        assert!(new_width >= self.width);
+        if self.sign_bit() {
+            let ext = Self::mask(new_width) & !Self::mask(self.width);
+            BvVal::new(new_width, self.bits | ext)
+        } else {
+            BvVal::new(new_width, self.bits)
+        }
+    }
+
+    /// Truncation to `new_width` (must be <= current width).
+    pub fn trunc(self, new_width: u32) -> BvVal {
+        assert!(new_width <= self.width);
+        BvVal::new(new_width, self.bits)
+    }
+
+    /// Extracts bits `hi..=lo` (inclusive) as a `(hi - lo + 1)`-bit value.
+    pub fn extract(self, hi: u32, lo: u32) -> BvVal {
+        assert!(hi >= lo && hi < self.width);
+        BvVal::new(hi - lo + 1, self.bits >> lo)
+    }
+
+    /// Concatenation: `self` becomes the high bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 128 bits.
+    pub fn concat(self, low: BvVal) -> BvVal {
+        let w = self.width + low.width;
+        assert!(w <= 128, "concat width {w} exceeds 128");
+        BvVal::new(w, (self.bits << low.width) | low.bits)
+    }
+
+    // ---- derived helpers used by precondition predicates ----
+
+    /// Is the value a power of two (and non-zero)?
+    pub fn is_power_of_two(self) -> bool {
+        !self.is_zero() && self.bits & (self.bits.wrapping_sub(1)) == 0
+    }
+
+    /// Floor of log2; 0 for the zero value.
+    pub fn log2(self) -> BvVal {
+        let l = if self.is_zero() {
+            0
+        } else {
+            127 - self.bits.leading_zeros()
+        };
+        BvVal::new(self.width, l as u128)
+    }
+
+    /// Absolute value (wraps on `INT_MIN`).
+    pub fn abs(self) -> BvVal {
+        if self.sign_bit() {
+            self.neg()
+        } else {
+            self
+        }
+    }
+
+    /// Count of trailing zero bits (width if the value is zero).
+    pub fn cttz(self) -> BvVal {
+        let n = if self.is_zero() {
+            self.width
+        } else {
+            self.bits.trailing_zeros()
+        };
+        BvVal::new(self.width, n as u128)
+    }
+
+    /// Count of leading zero bits within `width` (width if zero).
+    pub fn ctlz(self) -> BvVal {
+        let n = if self.is_zero() {
+            self.width
+        } else {
+            self.bits.leading_zeros() - (128 - self.width)
+        };
+        BvVal::new(self.width, n as u128)
+    }
+
+    fn binop(self, rhs: BvVal, f: impl Fn(u128, u128) -> u128) -> BvVal {
+        assert_eq!(self.width, rhs.width, "width mismatch in bitvector op");
+        BvVal::new(self.width, f(self.bits, rhs.bits))
+    }
+}
+
+impl fmt::Debug for BvVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:i{}", self.bits, self.width)
+    }
+}
+
+impl fmt::Display for BvVal {
+    /// Formats like Alive's counterexamples: `0xF (15, -1)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let unsigned = self.to_unsigned();
+        let signed = self.to_signed();
+        let hex_digits = (self.width as usize).div_ceil(4);
+        if signed < 0 {
+            write!(f, "0x{unsigned:0hex_digits$X} ({unsigned}, {signed})")
+        } else {
+            write!(f, "0x{unsigned:0hex_digits$X} ({unsigned})")
+        }
+    }
+}
+
+/// A concrete value of either SMT sort.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A bitvector.
+    Bv(BvVal),
+}
+
+impl Value {
+    /// Extracts the boolean, panicking on sort mismatch.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Bv(v) => panic!("expected Bool value, got {v:?}"),
+        }
+    }
+
+    /// Extracts the bitvector, panicking on sort mismatch.
+    pub fn as_bv(self) -> BvVal {
+        match self {
+            Value::Bv(v) => v,
+            Value::Bool(b) => panic!("expected BitVec value, got {b}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<BvVal> for Value {
+    fn from(v: BvVal) -> Value {
+        Value::Bv(v)
+    }
+}
+
+/// The sort (type) of a term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Propositional sort.
+    Bool,
+    /// Bitvectors of the given width.
+    BitVec(u32),
+}
+
+impl Sort {
+    /// Width of a bitvector sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::BitVec(w) => w,
+            Sort::Bool => panic!("Bool sort has no width"),
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "BitVec({w})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(BvVal::new(4, 0xF).to_signed(), -1);
+        assert_eq!(BvVal::new(4, 0x7).to_signed(), 7);
+        assert_eq!(BvVal::new(4, 0x8).to_signed(), -8);
+        assert_eq!(BvVal::int_min(8).to_signed(), -128);
+        assert_eq!(BvVal::int_max(8).to_signed(), 127);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let a = BvVal::new(8, 200);
+        let b = BvVal::new(8, 100);
+        assert_eq!(a.add(b).bits(), 44);
+        assert_eq!(b.sub(a).to_signed(), -100);
+        assert_eq!(a.mul(b).bits(), (200u128 * 100) & 0xFF);
+        assert_eq!(BvVal::new(8, 1).neg().to_signed(), -1);
+        assert_eq!(BvVal::zero(8).neg(), BvVal::zero(8));
+    }
+
+    #[test]
+    fn division_smtlib_semantics() {
+        let w = 8;
+        assert_eq!(BvVal::new(w, 7).udiv(BvVal::new(w, 2)).bits(), 3);
+        assert_eq!(BvVal::new(w, 7).udiv(BvVal::zero(w)), BvVal::ones(w));
+        assert_eq!(BvVal::new(w, 7).urem(BvVal::zero(w)).bits(), 7);
+        assert_eq!(
+            BvVal::from_i128(w, -7).sdiv(BvVal::from_i128(w, 2)).to_signed(),
+            -3
+        );
+        assert_eq!(
+            BvVal::from_i128(w, -7).srem(BvVal::from_i128(w, 2)).to_signed(),
+            -1
+        );
+        assert_eq!(
+            BvVal::from_i128(w, 7).srem(BvVal::from_i128(w, -2)).to_signed(),
+            1
+        );
+        // INT_MIN / -1 wraps.
+        assert_eq!(
+            BvVal::int_min(w).sdiv(BvVal::ones(w)),
+            BvVal::int_min(w)
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        let w = 8;
+        assert_eq!(BvVal::new(w, 0b1).shl(BvVal::new(w, 3)).bits(), 0b1000);
+        assert_eq!(BvVal::new(w, 0x80).lshr(BvVal::new(w, 7)).bits(), 1);
+        assert_eq!(
+            BvVal::new(w, 0x80).ashr(BvVal::new(w, 7)),
+            BvVal::ones(w)
+        );
+        assert_eq!(BvVal::new(w, 0x40).ashr(BvVal::new(w, 6)).bits(), 1);
+        // Over-shifts.
+        assert_eq!(BvVal::new(w, 0xFF).shl(BvVal::new(w, 8)), BvVal::zero(w));
+        assert_eq!(BvVal::new(w, 0xFF).lshr(BvVal::new(w, 9)), BvVal::zero(w));
+        assert_eq!(BvVal::new(w, 0x80).ashr(BvVal::new(w, 200)), BvVal::ones(w));
+        assert_eq!(BvVal::new(w, 0x40).ashr(BvVal::new(w, 200)), BvVal::zero(w));
+    }
+
+    #[test]
+    fn comparisons() {
+        let w = 4;
+        let m1 = BvVal::from_i128(w, -1);
+        let one = BvVal::one(w);
+        assert!(one.ult(m1)); // unsigned: 1 < 15
+        assert!(m1.slt(one)); // signed: -1 < 1
+        assert!(one.ule(one));
+        assert!(one.sle(one));
+    }
+
+    #[test]
+    fn width_changes() {
+        let v = BvVal::new(4, 0b1010);
+        assert_eq!(v.zext(8).bits(), 0b0000_1010);
+        assert_eq!(v.sext(8).bits(), 0b1111_1010);
+        assert_eq!(BvVal::new(4, 0b0101).sext(8).bits(), 0b0000_0101);
+        assert_eq!(BvVal::new(8, 0xAB).trunc(4).bits(), 0xB);
+        assert_eq!(BvVal::new(8, 0b1100_0101).extract(5, 2).bits(), 0b0001);
+        assert_eq!(
+            BvVal::new(4, 0xA).concat(BvVal::new(4, 0xB)).bits(),
+            0xAB
+        );
+    }
+
+    #[test]
+    fn predicates_and_utilities() {
+        assert!(BvVal::new(8, 64).is_power_of_two());
+        assert!(!BvVal::new(8, 0).is_power_of_two());
+        assert!(!BvVal::new(8, 6).is_power_of_two());
+        assert_eq!(BvVal::new(8, 64).log2().bits(), 6);
+        assert_eq!(BvVal::from_i128(8, -5).abs().bits(), 5);
+        assert_eq!(BvVal::new(8, 0b1000).cttz().bits(), 3);
+        assert_eq!(BvVal::new(8, 0b1000).ctlz().bits(), 4);
+        assert_eq!(BvVal::zero(8).cttz().bits(), 8);
+        assert_eq!(BvVal::zero(8).ctlz().bits(), 8);
+    }
+
+    #[test]
+    fn display_matches_alive_counterexample_format() {
+        assert_eq!(format!("{}", BvVal::new(4, 0xF)), "0xF (15, -1)");
+        assert_eq!(format!("{}", BvVal::new(4, 0x3)), "0x3 (3)");
+        assert_eq!(format!("{}", BvVal::new(8, 0x80)), "0x80 (128, -128)");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = BvVal::new(4, 1).add(BvVal::new(8, 1));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property test: the simplifying term constructors never change meaning.
+//!
+//! Random deep expression trees are built twice: once as [`TermPool`] terms
+//! (with constructor-time simplification) and once as a shadow computation
+//! over concrete [`BvVal`]s. For every random input assignment the term
+//! must evaluate to the shadow result — and the same equivalence must hold
+//! through the bit-blaster via an SMT query.
+
+use alive_smt::{eval, Assignment, BvVal, SatResult, SmtSolver, Sort, TermId, TermPool};
+use proptest::prelude::*;
+
+/// A tiny expression AST for generating random terms.
+#[derive(Clone, Debug)]
+enum E {
+    Var(usize),
+    Const(u64),
+    Not(Box<E>),
+    Neg(Box<E>),
+    Bin(u8, Box<E>, Box<E>),
+    Ite(Box<E>, Box<E>, Box<E>), // cond: lhs <u rhs of first two children
+}
+
+fn expr_strategy(depth: u32) -> BoxedStrategy<E> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(E::Var),
+        any::<u64>().prop_map(E::Const),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| E::Not(Box::new(e))),
+            inner.clone().prop_map(|e| E::Neg(Box::new(e))),
+            (0u8..10, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| E::Ite(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+    .boxed()
+}
+
+fn build_term(pool: &mut TermPool, e: &E, vars: &[TermId], w: u32) -> TermId {
+    match e {
+        E::Var(i) => vars[i % vars.len()],
+        E::Const(c) => pool.bv(w, *c as u128),
+        E::Not(a) => {
+            let at = build_term(pool, a, vars, w);
+            pool.bv_not(at)
+        }
+        E::Neg(a) => {
+            let at = build_term(pool, a, vars, w);
+            pool.bv_neg(at)
+        }
+        E::Bin(op, a, b) => {
+            let at = build_term(pool, a, vars, w);
+            let bt = build_term(pool, b, vars, w);
+            match op {
+                0 => pool.bv_add(at, bt),
+                1 => pool.bv_sub(at, bt),
+                2 => pool.bv_mul(at, bt),
+                3 => pool.bv_and(at, bt),
+                4 => pool.bv_or(at, bt),
+                5 => pool.bv_xor(at, bt),
+                6 => pool.bv_shl(at, bt),
+                7 => pool.bv_lshr(at, bt),
+                8 => pool.bv_udiv(at, bt),
+                _ => pool.bv_urem(at, bt),
+            }
+        }
+        E::Ite(c, a, b) => {
+            let ct1 = build_term(pool, c, vars, w);
+            let ct2 = build_term(pool, a, vars, w);
+            let cond = pool.bv_ult(ct1, ct2);
+            let at = build_term(pool, a, vars, w);
+            let bt = build_term(pool, b, vars, w);
+            pool.ite(cond, at, bt)
+        }
+    }
+}
+
+fn shadow_eval(e: &E, inputs: &[BvVal], w: u32) -> BvVal {
+    match e {
+        E::Var(i) => inputs[i % inputs.len()],
+        E::Const(c) => BvVal::new(w, *c as u128),
+        E::Not(a) => shadow_eval(a, inputs, w).not(),
+        E::Neg(a) => shadow_eval(a, inputs, w).neg(),
+        E::Bin(op, a, b) => {
+            let x = shadow_eval(a, inputs, w);
+            let y = shadow_eval(b, inputs, w);
+            match op {
+                0 => x.add(y),
+                1 => x.sub(y),
+                2 => x.mul(y),
+                3 => x.and(y),
+                4 => x.or(y),
+                5 => x.xor(y),
+                6 => x.shl(y),
+                7 => x.lshr(y),
+                8 => x.udiv(y),
+                _ => x.urem(y),
+            }
+        }
+        E::Ite(c, a, b) => {
+            let cv = shadow_eval(c, inputs, w);
+            let av = shadow_eval(a, inputs, w);
+            if cv.ult(av) {
+                av
+            } else {
+                shadow_eval(b, inputs, w)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Constructor simplification preserves the evaluator's semantics.
+    #[test]
+    fn simplified_terms_evaluate_like_the_shadow(
+        e in expr_strategy(5),
+        raw in proptest::collection::vec(any::<u64>(), 3),
+        w in 1u32..=16,
+    ) {
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..3)
+            .map(|i| pool.var(format!("v{i}"), Sort::BitVec(w)))
+            .collect();
+        let term = build_term(&mut pool, &e, &vars, w);
+        let inputs: Vec<BvVal> = raw.iter().map(|&r| BvVal::new(w, r as u128)).collect();
+        let mut env = Assignment::new();
+        for (v, val) in vars.iter().zip(&inputs) {
+            env.set(*v, *val);
+        }
+        let got = eval(&pool, term, &env).unwrap().as_bv();
+        let expect = shadow_eval(&e, &inputs, w);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The bit-blasted circuit agrees with the evaluator on pinned inputs.
+    #[test]
+    fn blasted_terms_agree_with_evaluator(
+        e in expr_strategy(3),
+        raw in proptest::collection::vec(any::<u64>(), 3),
+        w in 1u32..=6,
+    ) {
+        let mut pool = TermPool::new();
+        let vars: Vec<TermId> = (0..3)
+            .map(|i| pool.var(format!("v{i}"), Sort::BitVec(w)))
+            .collect();
+        let term = build_term(&mut pool, &e, &vars, w);
+        let inputs: Vec<BvVal> = raw.iter().map(|&r| BvVal::new(w, r as u128)).collect();
+        let expect = shadow_eval(&e, &inputs, w);
+
+        let mut solver = SmtSolver::new();
+        for (v, val) in vars.iter().zip(&inputs) {
+            let c = pool.bv_const(*val);
+            let eq = pool.eq(*v, c);
+            solver.assert_term(&pool, eq);
+        }
+        let ce = pool.bv_const(expect);
+        let differs = pool.ne(term, ce);
+        solver.assert_term(&pool, differs);
+        prop_assert_eq!(solver.check(), SatResult::Unsat);
+    }
+}

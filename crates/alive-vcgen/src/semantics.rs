@@ -1,0 +1,316 @@
+//! Instruction semantics: value, definedness (Table 1) and poison-freedom
+//! (Table 2) for every Alive integer instruction.
+
+use alive_ir::ast::{BinOp, Flag, ICmpPred};
+use alive_smt::{BvVal, TermId, TermPool};
+
+/// The value computed by a binary operation.
+pub fn binop_value(pool: &mut TermPool, op: BinOp, a: TermId, b: TermId) -> TermId {
+    match op {
+        BinOp::Add => pool.bv_add(a, b),
+        BinOp::Sub => pool.bv_sub(a, b),
+        BinOp::Mul => pool.bv_mul(a, b),
+        BinOp::UDiv => pool.bv_udiv(a, b),
+        BinOp::SDiv => pool.bv_sdiv(a, b),
+        BinOp::URem => pool.bv_urem(a, b),
+        BinOp::SRem => pool.bv_srem(a, b),
+        BinOp::Shl => pool.bv_shl(a, b),
+        BinOp::LShr => pool.bv_lshr(a, b),
+        BinOp::AShr => pool.bv_ashr(a, b),
+        BinOp::And => pool.bv_and(a, b),
+        BinOp::Or => pool.bv_or(a, b),
+        BinOp::Xor => pool.bv_xor(a, b),
+    }
+}
+
+/// Definedness constraint of a binary operation (paper Table 1).
+///
+/// Instructions not listed in Table 1 are always defined, yielding `true`.
+pub fn binop_defined(pool: &mut TermPool, op: BinOp, a: TermId, b: TermId) -> TermId {
+    let w = pool.width(a);
+    match op {
+        BinOp::UDiv | BinOp::URem => {
+            let zero = pool.bv(w, 0);
+            pool.ne(b, zero)
+        }
+        BinOp::SDiv | BinOp::SRem => {
+            // b != 0 && (a != INT_MIN || b != -1)
+            let zero = pool.bv(w, 0);
+            let nz = pool.ne(b, zero);
+            let int_min = pool.bv_const(BvVal::int_min(w));
+            let m1 = pool.bv_const(BvVal::ones(w));
+            let not_min = pool.ne(a, int_min);
+            let not_m1 = pool.ne(b, m1);
+            let no_ov = pool.or2(not_min, not_m1);
+            pool.and2(nz, no_ov)
+        }
+        BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+            // b <u width
+            let bw = pool.bv(w, w as u128);
+            pool.bv_ult(b, bw)
+        }
+        _ => pool.tru(),
+    }
+}
+
+/// Poison-freedom constraint of a single attribute on a binary operation
+/// (paper Table 2).
+///
+/// # Panics
+///
+/// Panics if the (op, flag) pair is not in Table 2 — callers must respect
+/// [`BinOp::allowed_flags`].
+pub fn flag_poison_free(
+    pool: &mut TermPool,
+    op: BinOp,
+    flag: Flag,
+    a: TermId,
+    b: TermId,
+) -> TermId {
+    let w = pool.width(a);
+    match (op, flag) {
+        (BinOp::Add, Flag::Nsw) => {
+            // SExt(a,1) + SExt(b,1) == SExt(a+b,1)
+            let ea = pool.sext(a, w + 1);
+            let eb = pool.sext(b, w + 1);
+            let wide = pool.bv_add(ea, eb);
+            let sum = pool.bv_add(a, b);
+            let esum = pool.sext(sum, w + 1);
+            pool.eq(wide, esum)
+        }
+        (BinOp::Add, Flag::Nuw) => {
+            let ea = pool.zext(a, w + 1);
+            let eb = pool.zext(b, w + 1);
+            let wide = pool.bv_add(ea, eb);
+            let sum = pool.bv_add(a, b);
+            let esum = pool.zext(sum, w + 1);
+            pool.eq(wide, esum)
+        }
+        (BinOp::Sub, Flag::Nsw) => {
+            let ea = pool.sext(a, w + 1);
+            let eb = pool.sext(b, w + 1);
+            let wide = pool.bv_sub(ea, eb);
+            let diff = pool.bv_sub(a, b);
+            let ediff = pool.sext(diff, w + 1);
+            pool.eq(wide, ediff)
+        }
+        (BinOp::Sub, Flag::Nuw) => {
+            let ea = pool.zext(a, w + 1);
+            let eb = pool.zext(b, w + 1);
+            let wide = pool.bv_sub(ea, eb);
+            let diff = pool.bv_sub(a, b);
+            let ediff = pool.zext(diff, w + 1);
+            pool.eq(wide, ediff)
+        }
+        (BinOp::Mul, Flag::Nsw) => {
+            // SExt(a,B) * SExt(b,B) == SExt(a*b,B) at double width.
+            let ea = pool.sext(a, 2 * w);
+            let eb = pool.sext(b, 2 * w);
+            let wide = pool.bv_mul(ea, eb);
+            let prod = pool.bv_mul(a, b);
+            let eprod = pool.sext(prod, 2 * w);
+            pool.eq(wide, eprod)
+        }
+        (BinOp::Mul, Flag::Nuw) => {
+            let ea = pool.zext(a, 2 * w);
+            let eb = pool.zext(b, 2 * w);
+            let wide = pool.bv_mul(ea, eb);
+            let prod = pool.bv_mul(a, b);
+            let eprod = pool.zext(prod, 2 * w);
+            pool.eq(wide, eprod)
+        }
+        (BinOp::SDiv, Flag::Exact) => {
+            // (a / b) * b == a
+            let q = pool.bv_sdiv(a, b);
+            let back = pool.bv_mul(q, b);
+            pool.eq(back, a)
+        }
+        (BinOp::UDiv, Flag::Exact) => {
+            let q = pool.bv_udiv(a, b);
+            let back = pool.bv_mul(q, b);
+            pool.eq(back, a)
+        }
+        (BinOp::Shl, Flag::Nsw) => {
+            // (a << b) >> b == a  (arithmetic shift back)
+            let sh = pool.bv_shl(a, b);
+            let back = pool.bv_ashr(sh, b);
+            pool.eq(back, a)
+        }
+        (BinOp::Shl, Flag::Nuw) => {
+            let sh = pool.bv_shl(a, b);
+            let back = pool.bv_lshr(sh, b);
+            pool.eq(back, a)
+        }
+        (BinOp::AShr, Flag::Exact) => {
+            let sh = pool.bv_ashr(a, b);
+            let back = pool.bv_shl(sh, b);
+            pool.eq(back, a)
+        }
+        (BinOp::LShr, Flag::Exact) => {
+            let sh = pool.bv_lshr(a, b);
+            let back = pool.bv_shl(sh, b);
+            pool.eq(back, a)
+        }
+        (op, flag) => panic!("flag {flag} is not valid on {op}"),
+    }
+}
+
+/// The boolean result of an `icmp` (as a Bool-sorted term).
+pub fn icmp_bool(pool: &mut TermPool, pred: ICmpPred, a: TermId, b: TermId) -> TermId {
+    match pred {
+        ICmpPred::Eq => pool.eq(a, b),
+        ICmpPred::Ne => pool.ne(a, b),
+        ICmpPred::Ugt => pool.bv_ugt(a, b),
+        ICmpPred::Uge => pool.bv_uge(a, b),
+        ICmpPred::Ult => pool.bv_ult(a, b),
+        ICmpPred::Ule => pool.bv_ule(a, b),
+        ICmpPred::Sgt => pool.bv_sgt(a, b),
+        ICmpPred::Sge => pool.bv_sge(a, b),
+        ICmpPred::Slt => pool.bv_slt(a, b),
+        ICmpPred::Sle => pool.bv_sle(a, b),
+    }
+}
+
+/// Converts a Bool term into an i1 bitvector value.
+pub fn bool_to_bv1(pool: &mut TermPool, b: TermId) -> TermId {
+    let one = pool.bv(1, 1);
+    let zero = pool.bv(1, 0);
+    pool.ite(b, one, zero)
+}
+
+/// Converts an i1 bitvector into a Bool term.
+pub fn bv1_to_bool(pool: &mut TermPool, v: TermId) -> TermId {
+    let one = pool.bv(1, 1);
+    pool.eq(v, one)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_smt::{eval, Assignment, Sort, Value};
+
+    fn env2(pool: &mut TermPool, w: u32, av: i128, bv: i128) -> (TermId, TermId, Assignment) {
+        let a = pool.var("a", Sort::BitVec(w));
+        let b = pool.var("b", Sort::BitVec(w));
+        let mut env = Assignment::new();
+        env.set(a, BvVal::from_i128(w, av));
+        env.set(b, BvVal::from_i128(w, bv));
+        (a, b, env)
+    }
+
+    #[test]
+    fn sdiv_definedness_matches_table1() {
+        let mut p = TermPool::new();
+        let (a, b, mut env) = env2(&mut p, 8, -128, -1);
+        let d = binop_defined(&mut p, BinOp::SDiv, a, b);
+        assert_eq!(eval(&p, d, &env).unwrap(), Value::Bool(false)); // INT_MIN / -1
+        env.set(b, BvVal::from_i128(8, 2));
+        assert_eq!(eval(&p, d, &env).unwrap(), Value::Bool(true));
+        env.set(b, BvVal::from_i128(8, 0));
+        assert_eq!(eval(&p, d, &env).unwrap(), Value::Bool(false)); // div by zero
+    }
+
+    #[test]
+    fn shift_definedness_bounds_amount() {
+        let mut p = TermPool::new();
+        let (a, b, mut env) = env2(&mut p, 8, 1, 7);
+        let d = binop_defined(&mut p, BinOp::Shl, a, b);
+        assert_eq!(eval(&p, d, &env).unwrap(), Value::Bool(true));
+        env.set(b, BvVal::from_i128(8, 8));
+        assert_eq!(eval(&p, d, &env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn add_nsw_poison_matches_overflow() {
+        let mut p = TermPool::new();
+        let (a, b, mut env) = env2(&mut p, 8, 100, 27);
+        let pf = flag_poison_free(&mut p, BinOp::Add, Flag::Nsw, a, b);
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(true)); // 127 fits
+        env.set(b, BvVal::from_i128(8, 28)); // 128 overflows signed
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn add_nuw_poison_matches_unsigned_overflow() {
+        let mut p = TermPool::new();
+        let (a, b, mut env) = env2(&mut p, 8, 200, 55);
+        let pf = flag_poison_free(&mut p, BinOp::Add, Flag::Nuw, a, b);
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(true)); // 255 fits
+        env.set(b, BvVal::from_i128(8, 56)); // 256 wraps
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn mul_nsw_poison() {
+        let mut p = TermPool::new();
+        let (a, b, mut env) = env2(&mut p, 8, 11, 11);
+        let pf = flag_poison_free(&mut p, BinOp::Mul, Flag::Nsw, a, b);
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(true)); // 121
+        env.set(b, BvVal::from_i128(8, 12)); // 132 > 127
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn udiv_exact_poison() {
+        let mut p = TermPool::new();
+        let (a, b, mut env) = env2(&mut p, 8, 12, 4);
+        let pf = flag_poison_free(&mut p, BinOp::UDiv, Flag::Exact, a, b);
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(true)); // 12/4 exact
+        env.set(a, BvVal::from_i128(8, 13));
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(false)); // lossy
+    }
+
+    #[test]
+    fn shl_nuw_poison() {
+        let mut p = TermPool::new();
+        let (a, b, mut env) = env2(&mut p, 8, 0x40, 1);
+        let pf = flag_poison_free(&mut p, BinOp::Shl, Flag::Nuw, a, b);
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(true)); // 0x80 ok
+        env.set(b, BvVal::from_i128(8, 2)); // 0x100 loses the top bit
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn lshr_exact_poison() {
+        let mut p = TermPool::new();
+        let (a, b, mut env) = env2(&mut p, 8, 8, 3);
+        let pf = flag_poison_free(&mut p, BinOp::LShr, Flag::Exact, a, b);
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(true)); // 8>>3 exact
+        env.set(a, BvVal::from_i128(8, 9)); // drops a one bit
+        assert_eq!(eval(&p, pf, &env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn icmp_predicates() {
+        let mut p = TermPool::new();
+        let (a, b, env) = env2(&mut p, 4, -1, 1);
+        for (pred, expect) in [
+            (ICmpPred::Eq, false),
+            (ICmpPred::Ne, true),
+            (ICmpPred::Ugt, true),  // 15 > 1 unsigned
+            (ICmpPred::Slt, true),  // -1 < 1 signed
+            (ICmpPred::Sge, false),
+            (ICmpPred::Ule, false),
+        ] {
+            let c = icmp_bool(&mut p, pred, a, b);
+            assert_eq!(
+                eval(&p, c, &env).unwrap(),
+                Value::Bool(expect),
+                "icmp {pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn bool_bv1_round_trip() {
+        let mut p = TermPool::new();
+        let c = p.var("c", Sort::Bool);
+        let v = bool_to_bv1(&mut p, c);
+        let back = bv1_to_bool(&mut p, v);
+        let mut env = Assignment::new();
+        env.set(c, true);
+        assert_eq!(eval(&p, back, &env).unwrap(), Value::Bool(true));
+        env.set(c, false);
+        assert_eq!(eval(&p, back, &env).unwrap(), Value::Bool(false));
+    }
+}

@@ -1,0 +1,38 @@
+//! Scratch driver: verify the whole corpus and report per-entry verdicts.
+
+use alive_verifier::{verify, Verdict, VerifyConfig};
+use std::time::Instant;
+
+fn main() {
+    let config = VerifyConfig::fast();
+    let mut ok = 0;
+    let mut bad = 0;
+    let mut wrong = 0;
+    for e in alive_suite::full_corpus() {
+        let start = Instant::now();
+        let v = match verify(&e.transform, &config) {
+            Ok(v) => v,
+            Err(err) => {
+                wrong += 1;
+                println!("ERROR  {:30} {err}", e.name);
+                continue;
+            }
+        };
+        let dt = start.elapsed().as_millis();
+        let got_bug = v.is_invalid();
+        if got_bug == e.expected_bug {
+            ok += 1;
+            if std::env::args().any(|a| a == "-v") {
+                println!("ok     {:30} {:>6}ms {}", e.name, dt, if got_bug {"(rejected as expected)"} else {"(valid)"});
+            }
+        } else {
+            bad += 1;
+            println!("WRONG  {:30} {:>6}ms expected_bug={} got:", e.name, dt, e.expected_bug);
+            match &v {
+                Verdict::Invalid(cex) => println!("{cex}"),
+                other => println!("  {other}"),
+            }
+        }
+    }
+    println!("\n{ok} as expected, {bad} mismatched, {wrong} errors");
+}

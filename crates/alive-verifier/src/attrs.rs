@@ -1,0 +1,284 @@
+//! Attribute inference (paper §3.4, Fig. 6).
+//!
+//! Alive infers where `nsw`/`nuw`/`exact` can be placed: on the source
+//! side it seeks the *weakest precondition* (fewest required attributes),
+//! on the target side the *strongest postcondition* (most attributes that
+//! can be safely propagated).
+//!
+//! The paper enumerates models of a quantified SMT formula whose free
+//! booleans guard each attribute's poison-free constraint, pruning with
+//! the partial order between assignments. Attribute spaces are tiny (at
+//! most a handful of flag positions per transformation), so this
+//! implementation enumerates the same lattice of assignments explicitly —
+//! each point checked with the full refinement pipeline — and exploits the
+//! identical monotonicity: removing a source attribute or adding a target
+//! attribute can only break correctness, never fix it.
+
+use crate::verify::{verify, Verdict, VerifyConfig, VerifyError};
+use alive_ir::ast::{Flag, Inst};
+use alive_ir::Transform;
+
+/// A flag position inside a transformation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlagPos {
+    /// True for target template.
+    pub in_target: bool,
+    /// Statement index within the template.
+    pub stmt: usize,
+    /// The attribute.
+    pub flag: Flag,
+}
+
+/// The outcome of attribute inference.
+#[derive(Clone, Debug)]
+pub struct AttrInferenceResult {
+    /// The transformation with the weakest source attributes and strongest
+    /// target attributes installed.
+    pub inferred: Transform,
+    /// Did inference remove at least one source attribute (weaker
+    /// precondition than written)?
+    pub pre_weakened: bool,
+    /// Did inference add at least one target attribute (stronger
+    /// postcondition than written)?
+    pub post_strengthened: bool,
+    /// Number of correctness checks performed.
+    pub checks: usize,
+}
+
+/// All flag positions whose value may be varied.
+fn flag_positions(t: &Transform) -> (Vec<FlagPos>, Vec<FlagPos>) {
+    let collect = |stmts: &[alive_ir::Stmt], in_target: bool| -> Vec<FlagPos> {
+        let mut out = Vec::new();
+        for (i, s) in stmts.iter().enumerate() {
+            if let Inst::BinOp { op, .. } = &s.inst {
+                for &flag in op.allowed_flags() {
+                    out.push(FlagPos {
+                        in_target,
+                        stmt: i,
+                        flag,
+                    });
+                }
+            }
+        }
+        out
+    };
+    (collect(&t.source, false), collect(&t.target, true))
+}
+
+fn current_flags(t: &Transform, pos: &FlagPos) -> bool {
+    let stmts = if pos.in_target { &t.target } else { &t.source };
+    match &stmts[pos.stmt].inst {
+        Inst::BinOp { flags, .. } => flags.contains(&pos.flag),
+        _ => false,
+    }
+}
+
+/// Returns a copy of `t` with the given positions enabled (all other
+/// variable positions disabled).
+fn with_flags(t: &Transform, enabled: &[(FlagPos, bool)]) -> Transform {
+    let mut out = t.clone();
+    for (pos, on) in enabled {
+        let stmts = if pos.in_target {
+            &mut out.target
+        } else {
+            &mut out.source
+        };
+        if let Inst::BinOp { flags, .. } = &mut stmts[pos.stmt].inst {
+            flags.retain(|f| *f != pos.flag);
+            if *on {
+                flags.push(pos.flag);
+                flags.sort_unstable();
+            }
+        }
+    }
+    out
+}
+
+/// Infers optimal attributes for a transformation.
+///
+/// # Errors
+///
+/// Propagates verification errors; transformations that are incorrect as
+/// written are reported via an error since no attribute assignment is
+/// meaningful then.
+pub fn infer_attributes(
+    t: &Transform,
+    config: &VerifyConfig,
+) -> Result<AttrInferenceResult, VerifyError> {
+    let (src_pos, tgt_pos) = flag_positions(t);
+    let mut checks = 0usize;
+
+    let mut is_correct = |cand: &Transform| -> Result<bool, VerifyError> {
+        checks += 1;
+        match verify(cand, config)? {
+            Verdict::Valid { .. } => Ok(true),
+            Verdict::Invalid(_) => Ok(false),
+            Verdict::Unknown { reason } => Err(VerifyError {
+                message: format!("attribute inference hit a budget limit: {reason}"),
+            }),
+        }
+    };
+
+    // The transformation as written must be correct.
+    if !is_correct(t)? {
+        return Err(VerifyError {
+            message: "transformation is incorrect as written; fix it before inferring attributes"
+                .into(),
+        });
+    }
+
+    // Weakest precondition (relative to the transformation as written):
+    // the smallest subset of the original source attributes that keeps the
+    // transformation correct, with the target attributes unchanged.
+    let orig_src_on: Vec<FlagPos> = src_pos
+        .iter()
+        .copied()
+        .filter(|p| current_flags(t, p))
+        .collect();
+    let mut best_src: Vec<FlagPos> = orig_src_on.clone();
+    'outer: for size in 0..orig_src_on.len() {
+        for subset in subsets_of_size(&orig_src_on, size) {
+            let assignment: Vec<(FlagPos, bool)> = orig_src_on
+                .iter()
+                .map(|p| (*p, subset.contains(p)))
+                .collect();
+            let cand = with_flags(t, &assignment);
+            if is_correct(&cand)? {
+                best_src = subset;
+                break 'outer;
+            }
+        }
+    }
+    let pre_weakened = best_src.len() < orig_src_on.len();
+
+    // Strongest postcondition (also relative to the original): the largest
+    // superset of the original target attributes that is correct with the
+    // source attributes as written. These are the attributes the rewrite
+    // may propagate for later passes to exploit (§3.4's motivation).
+    let src_assignment: Vec<(FlagPos, bool)> = src_pos
+        .iter()
+        .map(|p| (*p, orig_src_on.contains(p)))
+        .collect();
+    let orig_tgt_on: Vec<FlagPos> = tgt_pos
+        .iter()
+        .copied()
+        .filter(|p| current_flags(t, p))
+        .collect();
+    let mut best_tgt: Vec<FlagPos> = orig_tgt_on.clone();
+    'outer2: for size in (orig_tgt_on.len() + 1..=tgt_pos.len()).rev() {
+        for subset in subsets_of_size(&tgt_pos, size) {
+            // Only supersets of the original target flags: the developer's
+            // flags are known-required by downstream passes.
+            if !orig_tgt_on.iter().all(|p| subset.contains(p)) {
+                continue;
+            }
+            let mut assignment = src_assignment.clone();
+            assignment.extend(tgt_pos.iter().map(|p| (*p, subset.contains(p))));
+            let cand = with_flags(t, &assignment);
+            if is_correct(&cand)? {
+                best_tgt = subset;
+                break 'outer2;
+            }
+        }
+    }
+    let post_strengthened = best_tgt.len() > orig_tgt_on.len();
+
+    // The combined output keeps the original source attributes (the
+    // pattern the developer wrote) and installs the strongest target
+    // attributes — the assignment used when generating C++.
+    let mut final_assignment = src_assignment;
+    final_assignment.extend(tgt_pos.iter().map(|p| (*p, best_tgt.contains(p))));
+    let inferred = with_flags(t, &final_assignment);
+
+    Ok(AttrInferenceResult {
+        inferred,
+        pre_weakened,
+        post_strengthened,
+        checks,
+    })
+}
+
+/// All subsets of `items` with exactly `size` elements. Flag spaces are
+/// tiny (≤ a handful of positions), so bitmask enumeration suffices.
+fn subsets_of_size(items: &[FlagPos], size: usize) -> Vec<Vec<FlagPos>> {
+    let n = items.len();
+    assert!(n < usize::BITS as usize, "flag space unexpectedly large");
+    let mut out = Vec::new();
+    for mask in 0usize..(1 << n) {
+        if mask.count_ones() as usize != size {
+            continue;
+        }
+        out.push(
+            items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, p)| *p)
+                .collect(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_ir::parse_transform;
+
+    fn infer(src: &str) -> AttrInferenceResult {
+        let t = parse_transform(src).unwrap();
+        infer_attributes(&t, &VerifyConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn propagates_nsw_to_target() {
+        // x*2 => x<<1: with mul nsw in the source, shl nsw can be added to
+        // the target (strongest postcondition).
+        let r = infer("%r = mul nsw %x, 2\n=>\n%r = shl %x, 1");
+        assert!(r.post_strengthened, "expected target strengthening");
+        let printed = r.inferred.to_string();
+        assert!(
+            printed.contains("shl nsw") || printed.contains("shl nuw nsw") || printed.contains("shl nsw nuw"),
+            "inferred: {printed}"
+        );
+    }
+
+    #[test]
+    fn drops_unneeded_source_attribute() {
+        // The rewrite holds regardless of nsw on the source: weakest
+        // precondition removes it.
+        let r = infer("%r = add nsw %x, 0\n=>\n%r = %x");
+        assert!(r.pre_weakened, "expected source weakening");
+    }
+
+    #[test]
+    fn keeps_required_source_attribute() {
+        // (x +nsw 1) sgt x => true requires nsw.
+        let r = infer("%1 = add nsw %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true");
+        assert!(!r.pre_weakened);
+        assert!(r.inferred.to_string().contains("add nsw"));
+    }
+
+    #[test]
+    fn incorrect_transform_is_an_error() {
+        let t = parse_transform("%r = add %x, 1\n=>\n%r = add %x, 2").unwrap();
+        assert!(infer_attributes(&t, &VerifyConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let items: Vec<FlagPos> = (0..4)
+            .map(|i| FlagPos {
+                in_target: false,
+                stmt: i,
+                flag: Flag::Nsw,
+            })
+            .collect();
+        assert_eq!(subsets_of_size(&items, 0).len(), 1);
+        assert_eq!(subsets_of_size(&items, 1).len(), 4);
+        assert_eq!(subsets_of_size(&items, 2).len(), 6);
+        assert_eq!(subsets_of_size(&items, 3).len(), 4);
+        assert_eq!(subsets_of_size(&items, 4).len(), 1);
+        assert_eq!(subsets_of_size(&items, 5).len(), 0);
+    }
+}

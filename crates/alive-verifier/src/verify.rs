@@ -1,0 +1,402 @@
+//! The refinement checker (paper §3.1.2 and §3.3.2).
+//!
+//! For every feasible type assignment, four conditions are discharged by
+//! refutation:
+//!
+//! 1. `∀I,P,Ū ∃U : ψ ⇒ δ̄` — target defined wherever the source is;
+//! 2. `∀I,P,Ū ∃U : ψ ⇒ ρ̄` — target poison-free wherever the source is;
+//! 3. `∀I,P,Ū ∃U : ψ ⇒ ι = ῑ` — equal root values;
+//! 4. (memory) equal final memories at every address outside the source's
+//!    stack allocations.
+//!
+//! Each negated condition is `∃(I,P,Ū) ∀U : ψ ∧ ¬goal`: quantifier-free
+//! when the source has no `undef` (one SAT call), otherwise an
+//! exists-forall query solved by the CEGIS loop in [`alive_smt`].
+
+use crate::counterexample::{build_counterexample, Counterexample, FailureKind};
+use alive_ir::{validate, Transform};
+use alive_smt::{solve_exists_forall, EfConfig, EfResult, Sort, TermId, TermPool};
+use alive_typeck::{enumerate_typings, TypeckConfig};
+use alive_vcgen::{encode_transform, TransformEnc};
+use std::fmt;
+
+/// The overall outcome of verifying one transformation.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// Proven correct for all checked type assignments.
+    Valid {
+        /// Number of type assignments checked.
+        typings_checked: usize,
+    },
+    /// A counterexample was found.
+    Invalid(Box<Counterexample>),
+    /// Resource limits prevented a conclusion.
+    Unknown {
+        /// Which condition could not be decided.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Is the transformation proven correct?
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Verdict::Valid { .. })
+    }
+
+    /// Is the transformation proven incorrect?
+    pub fn is_invalid(&self) -> bool {
+        matches!(self, Verdict::Invalid(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Valid { typings_checked } => {
+                write!(f, "Optimization is correct ({typings_checked} type assignments)")
+            }
+            Verdict::Invalid(cex) => write!(f, "{cex}"),
+            Verdict::Unknown { reason } => write!(f, "Verification inconclusive: {reason}"),
+        }
+    }
+}
+
+/// Errors before verification can even start (parse/validate/type).
+#[derive(Clone, Debug)]
+pub struct VerifyError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification error: {}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Configuration for the verifier.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyConfig {
+    /// Type enumeration settings.
+    pub typeck: TypeckConfig,
+    /// CEGIS settings for `undef`-bearing sources.
+    pub ef: EfConfig,
+}
+
+impl VerifyConfig {
+    /// Fast profile (widths 4 and 8) used by corpus-scale runs.
+    pub fn fast() -> VerifyConfig {
+        VerifyConfig {
+            typeck: TypeckConfig::fast(),
+            ef: EfConfig::default(),
+        }
+    }
+}
+
+/// Per-condition timing and statistics for one verification.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyStats {
+    /// Number of type assignments examined.
+    pub typings: usize,
+    /// Total SMT/SAT queries issued (at least; CEGIS rounds count once per
+    /// candidate/verify pair).
+    pub queries: usize,
+}
+
+/// Verifies a transformation across all feasible type assignments.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] when the transformation is ill-formed,
+/// ill-typed, or uses unsupported constructs.
+pub fn verify(t: &Transform, config: &VerifyConfig) -> Result<Verdict, VerifyError> {
+    verify_with_stats(t, config).map(|(v, _)| v)
+}
+
+/// Like [`verify`], also returning statistics.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] when the transformation is ill-formed,
+/// ill-typed, or uses unsupported constructs.
+pub fn verify_with_stats(
+    t: &Transform,
+    config: &VerifyConfig,
+) -> Result<(Verdict, VerifyStats), VerifyError> {
+    validate(t).map_err(|e| VerifyError {
+        message: e.to_string(),
+    })?;
+    let typings = enumerate_typings(t, &config.typeck).map_err(|e| VerifyError {
+        message: e.to_string(),
+    })?;
+
+    let mut stats = VerifyStats::default();
+    for typing in &typings {
+        stats.typings += 1;
+        let mut pool = TermPool::new();
+        let enc = encode_transform(&mut pool, t, typing).map_err(|e| VerifyError {
+            message: e.to_string(),
+        })?;
+        let psi = enc.psi(&mut pool);
+
+        let root = enc.root.clone();
+        let tgt_def = enc.tgt.defined[&root];
+        let tgt_poison = enc.tgt.poison_free[&root];
+        let src_val = enc.src.values[&root];
+        let tgt_val = enc.tgt.values[&root];
+
+        let checks: Vec<(FailureKind, TermId)> = {
+            let not_def = pool.not(tgt_def);
+            let c1 = pool.and2(psi, not_def);
+            let not_poison = pool.not(tgt_poison);
+            let c2 = pool.and2(psi, not_poison);
+            let neq = pool.ne(src_val, tgt_val);
+            let c3 = pool.and2(psi, neq);
+            vec![
+                (FailureKind::Definedness, c1),
+                (FailureKind::Poison, c2),
+                (FailureKind::ValueMismatch, c3),
+            ]
+        };
+
+        let mut exist_vars = enc.exist_vars();
+        exist_vars.extend(enc.tgt.undefs.iter().copied());
+        let univ_vars: Vec<TermId> = enc.src.undefs.clone();
+
+        for (kind, matrix) in checks {
+            stats.queries += 1;
+            match solve_exists_forall(&mut pool, &exist_vars, &univ_vars, matrix, &config.ef)
+            {
+                EfResult::Unsat => {}
+                EfResult::Sat(model) => {
+                    let cex = build_counterexample(
+                        &pool,
+                        t,
+                        &enc,
+                        &model,
+                        kind,
+                        typing.summary(),
+                    );
+                    return Ok((Verdict::Invalid(Box::new(cex)), stats));
+                }
+                EfResult::Unknown => {
+                    return Ok((
+                        Verdict::Unknown {
+                            reason: format!("{kind} check exceeded budget"),
+                        },
+                        stats,
+                    ));
+                }
+            }
+        }
+
+        // Condition 4: memory equivalence at a quantified address.
+        if enc.src.memory.has_ops || enc.tgt.memory.has_ops {
+            stats.queries += 1;
+            match check_memory(&mut pool, &enc, &exist_vars, &univ_vars, &config.ef) {
+                EfResult::Unsat => {}
+                EfResult::Sat(model) => {
+                    let cex = build_counterexample(
+                        &pool,
+                        t,
+                        &enc,
+                        &model,
+                        FailureKind::MemoryMismatch,
+                        typing.summary(),
+                    );
+                    return Ok((Verdict::Invalid(Box::new(cex)), stats));
+                }
+                EfResult::Unknown => {
+                    return Ok((
+                        Verdict::Unknown {
+                            reason: "memory check exceeded budget".into(),
+                        },
+                        stats,
+                    ));
+                }
+            }
+        }
+    }
+    Ok((
+        Verdict::Valid {
+            typings_checked: typings.len(),
+        },
+        stats,
+    ))
+}
+
+/// Builds and solves the negated memory condition: some address (outside
+/// the source's stack allocations) holds different bytes in the two final
+/// memories while the precondition and allocation constraints hold.
+fn check_memory(
+    pool: &mut TermPool,
+    enc: &TransformEnc,
+    exist_vars: &[TermId],
+    univ_vars: &[TermId],
+    ef: &EfConfig,
+) -> EfResult {
+    let pw = enc.ptr_width;
+    let addr = pool.var("mem.addr", Sort::BitVec(pw));
+
+    let mut base = alive_vcgen::BaseMemory::default();
+    let src_byte = enc.src.memory.read_byte(pool, &mut base, addr);
+    let tgt_byte = enc.tgt.memory.read_byte(pool, &mut base, addr);
+    let differs = pool.ne(src_byte, tgt_byte);
+
+    let mut parts = vec![enc.pre, differs];
+    parts.extend(enc.src.alloca_constraints.iter().copied());
+    parts.extend(enc.tgt.alloca_constraints.iter().copied());
+    parts.extend(enc.mem_consistency.iter().copied());
+    parts.extend(base.constraints.iter().copied());
+    // Stack memory is private to the templates: exempt source allocations.
+    for &(base_ptr, size) in enc
+        .src
+        .alloca_regions
+        .iter()
+        .chain(enc.tgt.alloca_regions.iter())
+    {
+        let size_t = pool.bv(pw, size as u128);
+        let end = pool.bv_add(base_ptr, size_t);
+        let below = pool.bv_ult(addr, base_ptr);
+        let above = pool.bv_uge(addr, end);
+        let outside = pool.or2(below, above);
+        parts.push(outside);
+    }
+    let matrix = pool.and(parts);
+
+    let mut evars = exist_vars.to_vec();
+    evars.push(addr);
+    solve_exists_forall(pool, &evars, univ_vars, matrix, ef)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_ir::parse_transform;
+
+    fn check(src: &str) -> Verdict {
+        let t = parse_transform(src).unwrap();
+        verify(&t, &VerifyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn intro_example_is_valid() {
+        let v = check("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x");
+        assert!(v.is_valid(), "{v}");
+    }
+
+    #[test]
+    fn wrong_constant_is_invalid() {
+        let v = check("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C, %x");
+        assert!(v.is_invalid(), "{v}");
+        if let Verdict::Invalid(cex) = &v {
+            assert_eq!(cex.kind, FailureKind::ValueMismatch);
+        }
+    }
+
+    #[test]
+    fn nsw_comparison_folds_to_true() {
+        // (x +nsw 1) > x  ==>  true   (paper §2.4)
+        let v = check("%1 = add nsw %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true");
+        assert!(v.is_valid(), "{v}");
+    }
+
+    #[test]
+    fn without_nsw_the_same_fold_is_invalid() {
+        let v = check("%1 = add %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true");
+        assert!(v.is_invalid(), "{v}");
+    }
+
+    #[test]
+    fn select_undef_example_is_valid() {
+        // Paper §3.1.3: ∀u2 ∃u1 — target ashr of undef by 3 yields 0 or -1
+        // patterns the source select can also produce.
+        let v = check("%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3");
+        assert!(v.is_valid(), "{v}");
+    }
+
+    #[test]
+    fn undef_source_cannot_become_arbitrary_target() {
+        // Source `or 1, undef` is always odd; target undef can be even.
+        let v = check("%r = or i4 1, undef\n=>\n%r = undef");
+        assert!(v.is_invalid(), "{v}");
+    }
+
+    #[test]
+    fn target_introducing_division_is_less_defined() {
+        let v = check("%r = add %x, %y\n=>\n%d = sdiv %x, %y\n%m = mul %d, %y\n%rem = srem %x, %y\n%s = add %m, %rem\n%r = add %s, 0");
+        // x + y != (x/y)*y + x%y + 0 in general... actually it is equal when
+        // defined; the bug is definedness (y = 0). Either failure is a
+        // rejection.
+        assert!(v.is_invalid(), "{v}");
+        if let Verdict::Invalid(cex) = &v {
+            assert_eq!(cex.kind, FailureKind::Definedness);
+        }
+    }
+
+    #[test]
+    fn poison_introduction_is_caught() {
+        // Adding nsw on the target where the source had none.
+        let v = check("%r = add %x, %y\n=>\n%r = add nsw %x, %y");
+        assert!(v.is_invalid(), "{v}");
+        if let Verdict::Invalid(cex) = &v {
+            assert_eq!(cex.kind, FailureKind::Poison);
+        }
+    }
+
+    #[test]
+    fn dropping_nsw_is_allowed() {
+        let v = check("%r = add nsw %x, %y\n=>\n%r = add %x, %y");
+        assert!(v.is_valid(), "{v}");
+    }
+
+    #[test]
+    fn precondition_gates_validity() {
+        // shl by C1 equals mul by (1<<C1); with the precondition C1 == 1,
+        // x << 1 == x + x.
+        let v = check("Pre: C1 == 1\n%r = shl %x, C1\n=>\n%r = add %x, %x");
+        assert!(v.is_valid(), "{v}");
+        // Without the precondition this is wrong.
+        let v2 = check("%r = shl %x, C1\n=>\n%r = add %x, %x");
+        assert!(v2.is_invalid(), "{v2}");
+    }
+
+    #[test]
+    fn division_by_zero_ub_enables_rewrite() {
+        // udiv x, x == 1 is justified because x==0 is UB in the source.
+        let v = check("%r = udiv %x, %x\n=>\n%r = 1");
+        assert!(v.is_valid(), "{v}");
+    }
+
+    #[test]
+    fn memory_store_load_forwarding_valid() {
+        let v = check("store %v, %p\n%r = load %p\n=>\nstore %v, %p\n%r = %v");
+        assert!(v.is_valid(), "{v}");
+    }
+
+    #[test]
+    fn memory_dropping_a_store_is_invalid() {
+        let v = check("store %v, %p\n%r = load %p\n=>\n%r = %v");
+        assert!(v.is_invalid(), "{v}");
+        if let Verdict::Invalid(cex) = &v {
+            assert_eq!(cex.kind, FailureKind::MemoryMismatch);
+        }
+    }
+
+    #[test]
+    fn counterexample_carries_bindings() {
+        let v = check("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C, %x");
+        let Verdict::Invalid(cex) = v else {
+            panic!("expected invalid")
+        };
+        let names: Vec<&str> = cex.bindings.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"%x"), "{names:?}");
+        assert!(names.contains(&"C"), "{names:?}");
+        assert!(cex.source_value.is_some());
+        assert!(cex.target_value.is_some());
+        // Counterexamples are biased to small widths (first in the config).
+        assert_eq!(cex.root_width, 4);
+    }
+}

@@ -1,0 +1,108 @@
+//! The `alive` command-line tool: verify the transformations in `.opt`
+//! files, like the original `alive.py`.
+//!
+//! ```text
+//! usage: alive [OPTIONS] <file.opt>...
+//!   --fast          verify at widths {4,8} only
+//!   --exhaustive    verify at widths 1..=64 (slow, like the paper)
+//!   --cpp           print generated C++ for verified transformations
+//!   --infer         run nsw/nuw/exact attribute inference
+//! ```
+
+use alive::{generate_cpp, infer_attributes, parse_transforms, verify, Verdict, VerifyConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut config = VerifyConfig::default();
+    let mut emit_cpp = false;
+    let mut infer = false;
+    for a in &args {
+        match a.as_str() {
+            "--fast" => config = VerifyConfig::fast(),
+            "--exhaustive" => {
+                config.typeck = alive::TypeckConfig::exhaustive();
+            }
+            "--cpp" => emit_cpp = true,
+            "--infer" => infer = true,
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: alive [--fast|--exhaustive] [--cpp] [--infer] <file.opt>..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no input files (try --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let transforms = match parse_transforms(&text) {
+            Ok(ts) => ts,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        for (i, t) in transforms.iter().enumerate() {
+            let name = t
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("{path}#{}", i + 1));
+            println!("----------------------------------------");
+            println!("Name: {name}");
+            match verify(t, &config) {
+                Ok(Verdict::Valid { typings_checked }) => {
+                    println!("Optimization is correct! ({typings_checked} type assignments)");
+                    if infer {
+                        match infer_attributes(t, &config) {
+                            Ok(r) => {
+                                if r.pre_weakened || r.post_strengthened {
+                                    println!("Optimal attributes:\n{}", r.inferred);
+                                }
+                            }
+                            Err(e) => println!("(attribute inference: {e})"),
+                        }
+                    }
+                    if emit_cpp {
+                        match generate_cpp(t) {
+                            Ok(cpp) => println!("{cpp}"),
+                            Err(e) => println!("(codegen: {e})"),
+                        }
+                    }
+                }
+                Ok(Verdict::Invalid(cex)) => {
+                    println!("{cex}");
+                    failures += 1;
+                }
+                Ok(Verdict::Unknown { reason }) => {
+                    println!("Verification inconclusive: {reason}");
+                    failures += 1;
+                }
+                Err(e) => {
+                    println!("error: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,182 @@
+//! `alive` — a Rust reproduction of *Provably Correct Peephole
+//! Optimizations with Alive* (Lopes, Menendez, Nagarakatte, Regehr;
+//! PLDI 2015).
+//!
+//! Alive is a domain-specific language for LLVM peephole optimizations.
+//! A transformation is written as `source => target` with an optional
+//! precondition; the toolchain then
+//!
+//! 1. parses and validates it ([`parse_transform`], [`ir`]),
+//! 2. enumerates every feasible type assignment ([`typeck`]),
+//! 3. encodes both templates into SMT bitvector formulas covering LLVM's
+//!    three kinds of undefined behavior ([`vcgen`]),
+//! 4. proves refinement or produces a counterexample ([`verify`]) using a
+//!    from-scratch SMT stack ([`smt`], [`sat`]),
+//! 5. infers optimal `nsw`/`nuw`/`exact` attributes ([`infer_attributes`]),
+//! 6. emits InstCombine-style C++ ([`generate_cpp`]), and
+//! 7. can apply verified optimizations to a miniature LLVM-like IR
+//!    ([`opt`], [`verified_peephole`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use alive::{parse_transform, verify, VerifyConfig};
+//!
+//! // The paper's introductory example: (x ^ -1) + C  ==>  (C-1) - x
+//! let t = parse_transform(r"
+//! %1 = xor %x, -1
+//! %2 = add %1, C
+//! =>
+//! %2 = sub C-1, %x
+//! ").unwrap();
+//!
+//! let verdict = verify(&t, &VerifyConfig::fast()).unwrap();
+//! assert!(verdict.is_valid());
+//! ```
+//!
+//! Incorrect optimizations produce counterexamples in the style of the
+//! paper's Fig. 5:
+//!
+//! ```
+//! use alive::{parse_transform, verify, Verdict, VerifyConfig};
+//!
+//! let wrong = parse_transform(r"
+//! %1 = xor %x, -1
+//! %2 = add %1, C
+//! =>
+//! %2 = sub C, %x
+//! ").unwrap();
+//! match verify(&wrong, &VerifyConfig::fast()).unwrap() {
+//!     Verdict::Invalid(cex) => println!("{cex}"),
+//!     other => panic!("expected a counterexample, got {other}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+/// The SAT solver substrate.
+pub use alive_sat as sat;
+/// The SMT (bitvector) layer.
+pub use alive_smt as smt;
+/// The Alive DSL front end.
+pub use alive_ir as ir;
+/// Type inference and feasible-type enumeration.
+pub use alive_typeck as typeck;
+/// Verification-condition generation.
+pub use alive_vcgen as vcgen;
+/// The refinement verifier.
+pub use alive_verifier as verifier;
+/// C++ code generation.
+pub use alive_codegen as codegen;
+/// The mini-LLVM substrate (pass, interpreter, workloads).
+pub use alive_opt as opt;
+/// The InstCombine corpus.
+pub use alive_suite as suite;
+
+pub use alive_codegen::generate_cpp;
+pub use alive_ir::{parse_transform, parse_transforms, validate, Transform};
+pub use alive_opt::{Peephole, WorkloadConfig};
+pub use alive_typeck::TypeckConfig;
+pub use alive_verifier::{
+    infer_attributes, verify, Counterexample, FailureKind, Verdict, VerifyConfig,
+};
+
+/// Parses and verifies every transformation in `src`, returning
+/// `(name, verdict)` pairs.
+///
+/// # Errors
+///
+/// Returns the first parse or verification error.
+///
+/// # Examples
+///
+/// ```
+/// let results = alive::check_text(r"
+/// Name: good
+/// %r = add %x, 0
+/// =>
+/// %r = %x
+/// Name: bad
+/// %r = add %x, 0
+/// =>
+/// %r = add %x, 1
+/// ", &alive::VerifyConfig::fast()).unwrap();
+/// assert!(results[0].1.is_valid());
+/// assert!(results[1].1.is_invalid());
+/// ```
+pub fn check_text(
+    src: &str,
+    config: &VerifyConfig,
+) -> Result<Vec<(String, Verdict)>, Box<dyn std::error::Error>> {
+    let transforms = parse_transforms(src)?;
+    let mut out = Vec::with_capacity(transforms.len());
+    for (i, t) in transforms.into_iter().enumerate() {
+        let name = t.name.clone().unwrap_or_else(|| format!("opt{i}"));
+        let verdict = verify(&t, config)?;
+        out.push((name, verdict));
+    }
+    Ok(out)
+}
+
+/// Builds a peephole optimizer from the given transformations, verifying
+/// each first and keeping only the proven-correct ones (the end-to-end
+/// guarantee the paper's pipeline provides: only verified rewrites reach
+/// the compiler).
+///
+/// Returns the optimizer and the names that were rejected.
+pub fn verified_peephole(
+    entries: impl IntoIterator<Item = (String, Transform)>,
+    config: &VerifyConfig,
+) -> (Peephole, Vec<String>) {
+    let mut accepted = Vec::new();
+    let mut rejected = Vec::new();
+    for (name, t) in entries {
+        match verify(&t, config) {
+            Ok(v) if v.is_valid() => accepted.push((name, t)),
+            _ => rejected.push(name),
+        }
+    }
+    (Peephole::new(accepted), rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_pipeline() {
+        let t = parse_transform(
+            "Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)",
+        )
+        .unwrap();
+        // Verify.
+        let v = verify(&t, &VerifyConfig::fast()).unwrap();
+        assert!(v.is_valid(), "{v}");
+        // Generate C++.
+        let cpp = generate_cpp(&t).unwrap();
+        assert!(cpp.contains("m_Mul"));
+        // Apply to IR.
+        let (pass, rejected) = verified_peephole(
+            [("mul-pow2".to_string(), t)],
+            &VerifyConfig::fast(),
+        );
+        assert!(rejected.is_empty());
+        assert_eq!(pass.len(), 1);
+    }
+
+    #[test]
+    fn verified_peephole_rejects_bugs() {
+        let bug = alive_suite::by_name("PR21255").unwrap();
+        let good = alive_suite::by_name("PR21255-fixed").unwrap();
+        let (pass, rejected) = verified_peephole(
+            [
+                ("bug".to_string(), bug.transform),
+                ("good".to_string(), good.transform),
+            ],
+            &VerifyConfig::fast(),
+        );
+        assert_eq!(rejected, vec!["bug".to_string()]);
+        assert_eq!(pass.len(), 1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **small-width-first type enumeration** (the §3.1.4 counterexample
+//!   bias): time-to-counterexample for PR21245 when widths are tried
+//!   small-first vs. wide-first;
+//! * **CEGIS zero-seeding**: verification of `undef`-bearing transforms
+//!   with and without the initial all-zeros instantiation;
+//! * **fast vs. default width sets** for corpus-style verification.
+
+use alive::smt::EfConfig;
+use alive::{verify, TypeckConfig, VerifyConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_width_bias(c: &mut Criterion) {
+    let entry = alive::suite::by_name("PR21245").expect("corpus");
+    let mut group = c.benchmark_group("ablation/counterexample-width-order");
+    group.sample_size(10);
+    for (label, widths) in [
+        ("small-first", vec![4u32, 8]),
+        ("wide-first", vec![8u32, 4]),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &widths, |b, ws| {
+            let cfg = VerifyConfig {
+                typeck: TypeckConfig {
+                    widths: ws.clone(),
+                    ..TypeckConfig::default()
+                },
+                ..VerifyConfig::default()
+            };
+            b.iter(|| {
+                let v = verify(&entry.transform, &cfg).expect("runs");
+                assert!(v.is_invalid());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cegis_seeding(c: &mut Criterion) {
+    // undef-bearing transforms exercise the ∃∀ CEGIS path.
+    let cases = [
+        ("select-undef", "%r = select undef, i8 -1, 0\n=>\n%r = ashr undef, 3"),
+        ("xor-undef", "%r = xor i8 %x, undef\n=>\n%r = undef"),
+        (
+            "add-undef",
+            "%a = add i8 %x, undef\n%r = and %a, undef\n=>\n%r = and i8 %x, undef",
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation/cegis-seeding");
+    group.sample_size(10);
+    for (name, text) in cases {
+        let t = alive::parse_transform(text).expect("parses");
+        for (label, seed) in [("seeded", true), ("unseeded", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, label),
+                &seed,
+                |b, &seed_with_zero| {
+                    let cfg = VerifyConfig {
+                        typeck: TypeckConfig::fast(),
+                        ef: EfConfig {
+                            seed_with_zero,
+                            ..EfConfig::default()
+                        },
+                    };
+                    b.iter(|| {
+                        // Valid or not — we only measure the query time.
+                        let _ = verify(&t, &cfg).expect("runs");
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_width_sets(c: &mut Criterion) {
+    let entry = alive::suite::by_name("AddSub:NotIntro").expect("corpus");
+    let mut group = c.benchmark_group("ablation/width-sets");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("fast-4-8", VerifyConfig::fast()),
+        ("default-4-8-16-32", VerifyConfig::default()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let v = verify(&entry.transform, cfg).expect("runs");
+                assert!(v.is_valid());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_width_bias,
+    bench_cegis_seeding,
+    bench_width_sets
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmark: peephole-pass throughput over the synthetic
+//! workload (the §6.4 compile-time proxy), with full vs. one-third corpus.
+
+use alive::opt::{generate_workload, Peephole, WorkloadConfig};
+use bench::pass_templates;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_pass(c: &mut Criterion) {
+    let templates = pass_templates();
+    let third: Vec<_> = templates
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, t)| t.clone())
+        .collect();
+    let config = WorkloadConfig {
+        functions: 60,
+        ..WorkloadConfig::default()
+    };
+    let funcs = generate_workload(&config, &templates);
+    let insts: usize = funcs.iter().map(|f| f.len()).sum();
+
+    let mut group = c.benchmark_group("peephole");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(insts as u64));
+    for (label, set) in [("full", templates.clone()), ("third", third)] {
+        let pass = Peephole::new(set);
+        group.bench_with_input(BenchmarkId::new("corpus", label), &pass, |b, pass| {
+            b.iter(|| {
+                let mut work = funcs.clone();
+                pass.run_module(&mut work)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group2 = c.benchmark_group("workload-gen");
+    group2.sample_size(10);
+    group2.bench_function("generate-60-functions", |b| {
+        b.iter(|| generate_workload(&config, &templates))
+    });
+    group2.finish();
+}
+
+criterion_group!(benches, bench_pass);
+criterion_main!(benches);

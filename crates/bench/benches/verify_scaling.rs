@@ -1,0 +1,59 @@
+//! Criterion benchmark: verification time per instruction category and
+//! bitwidth (the quantitative backbone of §6.1's timing discussion).
+
+use alive::{verify, TypeckConfig, VerifyConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn config_at(width: u32) -> VerifyConfig {
+    VerifyConfig {
+        typeck: TypeckConfig {
+            widths: vec![width],
+            ..TypeckConfig::default()
+        },
+        ..VerifyConfig::default()
+    }
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let cases = [
+        ("bitwise", "AndOrXor:DeMorganAnd"),
+        ("addsub", "AddSub:NotIntro"),
+        ("shift", "Shifts:ShlNswAshr"),
+        ("mul", "PR21242-fixed"),
+        ("div", "MulDivRem:SDivSelf"),
+    ];
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    for (label, name) in cases {
+        let entry = alive::suite::by_name(name).expect("corpus entry");
+        for width in [4u32, 8, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("i{width}")),
+                &width,
+                |b, &w| {
+                    let cfg = config_at(w);
+                    b.iter(|| {
+                        let v = verify(&entry.transform, &cfg).expect("verifies");
+                        assert!(v.is_valid());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_counterexample(c: &mut Criterion) {
+    // Finding a bug (SAT) is usually faster than proving absence (UNSAT).
+    let entry = alive::suite::by_name("PR21245").expect("corpus entry");
+    c.bench_function("counterexample/PR21245", |b| {
+        let cfg = config_at(4);
+        b.iter(|| {
+            let v = verify(&entry.transform, &cfg).expect("runs");
+            assert!(v.is_invalid());
+        })
+    });
+}
+
+criterion_group!(benches, bench_verify, bench_counterexample);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 8 reproduction: all eight incorrect InstCombine transformations
+//! found during the development of Alive must be rejected, and their
+//! corrected versions must verify.
+//!
+//! Run with: `cargo run --release -p bench --bin fig8`
+
+use alive::{Verdict, VerifyConfig};
+use bench::entry_verdict;
+
+fn main() {
+    let config = VerifyConfig::fast();
+
+    println!("{:12} {:>10}   failure", "bug", "verdict");
+    println!("{}", "-".repeat(60));
+    for entry in alive::suite::buggy() {
+        match entry_verdict(&entry, &config) {
+            Verdict::Invalid(cex) => {
+                println!(
+                    "{:12} {:>10}   {} (i{} %{})",
+                    entry.name, "rejected", cex.kind, cex.root_width, cex.root
+                );
+            }
+            other => panic!("{} must be rejected, got {other}", entry.name),
+        }
+    }
+
+    println!();
+    println!("{:18} {:>10}", "fixed version", "verdict");
+    println!("{}", "-".repeat(40));
+    for entry in alive::suite::corpus()
+        .into_iter()
+        .filter(|e| e.name.ends_with("-fixed"))
+    {
+        match entry_verdict(&entry, &config) {
+            Verdict::Valid { typings_checked } => {
+                println!("{:18} {:>10}  ({typings_checked} typings)", entry.name, "valid")
+            }
+            other => panic!("{} must verify, got {other}", entry.name),
+        }
+    }
+    println!("\n8/8 bugs rediscovered; 8/8 fixes verified (paper: 8 bugs, all confirmed & fixed)");
+}

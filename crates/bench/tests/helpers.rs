@@ -1,0 +1,32 @@
+//! Tests for the bench-harness helpers.
+
+use bench::{log_bar, pass_templates};
+
+#[test]
+fn log_bar_is_monotone_and_bounded() {
+    let max = 10_000;
+    let mut prev = 0;
+    for count in [0u64, 1, 10, 100, 1_000, 10_000] {
+        let bar = log_bar(count, max).len();
+        assert!(bar >= prev, "bar length must grow with count");
+        assert!(bar <= 51);
+        prev = bar;
+    }
+    assert!(log_bar(0, max).is_empty());
+    assert!(log_bar(max, max).len() >= 50);
+}
+
+#[test]
+fn pass_templates_excludes_memory_ops() {
+    let ts = pass_templates();
+    assert!(ts.len() > 100);
+    for (name, t) in &ts {
+        assert!(
+            !t.source
+                .iter()
+                .chain(&t.target)
+                .any(|s| s.inst.is_memory_op()),
+            "{name} has memory ops"
+        );
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test host crate; the test sources live in `/tests`.

@@ -1,0 +1,36 @@
+//! Attribute inference (paper §3.4): find the weakest source attributes
+//! and strongest target attributes for a few transformations.
+//!
+//! Run with: `cargo run --release -p alive --example attr_infer`
+
+use alive::{infer_attributes, parse_transform, VerifyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cases = [
+        // The nsw can be propagated from mul to shl.
+        "Name: mul-to-shl\nPre: isPowerOf2(C) && !isSignBit(C)\n%r = mul nsw %x, C\n=>\n%r = shl %x, log2(C)",
+        // The nsw on the source is unnecessary.
+        "Name: add-zero\n%r = add nsw %x, 0\n=>\n%r = %x",
+        // The nsw is required (the paper's §2.4 example).
+        "Name: inc-gt\n%1 = add nsw %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true",
+    ];
+
+    let config = VerifyConfig::fast();
+    for src in cases {
+        let t = parse_transform(src)?;
+        println!("=== {} ===", t.name.as_deref().unwrap_or("?"));
+        println!("as written:\n{t}");
+        let r = infer_attributes(&t, &config)?;
+        println!(
+            "precondition weakened:     {}",
+            if r.pre_weakened { "yes" } else { "no" }
+        );
+        println!(
+            "postcondition strengthened: {}",
+            if r.post_strengthened { "yes" } else { "no" }
+        );
+        println!("inferred:\n{}", r.inferred);
+        println!("({} correctness checks)\n", r.checks);
+    }
+    Ok(())
+}

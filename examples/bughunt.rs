@@ -1,0 +1,35 @@
+//! Bug hunting: re-discover the eight InstCombine bugs of the paper's
+//! Fig. 8 by running the verifier over them, then confirm the fixed
+//! versions verify.
+//!
+//! Run with: `cargo run --release -p alive --example bughunt`
+
+use alive::{verify, Verdict, VerifyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = VerifyConfig::fast();
+
+    println!("=== the eight Fig. 8 InstCombine bugs ===\n");
+    for entry in alive::suite::buggy() {
+        println!("--- {} ---", entry.name);
+        println!("{}", entry.transform);
+        match verify(&entry.transform, &config)? {
+            Verdict::Invalid(cex) => println!("{cex}"),
+            other => println!("UNEXPECTED: {other}"),
+        }
+    }
+
+    println!("\n=== the corrected versions ===\n");
+    for entry in alive::suite::corpus()
+        .into_iter()
+        .filter(|e| e.name.ends_with("-fixed"))
+    {
+        match verify(&entry.transform, &config)? {
+            Verdict::Valid { typings_checked } => {
+                println!("{:20} verified ({typings_checked} typings)", entry.name)
+            }
+            other => println!("{:20} UNEXPECTED: {other}", entry.name),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Corpus-wide integration tests.
+//!
+//! The deterministic sample keeps the default test run fast; the full
+//! sweep (every entry at the fast profile, ~4 minutes) runs with
+//! `cargo test -p integration --test corpus -- --ignored`.
+
+use alive::{generate_cpp, VerifyConfig};
+
+#[test]
+fn sampled_corpus_verifies_as_expected() {
+    let all = alive::suite::full_corpus();
+    let config = VerifyConfig::fast();
+    // Deterministic sample: every 4th entry plus all expected bugs.
+    for (i, e) in all.iter().enumerate() {
+        if i % 4 != 0 && !e.expected_bug {
+            continue;
+        }
+        let v = alive::verify(&e.transform, &config)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        assert_eq!(
+            v.is_invalid(),
+            e.expected_bug,
+            "{}: verifier disagrees with expectation: {v}",
+            e.name
+        );
+    }
+}
+
+#[test]
+#[ignore = "full corpus sweep takes minutes; run explicitly"]
+fn full_corpus_verifies_as_expected() {
+    let config = VerifyConfig::fast();
+    for e in alive::suite::full_corpus() {
+        let v = alive::verify(&e.transform, &config)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        assert_eq!(v.is_invalid(), e.expected_bug, "{}: {v}", e.name);
+    }
+}
+
+#[test]
+fn corpus_covers_every_table3_category() {
+    let all = alive::suite::corpus();
+    for file in alive::suite::InstCombineFile::all() {
+        let n = all.iter().filter(|e| e.file == file).count();
+        assert!(n >= 8, "{file}: only {n} entries");
+    }
+    assert!(all.len() >= 140, "corpus size: {}", all.len());
+}
+
+#[test]
+fn cpp_generation_covers_non_memory_corpus() {
+    let mut generated = 0;
+    let mut skipped = 0;
+    for e in alive::suite::corpus() {
+        let has_memory = e
+            .transform
+            .source
+            .iter()
+            .chain(&e.transform.target)
+            .any(|s| s.inst.is_memory_op());
+        match generate_cpp(&e.transform) {
+            Ok(cpp) => {
+                assert!(!has_memory, "{}: memory op slipped through", e.name);
+                assert!(cpp.contains("match(I,"), "{}: {cpp}", e.name);
+                generated += 1;
+            }
+            Err(_) => {
+                assert!(has_memory, "{}: unexpected codegen failure", e.name);
+                skipped += 1;
+            }
+        }
+    }
+    assert!(generated > 120, "generated {generated}");
+    assert!(skipped <= 10, "skipped {skipped}");
+}
+
+#[test]
+fn suite_names_resolve() {
+    for e in alive::suite::full_corpus() {
+        assert!(alive::suite::by_name(&e.name).is_some(), "{}", e.name);
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig. 8 integration test: the eight incorrect InstCombine
+//! transformations are rejected with the failure kinds the paper reports
+//! (four introduce undefined behavior, two produce wrong values, two
+//! introduce poison), and every corrected version verifies.
+
+use alive::{FailureKind, Verdict, VerifyConfig};
+
+fn verdict_of(name: &str) -> Verdict {
+    let entry = alive::suite::by_name(name).unwrap_or_else(|| panic!("{name} in corpus"));
+    alive::verify(&entry.transform, &VerifyConfig::fast())
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn failure_of(name: &str) -> FailureKind {
+    match verdict_of(name) {
+        Verdict::Invalid(cex) => cex.kind,
+        other => panic!("{name} must be rejected, got {other}"),
+    }
+}
+
+#[test]
+fn all_eight_bugs_are_rejected() {
+    for pr in [
+        "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256",
+        "PR21274",
+    ] {
+        assert!(verdict_of(pr).is_invalid(), "{pr} must be rejected");
+    }
+}
+
+#[test]
+fn bug_kinds_match_the_papers_classification() {
+    // "The most common kind of bug ... was the introduction of undefined
+    // behavior ... four bugs in this category. We also found two bugs where
+    // the value of an expression was incorrect ... and two bugs where a
+    // transformation would generate a poison value."
+    let ub = [
+        failure_of("PR20186"),
+        failure_of("PR21255"),
+        failure_of("PR21256"),
+        failure_of("PR21274"),
+    ];
+    assert!(ub.iter().all(|k| *k == FailureKind::Definedness), "{ub:?}");
+
+    let value = [failure_of("PR21243"), failure_of("PR21245")];
+    assert!(
+        value.iter().all(|k| *k == FailureKind::ValueMismatch),
+        "{value:?}"
+    );
+
+    let poison = [failure_of("PR20189"), failure_of("PR21242")];
+    assert!(
+        poison.iter().all(|k| *k == FailureKind::Poison),
+        "{poison:?}"
+    );
+}
+
+#[test]
+fn pr21245_counterexample_is_at_i4_like_figure5() {
+    let entry = alive::suite::by_name("PR21245").unwrap();
+    // Default config enumerates small widths first (the paper's bias).
+    match alive::verify(&entry.transform, &VerifyConfig::default()).unwrap() {
+        Verdict::Invalid(cex) => {
+            assert_eq!(cex.kind, FailureKind::ValueMismatch);
+            assert_eq!(cex.root, "r");
+            assert_eq!(cex.root_width, 4);
+            assert!(cex.source_value.is_some());
+            assert!(cex.target_value.is_some());
+            assert_ne!(cex.source_value, cex.target_value);
+            // The printed form follows Fig. 5.
+            let printed = cex.to_string();
+            assert!(printed.starts_with("ERROR: Mismatch in values of i4 %r"), "{printed}");
+            assert!(printed.contains("Example:"), "{printed}");
+            assert!(printed.contains("Source value: "), "{printed}");
+            assert!(printed.contains("Target value: "), "{printed}");
+        }
+        other => panic!("expected counterexample, got {other}"),
+    }
+}
+
+#[test]
+fn every_fixed_version_verifies() {
+    for pr in [
+        "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256",
+        "PR21274",
+    ] {
+        let v = verdict_of(&format!("{pr}-fixed"));
+        assert!(v.is_valid(), "{pr}-fixed must verify: {v}");
+    }
+}

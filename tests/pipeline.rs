@@ -1,0 +1,156 @@
+//! End-to-end pipeline integration: DSL text → parse → validate → type
+//! enumeration → verification → attribute inference → C++ generation →
+//! application to mini-LLVM IR → differential execution.
+
+use alive::opt::interp::run;
+use alive::opt::{Function, MInst, MValue};
+use alive::smt::BvVal;
+use alive::{
+    generate_cpp, infer_attributes, parse_transform, verified_peephole, verify, Verdict,
+    VerifyConfig,
+};
+use alive::ir::BinOp;
+
+const OPT: &str = r"
+Name: demo
+Pre: isPowerOf2(C)
+%r = mul nsw %x, C
+%s = add %r, %y
+=>
+%m = shl %x, log2(C)
+%s = add %m, %y
+";
+
+#[test]
+fn full_pipeline_on_one_optimization() {
+    let t = parse_transform(OPT).expect("parses");
+    alive::validate(&t).expect("validates");
+
+    // 1. Verification succeeds.
+    let verdict = verify(&t, &VerifyConfig::fast()).expect("verifies");
+    assert!(verdict.is_valid(), "{verdict}");
+
+    // 2. Attribute inference: nsw on the source mul is unnecessary for this
+    //    rewrite (the target drops it anyway).
+    let attrs = infer_attributes(&t, &VerifyConfig::fast()).expect("inference");
+    assert!(attrs.pre_weakened, "mul nsw requirement should be droppable");
+
+    // 3. C++ generation produces an InstCombine-style snippet.
+    let cpp = generate_cpp(&t).expect("codegen");
+    assert!(cpp.contains("m_Mul"), "{cpp}");
+    assert!(cpp.contains("isPowerOf2()"), "{cpp}");
+    assert!(cpp.contains("replaceAllUsesWith"), "{cpp}");
+
+    // 4. Application: build ((x * 8) + y) and optimize.
+    let (pass, rejected) =
+        verified_peephole([("demo".to_string(), t)], &VerifyConfig::fast());
+    assert!(rejected.is_empty());
+    let mut f = Function::new("t", vec![8, 8]);
+    let m = f.push(MInst::Bin {
+        op: BinOp::Mul,
+        flags: vec![alive::ir::Flag::Nsw],
+        a: MValue::Reg(0),
+        b: MValue::Const(BvVal::new(8, 8)),
+    });
+    let s = f.push(MInst::Bin {
+        op: BinOp::Add,
+        flags: vec![],
+        a: MValue::Reg(m),
+        b: MValue::Reg(1),
+    });
+    f.ret = MValue::Reg(s);
+    let original = f.clone();
+    let stats = pass.run(&mut f);
+    assert_eq!(stats.total_fires(), 1);
+    assert!(
+        f.insts
+            .iter()
+            .any(|i| matches!(i, MInst::Bin { op: BinOp::Shl, .. })),
+        "mul should have become shl: {f}"
+    );
+
+    // 5. Differential execution over a sample of the input space.
+    for x in (0..=255u128).step_by(7) {
+        for y in (0..=255u128).step_by(13) {
+            let input = [BvVal::new(8, x), BvVal::new(8, y)];
+            let before = run(&original, &input);
+            let after = run(&f, &input);
+            assert!(
+                after.refines(&before),
+                "x={x} y={y}: {before:?} -> {after:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn check_text_verifies_multiple_transforms() {
+    let results = alive::check_text(
+        r"
+Name: ok1
+%r = sub %x, %x
+=>
+%r = 0
+Name: broken
+%r = sub %x, %x
+=>
+%r = 1
+Name: ok2
+%r = or %x, %x
+=>
+%r = %x
+",
+        &VerifyConfig::fast(),
+    )
+    .expect("all parse and verify");
+    assert_eq!(results.len(), 3);
+    assert!(results[0].1.is_valid());
+    assert!(results[1].1.is_invalid());
+    assert!(results[2].1.is_valid());
+}
+
+#[test]
+fn counterexamples_expose_each_undefined_behavior_kind() {
+    // Value bug.
+    let t = parse_transform("%r = add %x, 1\n=>\n%r = add %x, 2").unwrap();
+    match verify(&t, &VerifyConfig::fast()).unwrap() {
+        Verdict::Invalid(cex) => assert_eq!(cex.kind, alive::FailureKind::ValueMismatch),
+        other => panic!("{other}"),
+    }
+    // Definedness bug (target divides: x/x is UB at x = 0).
+    let t = parse_transform(
+        "%r = add %x, 0\n=>\n%d = udiv %x, %x\n%m = mul %d, %x\n%r = add %m, 0",
+    )
+    .unwrap();
+    match verify(&t, &VerifyConfig::fast()).unwrap() {
+        Verdict::Invalid(cex) => assert_eq!(cex.kind, alive::FailureKind::Definedness),
+        other => panic!("{other}"),
+    }
+    // Poison bug (target adds nsw).
+    let t = parse_transform("%r = add %x, %y\n=>\n%r = add nsw %x, %y").unwrap();
+    match verify(&t, &VerifyConfig::fast()).unwrap() {
+        Verdict::Invalid(cex) => assert_eq!(cex.kind, alive::FailureKind::Poison),
+        other => panic!("{other}"),
+    }
+    // Memory bug (target drops a store).
+    let t = parse_transform("store %v, %p\n%r = load %p\n=>\n%r = %v").unwrap();
+    match verify(&t, &VerifyConfig::fast()).unwrap() {
+        Verdict::Invalid(cex) => assert_eq!(cex.kind, alive::FailureKind::MemoryMismatch),
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn undef_refinement_matches_paper_semantics() {
+    // §3.1.3: select undef can be refined by ashr undef at i4.
+    let ok = parse_transform("%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3").unwrap();
+    assert!(verify(&ok, &VerifyConfig::fast()).unwrap().is_valid());
+    // The reverse direction is wrong: `or 1, undef` only produces odd
+    // values, while the select's arms include the even value 0.
+    let bad = parse_transform("%r = or i4 1, undef\n=>\n%r = select undef, i4 -1, 0").unwrap();
+    assert!(verify(&bad, &VerifyConfig::fast()).unwrap().is_invalid());
+    // By contrast, xor with undef covers every value, so any refinement of
+    // the target is answerable by a source undef choice.
+    let ok2 = parse_transform("%r = xor i4 %x, undef\n=>\n%r = select undef, i4 -1, 0").unwrap();
+    assert!(verify(&ok2, &VerifyConfig::fast()).unwrap().is_valid());
+}
