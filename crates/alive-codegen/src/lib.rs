@@ -38,8 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 use alive_ir::ast::{
-    BinOp, CBinop, CExpr, CExprArg, CUnop, ConvOp, ICmpPred, Inst, Operand, Pred, PredArg,
-    Stmt,
+    BinOp, CBinop, CExpr, CExprArg, CUnop, ConvOp, ICmpPred, Inst, Operand, Pred, PredArg, Stmt,
 };
 use alive_ir::{validate, Transform};
 use std::collections::{HashMap, HashSet};

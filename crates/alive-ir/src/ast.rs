@@ -620,12 +620,18 @@ impl Transform {
 
     /// Registers defined in the source template, in order.
     pub fn source_defs(&self) -> Vec<&str> {
-        self.source.iter().filter_map(|s| s.name.as_deref()).collect()
+        self.source
+            .iter()
+            .filter_map(|s| s.name.as_deref())
+            .collect()
     }
 
     /// Registers defined in the target template, in order.
     pub fn target_defs(&self) -> Vec<&str> {
-        self.target.iter().filter_map(|s| s.name.as_deref()).collect()
+        self.target
+            .iter()
+            .filter_map(|s| s.name.as_deref())
+            .collect()
     }
 
     /// Input registers: used in the source but not defined by it.

@@ -245,8 +245,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                         break;
                     }
                 }
-                let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X"))
-                {
+                let value = if let Some(hex) = text.strip_prefix("0x").or(text.strip_prefix("0X")) {
                     i128::from_str_radix(hex, 16)
                 } else {
                     text.parse::<i128>()
@@ -494,7 +493,10 @@ mod tests {
 
     #[test]
     fn unsigned_comparisons() {
-        assert_eq!(toks("u< u<= u> u>=")[..4], [Tok::ULt, Tok::ULe, Tok::UGt, Tok::UGe]);
+        assert_eq!(
+            toks("u< u<= u> u>=")[..4],
+            [Tok::ULt, Tok::ULe, Tok::UGt, Tok::UGe]
+        );
     }
 
     #[test]

@@ -38,8 +38,8 @@ mod printer;
 pub mod validate;
 
 pub use ast::{
-    BinOp, CBinop, CExpr, CExprArg, CUnop, ConvOp, Flag, ICmpPred, Inst, Operand, Pred,
-    PredArg, PredCmpOp, Stmt, Transform, Type,
+    BinOp, CBinop, CExpr, CExprArg, CUnop, ConvOp, Flag, ICmpPred, Inst, Operand, Pred, PredArg,
+    PredCmpOp, Stmt, Transform, Type,
 };
 pub use lexer::{lex, LexError};
 pub use parser::{parse_transform, parse_transforms, ParseError};

@@ -325,9 +325,8 @@ impl Parser {
                 "icmp" => {
                     self.bump();
                     let pred = match self.bump() {
-                        Tok::Ident(p) => ICmpPred::from_mnemonic(&p).ok_or_else(|| {
-                            self.err(format!("unknown icmp predicate `{p}`"))
-                        })?,
+                        Tok::Ident(p) => ICmpPred::from_mnemonic(&p)
+                            .ok_or_else(|| self.err(format!("unknown icmp predicate `{p}`")))?,
                         other => {
                             return Err(
                                 self.err(format!("expected icmp predicate, found `{other}`"))
@@ -432,9 +431,7 @@ impl Parser {
             Tok::LBracket => {
                 let n = match self.bump() {
                     Tok::Num(n) if n >= 0 => n as u64,
-                    other => {
-                        return Err(self.err(format!("expected array size, found `{other}`")))
-                    }
+                    other => return Err(self.err(format!("expected array size, found `{other}`"))),
                 };
                 match self.bump() {
                     Tok::Ident(x) if x == "x" => {}
@@ -597,9 +594,7 @@ impl Parser {
                     Ok(CExpr::Sym(name))
                 }
             }
-            other => Err(self.err(format!(
-                "expected a constant expression, found `{other}`"
-            ))),
+            other => Err(self.err(format!("expected a constant expression, found `{other}`"))),
         }
     }
 
@@ -736,17 +731,16 @@ mod tests {
 
     #[test]
     fn paper_intro_example() {
-        let t = parse_transform(
-            "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x",
-        )
-        .unwrap();
+        let t = parse_transform("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x").unwrap();
         assert_eq!(t.root(), "2");
         assert_eq!(t.inputs(), vec!["x"]);
         assert_eq!(t.constant_symbols(), vec!["C".to_string()]);
         assert_eq!(t.source.len(), 2);
         assert_eq!(t.target.len(), 1);
         match &t.target[0].inst {
-            Inst::BinOp { op: BinOp::Sub, a, .. } => match a {
+            Inst::BinOp {
+                op: BinOp::Sub, a, ..
+            } => match a {
                 Operand::Const(CExpr::Binop(CBinop::Sub, lhs, rhs), _) => {
                     assert_eq!(**lhs, CExpr::Sym("C".into()));
                     assert_eq!(**rhs, CExpr::Lit(1));
@@ -778,10 +772,7 @@ mod tests {
                         assert_eq!(name, "MaskedValueIsZero");
                         assert_eq!(args.len(), 2);
                         assert!(matches!(args[0], PredArg::Reg(_)));
-                        assert!(matches!(
-                            args[1],
-                            PredArg::Expr(CExpr::Unop(CUnop::Not, _))
-                        ));
+                        assert!(matches!(args[1], PredArg::Expr(CExpr::Unop(CUnop::Not, _))));
                     }
                     other => panic!("unexpected pred {other:?}"),
                 }
@@ -792,10 +783,8 @@ mod tests {
 
     #[test]
     fn nsw_flags_and_typed_operands() {
-        let t = parse_transform(
-            "%1 = add nsw i32 %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true",
-        )
-        .unwrap();
+        let t =
+            parse_transform("%1 = add nsw i32 %x, 1\n%2 = icmp sgt %1, %x\n=>\n%2 = true").unwrap();
         match &t.source[0].inst {
             Inst::BinOp { op, flags, a, .. } => {
                 assert_eq!(*op, BinOp::Add);
@@ -814,15 +803,11 @@ mod tests {
 
     #[test]
     fn select_undef_example() {
-        let t =
-            parse_transform("%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3").unwrap();
+        let t = parse_transform("%r = select undef, i4 -1, 0\n=>\n%r = ashr undef, 3").unwrap();
         match &t.source[0].inst {
             Inst::Select { cond, on_true, .. } => {
                 assert!(matches!(cond, Operand::Undef(None)));
-                assert_eq!(
-                    on_true,
-                    &Operand::Const(CExpr::Lit(-1), Some(Type::Int(4)))
-                );
+                assert_eq!(on_true, &Operand::Const(CExpr::Lit(-1), Some(Type::Int(4))));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -851,7 +836,10 @@ mod tests {
         assert_eq!(ts.len(), 2);
         assert_eq!(ts[0].name.as_deref(), Some("first"));
         assert_eq!(ts[1].name.as_deref(), Some("second"));
-        assert!(matches!(ts[1].source[0].inst, Inst::BinOp { op: BinOp::Mul, .. }));
+        assert!(matches!(
+            ts[1].source[0].inst,
+            Inst::BinOp { op: BinOp::Mul, .. }
+        ));
     }
 
     #[test]
@@ -868,10 +856,8 @@ mod tests {
 
     #[test]
     fn gep_with_indices() {
-        let t = parse_transform(
-            "%p = getelementptr %base, %i, 3\n%v = load %p\n=>\n%v = load %p",
-        )
-        .unwrap();
+        let t = parse_transform("%p = getelementptr %base, %i, 3\n%v = load %p\n=>\n%v = load %p")
+            .unwrap();
         match &t.source[0].inst {
             Inst::Gep { idxs, .. } => assert_eq!(idxs.len(), 2),
             other => panic!("unexpected {other:?}"),

@@ -73,9 +73,7 @@ pub fn validate(t: &Transform) -> Result<(), ValidateError> {
     let mut seen: HashSet<&str> = HashSet::new();
     for s in &t.target {
         for r in s.inst.used_regs() {
-            let known = inputs.contains(r)
-                || src_def_set.contains(r)
-                || seen.contains(r);
+            let known = inputs.contains(r) || src_def_set.contains(r) || seen.contains(r);
             if !known {
                 return Err(err(format!(
                     "target uses %{r} which is neither an input nor previously defined"
@@ -138,9 +136,7 @@ fn check_ssa(stmts: &[crate::ast::Stmt], which: &str) -> Result<(), ValidateErro
     for s in stmts {
         if let Some(n) = &s.name {
             if !defined.insert(n) {
-                return Err(err(format!(
-                    "{which} template defines %{n} more than once"
-                )));
+                return Err(err(format!("{which} template defines %{n} more than once")));
             }
         }
     }
@@ -151,9 +147,7 @@ fn check_ssa(stmts: &[crate::ast::Stmt], which: &str) -> Result<(), ValidateErro
         for s in stmts {
             for r in s.inst.used_regs() {
                 if all.contains(r) && !seen.contains(r) {
-                    return Err(err(format!(
-                        "source uses %{r} before its definition"
-                    )));
+                    return Err(err(format!("source uses %{r} before its definition")));
                 }
             }
             if let Some(n) = &s.name {

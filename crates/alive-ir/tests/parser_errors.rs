@@ -74,10 +74,8 @@ fn validator_rejects_empty_templates() {
 fn multiple_preconditions_merge_is_rejected() {
     // Two Pre: lines — the second is treated as a second header; the last
     // one wins is NOT silently allowed: both parse, second overwrites.
-    let t = parse_transform(
-        "Pre: C1 != 0\nPre: C1 != 1\n%r = udiv %x, C1\n=>\n%r = udiv %x, C1",
-    )
-    .unwrap();
+    let t = parse_transform("Pre: C1 != 0\nPre: C1 != 1\n%r = udiv %x, C1\n=>\n%r = udiv %x, C1")
+        .unwrap();
     // Documented behavior: the last Pre header is in effect.
     assert!(t.pre.to_string().contains("1"));
 }

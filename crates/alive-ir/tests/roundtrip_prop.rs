@@ -28,8 +28,7 @@ fn binop_strategy() -> impl Strategy<Value = BinOp> {
 fn cexpr_strategy() -> impl Strategy<Value = CExpr> {
     let leaf = prop_oneof![
         (-200i128..200).prop_map(CExpr::Lit),
-        prop_oneof![Just("C"), Just("C1"), Just("C2")]
-            .prop_map(|s| CExpr::Sym(s.to_string())),
+        prop_oneof![Just("C"), Just("C1"), Just("C2")].prop_map(|s| CExpr::Sym(s.to_string())),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
@@ -57,11 +56,10 @@ fn cexpr_strategy() -> impl Strategy<Value = CExpr> {
                 CExpr::Lit(n) => CExpr::Lit(-n),
                 other => CExpr::Unop(CUnop::Neg, Box::new(other)),
             }),
-            inner.clone().prop_map(|a| CExpr::Unop(CUnop::Not, Box::new(a))),
-            inner.prop_map(|a| CExpr::Fun(
-                "abs".to_string(),
-                vec![CExprArg::Expr(a)]
-            )),
+            inner
+                .clone()
+                .prop_map(|a| CExpr::Unop(CUnop::Not, Box::new(a))),
+            inner.prop_map(|a| CExpr::Fun("abs".to_string(), vec![CExprArg::Expr(a)])),
         ]
     })
 }
@@ -84,68 +82,68 @@ fn flags_for(op: BinOp) -> impl Strategy<Value = Vec<Flag>> {
 /// A chain of binops over inputs %x, %y and constants, rooted at the last.
 fn transform_strategy() -> impl Strategy<Value = Transform> {
     let stmt = (binop_strategy(), cexpr_strategy()).prop_flat_map(|(op, ce)| {
-        (Just(op), flags_for(op), Just(ce), any::<bool>(), any::<bool>())
+        (
+            Just(op),
+            flags_for(op),
+            Just(ce),
+            any::<bool>(),
+            any::<bool>(),
+        )
     });
-    (proptest::collection::vec(stmt, 1..4), any::<bool>()).prop_map(
-        |(stmts, with_pre)| {
-            let mut source = Vec::new();
-            for (i, (op, flags, ce, use_prev, const_on_rhs)) in stmts.iter().enumerate() {
-                let prev: Operand = if i > 0 && *use_prev {
-                    Operand::Reg(format!("t{}", i - 1), None)
-                } else {
-                    Operand::Reg("x".to_string(), None)
-                };
-                let konst = Operand::Const(ce.clone(), None);
-                let (a, b) = if *const_on_rhs {
-                    (prev, konst)
-                } else {
-                    (konst, prev)
-                };
-                source.push(Stmt {
-                    name: Some(format!("t{i}")),
-                    inst: Inst::BinOp {
-                        op: *op,
-                        flags: flags.clone(),
-                        a,
-                        b,
-                    },
-                });
-            }
-            let root = format!("t{}", stmts.len() - 1);
-            // Ensure all temporaries feed the root: rewrite each non-root
-            // temp to be used by the next statement's lhs if it is not
-            // already; simplest is to chain them explicitly.
-            for i in 1..source.len() {
-                if let Inst::BinOp { a, .. } = &mut source[i].inst {
-                    *a = Operand::Reg(format!("t{}", i - 1), None);
-                }
-            }
-            let target = vec![Stmt {
-                name: Some(root),
-                inst: Inst::BinOp {
-                    op: BinOp::Xor,
-                    flags: vec![],
-                    a: Operand::Reg("x".to_string(), None),
-                    b: Operand::Reg("x".to_string(), None),
-                },
-            }];
-            let pre = if with_pre {
-                Pred::Cmp(
-                    PredCmpOp::Ne,
-                    CExpr::Sym("C".to_string()),
-                    CExpr::Lit(0),
-                )
+    (proptest::collection::vec(stmt, 1..4), any::<bool>()).prop_map(|(stmts, with_pre)| {
+        let mut source = Vec::new();
+        for (i, (op, flags, ce, use_prev, const_on_rhs)) in stmts.iter().enumerate() {
+            let prev: Operand = if i > 0 && *use_prev {
+                Operand::Reg(format!("t{}", i - 1), None)
             } else {
-                Pred::True
+                Operand::Reg("x".to_string(), None)
             };
-            Transform {
-                name: Some("generated".to_string()),
-                pre,
-                source,
-                target,
+            let konst = Operand::Const(ce.clone(), None);
+            let (a, b) = if *const_on_rhs {
+                (prev, konst)
+            } else {
+                (konst, prev)
+            };
+            source.push(Stmt {
+                name: Some(format!("t{i}")),
+                inst: Inst::BinOp {
+                    op: *op,
+                    flags: flags.clone(),
+                    a,
+                    b,
+                },
+            });
+        }
+        let root = format!("t{}", stmts.len() - 1);
+        // Ensure all temporaries feed the root: rewrite each non-root
+        // temp to be used by the next statement's lhs if it is not
+        // already; simplest is to chain them explicitly.
+        for (i, stmt) in source.iter_mut().enumerate().skip(1) {
+            if let Inst::BinOp { a, .. } = &mut stmt.inst {
+                *a = Operand::Reg(format!("t{}", i - 1), None);
             }
-        },
-    )
+        }
+        let target = vec![Stmt {
+            name: Some(root),
+            inst: Inst::BinOp {
+                op: BinOp::Xor,
+                flags: vec![],
+                a: Operand::Reg("x".to_string(), None),
+                b: Operand::Reg("x".to_string(), None),
+            },
+        }];
+        let pre = if with_pre {
+            Pred::Cmp(PredCmpOp::Ne, CExpr::Sym("C".to_string()), CExpr::Lit(0))
+        } else {
+            Pred::True
+        };
+        Transform {
+            name: Some("generated".to_string()),
+            pre,
+            source,
+            target,
+        }
+    })
 }
 
 proptest! {

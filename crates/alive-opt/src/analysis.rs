@@ -99,7 +99,7 @@ pub fn known_bits(f: &Function) -> Vec<KnownBits> {
         .collect()
 }
 
-fn compute(f: &Function, root: u32, out: &mut Vec<Option<KnownBits>>) {
+fn compute(f: &Function, root: u32, out: &mut [Option<KnownBits>]) {
     let mut stack: Vec<(u32, bool)> = vec![(root, false)];
     while let Some((id, expanded)) = stack.pop() {
         if out[id as usize].is_some() {
@@ -159,13 +159,8 @@ fn transfer(f: &Function, inst: &MInst, env: &[Option<KnownBits>]) -> KnownBits 
                     if let Some(sh) = kb.is_constant() {
                         if sh.to_unsigned() < w as u128 {
                             return KnownBits {
-                                zero: ka
-                                    .zero
-                                    .shl(sh)
-                                    .or(BvVal::ones(w).lshr(BvVal::new(
-                                        w,
-                                        w as u128 - sh.to_unsigned(),
-                                    ))
+                                zero: ka.zero.shl(sh).or(BvVal::ones(w)
+                                    .lshr(BvVal::new(w, w as u128 - sh.to_unsigned()))
                                     .and(BvVal::ones(w))),
                                 one: ka.one.shl(sh),
                             };
@@ -179,10 +174,7 @@ fn transfer(f: &Function, inst: &MInst, env: &[Option<KnownBits>]) -> KnownBits 
                             let high_zeros = if sh.is_zero() {
                                 BvVal::zero(w)
                             } else {
-                                BvVal::ones(w).shl(BvVal::new(
-                                    w,
-                                    w as u128 - sh.to_unsigned(),
-                                ))
+                                BvVal::ones(w).shl(BvVal::new(w, w as u128 - sh.to_unsigned()))
                             };
                             return KnownBits {
                                 zero: ka.zero.lshr(sh).or(high_zeros),
@@ -207,14 +199,11 @@ fn transfer(f: &Function, inst: &MInst, env: &[Option<KnownBits>]) -> KnownBits 
                 _ => match (ka.is_constant(), kb.is_constant()) {
                     // Fully-constant folding (avoiding UB cases).
                     (Some(x), Some(y)) => {
-                        let safe = !matches!(
-                            op,
-                            BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem
-                        ) || !y.is_zero();
-                        let shift_ok = !matches!(
-                            op,
-                            BinOp::Shl | BinOp::LShr | BinOp::AShr
-                        ) || y.to_unsigned() < w as u128;
+                        let safe =
+                            !matches!(op, BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem)
+                                || !y.is_zero();
+                        let shift_ok = !matches!(op, BinOp::Shl | BinOp::LShr | BinOp::AShr)
+                            || y.to_unsigned() < w as u128;
                         if safe && shift_ok {
                             let v = match op {
                                 BinOp::Add => x.add(y),
@@ -278,10 +267,10 @@ fn transfer(f: &Function, inst: &MInst, env: &[Option<KnownBits>]) -> KnownBits 
                         }
                     } else {
                         KnownBits {
-                            zero: ka.zero.zext(*to).and(BvVal::ones(*to).lshr(BvVal::new(
-                                *to,
-                                (*to - aw) as u128,
-                            ))),
+                            zero: ka
+                                .zero
+                                .zext(*to)
+                                .and(BvVal::ones(*to).lshr(BvVal::new(*to, (*to - aw) as u128))),
                             one: ka.one.zext(*to),
                         }
                     }

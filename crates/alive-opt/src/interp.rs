@@ -163,20 +163,16 @@ fn bin_semantics(op: BinOp, flags: &[Flag], x: BvVal, y: BvVal) -> Result<Exec, 
     let w = x.width();
     // Immediate UB per Table 1.
     match op {
-        BinOp::UDiv | BinOp::URem => {
-            if y.is_zero() {
-                return Err(Ub);
-            }
+        BinOp::UDiv | BinOp::URem if y.is_zero() => {
+            return Err(Ub);
         }
-        BinOp::SDiv | BinOp::SRem => {
-            if y.is_zero() || (x == BvVal::int_min(w) && y == BvVal::ones(w)) {
-                return Err(Ub);
-            }
+        BinOp::SDiv | BinOp::SRem
+            if (y.is_zero() || (x == BvVal::int_min(w) && y == BvVal::ones(w))) =>
+        {
+            return Err(Ub);
         }
-        BinOp::Shl | BinOp::LShr | BinOp::AShr => {
-            if y.to_unsigned() >= w as u128 {
-                return Err(Ub);
-            }
+        BinOp::Shl | BinOp::LShr | BinOp::AShr if y.to_unsigned() >= w as u128 => {
+            return Err(Ub);
         }
         _ => {}
     }
@@ -187,12 +183,8 @@ fn bin_semantics(op: BinOp, flags: &[Flag], x: BvVal, y: BvVal) -> Result<Exec, 
             (BinOp::Add, Flag::Nuw) => x.zext(w + 1).add(y.zext(w + 1)) != x.add(y).zext(w + 1),
             (BinOp::Sub, Flag::Nsw) => x.sext(w + 1).sub(y.sext(w + 1)) != x.sub(y).sext(w + 1),
             (BinOp::Sub, Flag::Nuw) => x.zext(w + 1).sub(y.zext(w + 1)) != x.sub(y).zext(w + 1),
-            (BinOp::Mul, Flag::Nsw) => {
-                x.sext(2 * w).mul(y.sext(2 * w)) != x.mul(y).sext(2 * w)
-            }
-            (BinOp::Mul, Flag::Nuw) => {
-                x.zext(2 * w).mul(y.zext(2 * w)) != x.mul(y).zext(2 * w)
-            }
+            (BinOp::Mul, Flag::Nsw) => x.sext(2 * w).mul(y.sext(2 * w)) != x.mul(y).sext(2 * w),
+            (BinOp::Mul, Flag::Nuw) => x.zext(2 * w).mul(y.zext(2 * w)) != x.mul(y).zext(2 * w),
             (BinOp::SDiv, Flag::Exact) => x.sdiv(y).mul(y) != x,
             (BinOp::UDiv, Flag::Exact) => x.udiv(y).mul(y) != x,
             (BinOp::Shl, Flag::Nsw) => x.shl(y).ashr(y) != x,
@@ -264,10 +256,7 @@ mod tests {
     #[test]
     fn int_min_over_minus_one_is_ub() {
         let f = f_binop(BinOp::SDiv, vec![], 8);
-        assert_eq!(
-            run(&f, &[BvVal::int_min(8), BvVal::ones(8)]),
-            Outcome::Ub
-        );
+        assert_eq!(run(&f, &[BvVal::int_min(8), BvVal::ones(8)]), Outcome::Ub);
     }
 
     #[test]

@@ -285,16 +285,16 @@ impl Function {
             }
         }
         let mut remap: Vec<Option<ValueId>> = vec![None; self.params.len() + self.insts.len()];
-        for p in 0..self.params.len() {
-            remap[p] = Some(p as ValueId);
+        for (p, slot) in remap.iter_mut().enumerate().take(self.params.len()) {
+            *slot = Some(p as ValueId);
         }
         let mut new_insts = Vec::with_capacity(order.len());
         for idx in order {
             let mut ni = self.insts[idx].clone();
             ni.map_operands(|v| match v {
-                MValue::Reg(r) => MValue::Reg(
-                    remap[r as usize].expect("operands precede users in post-order"),
-                ),
+                MValue::Reg(r) => {
+                    MValue::Reg(remap[r as usize].expect("operands precede users in post-order"))
+                }
                 other => other,
             });
             new_insts.push(ni);

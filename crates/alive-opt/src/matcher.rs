@@ -24,12 +24,7 @@ pub struct Binding {
 
 /// Attempts to match the source template of `t` rooted at instruction
 /// index `root_idx`, including the precondition.
-pub fn match_at(
-    f: &Function,
-    root_idx: usize,
-    t: &Transform,
-    kb: &[KnownBits],
-) -> Option<Binding> {
+pub fn match_at(f: &Function, root_idx: usize, t: &Transform, kb: &[KnownBits]) -> Option<Binding> {
     let mut src_def: HashMap<&str, &Stmt> = HashMap::new();
     for s in &t.source {
         if let Some(n) = &s.name {
@@ -95,7 +90,9 @@ fn match_value(
             }
             if let Some(stmt) = src_def.get(name.as_str()) {
                 // Must be an instruction result matching the defining stmt.
-                let MValue::Reg(id) = actual else { return false };
+                let MValue::Reg(id) = actual else {
+                    return false;
+                };
                 let Some(inst) = f.inst_of(id) else {
                     return false;
                 };
@@ -110,7 +107,9 @@ fn match_value(
             }
         }
         Operand::Const(CExpr::Sym(s), _) => {
-            let MValue::Const(v) = actual else { return false };
+            let MValue::Const(v) = actual else {
+                return false;
+            };
             if let Some(&prev) = binding.consts.get(s) {
                 return prev == v;
             }
@@ -118,11 +117,15 @@ fn match_value(
             true
         }
         Operand::Const(CExpr::Lit(n), _) => {
-            let MValue::Const(v) = actual else { return false };
+            let MValue::Const(v) = actual else {
+                return false;
+            };
             v == BvVal::from_i128(v.width(), *n)
         }
         Operand::Const(e, _) => {
-            let MValue::Const(v) = actual else { return false };
+            let MValue::Const(v) = actual else {
+                return false;
+            };
             deferred.push((e.clone(), v));
             true
         }
@@ -140,12 +143,7 @@ fn match_inst(
 ) -> bool {
     match (templ, actual) {
         (
-            Inst::BinOp {
-                op,
-                flags,
-                a,
-                b,
-            },
+            Inst::BinOp { op, flags, a, b },
             MInst::Bin {
                 op: aop,
                 flags: aflags,
@@ -182,7 +180,14 @@ fn match_inst(
                 && match_value(f, on_true, *t, src_def, binding, deferred)
                 && match_value(f, on_false, *e, src_def, binding, deferred)
         }
-        (Inst::Conv { op, arg, to }, MInst::Conv { op: aop, a, to: ato }) => {
+        (
+            Inst::Conv { op, arg, to },
+            MInst::Conv {
+                op: aop,
+                a,
+                to: ato,
+            },
+        ) => {
             if op != aop {
                 return false;
             }
@@ -204,12 +209,7 @@ fn match_inst(
 }
 
 /// Concretely evaluates a constant expression under a binding.
-pub fn eval_cexpr(
-    e: &CExpr,
-    width: u32,
-    binding: &Binding,
-    f: &Function,
-) -> Option<BvVal> {
+pub fn eval_cexpr(e: &CExpr, width: u32, binding: &Binding, f: &Function) -> Option<BvVal> {
     Some(match e {
         CExpr::Lit(n) => BvVal::from_i128(width, *n),
         CExpr::Sym(s) => {
@@ -329,10 +329,8 @@ pub fn eval_pred(p: &Pred, binding: &Binding, f: &Function, kb: &[KnownBits]) ->
             let Some(w) = pred_width(a, binding).or_else(|| pred_width(b, binding)) else {
                 return false;
             };
-            let (Some(x), Some(y)) = (
-                eval_cexpr(a, w, binding, f),
-                eval_cexpr(b, w, binding, f),
-            ) else {
+            let (Some(x), Some(y)) = (eval_cexpr(a, w, binding, f), eval_cexpr(b, w, binding, f))
+            else {
                 return false;
             };
             match op {
@@ -379,8 +377,9 @@ fn eval_pred_fun(
     kb: &[KnownBits],
 ) -> bool {
     match name {
-        "isPowerOf2" => arg_known_bits(&args[0], binding, f, kb)
-            .is_some_and(|k| k.is_power_of_two()),
+        "isPowerOf2" => {
+            arg_known_bits(&args[0], binding, f, kb).is_some_and(|k| k.is_power_of_two())
+        }
         "isPowerOf2OrZero" => arg_known_bits(&args[0], binding, f, kb)
             .and_then(|k| k.is_constant())
             .is_some_and(|v| v.is_zero() || v.is_power_of_two()),
@@ -408,10 +407,12 @@ fn eval_pred_fun(
             };
             kv.masked_value_is_zero(mask)
         }
-        "isKnownNonZero" | "CannotBeZero" => arg_known_bits(&args[0], binding, f, kb)
-            .is_some_and(|k| k.is_non_zero()),
-        "isNonNegative" => arg_known_bits(&args[0], binding, f, kb)
-            .is_some_and(|k| k.is_non_negative()),
+        "isKnownNonZero" | "CannotBeZero" => {
+            arg_known_bits(&args[0], binding, f, kb).is_some_and(|k| k.is_non_zero())
+        }
+        "isNonNegative" => {
+            arg_known_bits(&args[0], binding, f, kb).is_some_and(|k| k.is_non_negative())
+        }
         "hasOneUse" => match args.first() {
             Some(PredArg::Reg(r)) => match binding.regs.get(r) {
                 Some(MValue::Reg(id)) => f.use_count(*id) == 1,
@@ -419,9 +420,12 @@ fn eval_pred_fun(
             },
             _ => false,
         },
-        "WillNotOverflowSignedAdd" | "WillNotOverflowUnsignedAdd"
-        | "WillNotOverflowSignedSub" | "WillNotOverflowUnsignedSub"
-        | "WillNotOverflowSignedMul" | "WillNotOverflowUnsignedMul" => {
+        "WillNotOverflowSignedAdd"
+        | "WillNotOverflowUnsignedAdd"
+        | "WillNotOverflowSignedSub"
+        | "WillNotOverflowUnsignedSub"
+        | "WillNotOverflowSignedMul"
+        | "WillNotOverflowUnsignedMul" => {
             let (Some(ka), Some(kb2)) = (
                 arg_known_bits(&args[0], binding, f, kb),
                 arg_known_bits(&args[1], binding, f, kb),
@@ -460,12 +464,7 @@ fn eval_pred_fun(
 
 /// Applies the target template at a matched site. Returns `false` (leaving
 /// `f` untouched) when the target cannot be materialized.
-pub fn apply_at(
-    f: &mut Function,
-    root_idx: usize,
-    t: &Transform,
-    binding: &Binding,
-) -> bool {
+pub fn apply_at(f: &mut Function, root_idx: usize, t: &Transform, binding: &Binding) -> bool {
     match stage_rewrite(f, root_idx, t, binding) {
         Some(staged) => {
             for (slot, inst) in staged {
@@ -500,16 +499,13 @@ fn stage_rewrite(
 
     let mut new_names: HashMap<String, MValue> = HashMap::new();
     let mut staged: Vec<(Option<usize>, MInst)> = Vec::new(); // (overwrite slot, inst)
-    // Widths of values defined by staged instructions (they are not in `f`
-    // yet, or they replace a slot whose old width may differ).
+                                                              // Widths of values defined by staged instructions (they are not in `f`
+                                                              // yet, or they replace a slot whose old width may differ).
     let mut pending: HashMap<u32, u32> = HashMap::new();
 
     let w_of = |v: MValue, pending: &HashMap<u32, u32>, f: &Function| -> u32 {
         match v {
-            MValue::Reg(id) => pending
-                .get(&id)
-                .copied()
-                .unwrap_or_else(|| f.width_of(id)),
+            MValue::Reg(id) => pending.get(&id).copied().unwrap_or_else(|| f.width_of(id)),
             MValue::Const(c) => c.width(),
             MValue::Undef(w) => w,
         }
@@ -748,10 +744,8 @@ mod tests {
     #[test]
     fn precondition_gates_match() {
         // mul nsw x, C => shl with isPowerOf2(C): only fires for powers of 2.
-        let t = parse_transform(
-            "Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)",
-        )
-        .unwrap();
+        let t = parse_transform("Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)")
+            .unwrap();
         for (c, expect) in [(8u128, true), (12, false), (0, false)] {
             let mut f = Function::new("t", vec![8]);
             let r = f.push(MInst::Bin {
@@ -806,10 +800,8 @@ mod tests {
     #[test]
     fn masked_value_is_zero_uses_analysis() {
         // Pre: MaskedValueIsZero(%x, ~C) ; and %x, C => %x
-        let t = parse_transform(
-            "Pre: MaskedValueIsZero(%x, ~C)\n%r = and %x, C\n=>\n%r = %x",
-        )
-        .unwrap();
+        let t =
+            parse_transform("Pre: MaskedValueIsZero(%x, ~C)\n%r = and %x, C\n=>\n%r = %x").unwrap();
         // %x = urem param, 8 -> top 5 bits zero; and with 0x07 is identity.
         let mut f = Function::new("t", vec![8]);
         let x = f.push(MInst::Bin {

@@ -44,11 +44,7 @@ impl PassStats {
 
     /// Invocation counts sorted descending (the Fig. 9 series).
     pub fn sorted_counts(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
-            .fires
-            .iter()
-            .map(|(k, c)| (k.clone(), *c))
-            .collect();
+        let mut v: Vec<(String, u64)> = self.fires.iter().map(|(k, c)| (k.clone(), *c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }

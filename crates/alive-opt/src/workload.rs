@@ -50,7 +50,10 @@ impl Default for WorkloadConfig {
 /// `templates` are the optimization patterns whose *source* shapes get
 /// planted (only integer templates without conversions are plantable;
 /// others are silently skipped when drawn).
-pub fn generate_workload(config: &WorkloadConfig, templates: &[(String, Transform)]) -> Vec<Function> {
+pub fn generate_workload(
+    config: &WorkloadConfig,
+    templates: &[(String, Transform)],
+) -> Vec<Function> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Zipf weights over templates, in the given order.
     let weights: Vec<f64> = (0..templates.len().max(1))
@@ -230,9 +233,7 @@ fn build_stmt(
                 Operand::Reg(name, _) => *env
                     .entry(name.clone())
                     .or_insert_with(|| bool_input(f, rng)),
-                Operand::Const(CExpr::Lit(n), _) => {
-                    MValue::Const(BvVal::new(1, (*n as u128) & 1))
-                }
+                Operand::Const(CExpr::Lit(n), _) => MValue::Const(BvVal::new(1, (*n as u128) & 1)),
                 Operand::Undef(_) => MValue::Undef(1),
                 _ => return None,
             };
@@ -339,7 +340,7 @@ fn push_random_inst(f: &mut Function, width: u32, rng: &mut StdRng) {
         if c.is_empty() || rng.gen_bool(0.3) {
             MValue::Const(BvVal::from_i128(
                 width,
-                [0i128, 1, 2, -1, 5, 16][rng.gen_range(0..6)],
+                [0i128, 1, 2, -1, 5, 16][rng.gen_range(0..6usize)],
             ))
         } else {
             c[rng.gen_range(0..c.len())]

@@ -1,0 +1,340 @@
+//! Refinement certificates: a checkable text format tying a DRAT-style
+//! refutation to the query it answers.
+//!
+//! A certificate records *what* was proved (the transform, the concrete type
+//! assignment, and which refinement condition — definedness, poison, value,
+//! or memory — was discharged), the bit-blasted CNF the claim reduces to,
+//! and the proof that the CNF is unsatisfiable. [`Certificate::check`]
+//! re-verifies the proof with the independent checker in
+//! [`crate::checker`]; [`Certificate::to_text`] and [`Certificate::parse`]
+//! round-trip the whole thing through a line-oriented text format so
+//! certificates can be written next to verification results and audited by
+//! out-of-tree tools.
+//!
+//! # Format
+//!
+//! ```text
+//! alive-proof certificate v1
+//! transform: <name>
+//! typing: <type assignment summary>
+//! check: <which refinement condition>
+//! vars: <number of CNF variables>
+//! steps:
+//! a 1 2 -3 0
+//! l 2 0
+//! d 1 2 -3 0
+//! l 0
+//! .
+//! ```
+//!
+//! Step lines are `a` (axiom), `l` (learned, RUP-checked), or `d` (delete),
+//! each a space-separated DIMACS clause terminated by `0`. The final line is
+//! a lone `.`, which makes truncated files detectable.
+
+use crate::checker::{check_refutation, CheckError, CheckReport, Step};
+use std::fmt;
+
+/// What a certificate's proof is *about*.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CertificateMeta {
+    /// Name of the transform whose refinement was checked.
+    pub transform: String,
+    /// Human-readable summary of the concrete type assignment.
+    pub typing: String,
+    /// Which refinement condition the CNF encodes (e.g. `definedness`,
+    /// `poison`, `value`, `memory`).
+    pub check: String,
+}
+
+/// A self-contained, machine-checkable record that one refinement query
+/// reduced to an unsatisfiable CNF, with the proof of unsatisfiability.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Certificate {
+    /// What was proved.
+    pub meta: CertificateMeta,
+    /// Number of variables in the CNF (DIMACS `1..=num_vars`).
+    pub num_vars: usize,
+    /// The chronological proof, including the axioms (`Step::Add`).
+    pub steps: Vec<Step>,
+}
+
+impl Certificate {
+    /// Verifies the proof with the independent RUP checker.
+    pub fn check(&self) -> Result<CheckReport, CheckError> {
+        check_refutation(self.num_vars, &self.steps)
+    }
+
+    /// Number of axiom (`a`) steps, i.e. the size of the CNF refuted.
+    pub fn num_axioms(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Add(_)))
+            .count()
+    }
+
+    /// Serializes to the v1 text format.
+    ///
+    /// Metadata values have newlines replaced by spaces so the line-oriented
+    /// format cannot be corrupted.
+    pub fn to_text(&self) -> String {
+        let clean = |s: &str| s.replace(['\n', '\r'], " ");
+        let mut out = String::new();
+        out.push_str("alive-proof certificate v1\n");
+        out.push_str(&format!("transform: {}\n", clean(&self.meta.transform)));
+        out.push_str(&format!("typing: {}\n", clean(&self.meta.typing)));
+        out.push_str(&format!("check: {}\n", clean(&self.meta.check)));
+        out.push_str(&format!("vars: {}\n", self.num_vars));
+        out.push_str("steps:\n");
+        for step in &self.steps {
+            let (tag, lits) = match step {
+                Step::Add(c) => ('a', c),
+                Step::Learn(c) => ('l', c),
+                Step::Delete(c) => ('d', c),
+            };
+            out.push(tag);
+            for l in lits {
+                out.push(' ');
+                out.push_str(&l.to_string());
+            }
+            out.push_str(" 0\n");
+        }
+        out.push_str(".\n");
+        out
+    }
+
+    /// Parses the v1 text format produced by [`Certificate::to_text`].
+    pub fn parse(text: &str) -> Result<Certificate, ParseError> {
+        let mut lines = text.lines().enumerate();
+        let mut next = |expect: &'static str| -> Result<(usize, &str), ParseError> {
+            lines
+                .next()
+                .ok_or(ParseError::Truncated { expected: expect })
+        };
+        let (_, magic) = next("magic line")?;
+        if magic != "alive-proof certificate v1" {
+            return Err(ParseError::BadMagic);
+        }
+        let mut header = |key: &'static str| -> Result<String, ParseError> {
+            let (line_no, line) = next(key)?;
+            let prefix = format!("{key}:");
+            match line.strip_prefix(&prefix) {
+                Some(rest) => Ok(rest.trim().to_string()),
+                None => Err(ParseError::BadHeader {
+                    line: line_no + 1,
+                    expected: key,
+                }),
+            }
+        };
+        let transform = header("transform")?;
+        let typing = header("typing")?;
+        let check = header("check")?;
+        let vars_text = header("vars")?;
+        let num_vars: usize = vars_text.parse().map_err(|_| ParseError::BadVarCount)?;
+        let (line_no, steps_line) = next("steps header")?;
+        if steps_line != "steps:" {
+            return Err(ParseError::BadHeader {
+                line: line_no + 1,
+                expected: "steps",
+            });
+        }
+
+        let mut steps = Vec::new();
+        let mut terminated = false;
+        for (line_no, line) in lines.by_ref() {
+            if line == "." {
+                terminated = true;
+                break;
+            }
+            let line_no = line_no + 1;
+            let mut tokens = line.split_ascii_whitespace();
+            let tag = tokens.next().ok_or(ParseError::BadStep { line: line_no })?;
+            let mut lits: Vec<i32> = Vec::new();
+            let mut saw_zero = false;
+            for tok in tokens {
+                if saw_zero {
+                    return Err(ParseError::BadStep { line: line_no });
+                }
+                let v: i32 = tok
+                    .parse()
+                    .map_err(|_| ParseError::BadStep { line: line_no })?;
+                if v == 0 {
+                    saw_zero = true;
+                } else {
+                    lits.push(v);
+                }
+            }
+            if !saw_zero {
+                return Err(ParseError::BadStep { line: line_no });
+            }
+            steps.push(match tag {
+                "a" => Step::Add(lits),
+                "l" => Step::Learn(lits),
+                "d" => Step::Delete(lits),
+                _ => return Err(ParseError::BadStep { line: line_no }),
+            });
+        }
+        if !terminated {
+            return Err(ParseError::Truncated {
+                expected: "terminating '.'",
+            });
+        }
+        if let Some((line_no, line)) = lines.next() {
+            if !line.trim().is_empty() {
+                return Err(ParseError::TrailingData { line: line_no + 1 });
+            }
+        }
+        Ok(Certificate {
+            meta: CertificateMeta {
+                transform,
+                typing,
+                check,
+            },
+            num_vars,
+            steps,
+        })
+    }
+}
+
+/// Why a certificate file failed to parse.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// The first line is not the v1 magic string.
+    BadMagic,
+    /// A header line is missing or malformed.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+        /// The header key that was expected.
+        expected: &'static str,
+    },
+    /// The `vars:` header is not a number.
+    BadVarCount,
+    /// A step line is malformed (unknown tag, bad integer, or missing the
+    /// trailing `0`).
+    BadStep {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The file ended before the terminating `.`.
+    Truncated {
+        /// What was expected next.
+        expected: &'static str,
+    },
+    /// Non-empty content after the terminating `.`.
+    TrailingData {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadMagic => write!(f, "not an alive-proof v1 certificate"),
+            ParseError::BadHeader { line, expected } => {
+                write!(f, "line {line}: expected '{expected}:' header")
+            }
+            ParseError::BadVarCount => write!(f, "vars: header is not a number"),
+            ParseError::BadStep { line } => write!(f, "line {line}: malformed proof step"),
+            ParseError::Truncated { expected } => {
+                write!(f, "certificate truncated: missing {expected}")
+            }
+            ParseError::TrailingData { line } => {
+                write!(f, "line {line}: unexpected content after terminator")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Certificate {
+        Certificate {
+            meta: CertificateMeta {
+                transform: "AddSub:1164".to_string(),
+                typing: "i8".to_string(),
+                check: "value".to_string(),
+            },
+            num_vars: 2,
+            steps: vec![
+                Step::Add(vec![1, 2]),
+                Step::Add(vec![-1, 2]),
+                Step::Add(vec![1, -2]),
+                Step::Add(vec![-1, -2]),
+                Step::Learn(vec![2]),
+                Step::Learn(vec![]),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let cert = sample();
+        let text = cert.to_text();
+        let parsed = Certificate::parse(&text).unwrap();
+        assert_eq!(parsed, cert);
+        assert!(parsed.check().is_ok());
+        assert_eq!(parsed.num_axioms(), 4);
+    }
+
+    #[test]
+    fn newlines_in_metadata_cannot_break_format() {
+        let mut cert = sample();
+        cert.meta.transform = "evil\nname".to_string();
+        let parsed = Certificate::parse(&cert.to_text()).unwrap();
+        assert_eq!(parsed.meta.transform, "evil name");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(
+            Certificate::parse("drat proof\n"),
+            Err(ParseError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let text = sample().to_text();
+        let cut = &text[..text.len() - 3]; // drop the ".\n" terminator region
+        assert!(matches!(
+            Certificate::parse(cut),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_step_without_terminator() {
+        let text = sample().to_text().replace("l 2 0", "l 2");
+        assert!(matches!(
+            Certificate::parse(&text),
+            Err(ParseError::BadStep { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut text = sample().to_text();
+        text.push_str("extra\n");
+        assert!(matches!(
+            Certificate::parse(&text),
+            Err(ParseError::TrailingData { .. })
+        ));
+    }
+
+    #[test]
+    fn mutated_certificate_is_rejected_by_checker() {
+        // Dropping the final empty clause leaves no refutation.
+        let mut cert = sample();
+        cert.steps.pop();
+        assert_eq!(cert.check(), Err(CheckError::NoRefutation));
+        // Dropping an axiom the learned unit depends on breaks RUP.
+        let mut cert = sample();
+        cert.steps.remove(1); // (-1, 2)
+        assert!(matches!(cert.check(), Err(CheckError::NotRup { .. })));
+    }
+}

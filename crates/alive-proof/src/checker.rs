@@ -1,0 +1,559 @@
+//! The independent RUP/DRAT refutation checker.
+//!
+//! This module re-verifies unsatisfiability transcripts produced by the
+//! `alive-sat` solver without sharing any code with it: it has its own
+//! clause representation, its own two-watched-literal unit propagation, and
+//! its own notion of literals (plain DIMACS `i32`s). A bug in the solver's
+//! propagation or conflict analysis therefore cannot silently vouch for
+//! itself — the transcript has to convince a second, independent engine.
+//!
+//! A proof is a chronological sequence of [`Step`]s:
+//!
+//! * [`Step::Add`] introduces an axiom of the formula under refutation. It
+//!   is not checked (axioms are given), only recorded.
+//! * [`Step::Learn`] introduces a derived clause, which must be RUP —
+//!   *reverse unit propagation*: asserting the negation of every literal and
+//!   unit-propagating over all currently active clauses must yield a
+//!   conflict. An empty `Learn` step concludes the refutation.
+//! * [`Step::Delete`] removes a clause (matched up to literal order). The
+//!   clause must exist; deleting an unknown clause is an error, which is
+//!   what makes mutated transcripts detectable.
+//!
+//! Checking is *forward*: each step is verified against the clauses active
+//! at that point, so reordering dependent steps or dropping a clause an
+//! inference relied on breaks the proof. Deleting a clause never threatens
+//! soundness — it only removes propagation power — and, following standard
+//! DRAT-checker practice, unit-clause deletions leave their top-level
+//! assignment in place (the deleted clause is still entailed by the
+//! formula, so everything derived from it remains entailed).
+
+use std::fmt;
+
+/// One step of a refutation proof, in DIMACS literals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// An axiom clause of the formula being refuted (not checked).
+    Add(Vec<i32>),
+    /// A derived clause; must be RUP with respect to the active clause set.
+    /// The empty clause concludes the refutation.
+    Learn(Vec<i32>),
+    /// Removal of an existing clause, matched up to literal order.
+    Delete(Vec<i32>),
+}
+
+impl Step {
+    /// The clause payload of this step.
+    pub fn lits(&self) -> &[i32] {
+        match self {
+            Step::Add(c) | Step::Learn(c) | Step::Delete(c) => c,
+        }
+    }
+}
+
+/// Statistics of a successful check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Total steps processed.
+    pub steps: usize,
+    /// Number of `Learn` steps whose RUP property was verified.
+    pub learned_checked: usize,
+    /// Number of clauses deleted.
+    pub deleted: usize,
+    /// Literal propagations performed while checking.
+    pub propagations: u64,
+}
+
+/// Why a proof was rejected.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckError {
+    /// A step mentions literal 0 or a variable beyond the declared count.
+    LitOutOfRange {
+        /// Index of the offending step.
+        step: usize,
+        /// The offending literal.
+        lit: i32,
+    },
+    /// A `Learn` step is not a reverse-unit-propagation consequence of the
+    /// clauses active before it.
+    NotRup {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// A `Delete` step names a clause that is not currently active.
+    DeleteMissing {
+        /// Index of the offending step.
+        step: usize,
+    },
+    /// The proof ran to completion without deriving the empty clause.
+    NoRefutation,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::LitOutOfRange { step, lit } => {
+                write!(f, "step {step}: literal {lit} out of range")
+            }
+            CheckError::NotRup { step } => {
+                write!(f, "step {step}: clause is not a RUP consequence")
+            }
+            CheckError::DeleteMissing { step } => {
+                write!(f, "step {step}: deleted clause is not active")
+            }
+            CheckError::NoRefutation => {
+                write!(f, "proof ends without deriving the empty clause")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Checks that `steps` refutes the conjunction of its `Add` clauses.
+///
+/// Returns a [`CheckReport`] if every `Learn` step is RUP, every `Delete`
+/// step removes an active clause, and the empty clause is derived.
+pub fn check_refutation(num_vars: usize, steps: &[Step]) -> Result<CheckReport, CheckError> {
+    let mut checker = RupChecker::new(num_vars);
+    let mut report = CheckReport::default();
+    let mut refuted = false;
+    for (idx, step) in steps.iter().enumerate() {
+        for &l in step.lits() {
+            if l == 0 || l.unsigned_abs() as usize > num_vars {
+                return Err(CheckError::LitOutOfRange { step: idx, lit: l });
+            }
+        }
+        match step {
+            Step::Add(c) => checker.add_active(c.clone()),
+            Step::Learn(c) => {
+                if !checker.is_rup(c) {
+                    return Err(CheckError::NotRup { step: idx });
+                }
+                report.learned_checked += 1;
+                if c.is_empty() {
+                    refuted = true;
+                }
+                checker.add_active(c.clone());
+            }
+            Step::Delete(c) => {
+                if !checker.delete(c) {
+                    return Err(CheckError::DeleteMissing { step: idx });
+                }
+                report.deleted += 1;
+            }
+        }
+        report.steps += 1;
+    }
+    report.propagations = checker.propagations;
+    if refuted {
+        Ok(report)
+    } else {
+        Err(CheckError::NoRefutation)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ClauseRec {
+    lits: Vec<i32>,
+    active: bool,
+}
+
+/// Dense index of a DIMACS literal: `2 * (|l| - 1) + (l < 0)`.
+#[inline]
+fn code(l: i32) -> usize {
+    ((l.unsigned_abs() as usize - 1) << 1) | (l < 0) as usize
+}
+
+/// A clause store with two-watched-literal propagation over DIMACS `i32`
+/// literals, independent of the solver's internals.
+#[derive(Debug)]
+struct RupChecker {
+    clauses: Vec<ClauseRec>,
+    /// `watches[code(l)]` holds indices of clauses in which `l` is watched.
+    watches: Vec<Vec<usize>>,
+    /// Per-variable assignment: 1 true, -1 false, 0 unassigned.
+    assign: Vec<i8>,
+    trail: Vec<i32>,
+    qhead: usize,
+    /// The active set is contradictory by top-level propagation alone; every
+    /// RUP query is then trivially a consequence.
+    top_conflict: bool,
+    propagations: u64,
+}
+
+impl RupChecker {
+    fn new(num_vars: usize) -> RupChecker {
+        RupChecker {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * num_vars],
+            assign: vec![0; num_vars],
+            trail: Vec::new(),
+            qhead: 0,
+            top_conflict: false,
+            propagations: 0,
+        }
+    }
+
+    #[inline]
+    fn value(&self, l: i32) -> i8 {
+        let a = self.assign[l.unsigned_abs() as usize - 1];
+        if l > 0 {
+            a
+        } else {
+            -a
+        }
+    }
+
+    #[inline]
+    fn assign_true(&mut self, l: i32) {
+        self.assign[l.unsigned_abs() as usize - 1] = if l > 0 { 1 } else { -1 };
+        self.trail.push(l);
+    }
+
+    /// Unit propagation from the current queue head. Returns `true` on
+    /// conflict (leaving the queue drained).
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let falsified = -p;
+            let wcode = code(falsified);
+            let mut ws = std::mem::take(&mut self.watches[wcode]);
+            let mut i = 0;
+            let mut conflict = false;
+            'outer: while i < ws.len() {
+                let ci = ws[i];
+                if !self.clauses[ci].active {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize: the falsified watch goes to slot 1.
+                {
+                    let lits = &mut self.clauses[ci].lits;
+                    if lits[0] == falsified {
+                        lits.swap(0, 1);
+                    }
+                }
+                let other = self.clauses[ci].lits[0];
+                if self.value(other) == 1 {
+                    i += 1;
+                    continue;
+                }
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value(lk) != -1 {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[code(lk)].push(ci);
+                        ws.swap_remove(i);
+                        continue 'outer;
+                    }
+                }
+                // Unit or conflicting.
+                i += 1;
+                if self.value(other) == -1 {
+                    conflict = true;
+                    break;
+                }
+                self.assign_true(other);
+            }
+            self.watches[wcode] = ws;
+            if conflict {
+                self.qhead = self.trail.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs a clause into the active set, propagating any consequence
+    /// at the top level. The clause is assumed already verified (or an
+    /// axiom).
+    fn add_active(&mut self, lits: Vec<i32>) {
+        let ci = self.clauses.len();
+        match lits.len() {
+            0 => {
+                self.clauses.push(ClauseRec { lits, active: true });
+                self.top_conflict = true;
+            }
+            1 => {
+                let l = lits[0];
+                self.clauses.push(ClauseRec { lits, active: true });
+                match self.value(l) {
+                    1 => {}
+                    -1 => self.top_conflict = true,
+                    _ => {
+                        self.assign_true(l);
+                        if self.propagate() {
+                            self.top_conflict = true;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let mut lits = lits;
+                // Move up to two non-false literals to the watch slots.
+                let mut found = 0;
+                for k in 0..lits.len() {
+                    if self.value(lits[k]) != -1 {
+                        lits.swap(found, k);
+                        found += 1;
+                        if found == 2 {
+                            break;
+                        }
+                    }
+                }
+                let (w0, w1) = (lits[0], lits[1]);
+                self.clauses.push(ClauseRec { lits, active: true });
+                self.watches[code(w0)].push(ci);
+                self.watches[code(w1)].push(ci);
+                match found {
+                    0 => self.top_conflict = true,
+                    1 if self.value(w0) == 0 => {
+                        // Unit under the top-level assignment.
+                        self.assign_true(w0);
+                        if self.propagate() {
+                            self.top_conflict = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Is `lits` a reverse-unit-propagation consequence of the active set?
+    ///
+    /// Temporarily asserts the negation of every literal, propagates, and
+    /// restores the top-level state before returning.
+    fn is_rup(&mut self, lits: &[i32]) -> bool {
+        if self.top_conflict {
+            return true;
+        }
+        let mark = self.trail.len();
+        debug_assert_eq!(self.qhead, mark, "top level must be fully propagated");
+        let mut conflict = false;
+        for &l in lits {
+            match self.value(l) {
+                // `l` is already entailed, so the clause is too: asserting
+                // `-l` conflicts immediately. Also covers tautologies.
+                1 => {
+                    conflict = true;
+                    break;
+                }
+                -1 => {} // negation already holds
+                _ => self.assign_true(-l),
+            }
+        }
+        if !conflict {
+            conflict = self.propagate();
+        }
+        for idx in mark..self.trail.len() {
+            let l = self.trail[idx];
+            self.assign[l.unsigned_abs() as usize - 1] = 0;
+        }
+        self.trail.truncate(mark);
+        self.qhead = mark;
+        conflict
+    }
+
+    /// Deactivates the most recently added active clause equal to `lits` up
+    /// to literal order. Returns `false` if no such clause exists.
+    fn delete(&mut self, lits: &[i32]) -> bool {
+        let mut target: Vec<i32> = lits.to_vec();
+        target.sort_unstable();
+        // Scan newest-first: deletions overwhelmingly target recent learnts.
+        for ci in (0..self.clauses.len()).rev() {
+            if !self.clauses[ci].active || self.clauses[ci].lits.len() != target.len() {
+                continue;
+            }
+            let mut sorted = self.clauses[ci].lits.clone();
+            sorted.sort_unstable();
+            if sorted == target {
+                self.clauses[ci].active = false;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(lits: &[i32]) -> Step {
+        Step::Add(lits.to_vec())
+    }
+    fn l(lits: &[i32]) -> Step {
+        Step::Learn(lits.to_vec())
+    }
+    fn d(lits: &[i32]) -> Step {
+        Step::Delete(lits.to_vec())
+    }
+
+    #[test]
+    fn accepts_unit_contradiction() {
+        let steps = [a(&[1]), a(&[-1]), l(&[])];
+        let report = check_refutation(1, &steps).unwrap();
+        assert_eq!(report.learned_checked, 1);
+    }
+
+    #[test]
+    fn accepts_resolution_chain() {
+        // (x|y) & (!x|y) & (x|!y) & (!x|!y) is unsat; proof learns y then ⊥.
+        let steps = [
+            a(&[1, 2]),
+            a(&[-1, 2]),
+            a(&[1, -2]),
+            a(&[-1, -2]),
+            l(&[2]),
+            l(&[]),
+        ];
+        assert!(check_refutation(2, &steps).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_rup_learn() {
+        // Nothing forces x: learning [1] from (x|y) alone is not RUP.
+        let steps = [a(&[1, 2]), l(&[1])];
+        assert_eq!(
+            check_refutation(2, &steps),
+            Err(CheckError::NotRup { step: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_missing_refutation() {
+        let steps = [a(&[1, 2]), a(&[-1, 2]), l(&[2])];
+        assert_eq!(check_refutation(2, &steps), Err(CheckError::NoRefutation));
+    }
+
+    #[test]
+    fn rejects_reordered_dependent_learns() {
+        // The empty clause is RUP only *after* the unit [2] is available;
+        // swapping the two Learn steps must break the proof.
+        let axioms = [a(&[1, 2]), a(&[-1, 2]), a(&[1, -2]), a(&[-1, -2])];
+        let mut good: Vec<Step> = axioms.to_vec();
+        good.extend([l(&[2]), l(&[])]);
+        assert!(check_refutation(2, &good).is_ok());
+        let mut bad: Vec<Step> = axioms.to_vec();
+        bad.extend([l(&[]), l(&[2])]);
+        assert_eq!(
+            check_refutation(2, &bad),
+            Err(CheckError::NotRup { step: 4 })
+        );
+    }
+
+    #[test]
+    fn rejects_flipped_literal_via_delete_mismatch() {
+        // Flipping a literal of a learned clause desynchronizes it from the
+        // later deletion of the original clause.
+        let axioms = [
+            a(&[1, 2]),
+            a(&[-1, 2]),
+            a(&[-2, 3]),
+            a(&[-2, 4]),
+            a(&[-3, -4]),
+            a(&[5, 6]),
+        ];
+        let mut good: Vec<Step> = axioms.to_vec();
+        good.extend([l(&[2, 5]), d(&[2, 5]), l(&[2]), l(&[])]);
+        assert!(check_refutation(6, &good).is_ok());
+        let mut mutated: Vec<Step> = axioms.to_vec();
+        mutated.extend([l(&[-2, 5]), d(&[2, 5]), l(&[2]), l(&[])]);
+        assert_eq!(
+            check_refutation(6, &mutated),
+            Err(CheckError::DeleteMissing { step: 7 })
+        );
+    }
+
+    #[test]
+    fn rejects_assertion_about_unconstrained_variable() {
+        // Variable 3 is untouched by the formula, so no clause mentioning
+        // only it can ever be RUP — e.g. a learned clause with a literal
+        // flipped into unconstrained territory.
+        let steps = [a(&[1, 2]), a(&[-1, 2]), l(&[3]), l(&[])];
+        assert_eq!(
+            check_refutation(3, &steps),
+            Err(CheckError::NotRup { step: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_deleting_unknown_clause() {
+        let steps = [a(&[1, 2]), d(&[1, 3])];
+        assert_eq!(
+            check_refutation(3, &steps),
+            Err(CheckError::DeleteMissing { step: 1 })
+        );
+    }
+
+    #[test]
+    fn delete_matches_up_to_literal_order() {
+        let steps = [
+            a(&[1, 2, 3]),
+            a(&[1]),
+            a(&[-1, 2]),
+            a(&[-2]),
+            d(&[3, 2, 1]), // same clause, permuted
+            l(&[]),
+        ];
+        let report = check_refutation(3, &steps).unwrap();
+        assert_eq!(report.deleted, 1);
+    }
+
+    #[test]
+    fn deleted_clause_no_longer_supports_inference() {
+        // Without (x|y), learning [2] after deleting it must fail.
+        let steps = [a(&[1, 2]), a(&[-1, 2]), d(&[1, 2]), l(&[2])];
+        assert_eq!(
+            check_refutation(2, &steps),
+            Err(CheckError::NotRup { step: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_literals() {
+        assert_eq!(
+            check_refutation(1, &[a(&[2])]),
+            Err(CheckError::LitOutOfRange { step: 0, lit: 2 })
+        );
+        assert_eq!(
+            check_refutation(1, &[a(&[0])]),
+            Err(CheckError::LitOutOfRange { step: 0, lit: 0 })
+        );
+    }
+
+    #[test]
+    fn tautologies_are_harmless() {
+        let steps = [a(&[1, -1, 2]), a(&[1]), a(&[-1]), l(&[])];
+        assert!(check_refutation(2, &steps).is_ok());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_refutation_checks() {
+        // Mirror the solver's own encoding; derive a hand-written proof.
+        // p(i,j) for pigeon i in hole j: vars 1..=6 as i*2 + j + 1.
+        let p = |i: usize, j: usize| (i * 2 + j + 1) as i32;
+        let mut steps: Vec<Step> = Vec::new();
+        for i in 0..3 {
+            steps.push(a(&[p(i, 0), p(i, 1)]));
+        }
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    steps.push(a(&[-p(i, j), -p(k, j)]));
+                }
+            }
+        }
+        // Case split on p(0,0): each branch collapses by propagation after
+        // learning the two units below, so the empty clause is RUP.
+        steps.push(l(&[-p(0, 0), p(1, 1)]));
+        steps.push(l(&[-p(0, 0)]));
+        steps.push(l(&[p(0, 1)]));
+        steps.push(l(&[]));
+        assert!(check_refutation(6, &steps).is_ok());
+    }
+}

@@ -31,9 +31,7 @@ impl VarHeap {
 
     /// Is `v` currently in the heap?
     pub fn contains(&self, v: Var) -> bool {
-        self.indices
-            .get(v.index())
-            .is_some_and(|&i| i != ABSENT)
+        self.indices.get(v.index()).is_some_and(|&i| i != ABSENT)
     }
 
     /// Inserts `v` if absent.

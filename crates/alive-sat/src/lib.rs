@@ -37,8 +37,10 @@
 mod clause;
 mod heap;
 mod lit;
+mod proof;
 mod solver;
 
 pub use clause::{Clause, ClauseDb, ClauseRef};
 pub use lit::{LBool, Lit, Var};
+pub use proof::{DratRecorder, ProofEvent, ProofLogger, SharedDratRecorder};
 pub use solver::{SolveResult, Solver, SolverStats};

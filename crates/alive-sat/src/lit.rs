@@ -94,6 +94,32 @@ impl Lit {
     pub fn from_code(code: usize) -> Lit {
         Lit(code as u32)
     }
+
+    /// The DIMACS representation of this literal: `±(index + 1)`.
+    ///
+    /// Proof transcripts use this convention so they are meaningful without
+    /// access to the solver's internal encoding.
+    #[inline]
+    pub fn to_dimacs(self) -> i32 {
+        let magnitude = (self.0 >> 1) as i32 + 1;
+        if self.is_positive() {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+
+    /// Reconstructs a literal from its DIMACS representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, which DIMACS reserves as a clause terminator.
+    #[inline]
+    pub fn from_dimacs(d: i32) -> Lit {
+        assert_ne!(d, 0, "0 is the DIMACS clause terminator, not a literal");
+        let var = Var(d.unsigned_abs() - 1);
+        var.lit(d > 0)
+    }
 }
 
 impl Not for Lit {
@@ -184,6 +210,22 @@ mod tests {
         assert_eq!(!v.positive(), v.negative());
         assert_eq!(!!v.positive(), v.positive());
         assert_eq!(Lit::from_code(v.positive().code()), v.positive());
+    }
+
+    #[test]
+    fn dimacs_round_trips() {
+        let v = Var::from_index(4);
+        assert_eq!(v.positive().to_dimacs(), 5);
+        assert_eq!(v.negative().to_dimacs(), -5);
+        assert_eq!(Lit::from_dimacs(5), v.positive());
+        assert_eq!(Lit::from_dimacs(-5), v.negative());
+        assert_eq!(Var::from_index(0).positive().to_dimacs(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! DRAT-style proof logging.
+//!
+//! When a [`ProofLogger`] is installed via
+//! [`Solver::set_proof_logger`](crate::Solver::set_proof_logger), the solver
+//! emits one [`ProofEvent`] per original clause, learned clause, and deleted
+//! clause, in chronological order. Every learned clause is a reverse unit
+//! propagation (RUP) consequence of the clauses recorded before it, so a
+//! transcript ending in an empty learned clause is a checkable refutation of
+//! the conjunction of the original clauses. The `alive-proof` crate re-checks
+//! such transcripts with an independent propagation engine that shares no
+//! code with this solver.
+//!
+//! Literals are recorded in DIMACS convention — `±(var_index + 1)` — so a
+//! transcript is meaningful without access to the solver's internal literal
+//! encoding. Clause literal order is not significant: database reduction may
+//! record a deleted clause with its literals permuted by watched-literal
+//! bookkeeping, so checkers must match deletions up to permutation.
+//!
+//! Logging is designed to cost nothing when disabled: every hook first
+//! branches on an `Option` that is `None` by default, and no literal
+//! conversion or allocation happens unless a logger is present.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One step of a solver run, in DIMACS literals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProofEvent {
+    /// A clause of the original formula, recorded as `add_clause` received it
+    /// (sorted and deduplicated, but not otherwise simplified — tautologies
+    /// and clauses satisfied at level 0 are still recorded, since they are
+    /// part of the formula whose unsatisfiability a refutation claims).
+    Original(Vec<i32>),
+    /// A clause learned by conflict analysis, RUP with respect to all
+    /// preceding non-deleted clauses. An empty learned clause concludes a
+    /// refutation of the original formula.
+    Learned(Vec<i32>),
+    /// A learned clause removed by clause-database reduction. Checkers may
+    /// drop it from their active set; literal order is unspecified.
+    Deleted(Vec<i32>),
+}
+
+impl ProofEvent {
+    /// The clause payload of this event, whatever its kind.
+    pub fn lits(&self) -> &[i32] {
+        match self {
+            ProofEvent::Original(c) | ProofEvent::Learned(c) | ProofEvent::Deleted(c) => c,
+        }
+    }
+
+    /// `true` for the empty learned clause that concludes a refutation.
+    pub fn is_refutation(&self) -> bool {
+        matches!(self, ProofEvent::Learned(c) if c.is_empty())
+    }
+}
+
+/// Sink for proof events.
+///
+/// The solver holds the logger as `Option<Box<dyn ProofLogger>>`; when the
+/// option is `None` (the default) every logging site reduces to a single
+/// predictable branch, so proof support adds no measurable overhead to
+/// solving without a logger.
+pub trait ProofLogger: std::fmt::Debug {
+    /// Records one event. Events arrive in chronological order.
+    fn log(&mut self, event: ProofEvent);
+}
+
+/// An in-memory [`ProofLogger`] that stores the transcript.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DratRecorder {
+    events: Vec<ProofEvent>,
+}
+
+impl DratRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> DratRecorder {
+        DratRecorder::default()
+    }
+
+    /// The recorded transcript so far.
+    pub fn events(&self) -> &[ProofEvent] {
+        &self.events
+    }
+
+    /// Removes and returns the transcript, leaving the recorder empty.
+    pub fn take_events(&mut self) -> Vec<ProofEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `true` if the transcript contains an empty learned clause, i.e. a
+    /// complete refutation of the original clauses.
+    pub fn has_refutation(&self) -> bool {
+        self.events.iter().any(ProofEvent::is_refutation)
+    }
+}
+
+impl ProofLogger for DratRecorder {
+    fn log(&mut self, event: ProofEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A cloneable handle to a shared [`DratRecorder`].
+///
+/// [`Solver::set_proof_logger`](crate::Solver::set_proof_logger) takes
+/// ownership of its logger, so a caller that wants to read the transcript
+/// afterwards installs one clone of this handle and keeps another.
+#[derive(Clone, Debug, Default)]
+pub struct SharedDratRecorder(Rc<RefCell<DratRecorder>>);
+
+impl SharedDratRecorder {
+    /// Creates a handle to a fresh empty recorder.
+    pub fn new() -> SharedDratRecorder {
+        SharedDratRecorder::default()
+    }
+
+    /// Copies out the transcript recorded so far.
+    pub fn snapshot(&self) -> Vec<ProofEvent> {
+        self.0.borrow().events().to_vec()
+    }
+
+    /// Removes and returns the transcript, leaving the recorder empty.
+    pub fn take_events(&self) -> Vec<ProofEvent> {
+        self.0.borrow_mut().take_events()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// `true` if the transcript contains a complete refutation.
+    pub fn has_refutation(&self) -> bool {
+        self.0.borrow().has_refutation()
+    }
+}
+
+impl ProofLogger for SharedDratRecorder {
+    fn log(&mut self, event: ProofEvent) {
+        self.0.borrow_mut().log(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_accumulates_in_order() {
+        let mut r = DratRecorder::new();
+        r.log(ProofEvent::Original(vec![1, 2]));
+        r.log(ProofEvent::Learned(vec![1]));
+        r.log(ProofEvent::Deleted(vec![1, 2]));
+        assert_eq!(r.len(), 3);
+        assert!(!r.has_refutation());
+        r.log(ProofEvent::Learned(vec![]));
+        assert!(r.has_refutation());
+        let events = r.take_events();
+        assert_eq!(events.len(), 4);
+        assert!(r.is_empty());
+        assert_eq!(events[0].lits(), &[1, 2]);
+        assert!(events[3].is_refutation());
+    }
+
+    #[test]
+    fn shared_recorder_sees_logger_writes() {
+        let handle = SharedDratRecorder::new();
+        let mut logger = handle.clone();
+        logger.log(ProofEvent::Original(vec![-3]));
+        assert_eq!(handle.len(), 1);
+        assert_eq!(handle.snapshot(), vec![ProofEvent::Original(vec![-3])]);
+    }
+}

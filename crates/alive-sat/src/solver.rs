@@ -9,6 +9,7 @@
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::{ProofEvent, ProofLogger};
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,6 +100,10 @@ pub struct Solver {
     model: Vec<LBool>,
 
     max_learnts: f64,
+
+    /// Optional DRAT-style proof sink; `None` (the default) keeps every
+    /// logging site down to one branch, so solving is unaffected.
+    proof: Option<Box<dyn ProofLogger>>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -135,6 +140,35 @@ impl Solver {
             conflict: Vec::new(),
             model: Vec::new(),
             max_learnts: 1000.0,
+            proof: None,
+        }
+    }
+
+    /// Installs (or removes) a DRAT-style proof logger.
+    ///
+    /// While a logger is installed, every original clause, learned clause,
+    /// and deleted clause is reported as a [`ProofEvent`] in DIMACS literals.
+    /// Transcripts of runs that end in [`SolveResult::Unsat`] *without
+    /// assumptions* conclude with an empty learned clause and form a complete
+    /// refutation; Unsat-under-assumptions answers depend on the assumption
+    /// literals and do not produce an empty clause.
+    ///
+    /// Install the logger before adding clauses — clauses added earlier are
+    /// not retroactively recorded.
+    pub fn set_proof_logger(&mut self, logger: Option<Box<dyn ProofLogger>>) {
+        self.proof = logger;
+    }
+
+    /// `true` if a proof logger is currently installed.
+    pub fn is_proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Logs one clause event if a logger is installed; free otherwise.
+    #[inline]
+    fn proof_log(&mut self, make: fn(Vec<i32>) -> ProofEvent, lits: &[Lit]) {
+        if let Some(p) = &mut self.proof {
+            p.log(make(lits.iter().map(|l| l.to_dimacs()).collect()));
         }
     }
 
@@ -187,6 +221,10 @@ impl Solver {
         let mut c: Vec<Lit> = lits.into_iter().collect();
         c.sort_unstable();
         c.dedup();
+        // Record the clause *before* level-0 simplification: the transcript
+        // describes the formula as given, and the simplifications below are
+        // all RUP consequences of previously recorded clauses.
+        self.proof_log(ProofEvent::Original, &c);
         // Drop tautologies and false literals; detect satisfied clauses.
         let mut out = Vec::with_capacity(c.len());
         let mut i = 0;
@@ -204,12 +242,18 @@ impl Solver {
         }
         match out.len() {
             0 => {
+                // Every literal is false at level 0: the empty clause follows
+                // by unit propagation over the recorded formula.
+                self.proof_log(ProofEvent::Learned, &[]);
                 self.ok = false;
                 false
             }
             1 => {
                 self.unchecked_enqueue(out[0], ClauseRef::UNDEF);
                 self.ok = self.propagate().is_none();
+                if !self.ok {
+                    self.proof_log(ProofEvent::Learned, &[]);
+                }
                 self.ok
             }
             _ => {
@@ -457,9 +501,7 @@ impl Solver {
         let keep: Vec<Lit> = learnt[1..]
             .iter()
             .copied()
-            .filter(|&l| {
-                self.reason(l.var()) == ClauseRef::UNDEF || !self.lit_redundant(l)
-            })
+            .filter(|&l| self.reason(l.var()) == ClauseRef::UNDEF || !self.lit_redundant(l))
             .collect();
         learnt.truncate(1);
         learnt.extend(keep);
@@ -561,6 +603,10 @@ impl Solver {
             if c.len() <= 2 || c.lbd <= 3 || locked[i] {
                 continue;
             }
+            if self.proof.is_some() {
+                let lits: Vec<Lit> = self.db.get(cref).lits().to_vec();
+                self.proof_log(ProofEvent::Deleted, &lits);
+            }
             self.db.free(cref);
             self.stats.deleted_clauses += 1;
         }
@@ -594,6 +640,7 @@ impl Solver {
         }
         self.cancel_until(0);
         if self.propagate().is_some() {
+            self.proof_log(ProofEvent::Learned, &[]);
             self.ok = false;
             return SolveResult::Unsat;
         }
@@ -630,6 +677,9 @@ impl Solver {
                 self.stats.conflicts += 1;
                 conflicts_this_run += 1;
                 if self.decision_level() == 0 {
+                    // Conflict from level-0 propagation alone: the formula is
+                    // unsat and the empty clause is RUP over the transcript.
+                    self.proof_log(ProofEvent::Learned, &[]);
                     self.ok = false;
                     return Some(SolveResult::Unsat);
                 }
@@ -640,10 +690,13 @@ impl Solver {
                     self.conflict = self.analyze_final(confl);
                     return Some(SolveResult::Unsat);
                 }
-                self.cancel_until(bt_level.max(0));
+                self.proof_log(ProofEvent::Learned, &learnt);
+                self.cancel_until(bt_level);
                 let lbd = self.compute_lbd(&learnt);
                 if learnt.len() == 1 {
                     if self.lit_value(learnt[0]) == LBool::False {
+                        // The learnt unit contradicts the level-0 trail.
+                        self.proof_log(ProofEvent::Learned, &[]);
                         self.ok = false;
                         return Some(SolveResult::Unsat);
                     }
@@ -858,10 +911,10 @@ mod tests {
         for row in &p {
             s.add_clause([row[0].positive(), row[1].positive()]);
         }
-        for j in 0..2 {
-            for i in 0..3 {
-                for k in (i + 1)..3 {
-                    s.add_clause([p[i][j].negative(), p[k][j].negative()]);
+        for i in 0..3 {
+            for k in (i + 1)..3 {
+                for (a, b) in p[i].iter().zip(&p[k]) {
+                    s.add_clause([a.negative(), b.negative()]);
                 }
             }
         }
@@ -874,16 +927,10 @@ mod tests {
         let a = s.new_var();
         let b = s.new_var();
         s.add_clause([a.negative(), b.positive()]);
-        assert_eq!(
-            s.solve_with_assumptions(&[a.positive()]),
-            SolveResult::Sat
-        );
+        assert_eq!(s.solve_with_assumptions(&[a.positive()]), SolveResult::Sat);
         assert_eq!(s.value(b), Some(true));
         // Solver stays reusable; opposite assumption also sat.
-        assert_eq!(
-            s.solve_with_assumptions(&[a.negative()]),
-            SolveResult::Sat
-        );
+        assert_eq!(s.solve_with_assumptions(&[a.negative()]), SolveResult::Sat);
         assert_eq!(s.value(a), Some(false));
     }
 
@@ -900,6 +947,165 @@ mod tests {
         assert!(!s.unsat_core().is_empty());
         // Still satisfiable without assumptions.
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unsat_core_is_sufficient_for_unsat() {
+        // (!a | !b) makes {a, b} contradictory; c and d are irrelevant
+        // padding assumptions that must not be required by the core.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let d = s.new_var();
+        s.add_clause([a.negative(), b.negative()]);
+        s.add_clause([c.positive(), d.positive()]);
+        let assumptions = [c.positive(), a.positive(), d.positive(), b.positive()];
+        assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
+        let core: Vec<Lit> = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        // Each core literal is the negation of one of the assumptions.
+        for l in &core {
+            assert!(
+                assumptions.contains(&!*l),
+                "core lit {l} not from assumptions"
+            );
+        }
+        // The core alone must reproduce the contradiction.
+        let core_assumptions: Vec<Lit> = core.iter().map(|l| !*l).collect();
+        assert_eq!(
+            s.solve_with_assumptions(&core_assumptions),
+            SolveResult::Unsat
+        );
+        // Dropping any single core literal must make the query satisfiable —
+        // i.e. for this formula the core is minimal, not just sufficient.
+        for skip in 0..core_assumptions.len() {
+            let weakened: Vec<Lit> = core_assumptions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| *l)
+                .collect();
+            assert_eq!(s.solve_with_assumptions(&weakened), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn unsat_core_remains_valid_across_incremental_additions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let e = s.new_var();
+        s.add_clause([a.negative(), b.negative()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive(), b.positive()]),
+            SolveResult::Unsat
+        );
+        let core_assumptions: Vec<Lit> = s.unsat_core().iter().map(|l| !*l).collect();
+        // Clause addition only strengthens the formula, so the old core must
+        // still be contradictory after more constraints arrive.
+        s.add_clause([e.positive(), a.positive()]);
+        s.add_clause([e.negative(), b.positive()]);
+        assert_eq!(
+            s.solve_with_assumptions(&core_assumptions),
+            SolveResult::Unsat
+        );
+        // And the solver stays usable for satisfiable queries afterwards.
+        assert_eq!(s.solve_with_assumptions(&[a.positive()]), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(false));
+    }
+
+    #[test]
+    fn proof_logging_is_off_by_default() {
+        let s = Solver::new();
+        assert!(!s.is_proof_logging());
+    }
+
+    #[test]
+    fn proof_transcript_refutes_pigeonhole() {
+        use crate::proof::{ProofEvent, SharedDratRecorder};
+        let handle = SharedDratRecorder::new();
+        let mut s = Solver::new();
+        s.set_proof_logger(Some(Box::new(handle.clone())));
+        assert!(s.is_proof_logging());
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        let mut num_original = 0usize;
+        for row in &p {
+            s.add_clause([row[0].positive(), row[1].positive()]);
+            num_original += 1;
+        }
+        for i in 0..3 {
+            for k in (i + 1)..3 {
+                for (a, b) in p[i].iter().zip(&p[k]) {
+                    s.add_clause([a.negative(), b.negative()]);
+                    num_original += 1;
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let events = handle.snapshot();
+        assert!(handle.has_refutation());
+        let originals = events
+            .iter()
+            .filter(|e| matches!(e, ProofEvent::Original(_)))
+            .count();
+        assert_eq!(originals, num_original);
+        // Every original clause is recorded in DIMACS with no zeros.
+        for e in &events {
+            assert!(e.lits().iter().all(|&l| l != 0));
+        }
+    }
+
+    #[test]
+    fn sat_run_produces_no_refutation() {
+        use crate::proof::SharedDratRecorder;
+        let handle = SharedDratRecorder::new();
+        let mut s = Solver::new();
+        s.set_proof_logger(Some(Box::new(handle.clone())));
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.positive(), b.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!handle.has_refutation());
+        assert_eq!(handle.len(), 1); // just the original clause
+    }
+
+    #[test]
+    fn add_clause_contradiction_logs_empty_clause() {
+        use crate::proof::SharedDratRecorder;
+        let handle = SharedDratRecorder::new();
+        let mut s = Solver::new();
+        s.set_proof_logger(Some(Box::new(handle.clone())));
+        let a = s.new_var();
+        assert!(s.add_clause([a.positive()]));
+        assert!(!s.add_clause([a.negative()]));
+        assert!(handle.has_refutation());
+    }
+
+    #[test]
+    fn unsat_under_assumptions_yields_no_refutation() {
+        // Assumption-dependent Unsat is not a refutation of the formula, so
+        // the transcript must not end with an empty clause.
+        use crate::proof::SharedDratRecorder;
+        let handle = SharedDratRecorder::new();
+        let mut s = Solver::new();
+        s.set_proof_logger(Some(Box::new(handle.clone())));
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.negative(), b.negative()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.positive(), b.positive()]),
+            SolveResult::Unsat
+        );
+        assert!(!handle.has_refutation());
+        // The formula itself is satisfiable and must stay so.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!handle.has_refutation());
     }
 
     #[test]

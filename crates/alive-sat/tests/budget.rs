@@ -17,10 +17,10 @@ fn hard_instance(s: &mut Solver, n: usize) -> Vec<Var> {
     for row in &p {
         s.add_clause(row.iter().map(|v| v.positive()));
     }
-    for j in 0..holes {
-        for i in 0..n {
-            for k in (i + 1)..n {
-                s.add_clause([p[i][j].negative(), p[k][j].negative()]);
+    for i in 0..n {
+        for k in (i + 1)..n {
+            for (a, b) in p[i].iter().zip(&p[k]) {
+                s.add_clause([a.negative(), b.negative()]);
             }
         }
     }

@@ -134,9 +134,7 @@ impl Blaster {
             }
             Op::Var(_) => match term.sort {
                 Sort::Bool => Blasted::Bool(sat.new_var().positive()),
-                Sort::BitVec(w) => {
-                    Blasted::Bv((0..w).map(|_| sat.new_var().positive()).collect())
-                }
+                Sort::BitVec(w) => Blasted::Bv((0..w).map(|_| sat.new_var().positive()).collect()),
             },
             Op::Not(a) => Blasted::Bool(!self.get_bool(*a)),
             Op::And(cs) => {
@@ -191,9 +189,7 @@ impl Blaster {
                     }
                 }
             }
-            Op::BvNot(a) => {
-                Blasted::Bv(self.get_bv(*a).iter().map(|&l| !l).collect())
-            }
+            Op::BvNot(a) => Blasted::Bv(self.get_bv(*a).iter().map(|&l| !l).collect()),
             Op::BvAnd(a, b) => self.bitwise(sat, *a, *b, BitOp::And),
             Op::BvOr(a, b) => self.bitwise(sat, *a, *b, BitOp::Or),
             Op::BvXor(a, b) => self.bitwise(sat, *a, *b, BitOp::Xor),
@@ -502,9 +498,8 @@ impl Blaster {
         let f = self.lit_false(sat);
         let stages = (0..).take_while(|&k| (1u128 << k) < w as u128).count();
         let mut cur: Vec<Lit> = a.to_vec();
-        for k in 0..stages {
+        for (k, &bit) in amount.iter().enumerate().take(stages) {
             let s = 1usize << k;
-            let bit = amount[k];
             let mut next = Vec::with_capacity(w);
             for j in 0..w {
                 let shifted = match dir {

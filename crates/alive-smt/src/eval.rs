@@ -160,10 +160,7 @@ mod tests {
         let mut env = Assignment::new();
         env.set(x, BvVal::new(8, 3));
         env.set(y, BvVal::new(8, 4));
-        assert_eq!(
-            eval(&p, prod, &env).unwrap(),
-            Value::Bv(BvVal::new(8, 21))
-        );
+        assert_eq!(eval(&p, prod, &env).unwrap(), Value::Bv(BvVal::new(8, 21)));
     }
 
     #[test]

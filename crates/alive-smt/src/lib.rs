@@ -45,10 +45,11 @@ mod subst;
 mod term;
 mod value;
 
+pub use alive_sat::ProofEvent;
 pub use blast::{Blasted, Blaster};
 pub use eval::{eval, Assignment, EvalError};
-pub use qe::{solve_exists_forall, EfConfig, EfResult};
-pub use solver::{SatResult, SmtSolver};
+pub use qe::{solve_exists_forall, solve_exists_forall_with_proof, EfConfig, EfResult};
+pub use solver::{ProofTranscript, SatResult, SmtSolver};
 pub use subst::{substitute, substitute_assignment};
 pub use term::{Op, Term, TermId, TermPool};
 pub use value::{BvVal, Sort, Value};

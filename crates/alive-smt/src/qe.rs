@@ -15,7 +15,7 @@
 //! counterexample `u*` removes at least `x*` from the candidate space).
 
 use crate::eval::Assignment;
-use crate::solver::{SatResult, SmtSolver};
+use crate::solver::{ProofTranscript, SatResult, SmtSolver};
 use crate::subst::substitute_assignment;
 use crate::term::{TermId, TermPool};
 
@@ -65,19 +65,55 @@ pub fn solve_exists_forall(
     matrix: TermId,
     config: &EfConfig,
 ) -> EfResult {
+    solve_ef(pool, exist_vars, univ_vars, matrix, config, false).0
+}
+
+/// Like [`solve_exists_forall`], but on an `Unsat` answer also returns the
+/// DRAT transcript refuting the bit-blasted CNF.
+///
+/// In the quantifier-free case the transcript refutes the blasted matrix
+/// itself, so checking it re-establishes the answer end to end. In the
+/// CEGIS case the refuted CNF is the matrix seeded and refined with the
+/// universal instantiations discovered during the run (each instantiation
+/// appears as axiom clauses): the transcript certifies that the candidate
+/// space was genuinely exhausted, though the instantiations themselves are
+/// substitutions computed outside the SAT solver.
+pub fn solve_exists_forall_with_proof(
+    pool: &mut TermPool,
+    exist_vars: &[TermId],
+    univ_vars: &[TermId],
+    matrix: TermId,
+    config: &EfConfig,
+) -> (EfResult, Option<ProofTranscript>) {
+    solve_ef(pool, exist_vars, univ_vars, matrix, config, true)
+}
+
+fn solve_ef(
+    pool: &mut TermPool,
+    exist_vars: &[TermId],
+    univ_vars: &[TermId],
+    matrix: TermId,
+    config: &EfConfig,
+    want_proof: bool,
+) -> (EfResult, Option<ProofTranscript>) {
     if univ_vars.is_empty() {
         // Quantifier-free: single query.
         let mut s = SmtSolver::new();
+        let handle = want_proof.then(|| s.enable_proof_logging());
         s.set_conflict_budget(config.conflict_budget);
         s.assert_term(pool, matrix);
         return match s.check() {
-            SatResult::Sat => EfResult::Sat(s.model(pool, exist_vars)),
-            SatResult::Unsat => EfResult::Unsat,
-            SatResult::Unknown => EfResult::Unknown,
+            SatResult::Sat => (EfResult::Sat(s.model(pool, exist_vars)), None),
+            SatResult::Unsat => {
+                let transcript = handle.as_ref().map(|h| s.proof_transcript(h));
+                (EfResult::Unsat, transcript)
+            }
+            SatResult::Unknown => (EfResult::Unknown, None),
         };
     }
 
     let mut candidates = SmtSolver::new();
+    let handle = want_proof.then(|| candidates.enable_proof_logging());
     candidates.set_conflict_budget(config.conflict_budget);
     if config.seed_with_zero {
         // Seed with one instantiation (all universals zero) so the first
@@ -87,9 +123,7 @@ pub fn solve_exists_forall(
             for &u in univ_vars {
                 match pool.sort(u) {
                     crate::value::Sort::Bool => env.set(u, false),
-                    crate::value::Sort::BitVec(w) => {
-                        env.set(u, crate::value::BvVal::zero(w))
-                    }
+                    crate::value::Sort::BitVec(w) => env.set(u, crate::value::BvVal::zero(w)),
                 }
             }
             env
@@ -105,8 +139,11 @@ pub fn solve_exists_forall(
 
     for _ in 0..config.max_iterations {
         match candidates.check() {
-            SatResult::Unsat => return EfResult::Unsat,
-            SatResult::Unknown => return EfResult::Unknown,
+            SatResult::Unsat => {
+                let transcript = handle.as_ref().map(|h| candidates.proof_transcript(h));
+                return (EfResult::Unsat, transcript);
+            }
+            SatResult::Unknown => return (EfResult::Unknown, None),
             SatResult::Sat => {}
         }
         let x_star = candidates.model(pool, exist_vars);
@@ -117,8 +154,8 @@ pub fn solve_exists_forall(
         verifier.set_conflict_budget(config.conflict_budget);
         verifier.assert_term(pool, check_term);
         match verifier.check() {
-            SatResult::Unsat => return EfResult::Sat(x_star),
-            SatResult::Unknown => return EfResult::Unknown,
+            SatResult::Unsat => return (EfResult::Sat(x_star), None),
+            SatResult::Unknown => return (EfResult::Unknown, None),
             SatResult::Sat => {
                 let u_star = verifier.model(pool, univ_vars);
                 let refined = substitute_assignment(pool, matrix, &u_star);
@@ -126,7 +163,7 @@ pub fn solve_exists_forall(
             }
         }
     }
-    EfResult::Unknown
+    (EfResult::Unknown, None)
 }
 
 #[cfg(test)]
@@ -188,6 +225,68 @@ mod tests {
             EfResult::Sat(_) => {}
             other => panic!("expected Sat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn qf_unsat_comes_with_transcript() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(4));
+        let one = p.bv(4, 1);
+        let inc = p.bv_add(x, one);
+        let matrix = p.eq(inc, x); // x + 1 == x is unsat
+        let (result, proof) =
+            solve_exists_forall_with_proof(&mut p, &[x], &[], matrix, &EfConfig::default());
+        assert_eq!(result, EfResult::Unsat);
+        let transcript = proof.expect("unsat must carry a transcript");
+        assert!(transcript.num_vars > 0);
+        assert!(transcript
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::ProofEvent::Learned(c) if c.is_empty())));
+    }
+
+    #[test]
+    fn cegis_unsat_comes_with_transcript() {
+        // ∃x ∀u: x == u is unsat; the refutation covers the refined CNF.
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(3));
+        let u = p.var("u", Sort::BitVec(3));
+        let matrix = p.eq(x, u);
+        let (result, proof) =
+            solve_exists_forall_with_proof(&mut p, &[x], &[u], matrix, &EfConfig::default());
+        assert_eq!(result, EfResult::Unsat);
+        let transcript = proof.expect("unsat must carry a transcript");
+        assert!(transcript
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::ProofEvent::Learned(c) if c.is_empty())));
+    }
+
+    #[test]
+    fn sat_answers_have_no_transcript() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(4));
+        let seven = p.bv(4, 7);
+        let matrix = p.eq(x, seven);
+        let (result, proof) =
+            solve_exists_forall_with_proof(&mut p, &[x], &[], matrix, &EfConfig::default());
+        assert!(matches!(result, EfResult::Sat(_)));
+        assert!(proof.is_none());
+    }
+
+    #[test]
+    fn trivially_false_matrix_still_yields_refutation() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(4));
+        let matrix = p.fls();
+        let (result, proof) =
+            solve_exists_forall_with_proof(&mut p, &[x], &[], matrix, &EfConfig::default());
+        assert_eq!(result, EfResult::Unsat);
+        let transcript = proof.expect("unsat must carry a transcript");
+        assert!(transcript
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::ProofEvent::Learned(c) if c.is_empty())));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::blast::Blaster;
 use crate::eval::Assignment;
 use crate::term::{TermId, TermPool};
 use crate::value::{Sort, Value};
-use alive_sat::{SolveResult, Solver};
+use alive_sat::{ProofEvent, SharedDratRecorder, SolveResult, Solver};
 
 /// Result of an SMT `check`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -18,6 +18,19 @@ pub enum SatResult {
     Unsat,
     /// Resource limit reached.
     Unknown,
+}
+
+/// The DRAT transcript of one solver's run over its bit-blasted CNF.
+///
+/// Produced by [`SmtSolver::proof_transcript`]; the `alive-proof` crate's
+/// checker consumes the events after a trivial conversion (the two crates
+/// intentionally share no types).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProofTranscript {
+    /// Number of SAT variables in the blasted formula.
+    pub num_vars: usize,
+    /// Chronological original/learned/deleted clause events.
+    pub events: Vec<ProofEvent>,
 }
 
 /// An incremental SMT solver for QF_BV formulas.
@@ -65,6 +78,49 @@ impl SmtSolver {
     /// Number of top-level assertions made.
     pub fn num_assertions(&self) -> usize {
         self.num_asserts
+    }
+
+    /// Turns on DRAT-style proof logging in the underlying SAT solver and
+    /// returns a handle to the transcript.
+    ///
+    /// Call before asserting anything — clauses blasted earlier are not
+    /// retroactively recorded. Use [`SmtSolver::proof_transcript`] with the
+    /// returned handle to extract a checkable transcript after an `Unsat`
+    /// answer.
+    pub fn enable_proof_logging(&mut self) -> SharedDratRecorder {
+        let handle = SharedDratRecorder::new();
+        self.sat.set_proof_logger(Some(Box::new(handle.clone())));
+        handle
+    }
+
+    /// `true` if a constant-false assertion short-circuited the solver (the
+    /// SAT layer never sees such assertions).
+    pub fn is_trivially_false(&self) -> bool {
+        self.trivially_false
+    }
+
+    /// Number of variables in the bit-blasted SAT formula.
+    pub fn num_sat_vars(&self) -> usize {
+        self.sat.num_vars()
+    }
+
+    /// Extracts the proof transcript recorded by `handle` after a `check`
+    /// that returned [`SatResult::Unsat`] with no assumptions.
+    ///
+    /// The transcript covers the bit-blasted CNF of everything asserted so
+    /// far. A constant-false assertion never reaches the SAT solver, so in
+    /// that case the transcript is completed with an explicit empty axiom
+    /// (the formula contains `false`) and an empty learned clause.
+    pub fn proof_transcript(&self, handle: &SharedDratRecorder) -> ProofTranscript {
+        let mut events = handle.snapshot();
+        if self.trivially_false {
+            events.push(ProofEvent::Original(Vec::new()));
+            events.push(ProofEvent::Learned(Vec::new()));
+        }
+        ProofTranscript {
+            num_vars: self.sat.num_vars(),
+            events,
+        }
     }
 
     /// Asserts a boolean term.
@@ -232,10 +288,7 @@ mod tests {
         assert_eq!(s.model_bv(&p, x), BvVal::zero(4));
         assert_eq!(s.check_assuming(&p, &[not_zero]), SatResult::Sat);
         assert_ne!(s.model_bv(&p, x), BvVal::zero(4));
-        assert_eq!(
-            s.check_assuming(&p, &[is_zero, not_zero]),
-            SatResult::Unsat
-        );
+        assert_eq!(s.check_assuming(&p, &[is_zero, not_zero]), SatResult::Unsat);
         // No permanent damage.
         assert_eq!(s.check(), SatResult::Sat);
     }

@@ -110,7 +110,11 @@ impl Op {
     pub fn children(&self) -> Vec<TermId> {
         match self {
             Op::BoolConst(_) | Op::BvConst(_) | Op::Var(_) => vec![],
-            Op::Not(a) | Op::BvNot(a) | Op::BvNeg(a) | Op::ZExt(a) | Op::SExt(a)
+            Op::Not(a)
+            | Op::BvNot(a)
+            | Op::BvNeg(a)
+            | Op::ZExt(a)
+            | Op::SExt(a)
             | Op::Extract(a, _, _) => vec![*a],
             Op::And(cs) | Op::Or(cs) => cs.clone(),
             Op::Xor(a, b)
@@ -433,9 +437,8 @@ impl TermPool {
         if a == b {
             return self.tru();
         }
-        match (self.as_const(a), self.as_const(b)) {
-            (Some(x), Some(y)) => return self.bool_const(x == y),
-            _ => {}
+        if let (Some(x), Some(y)) = (self.as_const(a), self.as_const(b)) {
+            return self.bool_const(x == y);
         }
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
         self.intern(Term {

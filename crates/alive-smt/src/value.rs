@@ -120,23 +120,30 @@ impl BvVal {
     // ---- arithmetic (wrapping, SMT-LIB semantics) ----
 
     /// Wrapping addition.
+    #[allow(clippy::should_implement_trait)] // wrapping/SMT-LIB semantics, not std ops
     pub fn add(self, rhs: BvVal) -> BvVal {
         self.binop(rhs, |a, b| a.wrapping_add(b))
     }
 
     /// Wrapping subtraction.
+    #[allow(clippy::should_implement_trait)] // wrapping/SMT-LIB semantics, not std ops
     pub fn sub(self, rhs: BvVal) -> BvVal {
         self.binop(rhs, |a, b| a.wrapping_sub(b))
     }
 
     /// Wrapping multiplication.
+    #[allow(clippy::should_implement_trait)] // wrapping/SMT-LIB semantics, not std ops
     pub fn mul(self, rhs: BvVal) -> BvVal {
         self.binop(rhs, |a, b| a.wrapping_mul(b))
     }
 
     /// Two's-complement negation.
+    #[allow(clippy::should_implement_trait)] // wrapping/SMT-LIB semantics, not std ops
     pub fn neg(self) -> BvVal {
-        BvVal::new(self.width, (self.bits ^ Self::mask(self.width)).wrapping_add(1))
+        BvVal::new(
+            self.width,
+            (self.bits ^ Self::mask(self.width)).wrapping_add(1),
+        )
     }
 
     /// Unsigned division; division by zero yields all-ones (SMT-LIB).
@@ -205,6 +212,7 @@ impl BvVal {
     }
 
     /// Bitwise complement.
+    #[allow(clippy::should_implement_trait)] // wrapping/SMT-LIB semantics, not std ops
     pub fn not(self) -> BvVal {
         BvVal::new(self.width, !self.bits)
     }
@@ -212,6 +220,7 @@ impl BvVal {
     // ---- shifts (shift amount is the full-width second operand) ----
 
     /// Logical shift left; shifts of `width` or more yield zero.
+    #[allow(clippy::should_implement_trait)] // wrapping/SMT-LIB semantics, not std ops
     pub fn shl(self, rhs: BvVal) -> BvVal {
         if rhs.bits >= self.width as u128 {
             BvVal::zero(self.width)
@@ -484,22 +493,25 @@ mod tests {
         assert_eq!(BvVal::new(w, 7).udiv(BvVal::zero(w)), BvVal::ones(w));
         assert_eq!(BvVal::new(w, 7).urem(BvVal::zero(w)).bits(), 7);
         assert_eq!(
-            BvVal::from_i128(w, -7).sdiv(BvVal::from_i128(w, 2)).to_signed(),
+            BvVal::from_i128(w, -7)
+                .sdiv(BvVal::from_i128(w, 2))
+                .to_signed(),
             -3
         );
         assert_eq!(
-            BvVal::from_i128(w, -7).srem(BvVal::from_i128(w, 2)).to_signed(),
+            BvVal::from_i128(w, -7)
+                .srem(BvVal::from_i128(w, 2))
+                .to_signed(),
             -1
         );
         assert_eq!(
-            BvVal::from_i128(w, 7).srem(BvVal::from_i128(w, -2)).to_signed(),
+            BvVal::from_i128(w, 7)
+                .srem(BvVal::from_i128(w, -2))
+                .to_signed(),
             1
         );
         // INT_MIN / -1 wraps.
-        assert_eq!(
-            BvVal::int_min(w).sdiv(BvVal::ones(w)),
-            BvVal::int_min(w)
-        );
+        assert_eq!(BvVal::int_min(w).sdiv(BvVal::ones(w)), BvVal::int_min(w));
     }
 
     #[test]
@@ -507,10 +519,7 @@ mod tests {
         let w = 8;
         assert_eq!(BvVal::new(w, 0b1).shl(BvVal::new(w, 3)).bits(), 0b1000);
         assert_eq!(BvVal::new(w, 0x80).lshr(BvVal::new(w, 7)).bits(), 1);
-        assert_eq!(
-            BvVal::new(w, 0x80).ashr(BvVal::new(w, 7)),
-            BvVal::ones(w)
-        );
+        assert_eq!(BvVal::new(w, 0x80).ashr(BvVal::new(w, 7)), BvVal::ones(w));
         assert_eq!(BvVal::new(w, 0x40).ashr(BvVal::new(w, 6)).bits(), 1);
         // Over-shifts.
         assert_eq!(BvVal::new(w, 0xFF).shl(BvVal::new(w, 8)), BvVal::zero(w));
@@ -538,10 +547,7 @@ mod tests {
         assert_eq!(BvVal::new(4, 0b0101).sext(8).bits(), 0b0000_0101);
         assert_eq!(BvVal::new(8, 0xAB).trunc(4).bits(), 0xB);
         assert_eq!(BvVal::new(8, 0b1100_0101).extract(5, 2).bits(), 0b0001);
-        assert_eq!(
-            BvVal::new(4, 0xA).concat(BvVal::new(4, 0xB)).bits(),
-            0xAB
-        );
+        assert_eq!(BvVal::new(4, 0xA).concat(BvVal::new(4, 0xB)).bits(), 0xAB);
     }
 
     #[test]

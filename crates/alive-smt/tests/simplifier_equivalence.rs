@@ -29,10 +29,16 @@ fn expr_strategy(depth: u32) -> BoxedStrategy<E> {
         prop_oneof![
             inner.clone().prop_map(|e| E::Not(Box::new(e))),
             inner.clone().prop_map(|e| E::Neg(Box::new(e))),
-            (0u8..10, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| E::Ite(Box::new(c), Box::new(a), Box::new(b))),
+            (0u8..10, inner.clone(), inner.clone()).prop_map(|(op, a, b)| E::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| E::Ite(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
     .boxed()

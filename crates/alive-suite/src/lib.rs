@@ -234,8 +234,7 @@ mod tests {
         assert_eq!(b.len(), 8);
         let names: HashSet<String> = b.iter().map(|e| e.name.clone()).collect();
         for pr in [
-            "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256",
-            "PR21274",
+            "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256", "PR21274",
         ] {
             assert!(names.contains(pr), "missing {pr}");
         }
@@ -255,8 +254,7 @@ mod tests {
     fn fixed_versions_exist_for_every_bug() {
         let all = corpus();
         for pr in [
-            "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256",
-            "PR21274",
+            "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256", "PR21274",
         ] {
             assert!(
                 all.iter().any(|e| e.name == format!("{pr}-fixed")),

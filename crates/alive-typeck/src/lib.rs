@@ -380,9 +380,7 @@ impl Infer {
         let w = match (self.nodes[ra].width, self.nodes[rb].width) {
             (None, w) | (w, None) => w,
             (Some(w1), Some(w2)) if w1 == w2 => Some(w1),
-            (Some(w1), Some(w2)) => {
-                return Err(terr(format!("width conflict: i{w1} vs i{w2}")))
-            }
+            (Some(w1), Some(w2)) => return Err(terr(format!("width conflict: i{w1} vs i{w2}"))),
         };
         let min_w = self.nodes[ra].min_width.max(self.nodes[rb].min_width);
         // Recompute roots: recursive unification may have reshaped the forest.
@@ -634,17 +632,13 @@ fn min_width_for_literal(n: i128) -> u32 {
     if n == 0 || n == -1 {
         1
     } else if n > 0 {
-        (128 - n.leading_zeros()) as u32 + 1
+        (128 - n.leading_zeros()) + 1
     } else {
-        (128 - (-(n + 1)).leading_zeros() + 1) as u32
+        128 - (-(n + 1)).leading_zeros() + 1
     }
 }
 
-fn concretize(
-    inf: &mut Infer,
-    n: usize,
-    choice: &HashMap<usize, u32>,
-) -> Option<ConcreteType> {
+fn concretize(inf: &mut Infer, n: usize, choice: &HashMap<usize, u32>) -> Option<ConcreteType> {
     let r = inf.find(n);
     match inf.nodes[r].kind.clone() {
         Kind::Int | Kind::Any | Kind::FirstClass => {
@@ -951,7 +945,9 @@ mod tests {
     #[test]
     fn two_independent_classes_enumerate_product() {
         // %a/%b in one class; %p/%q in another (unrelated instruction).
-        let ts = typings("%r = add %a, %b\n%s = xor %p, %q\n%t = icmp eq %r, %r2\n=>\n%t = icmp ne %r2, %r");
+        let ts = typings(
+            "%r = add %a, %b\n%s = xor %p, %q\n%t = icmp eq %r, %r2\n=>\n%t = icmp ne %r2, %r",
+        );
         // Hmm: %s unused would fail validation but typeck doesn't validate.
         // Two free classes -> 25 assignments.
         assert_eq!(ts.len(), 25);

@@ -39,7 +39,12 @@ pub struct NameEnv<'a> {
 
 impl fmt::Debug for NameEnv<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "NameEnv({} consts, {} regs)", self.consts.len(), self.regs.len())
+        write!(
+            f,
+            "NameEnv({} consts, {} regs)",
+            self.consts.len(),
+            self.regs.len()
+        )
     }
 }
 
@@ -112,7 +117,6 @@ fn encode_cfun(
         "log2" => {
             let v = encode_cexpr(pool, expr_arg(args, 0, name)?, width, env)?;
             Ok(log2_term(pool, v))
-
         }
         "abs" => {
             let v = encode_cexpr(pool, expr_arg(args, 0, name)?, width, env)?;
@@ -563,7 +567,12 @@ mod tests {
         let v = pool.var("v", Sort::BitVec(8));
         let tz = cttz_term(&mut pool, v);
         let lz = ctlz_term(&mut pool, v);
-        for (input, etz, elz) in [(0b1000u128, 3u128, 4u128), (1, 0, 7), (0, 8, 8), (0x80, 7, 0)] {
+        for (input, etz, elz) in [
+            (0b1000u128, 3u128, 4u128),
+            (1, 0, 7),
+            (0, 8, 8),
+            (0x80, 7, 0),
+        ] {
             let mut a = Assignment::new();
             a.set(v, BvVal::new(8, input));
             assert_eq!(eval(&pool, tz, &a).unwrap(), Value::Bv(BvVal::new(8, etz)));
@@ -573,10 +582,8 @@ mod tests {
 
     #[test]
     fn precise_predicate_over_constants() {
-        let t = parse_transform(
-            "Pre: isPowerOf2(C1)\n%r = mul %x, C1\n=>\n%r = shl %x, log2(C1)",
-        )
-        .unwrap();
+        let t = parse_transform("Pre: isPowerOf2(C1)\n%r = mul %x, C1\n=>\n%r = shl %x, log2(C1)")
+            .unwrap();
         let mut pool = TermPool::new();
         let mut consts = HashMap::new();
         let c1 = pool.var("C1", Sort::BitVec(8));

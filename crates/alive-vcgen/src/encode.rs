@@ -72,12 +72,7 @@ pub struct MemState {
 
 impl MemState {
     /// Reads the byte at `addr` through the store chain down to `m0`.
-    pub fn read_byte(
-        &self,
-        pool: &mut TermPool,
-        base: &mut BaseMemory,
-        addr: TermId,
-    ) -> TermId {
+    pub fn read_byte(&self, pool: &mut TermPool, base: &mut BaseMemory, addr: TermId) -> TermId {
         let mut val = base.read(pool, addr);
         for entry in &self.stores {
             let same = pool.eq(addr, entry.addr);
@@ -197,11 +192,7 @@ impl TemplateCtx<'_> {
                 // A register is: defined earlier in this template, inherited
                 // from the source, or an input.
                 if let Some(&v) = self.enc.values.get(name) {
-                    return Ok((
-                        v,
-                        self.enc.defined[name],
-                        self.enc.poison_free[name],
-                    ));
+                    return Ok((v, self.enc.defined[name], self.enc.poison_free[name]));
                 }
                 if let Some(inh) = self.inherited {
                     if let Some(&v) = inh.values.get(name) {
@@ -240,10 +231,9 @@ impl TemplateCtx<'_> {
             Operand::Undef(_) => {
                 let w = self.operand_width(self.in_target, si, oi, op);
                 let which = if self.in_target { "tgt" } else { "src" };
-                let v = self.pool.var(
-                    format!("undef.{which}.{}.{}", si, oi),
-                    Sort::BitVec(w),
-                );
+                let v = self
+                    .pool
+                    .var(format!("undef.{which}.{}.{}", si, oi), Sort::BitVec(w));
                 self.enc.undefs.push(v);
                 Ok((v, t, t))
             }
@@ -359,9 +349,7 @@ impl TemplateCtx<'_> {
                 let name = stmt.name.as_deref().expect("alloca defines a register");
                 self.enc.memory.has_ops = true;
                 let pw = self.typing.ptr_width;
-                let ptr = self
-                    .pool
-                    .var(format!("alloca.%{name}"), Sort::BitVec(pw));
+                let ptr = self.pool.var(format!("alloca.%{name}"), Sort::BitVec(pw));
                 // Element type and count (count must be a literal constant).
                 let elem_ty = match self.typing.type_of(&Key::Reg(name.to_string())) {
                     ConcreteType::Ptr(inner) => (**inner).clone(),
@@ -434,10 +422,7 @@ impl TemplateCtx<'_> {
                 for k in 0..bytes {
                     let off = self.pool.bv(pw, k as u128);
                     let addr = self.pool.bv_add(pv, off);
-                    let byte = self
-                        .enc
-                        .memory
-                        .read_byte(self.pool, self.base_mem, addr);
+                    let byte = self.enc.memory.read_byte(self.pool, self.base_mem, addr);
                     value = Some(match value {
                         None => byte,
                         Some(acc) => self.pool.concat(byte, acc),
@@ -464,7 +449,7 @@ impl TemplateCtx<'_> {
                 let defined0 = self.pool.and([vd, vp, pd, pp, own_def]);
                 let guard = self.with_sequence(defined0);
                 // Slice the value into bytes; pad the last byte with zeros.
-                let padded = if w % 8 != 0 {
+                let padded = if !w.is_multiple_of(8) {
                     self.pool.zext(vv, (bytes * 8) as u32)
                 } else {
                     vv
@@ -474,11 +459,10 @@ impl TemplateCtx<'_> {
                     let byte = self.pool.extract(padded, lo + 7, lo);
                     let off = self.pool.bv(pw, k as u128);
                     let addr = self.pool.bv_add(pv, off);
-                    self.enc.memory.stores.push(StoreEntry {
-                        addr,
-                        byte,
-                        guard,
-                    });
+                    self.enc
+                        .memory
+                        .stores
+                        .push(StoreEntry { addr, byte, guard });
                 }
                 self.sequence_point(guard);
             }
@@ -566,9 +550,7 @@ pub fn encode_transform(
     let reg_widths: HashMap<String, u32> = typing
         .iter()
         .filter_map(|(k, ct)| match k {
-            alive_typeck::Key::Reg(n) => {
-                Some((n.clone(), ct.register_width(typing.ptr_width)))
-            }
+            alive_typeck::Key::Reg(n) => Some((n.clone(), ct.register_width(typing.ptr_width))),
             _ => None,
         })
         .collect();
@@ -610,13 +592,13 @@ pub fn encode_transform(
     // Make sure every constant symbol mentioned only in the precondition
     // also has a variable.
     for s in t.constant_symbols() {
-        if !consts.contains_key(&s) {
+        if let std::collections::hash_map::Entry::Vacant(e) = consts.entry(s.clone()) {
             let w = typing
-                .get(&Key::Sym(s.clone()))
+                .get(&Key::Sym(s))
                 .map(|ct| ct.register_width(typing.ptr_width))
                 .unwrap_or(32);
-            let v = pool.var(s.clone(), Sort::BitVec(w));
-            consts.insert(s, v);
+            let v = pool.var(e.key().clone(), Sort::BitVec(w));
+            e.insert(v);
         }
     }
 
@@ -705,8 +687,7 @@ mod tests {
 
     #[test]
     fn encodes_intro_example_values() {
-        let (pool, enc) =
-            encode_at_width8("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x");
+        let (pool, enc) = encode_at_width8("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x");
         let x = enc.inputs["x"];
         let c = enc.consts["C"];
         let mut env = Assignment::new();
@@ -742,8 +723,7 @@ mod tests {
     #[test]
     fn definedness_flows_through_def_use() {
         // %a = udiv (may be undefined); %r = add %a, 1 inherits δ.
-        let (pool, enc) =
-            encode_at_width8("%a = udiv %x, %y\n%r = add %a, 1\n=>\n%r = add %a, 1");
+        let (pool, enc) = encode_at_width8("%a = udiv %x, %y\n%r = add %a, 1\n=>\n%r = add %a, 1");
         let y = enc.inputs["y"];
         let x = enc.inputs["x"];
         let mut env = Assignment::new();
@@ -757,9 +737,8 @@ mod tests {
 
     #[test]
     fn poison_flows_through_def_use() {
-        let (pool, enc) = encode_at_width8(
-            "%a = add nsw %x, %y\n%r = xor %a, 1\n=>\n%r = xor %a, 1",
-        );
+        let (pool, enc) =
+            encode_at_width8("%a = add nsw %x, %y\n%r = xor %a, 1\n=>\n%r = xor %a, 1");
         let x = enc.inputs["x"];
         let y = enc.inputs["y"];
         let mut env = Assignment::new();
@@ -806,9 +785,7 @@ mod tests {
 
     #[test]
     fn store_then_load_forwards_value() {
-        let (mut pool, enc) = encode_at_width8(
-            "store %v, %p\n%r = load %p\n=>\n%r = %v",
-        );
+        let (mut pool, enc) = encode_at_width8("store %v, %p\n%r = load %p\n=>\n%r = %v");
         let v = enc.inputs["v"];
         let p = enc.inputs["p"];
         // With p non-null, the load must return the stored value: the
@@ -847,10 +824,7 @@ mod tests {
 
     #[test]
     fn psi_includes_precondition() {
-        let t = parse_transform(
-            "Pre: C1 == 1\n%r = shl %x, C1\n=>\n%r = add %x, %x",
-        )
-        .unwrap();
+        let t = parse_transform("Pre: C1 == 1\n%r = shl %x, C1\n=>\n%r = add %x, %x").unwrap();
         let cfg = TypeckConfig {
             widths: vec![8],
             ..TypeckConfig::default()

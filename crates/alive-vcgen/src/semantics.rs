@@ -287,8 +287,8 @@ mod tests {
         for (pred, expect) in [
             (ICmpPred::Eq, false),
             (ICmpPred::Ne, true),
-            (ICmpPred::Ugt, true),  // 15 > 1 unsigned
-            (ICmpPred::Slt, true),  // -1 < 1 signed
+            (ICmpPred::Ugt, true), // 15 > 1 unsigned
+            (ICmpPred::Slt, true), // -1 < 1 signed
             (ICmpPred::Sge, false),
             (ICmpPred::Ule, false),
         ] {

@@ -23,11 +23,23 @@ fn main() {
         if got_bug == e.expected_bug {
             ok += 1;
             if std::env::args().any(|a| a == "-v") {
-                println!("ok     {:30} {:>6}ms {}", e.name, dt, if got_bug {"(rejected as expected)"} else {"(valid)"});
+                println!(
+                    "ok     {:30} {:>6}ms {}",
+                    e.name,
+                    dt,
+                    if got_bug {
+                        "(rejected as expected)"
+                    } else {
+                        "(valid)"
+                    }
+                );
             }
         } else {
             bad += 1;
-            println!("WRONG  {:30} {:>6}ms expected_bug={} got:", e.name, dt, e.expected_bug);
+            println!(
+                "WRONG  {:30} {:>6}ms expected_bug={} got:",
+                e.name, dt, e.expected_bug
+            );
             match &v {
                 Verdict::Invalid(cex) => println!("{cex}"),
                 other => println!("  {other}"),

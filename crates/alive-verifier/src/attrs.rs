@@ -238,7 +238,9 @@ mod tests {
         assert!(r.post_strengthened, "expected target strengthening");
         let printed = r.inferred.to_string();
         assert!(
-            printed.contains("shl nsw") || printed.contains("shl nuw nsw") || printed.contains("shl nsw nuw"),
+            printed.contains("shl nsw")
+                || printed.contains("shl nuw nsw")
+                || printed.contains("shl nsw nuw"),
             "inferred: {printed}"
         );
     }

@@ -24,7 +24,10 @@ impl fmt::Display for FailureKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FailureKind::Definedness => {
-                write!(f, "Domain of definedness of Target is smaller than Source's")
+                write!(
+                    f,
+                    "Domain of definedness of Target is smaller than Source's"
+                )
             }
             FailureKind::Poison => {
                 write!(f, "Target introduces poison values absent from the Source")

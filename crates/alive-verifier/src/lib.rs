@@ -37,4 +37,7 @@ mod verify;
 
 pub use attrs::{infer_attributes, AttrInferenceResult, FlagPos};
 pub use counterexample::{Counterexample, FailureKind};
-pub use verify::{verify, verify_with_stats, Verdict, VerifyConfig, VerifyError, VerifyStats};
+pub use verify::{
+    verify, verify_with_certificates, verify_with_stats, Verdict, VerifyConfig, VerifyError,
+    VerifyStats,
+};

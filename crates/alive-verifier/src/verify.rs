@@ -15,7 +15,11 @@
 
 use crate::counterexample::{build_counterexample, Counterexample, FailureKind};
 use alive_ir::{validate, Transform};
-use alive_smt::{solve_exists_forall, EfConfig, EfResult, Sort, TermId, TermPool};
+use alive_proof::{Certificate, CertificateMeta, Step};
+use alive_smt::{
+    eval, solve_exists_forall, solve_exists_forall_with_proof, Assignment, BvVal, EfConfig,
+    EfResult, EvalError, ProofEvent, ProofTranscript, Sort, TermId, TermPool, Value,
+};
 use alive_typeck::{enumerate_typings, TypeckConfig};
 use alive_vcgen::{encode_transform, TransformEnc};
 use std::fmt;
@@ -53,7 +57,10 @@ impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Verdict::Valid { typings_checked } => {
-                write!(f, "Optimization is correct ({typings_checked} type assignments)")
+                write!(
+                    f,
+                    "Optimization is correct ({typings_checked} type assignments)"
+                )
             }
             Verdict::Invalid(cex) => write!(f, "{cex}"),
             Verdict::Unknown { reason } => write!(f, "Verification inconclusive: {reason}"),
@@ -125,12 +132,45 @@ pub fn verify_with_stats(
     t: &Transform,
     config: &VerifyConfig,
 ) -> Result<(Verdict, VerifyStats), VerifyError> {
+    verify_impl(t, config, None)
+}
+
+/// Like [`verify_with_stats`], and additionally emits one refinement
+/// [`Certificate`] per condition discharged by refutation.
+///
+/// Certificates are produced only for conditions the SAT solver actually
+/// refuted, so a `Valid` verdict over `n` typings comes with `3n` (or `4n`
+/// with memory operations) certificates; `Invalid`/`Unknown` verdicts carry
+/// the certificates of the conditions that passed before the failing one.
+/// Each certificate ties the refuting proof to the transform name, the
+/// concrete type assignment, and the refinement condition, and re-checking
+/// it needs only the independent `alive-proof` checker.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] when the transformation is ill-formed,
+/// ill-typed, or uses unsupported constructs.
+pub fn verify_with_certificates(
+    t: &Transform,
+    config: &VerifyConfig,
+) -> Result<(Verdict, VerifyStats, Vec<Certificate>), VerifyError> {
+    let mut certificates = Vec::new();
+    let (verdict, stats) = verify_impl(t, config, Some(&mut certificates))?;
+    Ok((verdict, stats, certificates))
+}
+
+fn verify_impl(
+    t: &Transform,
+    config: &VerifyConfig,
+    mut certificates: Option<&mut Vec<Certificate>>,
+) -> Result<(Verdict, VerifyStats), VerifyError> {
     validate(t).map_err(|e| VerifyError {
         message: e.to_string(),
     })?;
     let typings = enumerate_typings(t, &config.typeck).map_err(|e| VerifyError {
         message: e.to_string(),
     })?;
+    let transform_name = t.name.clone().unwrap_or_else(|| "<unnamed>".to_string());
 
     let mut stats = VerifyStats::default();
     for typing in &typings {
@@ -147,7 +187,13 @@ pub fn verify_with_stats(
         let src_val = enc.src.values[&root];
         let tgt_val = enc.tgt.values[&root];
 
-        let checks: Vec<(FailureKind, TermId)> = {
+        let mut exist_vars = enc.exist_vars();
+        exist_vars.extend(enc.tgt.undefs.iter().copied());
+        let univ_vars: Vec<TermId> = enc.src.undefs.clone();
+
+        // The negated conditions 1–3 share the existential variables; the
+        // memory condition adds the quantified address.
+        let mut checks: Vec<(FailureKind, TermId, Vec<TermId>)> = {
             let not_def = pool.not(tgt_def);
             let c1 = pool.and2(psi, not_def);
             let not_poison = pool.not(tgt_poison);
@@ -155,63 +201,62 @@ pub fn verify_with_stats(
             let neq = pool.ne(src_val, tgt_val);
             let c3 = pool.and2(psi, neq);
             vec![
-                (FailureKind::Definedness, c1),
-                (FailureKind::Poison, c2),
-                (FailureKind::ValueMismatch, c3),
+                (FailureKind::Definedness, c1, exist_vars.clone()),
+                (FailureKind::Poison, c2, exist_vars.clone()),
+                (FailureKind::ValueMismatch, c3, exist_vars.clone()),
             ]
         };
+        if enc.src.memory.has_ops || enc.tgt.memory.has_ops {
+            let (matrix, evars) = memory_check_matrix(&mut pool, &enc, &exist_vars);
+            checks.push((FailureKind::MemoryMismatch, matrix, evars));
+        }
 
-        let mut exist_vars = enc.exist_vars();
-        exist_vars.extend(enc.tgt.undefs.iter().copied());
-        let univ_vars: Vec<TermId> = enc.src.undefs.clone();
-
-        for (kind, matrix) in checks {
+        for (kind, matrix, evars) in checks {
             stats.queries += 1;
-            match solve_exists_forall(&mut pool, &exist_vars, &univ_vars, matrix, &config.ef)
-            {
-                EfResult::Unsat => {}
+            let (result, transcript) = if certificates.is_some() {
+                solve_exists_forall_with_proof(&mut pool, &evars, &univ_vars, matrix, &config.ef)
+            } else {
+                (
+                    solve_exists_forall(&mut pool, &evars, &univ_vars, matrix, &config.ef),
+                    None,
+                )
+            };
+            match result {
+                EfResult::Unsat => {
+                    if let (Some(certs), Some(transcript)) =
+                        (certificates.as_deref_mut(), transcript)
+                    {
+                        certs.push(certificate_from_transcript(
+                            &transform_name,
+                            &typing.summary(),
+                            kind,
+                            transcript,
+                        ));
+                    }
+                }
                 EfResult::Sat(model) => {
-                    let cex = build_counterexample(
-                        &pool,
-                        t,
-                        &enc,
-                        &model,
-                        kind,
-                        typing.summary(),
-                    );
+                    // Dual-check: a counterexample is only reported after the
+                    // reference evaluator concretely reproduces the failure,
+                    // so a SAT-solver or bit-blaster bug cannot manufacture
+                    // a bogus Invalid verdict.
+                    if !revalidate_model(&pool, matrix, &model, &univ_vars) {
+                        return Ok((
+                            Verdict::Unknown {
+                                reason: format!(
+                                    "{kind} counterexample failed concrete re-validation \
+                                     (possible solver defect)"
+                                ),
+                            },
+                            stats,
+                        ));
+                    }
+                    let cex = build_counterexample(&pool, t, &enc, &model, kind, typing.summary());
                     return Ok((Verdict::Invalid(Box::new(cex)), stats));
                 }
                 EfResult::Unknown => {
                     return Ok((
                         Verdict::Unknown {
                             reason: format!("{kind} check exceeded budget"),
-                        },
-                        stats,
-                    ));
-                }
-            }
-        }
-
-        // Condition 4: memory equivalence at a quantified address.
-        if enc.src.memory.has_ops || enc.tgt.memory.has_ops {
-            stats.queries += 1;
-            match check_memory(&mut pool, &enc, &exist_vars, &univ_vars, &config.ef) {
-                EfResult::Unsat => {}
-                EfResult::Sat(model) => {
-                    let cex = build_counterexample(
-                        &pool,
-                        t,
-                        &enc,
-                        &model,
-                        FailureKind::MemoryMismatch,
-                        typing.summary(),
-                    );
-                    return Ok((Verdict::Invalid(Box::new(cex)), stats));
-                }
-                EfResult::Unknown => {
-                    return Ok((
-                        Verdict::Unknown {
-                            reason: "memory check exceeded budget".into(),
                         },
                         stats,
                     ));
@@ -227,16 +272,104 @@ pub fn verify_with_stats(
     ))
 }
 
-/// Builds and solves the negated memory condition: some address (outside
-/// the source's stack allocations) holds different bytes in the two final
-/// memories while the precondition and allocation constraints hold.
-fn check_memory(
+/// Converts an SMT-layer DRAT transcript into a metadata-carrying
+/// certificate (the only place the solver's event types meet the checker's
+/// step types).
+fn certificate_from_transcript(
+    transform: &str,
+    typing: &str,
+    kind: FailureKind,
+    transcript: ProofTranscript,
+) -> Certificate {
+    let steps = transcript
+        .events
+        .into_iter()
+        .map(|e| match e {
+            ProofEvent::Original(c) => Step::Add(c),
+            ProofEvent::Learned(c) => Step::Learn(c),
+            ProofEvent::Deleted(c) => Step::Delete(c),
+        })
+        .collect();
+    Certificate {
+        meta: CertificateMeta {
+            transform: transform.to_string(),
+            typing: typing.to_string(),
+            check: check_label(kind).to_string(),
+        },
+        num_vars: transcript.num_vars,
+        steps,
+    }
+}
+
+/// Stable label for a refinement condition in certificate metadata.
+fn check_label(kind: FailureKind) -> &'static str {
+    match kind {
+        FailureKind::Definedness => "definedness",
+        FailureKind::Poison => "poison",
+        FailureKind::ValueMismatch => "value",
+        FailureKind::MemoryMismatch => "memory",
+    }
+}
+
+/// Concretely re-evaluates `matrix` under a counterexample model with the
+/// reference evaluator.
+///
+/// Universal variables (source `undef`s) are instantiated at both all-zeros
+/// and all-ones: an `EfResult::Sat` model claims the failure manifests for
+/// *every* universal choice, so both instantiations must evaluate to true.
+/// Model gaps (variables never blasted) default to zero, mirroring
+/// `SmtSolver::model_bv`.
+fn revalidate_model(
+    pool: &TermPool,
+    matrix: TermId,
+    model: &Assignment,
+    univ_vars: &[TermId],
+) -> bool {
+    let instantiations: &[bool] = if univ_vars.is_empty() {
+        &[false]
+    } else {
+        &[false, true]
+    };
+    for &ones in instantiations {
+        let mut env = model.clone();
+        for &u in univ_vars {
+            match pool.sort(u) {
+                Sort::Bool => env.set(u, ones),
+                Sort::BitVec(w) => env.set(u, if ones { BvVal::ones(w) } else { BvVal::zero(w) }),
+            }
+        }
+        if !eval_defaulting_unbound(pool, matrix, env) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Evaluates a boolean term, binding any unbound variable to zero/false
+/// (the SMT layer's own completion for unconstrained model variables).
+fn eval_defaulting_unbound(pool: &TermPool, root: TermId, mut env: Assignment) -> bool {
+    // Each retry binds one more variable, so this terminates.
+    loop {
+        match eval(pool, root, &env) {
+            Ok(Value::Bool(b)) => return b,
+            Ok(Value::Bv(_)) => return false, // not a boolean matrix: reject
+            Err(EvalError::UnboundVar(id, _)) => match pool.sort(id) {
+                Sort::Bool => env.set(id, false),
+                Sort::BitVec(w) => env.set(id, BvVal::zero(w)),
+            },
+        }
+    }
+}
+
+/// Builds the negated memory condition: some address (outside the source's
+/// stack allocations) holds different bytes in the two final memories while
+/// the precondition and allocation constraints hold. Returns the matrix and
+/// the existential variables extended with the quantified address.
+fn memory_check_matrix(
     pool: &mut TermPool,
     enc: &TransformEnc,
     exist_vars: &[TermId],
-    univ_vars: &[TermId],
-    ef: &EfConfig,
-) -> EfResult {
+) -> (TermId, Vec<TermId>) {
     let pw = enc.ptr_width;
     let addr = pool.var("mem.addr", Sort::BitVec(pw));
 
@@ -268,7 +401,7 @@ fn check_memory(
 
     let mut evars = exist_vars.to_vec();
     evars.push(addr);
-    solve_exists_forall(pool, &evars, univ_vars, matrix, ef)
+    (matrix, evars)
 }
 
 #[cfg(test)]
@@ -398,5 +531,104 @@ mod tests {
         assert!(cex.target_value.is_some());
         // Counterexamples are biased to small widths (first in the config).
         assert_eq!(cex.root_width, 4);
+    }
+
+    fn check_certified(src: &str) -> (Verdict, VerifyStats, Vec<Certificate>) {
+        let t = parse_transform(src).unwrap();
+        verify_with_certificates(&t, &VerifyConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn valid_transform_yields_checked_certificates() {
+        let (v, stats, certs) =
+            check_certified("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x");
+        assert!(v.is_valid(), "{v}");
+        // Every refuted condition carries a certificate, one per query.
+        assert_eq!(certs.len(), stats.queries);
+        assert!(!certs.is_empty());
+        for cert in &certs {
+            let report = cert
+                .check()
+                .unwrap_or_else(|e| panic!("certificate for {} failed: {e}", cert.meta.check));
+            assert!(report.learned_checked > 0 || report.steps > 0);
+            assert_eq!(cert.meta.transform, "<unnamed>");
+            assert!(!cert.meta.typing.is_empty());
+            assert!(
+                ["definedness", "poison", "value", "memory"].contains(&cert.meta.check.as_str()),
+                "{}",
+                cert.meta.check
+            );
+        }
+        // All three refinement conditions are represented.
+        for label in ["definedness", "poison", "value"] {
+            assert!(
+                certs.iter().any(|c| c.meta.check == label),
+                "missing {label} certificate"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_transform_yields_memory_certificate() {
+        let (v, _, certs) =
+            check_certified("store %v, %p\n%r = load %p\n=>\nstore %v, %p\n%r = %v");
+        assert!(v.is_valid(), "{v}");
+        assert!(certs.iter().any(|c| c.meta.check == "memory"));
+        for cert in &certs {
+            cert.check().expect("certificate must check");
+        }
+    }
+
+    #[test]
+    fn invalid_transform_keeps_earlier_certificates_checkable() {
+        // Value mismatch: definedness and poison certificates for the first
+        // typing still exist and must check.
+        let (v, _, certs) = check_certified("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C, %x");
+        assert!(v.is_invalid(), "{v}");
+        for cert in &certs {
+            cert.check().expect("certificate must check");
+        }
+    }
+
+    #[test]
+    fn certificates_round_trip_through_text() {
+        let (_, _, certs) =
+            check_certified("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x");
+        for cert in &certs {
+            let text = cert.to_text();
+            let parsed = Certificate::parse(&text).expect("round trip parse");
+            assert_eq!(&parsed, cert);
+            parsed.check().expect("parsed certificate must check");
+        }
+    }
+
+    #[test]
+    fn truncated_certificate_is_rejected() {
+        let (_, _, mut certs) =
+            check_certified("%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x");
+        let cert = certs.first_mut().expect("at least one certificate");
+        // Drop the final (refuting) learned step: no empty clause remains.
+        let last_learn = cert
+            .steps
+            .iter()
+            .rposition(|s| matches!(s, Step::Learn(c) if c.is_empty()))
+            .expect("refutation step present");
+        cert.steps.truncate(last_learn);
+        assert!(cert.check().is_err());
+    }
+
+    #[test]
+    fn plain_verify_matches_certified_verify() {
+        for src in [
+            "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x",
+            "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C, %x",
+            "%r = add nsw %x, 1\n%2 = icmp sgt %r, %x\n=>\n%2 = true",
+        ] {
+            let t = parse_transform(src).unwrap();
+            let plain = verify(&t, &VerifyConfig::default()).unwrap();
+            let (certified, _, _) = verify_with_certificates(&t, &VerifyConfig::default()).unwrap();
+            assert_eq!(plain.is_valid(), certified.is_valid(), "{src}");
+            assert_eq!(plain.is_invalid(), certified.is_invalid(), "{src}");
+        }
     }
 }

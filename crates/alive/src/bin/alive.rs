@@ -7,10 +7,23 @@
 //!   --exhaustive    verify at widths 1..=64 (slow, like the paper)
 //!   --cpp           print generated C++ for verified transformations
 //!   --infer         run nsw/nuw/exact attribute inference
+//!   --proof <dir>   write refinement certificates to <dir> and re-check
+//!                   each one with the independent proof checker
 //! ```
+//!
+//! Exit codes: `0` all transformations verified, `1` at least one
+//! refinement failure (or parse/IO error), `2` inconclusive only
+//! (budget exhausted / unknown), `64` usage error.
 
-use alive::{generate_cpp, infer_attributes, parse_transforms, verify, Verdict, VerifyConfig};
+use alive::{
+    generate_cpp, infer_attributes, parse_transforms, verify, verify_with_certificates,
+    Certificate, Verdict, VerifyConfig,
+};
+use std::path::Path;
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--proof <dir>] <file.opt>...";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,7 +31,9 @@ fn main() -> ExitCode {
     let mut config = VerifyConfig::default();
     let mut emit_cpp = false;
     let mut infer = false;
-    for a in &args {
+    let mut proof_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--fast" => config = VerifyConfig::fast(),
             "--exhaustive" => {
@@ -26,21 +41,37 @@ fn main() -> ExitCode {
             }
             "--cpp" => emit_cpp = true,
             "--infer" => infer = true,
+            "--proof" => match it.next() {
+                Some(dir) => proof_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("error: --proof requires a directory argument\n{USAGE}");
+                    return ExitCode::from(64);
+                }
+            },
             "-h" | "--help" => {
-                eprintln!(
-                    "usage: alive [--fast|--exhaustive] [--cpp] [--infer] <file.opt>..."
-                );
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option '{other}'\n{USAGE}");
+                return ExitCode::from(64);
             }
             other => files.push(other.to_string()),
         }
     }
     if files.is_empty() {
-        eprintln!("error: no input files (try --help)");
-        return ExitCode::FAILURE;
+        eprintln!("error: no input files (try --help)\n{USAGE}");
+        return ExitCode::from(64);
+    }
+    if let Some(dir) = &proof_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create proof directory {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     let mut failures = 0usize;
+    let mut unknowns = 0usize;
     for path in &files {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -65,9 +96,26 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|| format!("{path}#{}", i + 1));
             println!("----------------------------------------");
             println!("Name: {name}");
-            match verify(t, &config) {
+            let (verdict, certificates) = if proof_dir.is_some() {
+                match verify_with_certificates(t, &config) {
+                    Ok((v, _, certs)) => (Ok(v), certs),
+                    Err(e) => (Err(e), Vec::new()),
+                }
+            } else {
+                (verify(t, &config), Vec::new())
+            };
+            match verdict {
                 Ok(Verdict::Valid { typings_checked }) => {
                     println!("Optimization is correct! ({typings_checked} type assignments)");
+                    if let Some(dir) = &proof_dir {
+                        match persist_certificates(dir, &name, &certificates) {
+                            Ok(n) => println!("{n} certificates written and re-checked"),
+                            Err(e) => {
+                                println!("certificate error: {e}");
+                                failures += 1;
+                            }
+                        }
+                    }
                     if infer {
                         match infer_attributes(t, &config) {
                             Ok(r) => {
@@ -91,7 +139,7 @@ fn main() -> ExitCode {
                 }
                 Ok(Verdict::Unknown { reason }) => {
                     println!("Verification inconclusive: {reason}");
-                    failures += 1;
+                    unknowns += 1;
                 }
                 Err(e) => {
                     println!("error: {e}");
@@ -100,9 +148,37 @@ fn main() -> ExitCode {
             }
         }
     }
-    if failures == 0 {
-        ExitCode::SUCCESS
-    } else {
+    if failures > 0 {
         ExitCode::from(1)
+    } else if unknowns > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
+}
+
+/// Writes each certificate to `<dir>/<name>.<k>.cert`, then reads every
+/// file back and runs the independent checker on the parsed result, so
+/// what lands on disk — not the in-memory copy — is what gets trusted.
+fn persist_certificates(
+    dir: &str,
+    transform_name: &str,
+    certs: &[Certificate],
+) -> Result<usize, String> {
+    let slug: String = transform_name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    for (k, cert) in certs.iter().enumerate() {
+        let file = Path::new(dir).join(format!("{slug}.{k}.cert"));
+        std::fs::write(&file, cert.to_text()).map_err(|e| format!("{}: {e}", file.display()))?;
+        let text =
+            std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let parsed =
+            Certificate::parse(&text).map_err(|e| format!("{}: parse: {e}", file.display()))?;
+        parsed
+            .check()
+            .map_err(|e| format!("{}: check: {e}", file.display()))?;
+    }
+    Ok(certs.len())
 }

@@ -55,31 +55,35 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+/// C++ code generation.
+pub use alive_codegen as codegen;
+/// The Alive DSL front end.
+pub use alive_ir as ir;
+/// The mini-LLVM substrate (pass, interpreter, workloads).
+pub use alive_opt as opt;
+/// Independent proof checking (refinement certificates).
+pub use alive_proof as proof;
 /// The SAT solver substrate.
 pub use alive_sat as sat;
 /// The SMT (bitvector) layer.
 pub use alive_smt as smt;
-/// The Alive DSL front end.
-pub use alive_ir as ir;
+/// The InstCombine corpus.
+pub use alive_suite as suite;
 /// Type inference and feasible-type enumeration.
 pub use alive_typeck as typeck;
 /// Verification-condition generation.
 pub use alive_vcgen as vcgen;
 /// The refinement verifier.
 pub use alive_verifier as verifier;
-/// C++ code generation.
-pub use alive_codegen as codegen;
-/// The mini-LLVM substrate (pass, interpreter, workloads).
-pub use alive_opt as opt;
-/// The InstCombine corpus.
-pub use alive_suite as suite;
 
 pub use alive_codegen::generate_cpp;
 pub use alive_ir::{parse_transform, parse_transforms, validate, Transform};
 pub use alive_opt::{Peephole, WorkloadConfig};
+pub use alive_proof::{Certificate, CheckError};
 pub use alive_typeck::TypeckConfig;
 pub use alive_verifier::{
-    infer_attributes, verify, Counterexample, FailureKind, Verdict, VerifyConfig,
+    infer_attributes, verify, verify_with_certificates, Counterexample, FailureKind, Verdict,
+    VerifyConfig,
 };
 
 /// Parses and verifies every transformation in `src`, returning
@@ -146,10 +150,8 @@ mod tests {
 
     #[test]
     fn end_to_end_pipeline() {
-        let t = parse_transform(
-            "Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)",
-        )
-        .unwrap();
+        let t = parse_transform("Pre: isPowerOf2(C)\n%r = mul %x, C\n=>\n%r = shl %x, log2(C)")
+            .unwrap();
         // Verify.
         let v = verify(&t, &VerifyConfig::fast()).unwrap();
         assert!(v.is_valid(), "{v}");
@@ -157,10 +159,8 @@ mod tests {
         let cpp = generate_cpp(&t).unwrap();
         assert!(cpp.contains("m_Mul"));
         // Apply to IR.
-        let (pass, rejected) = verified_peephole(
-            [("mul-pow2".to_string(), t)],
-            &VerifyConfig::fast(),
-        );
+        let (pass, rejected) =
+            verified_peephole([("mul-pow2".to_string(), t)], &VerifyConfig::fast());
         assert!(rejected.is_empty());
         assert_eq!(pass.len(), 1);
     }

@@ -1,0 +1,95 @@
+//! Black-box tests of the `alive` binary: argument handling, exit codes,
+//! and the `--proof` certificate pipeline.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn alive_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alive"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("alive-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const GOOD: &str = "Name: not-add\n%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n";
+const BAD: &str = "Name: wrong\n%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C, %x\n";
+
+#[test]
+fn valid_file_exits_zero() {
+    let dir = temp_dir("ok");
+    let f = dir.join("good.opt");
+    std::fs::write(&f, GOOD).unwrap();
+    let out = alive_bin().arg("--fast").arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn refinement_failure_exits_one() {
+    let dir = temp_dir("bad");
+    let f = dir.join("bad.opt");
+    std::fs::write(&f, BAD).unwrap();
+    let out = alive_bin().arg("--fast").arg(&f).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = alive_bin().arg("--definitely-not-a-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(64), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown option"), "{err}");
+}
+
+#[test]
+fn proof_flag_requires_argument() {
+    let out = alive_bin().arg("--proof").output().unwrap();
+    assert_eq!(out.status.code(), Some(64), "{out:?}");
+}
+
+#[test]
+fn missing_input_is_a_usage_error() {
+    let out = alive_bin().arg("--fast").output().unwrap();
+    assert_eq!(out.status.code(), Some(64), "{out:?}");
+}
+
+#[test]
+fn proof_flag_writes_checkable_certificates() {
+    let dir = temp_dir("proof");
+    let f = dir.join("good.opt");
+    std::fs::write(&f, GOOD).unwrap();
+    let proofs = dir.join("proofs");
+    let out = alive_bin()
+        .arg("--fast")
+        .arg("--proof")
+        .arg(&proofs)
+        .arg(&f)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("certificates written and re-checked"),
+        "{stdout}"
+    );
+
+    let mut certs = Vec::new();
+    for entry in std::fs::read_dir(&proofs).unwrap() {
+        let path = entry.unwrap().path();
+        assert_eq!(path.extension().and_then(|e| e.to_str()), Some("cert"));
+        certs.push(path);
+    }
+    // fast profile: 2 widths x 3 conditions.
+    assert_eq!(certs.len(), 6, "{certs:?}");
+    for path in certs {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cert = alive::Certificate::parse(&text).unwrap();
+        cert.check().unwrap_or_else(|e| {
+            panic!("{}: {e}", path.display());
+        });
+        assert_eq!(cert.meta.transform, "not-add");
+    }
+}

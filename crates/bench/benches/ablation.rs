@@ -39,7 +39,10 @@ fn bench_width_bias(c: &mut Criterion) {
 fn bench_cegis_seeding(c: &mut Criterion) {
     // undef-bearing transforms exercise the ∃∀ CEGIS path.
     let cases = [
-        ("select-undef", "%r = select undef, i8 -1, 0\n=>\n%r = ashr undef, 3"),
+        (
+            "select-undef",
+            "%r = select undef, i8 -1, 0\n=>\n%r = ashr undef, 3",
+        ),
         ("xor-undef", "%r = xor i8 %x, undef\n=>\n%r = undef"),
         (
             "add-undef",

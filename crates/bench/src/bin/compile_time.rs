@@ -14,7 +14,11 @@ use alive::opt::{generate_workload, Peephole, WorkloadConfig};
 use bench::pass_templates;
 use std::time::Instant;
 
-fn time_pass(label: &str, templates: Vec<(String, alive::Transform)>, funcs: &[alive::opt::Function]) -> f64 {
+fn time_pass(
+    label: &str,
+    templates: Vec<(String, alive::Transform)>,
+    funcs: &[alive::opt::Function],
+) -> f64 {
     let pass = Peephole::new(templates);
     let mut work = funcs.to_vec();
     let start = Instant::now();

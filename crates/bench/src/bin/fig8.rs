@@ -33,7 +33,10 @@ fn main() {
     {
         match entry_verdict(&entry, &config) {
             Verdict::Valid { typings_checked } => {
-                println!("{:18} {:>10}  ({typings_checked} typings)", entry.name, "valid")
+                println!(
+                    "{:18} {:>10}  ({typings_checked} typings)",
+                    entry.name, "valid"
+                )
             }
             other => panic!("{} must verify, got {other}", entry.name),
         }

@@ -1,0 +1,202 @@
+//! End-to-end certificate tests: every refinement the verifier proves on
+//! the corpus must come with a machine-checkable certificate that the
+//! independent `alive-proof` checker accepts — and tampered certificates
+//! must be rejected.
+//!
+//! The deterministic sample keeps the default run fast; the full sweep
+//! runs with `cargo test -p integration --test certificates -- --ignored`.
+
+use alive::proof::Step;
+use alive::{verify_with_certificates, Certificate, Verdict, VerifyConfig};
+use std::sync::OnceLock;
+
+fn certified_sample() -> &'static [(String, Verdict, Vec<Certificate>)] {
+    static SAMPLE: OnceLock<Vec<(String, Verdict, Vec<Certificate>)>> = OnceLock::new();
+    SAMPLE.get_or_init(|| {
+        let config = VerifyConfig::fast();
+        let mut out = Vec::new();
+        for (i, e) in alive::suite::full_corpus().iter().enumerate() {
+            // Deterministic sample: every 8th entry, skipping expected bugs
+            // (bugs exercise the counterexample path, not certificates).
+            if i % 8 != 0 || e.expected_bug {
+                continue;
+            }
+            let (v, stats, certs) = verify_with_certificates(&e.transform, &config)
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            if v.is_valid() {
+                assert_eq!(
+                    certs.len(),
+                    stats.queries,
+                    "{}: every refuted condition must carry a certificate",
+                    e.name
+                );
+            }
+            out.push((e.name.clone(), v, certs));
+        }
+        out
+    })
+}
+
+#[test]
+fn sampled_corpus_certificates_all_check() {
+    let mut checked = 0usize;
+    for (name, v, certs) in certified_sample() {
+        assert!(v.is_valid(), "{name}: sampled entry unexpectedly {v}");
+        for cert in certs {
+            cert.check()
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", cert.meta.check));
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "only {checked} certificates checked");
+}
+
+#[test]
+fn sampled_corpus_certificates_round_trip() {
+    for (name, _, certs) in certified_sample() {
+        for cert in certs {
+            let text = cert.to_text();
+            let parsed =
+                Certificate::parse(&text).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
+            assert_eq!(&parsed, cert, "{name}: text round trip altered certificate");
+            parsed
+                .check()
+                .unwrap_or_else(|e| panic!("{name}: reparsed certificate rejected: {e}"));
+        }
+    }
+}
+
+/// Dropping the final refutation must always be caught: no certificate
+/// remains valid without its empty learned clause.
+#[test]
+fn truncated_certificates_are_rejected() {
+    for (name, _, certs) in certified_sample().iter().take(4) {
+        for cert in certs {
+            let mut cert = cert.clone();
+            let Some(last) = cert
+                .steps
+                .iter()
+                .rposition(|s| matches!(s, Step::Learn(c) if c.is_empty()))
+            else {
+                panic!("{name}: certificate lacks a refutation step");
+            };
+            cert.steps.truncate(last);
+            assert!(
+                cert.check().is_err(),
+                "{name}/{}: truncated certificate accepted",
+                cert.meta.check
+            );
+        }
+    }
+}
+
+/// Mutating a recorded proof must break at least some certificates. (A
+/// single flip can leave a proof valid — almost any clause is RUP against
+/// a small unsat formula — so the assertions are existential, per
+/// mutation family, not universal.)
+#[test]
+fn mutated_certificates_are_rejected() {
+    let certs: Vec<(String, Certificate)> = certified_sample()
+        .iter()
+        .flat_map(|(name, _, cs)| cs.iter().map(move |c| (name.clone(), c.clone())))
+        // Mutations only bite on non-trivial proofs (>1 axiom).
+        .filter(|(_, c)| c.num_axioms() > 1)
+        .collect();
+    assert!(!certs.is_empty(), "sample has no non-trivial certificates");
+
+    // Family 1: flip the first literal of each learned clause.
+    let mut flip_rejections = 0usize;
+    for (_, cert) in &certs {
+        let mut m = cert.clone();
+        for s in &mut m.steps {
+            if let Step::Learn(c) = s {
+                if let Some(l) = c.first_mut() {
+                    *l = -*l;
+                }
+            }
+        }
+        if m.check().is_err() {
+            flip_rejections += 1;
+        }
+    }
+    assert!(
+        flip_rejections * 2 > certs.len(),
+        "literal flips rejected only {flip_rejections}/{} certificates",
+        certs.len()
+    );
+
+    // Family 2: drop one axiom clause (the proof may then delete or rely
+    // on a clause that was never added).
+    let mut drop_rejections = 0usize;
+    for (_, cert) in &certs {
+        let first_add = cert
+            .steps
+            .iter()
+            .position(|s| matches!(s, Step::Add(_)))
+            .expect("certificate has axioms");
+        let mut m = cert.clone();
+        m.steps.remove(first_add);
+        if m.check().is_err() {
+            drop_rejections += 1;
+        }
+    }
+    assert!(
+        drop_rejections > 0,
+        "dropping axioms never rejected any of {} certificates",
+        certs.len()
+    );
+}
+
+/// Tampering with the serialized form is caught by the parser or checker.
+#[test]
+fn tampered_certificate_text_is_rejected() {
+    let (_, _, certs) = {
+        let e = alive::suite::full_corpus()
+            .into_iter()
+            .find(|e| !e.expected_bug)
+            .expect("corpus has valid entries");
+        verify_with_certificates(&e.transform, &VerifyConfig::fast()).unwrap()
+    };
+    let cert = certs.first().expect("at least one certificate");
+    let text = cert.to_text();
+
+    // Undercounting the variables makes recorded literals out of range
+    // (or the header fails to parse).
+    let shrunk = text.replace(&format!("vars: {}", cert.num_vars), "vars: 0");
+    if cert.num_vars > 0 {
+        let parsed = Certificate::parse(&shrunk).expect("header still well-formed");
+        assert!(parsed.check().is_err(), "out-of-range literals accepted");
+    }
+
+    // Corrupting the step syntax is a parse error.
+    let garbled = text.replace("steps:", "steps: what");
+    assert!(Certificate::parse(&garbled).is_err());
+
+    // Truncating the file is a parse error (missing terminator).
+    let truncated = &text[..text.len() - 3];
+    assert!(Certificate::parse(truncated).is_err());
+}
+
+#[test]
+#[ignore = "full corpus certificate sweep takes minutes; run explicitly"]
+fn full_corpus_certificates_all_check() {
+    let config = VerifyConfig::fast();
+    for e in alive::suite::full_corpus() {
+        if e.expected_bug {
+            continue;
+        }
+        let (v, stats, certs) = verify_with_certificates(&e.transform, &config)
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        if !v.is_valid() {
+            continue;
+        }
+        assert_eq!(certs.len(), stats.queries, "{}", e.name);
+        for cert in &certs {
+            let reparsed = Certificate::parse(&cert.to_text())
+                .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+            reparsed
+                .check()
+                .unwrap_or_else(|err| panic!("{}/{}: {err}", e.name, cert.meta.check));
+        }
+    }
+}

@@ -15,8 +15,8 @@ fn sampled_corpus_verifies_as_expected() {
         if i % 4 != 0 && !e.expected_bug {
             continue;
         }
-        let v = alive::verify(&e.transform, &config)
-            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        let v =
+            alive::verify(&e.transform, &config).unwrap_or_else(|err| panic!("{}: {err}", e.name));
         assert_eq!(
             v.is_invalid(),
             e.expected_bug,
@@ -31,8 +31,8 @@ fn sampled_corpus_verifies_as_expected() {
 fn full_corpus_verifies_as_expected() {
     let config = VerifyConfig::fast();
     for e in alive::suite::full_corpus() {
-        let v = alive::verify(&e.transform, &config)
-            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        let v =
+            alive::verify(&e.transform, &config).unwrap_or_else(|err| panic!("{}: {err}", e.name));
         assert_eq!(v.is_invalid(), e.expected_bug, "{}: {v}", e.name);
     }
 }

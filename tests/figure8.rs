@@ -7,8 +7,7 @@ use alive::{FailureKind, Verdict, VerifyConfig};
 
 fn verdict_of(name: &str) -> Verdict {
     let entry = alive::suite::by_name(name).unwrap_or_else(|| panic!("{name} in corpus"));
-    alive::verify(&entry.transform, &VerifyConfig::fast())
-        .unwrap_or_else(|e| panic!("{name}: {e}"))
+    alive::verify(&entry.transform, &VerifyConfig::fast()).unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
 fn failure_of(name: &str) -> FailureKind {
@@ -21,8 +20,7 @@ fn failure_of(name: &str) -> FailureKind {
 #[test]
 fn all_eight_bugs_are_rejected() {
     for pr in [
-        "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256",
-        "PR21274",
+        "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256", "PR21274",
     ] {
         assert!(verdict_of(pr).is_invalid(), "{pr} must be rejected");
     }
@@ -69,7 +67,10 @@ fn pr21245_counterexample_is_at_i4_like_figure5() {
             assert_ne!(cex.source_value, cex.target_value);
             // The printed form follows Fig. 5.
             let printed = cex.to_string();
-            assert!(printed.starts_with("ERROR: Mismatch in values of i4 %r"), "{printed}");
+            assert!(
+                printed.starts_with("ERROR: Mismatch in values of i4 %r"),
+                "{printed}"
+            );
             assert!(printed.contains("Example:"), "{printed}");
             assert!(printed.contains("Source value: "), "{printed}");
             assert!(printed.contains("Target value: "), "{printed}");
@@ -81,8 +82,7 @@ fn pr21245_counterexample_is_at_i4_like_figure5() {
 #[test]
 fn every_fixed_version_verifies() {
     for pr in [
-        "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256",
-        "PR21274",
+        "PR20186", "PR20189", "PR21242", "PR21243", "PR21245", "PR21255", "PR21256", "PR21274",
     ] {
         let v = verdict_of(&format!("{pr}-fixed"));
         assert!(v.is_valid(), "{pr}-fixed must verify: {v}");

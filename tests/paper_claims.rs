@@ -13,10 +13,9 @@ fn section1_intro_example() {
         .unwrap()
         .is_valid());
 
-    let concrete = parse_transform(
-        "%1 = xor i32 %x, -1\n%2 = add i32 %1, 3333\n=>\n%2 = sub i32 3332, %x",
-    )
-    .unwrap();
+    let concrete =
+        parse_transform("%1 = xor i32 %x, -1\n%2 = add i32 %1, 3333\n=>\n%2 = sub i32 3332, %x")
+            .unwrap();
     assert!(verify(&concrete, &VerifyConfig::default())
         .unwrap()
         .is_valid());
@@ -45,10 +44,9 @@ fn section313_shl_ashr_example() {
     .unwrap();
     assert!(verify(&t, &VerifyConfig::fast()).unwrap().is_valid());
     // Without the precondition the subtraction wraps and the claim fails.
-    let no_pre = parse_transform(
-        "%0 = shl nsw i8 %a, C1\n%1 = ashr %0, C2\n=>\n%1 = shl nsw %a, C1-C2",
-    )
-    .unwrap();
+    let no_pre =
+        parse_transform("%0 = shl nsw i8 %a, C1\n%1 = ashr %0, C2\n=>\n%1 = shl nsw %a, C1-C2")
+            .unwrap();
     assert!(verify(&no_pre, &VerifyConfig::fast()).unwrap().is_invalid());
 }
 

@@ -2,6 +2,7 @@
 //! enumeration → verification → attribute inference → C++ generation →
 //! application to mini-LLVM IR → differential execution.
 
+use alive::ir::BinOp;
 use alive::opt::interp::run;
 use alive::opt::{Function, MInst, MValue};
 use alive::smt::BvVal;
@@ -9,7 +10,6 @@ use alive::{
     generate_cpp, infer_attributes, parse_transform, verified_peephole, verify, Verdict,
     VerifyConfig,
 };
-use alive::ir::BinOp;
 
 const OPT: &str = r"
 Name: demo
@@ -33,7 +33,10 @@ fn full_pipeline_on_one_optimization() {
     // 2. Attribute inference: nsw on the source mul is unnecessary for this
     //    rewrite (the target drops it anyway).
     let attrs = infer_attributes(&t, &VerifyConfig::fast()).expect("inference");
-    assert!(attrs.pre_weakened, "mul nsw requirement should be droppable");
+    assert!(
+        attrs.pre_weakened,
+        "mul nsw requirement should be droppable"
+    );
 
     // 3. C++ generation produces an InstCombine-style snippet.
     let cpp = generate_cpp(&t).expect("codegen");
@@ -42,8 +45,7 @@ fn full_pipeline_on_one_optimization() {
     assert!(cpp.contains("replaceAllUsesWith"), "{cpp}");
 
     // 4. Application: build ((x * 8) + y) and optimize.
-    let (pass, rejected) =
-        verified_peephole([("demo".to_string(), t)], &VerifyConfig::fast());
+    let (pass, rejected) = verified_peephole([("demo".to_string(), t)], &VerifyConfig::fast());
     assert!(rejected.is_empty());
     let mut f = Function::new("t", vec![8, 8]);
     let m = f.push(MInst::Bin {
@@ -118,10 +120,9 @@ fn counterexamples_expose_each_undefined_behavior_kind() {
         other => panic!("{other}"),
     }
     // Definedness bug (target divides: x/x is UB at x = 0).
-    let t = parse_transform(
-        "%r = add %x, 0\n=>\n%d = udiv %x, %x\n%m = mul %d, %x\n%r = add %m, 0",
-    )
-    .unwrap();
+    let t =
+        parse_transform("%r = add %x, 0\n=>\n%d = udiv %x, %x\n%m = mul %d, %x\n%r = add %m, 0")
+            .unwrap();
     match verify(&t, &VerifyConfig::fast()).unwrap() {
         Verdict::Invalid(cex) => assert_eq!(cex.kind, alive::FailureKind::Definedness),
         other => panic!("{other}"),

@@ -18,10 +18,7 @@ use alive::vcgen::encode_transform;
 const W: u32 = 4;
 
 fn flag_text(flags: &[Flag]) -> String {
-    flags
-        .iter()
-        .map(|f| format!(" {f}"))
-        .collect::<String>()
+    flags.iter().map(|f| format!(" {f}")).collect::<String>()
 }
 
 fn check_op(op: BinOp, flags: &[Flag]) {

@@ -39,7 +39,11 @@ fn optimized_workload_refines_original() {
     let (pass, funcs) = pass_and_workload(2024, 40);
     let mut optimized = funcs.clone();
     let stats = pass.run_module(&mut optimized);
-    assert!(stats.total_fires() > 50, "pass should fire: {:?}", stats.total_fires());
+    assert!(
+        stats.total_fires() > 50,
+        "pass should fire: {:?}",
+        stats.total_fires()
+    );
 
     let samples: Vec<u128> = vec![0, 1, 2, 3, 7, 8, 0x55, 0x80, 0xAA, 0xFE, 0xFF];
     for (orig, opt) in funcs.iter().zip(&optimized) {

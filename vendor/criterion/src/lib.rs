@@ -1,0 +1,284 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/builder surface the workspace benches use —
+//! [`Criterion`], [`BenchmarkId`], [`Throughput`], `criterion_group!`,
+//! `criterion_main!`, `bench_function`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter` — as a plain wall-clock harness.
+//! No statistics, plots, or comparisons: each benchmark runs a warm-up
+//! plus a timed sample and prints mean time per iteration (and derived
+//! throughput where configured). Good enough to keep `cargo bench`
+//! runnable in hermetic environments; use real criterion for rigorous
+//! numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the timed closure of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: u64,
+    /// Mean duration of one iteration, recorded by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: a few warm-up calls, then `sample_size` timed calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.sample_size.min(3) {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        self.elapsed_per_iter = start.elapsed() / self.sample_size as u32;
+    }
+}
+
+fn print_result(id: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let ns = per_iter.as_nanos();
+    let human = if ns >= 1_000_000_000 {
+        format!("{:.3} s", per_iter.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if !per_iter.is_zero() => {
+            let rate = n as f64 / per_iter.as_secs_f64();
+            println!("bench: {id:<50} {human}/iter  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+            let rate = n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64;
+            println!("bench: {id:<50} {human}/iter  ({rate:.1} MiB/s)");
+        }
+        _ => println!("bench: {id:<50} {human}/iter"),
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no separate
+    /// measurement phase to bound.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b, input);
+        let full = format!("{}/{}", self.name, id);
+        print_result(&full, b.elapsed_per_iter, self.throughput);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        print_result(&full, b.elapsed_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point: owns global configuration, hands out groups.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default timed-iteration count for subsequent benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            elapsed_per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        print_result(&id.to_string(), b.elapsed_per_iter, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function (same shape as upstream).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", "0..100"), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(21) * 2));
+    }
+
+    criterion_group!(benches, work);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
