@@ -1,0 +1,186 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! Compiled only with the `fault-injection` cargo feature. A process-wide
+//! [`FailurePlan`] lists faults to fire at the Nth query reaching a given
+//! [`FaultSite`]; the solver layers call [`fire`] at their query entry
+//! points and act on the returned [`FaultKind`]. Counters are plain atomics,
+//! so a plan is exactly reproducible for a fixed workload — the integration
+//! tests rely on this to prove the verification driver survives panics,
+//! hangs, forced Unknowns, and corrupted models without lying about any
+//! healthy query.
+//!
+//! Plans are written `site:kind@n` (1-based), comma-separated:
+//! `sat:panic@3,sat:hang@7`. Sites are `sat` (every
+//! `Solver::solve_with_assumptions`) and `smt` (every `SmtSolver` check).
+//! Kinds are `unknown`, `panic`, `hang`, and `corrupt-model`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What the injected fault does at its trigger point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Return `Unknown` as if a resource limit had tripped.
+    ForceUnknown,
+    /// Panic, exercising the caller's isolation boundary.
+    Panic,
+    /// Spin until the active budget's deadline or cancellation fires,
+    /// simulating a query that would never terminate on its own.
+    Hang,
+    /// Solve normally, then flip every model value of a `Sat` answer,
+    /// exercising the verifier's concrete model re-validation.
+    CorruptModel,
+}
+
+/// Which layer's query counter a fault is keyed to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultSite {
+    /// `alive-sat`: one count per `solve`/`solve_with_assumptions` call.
+    Sat,
+    /// `alive-smt`: one count per `check`/`check_assuming` call.
+    Smt,
+}
+
+/// One scheduled fault: fire `kind` at the `at`-th (1-based) query
+/// reaching `site`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fault {
+    /// The hook the fault is keyed to.
+    pub site: FaultSite,
+    /// The behavior to inject.
+    pub kind: FaultKind,
+    /// 1-based query ordinal at `site`.
+    pub at: u64,
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FailurePlan {
+    /// The scheduled faults. Multiple faults may target the same site.
+    pub faults: Vec<Fault>,
+}
+
+impl FailurePlan {
+    /// Parses a comma-separated `site:kind@n` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed specs.
+    pub fn parse(spec: &str) -> Result<FailurePlan, String> {
+        let mut faults = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (site_s, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault '{part}': expected site:kind@n"))?;
+            let (kind_s, at_s) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("fault '{part}': expected site:kind@n"))?;
+            let site = match site_s {
+                "sat" => FaultSite::Sat,
+                "smt" => FaultSite::Smt,
+                other => return Err(format!("fault '{part}': unknown site '{other}'")),
+            };
+            let kind = match kind_s {
+                "unknown" => FaultKind::ForceUnknown,
+                "panic" => FaultKind::Panic,
+                "hang" => FaultKind::Hang,
+                "corrupt-model" => FaultKind::CorruptModel,
+                other => return Err(format!("fault '{part}': unknown kind '{other}'")),
+            };
+            let at: u64 = at_s
+                .parse()
+                .map_err(|_| format!("fault '{part}': bad ordinal '{at_s}'"))?;
+            if at == 0 {
+                return Err(format!("fault '{part}': ordinals are 1-based"));
+            }
+            faults.push(Fault { site, kind, at });
+        }
+        if faults.is_empty() {
+            return Err("empty fault plan".to_string());
+        }
+        Ok(FailurePlan { faults })
+    }
+}
+
+static PLAN: Mutex<Option<FailurePlan>> = Mutex::new(None);
+static SAT_QUERIES: AtomicU64 = AtomicU64::new(0);
+static SMT_QUERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Installs a plan (or clears it with `None`) and resets both query
+/// counters. The plan is process-global; concurrent tests sharing one
+/// process must serialize around it.
+pub fn install(plan: Option<FailurePlan>) {
+    let mut slot = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    SAT_QUERIES.store(0, Ordering::SeqCst);
+    SMT_QUERIES.store(0, Ordering::SeqCst);
+    *slot = plan;
+}
+
+/// Counts one query at `site` and returns the fault scheduled for that
+/// ordinal, if any. Called by the solver layers; cheap when no plan is
+/// installed beyond one mutex lock per query.
+pub fn fire(site: FaultSite) -> Option<FaultKind> {
+    let slot = PLAN.lock().unwrap_or_else(|e| e.into_inner());
+    let plan = slot.as_ref()?;
+    let counter = match site {
+        FaultSite::Sat => &SAT_QUERIES,
+        FaultSite::Smt => &SMT_QUERIES,
+    };
+    let ordinal = counter.fetch_add(1, Ordering::SeqCst) + 1;
+    plan.faults
+        .iter()
+        .find(|f| f.site == site && f.at == ordinal)
+        .map(|f| f.kind)
+}
+
+/// Number of queries counted at `site` since the last [`install`].
+pub fn queries_seen(site: FaultSite) -> u64 {
+    match site {
+        FaultSite::Sat => SAT_QUERIES.load(Ordering::SeqCst),
+        FaultSite::Smt => SMT_QUERIES.load(Ordering::SeqCst),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parsing_round_trips() {
+        let plan = FailurePlan::parse("sat:panic@3, smt:corrupt-model@1,sat:hang@9").unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault {
+                    site: FaultSite::Sat,
+                    kind: FaultKind::Panic,
+                    at: 3
+                },
+                Fault {
+                    site: FaultSite::Smt,
+                    kind: FaultKind::CorruptModel,
+                    at: 1
+                },
+                Fault {
+                    site: FaultSite::Sat,
+                    kind: FaultKind::Hang,
+                    at: 9
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        for bad in [
+            "",
+            "panic@3",
+            "sat:panic",
+            "sat:oops@1",
+            "sat:panic@0",
+            "disk:panic@1",
+        ] {
+            assert!(FailurePlan::parse(bad).is_err(), "{bad}");
+        }
+    }
+}

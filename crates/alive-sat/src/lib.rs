@@ -11,8 +11,15 @@
 //! * first-UIP conflict analysis with recursive clause minimization,
 //! * VSIDS branching with phase saving,
 //! * Luby-sequence restarts,
-//! * activity-based learned-clause database reduction, and
-//! * incremental solving under assumptions with unsat-core extraction.
+//! * activity-based learned-clause database reduction,
+//! * incremental solving under assumptions with unsat-core extraction, and
+//! * a resource governor ([`Budget`]/[`CancelToken`]) polled throughout the
+//!   search loop, so deadlines, counter limits, and cooperative
+//!   cancellation all degrade a solve to [`SolveResult::Unknown`] (with the
+//!   cause in [`Solver::exhaustion`]) instead of running away.
+//!
+//! With the `fault-injection` feature the [`fault`] module adds
+//! deterministic failure hooks used by resilience tests.
 //!
 //! # Examples
 //!
@@ -34,12 +41,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod budget;
 mod clause;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod heap;
 mod lit;
 mod proof;
 mod solver;
 
+pub use budget::{Budget, CancelToken, Exhaustion};
 pub use clause::{Clause, ClauseDb, ClauseRef};
 pub use lit::{LBool, Lit, Var};
 pub use proof::{DratRecorder, ProofEvent, ProofLogger, SharedDratRecorder};

@@ -6,6 +6,7 @@
 //! Solving under assumptions makes the solver incremental, which the SMT
 //! layer uses for model enumeration and CEGIS.
 
+use crate::budget::{Budget, Exhaustion};
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
@@ -18,7 +19,8 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// The configured conflict budget was exhausted.
+    /// The configured [`Budget`] was exhausted (or the solve was cancelled);
+    /// [`Solver::exhaustion`] says which limit tripped.
     Unknown,
 }
 
@@ -88,7 +90,12 @@ pub struct Solver {
     /// Clauses of length 1 asserted at level 0.
     ok: bool,
     stats: SolverStats,
-    conflict_budget: Option<u64>,
+    budget: Budget,
+    /// Which limit tripped when the last solve returned `Unknown`.
+    exhaustion: Option<Exhaustion>,
+    /// Propagation+decision tick at which the deadline/cancel flag is next
+    /// polled (amortizes the `Instant::now` syscall and atomic load).
+    next_soft_poll: u64,
 
     // scratch buffers for conflict analysis
     seen: Vec<bool>,
@@ -109,6 +116,18 @@ pub struct Solver {
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
+/// Deadline/cancellation are polled every this many propagation+decision
+/// ticks: frequent enough that even conflict-free solves respond to SIGINT
+/// within milliseconds, rare enough that `Instant::now` stays off the
+/// propagation fast path.
+const SOFT_POLL_INTERVAL: u64 = 2048;
+
+/// Counter snapshot at solve entry; per-call budgets measure against it.
+struct BudgetStart {
+    conflicts: u64,
+    propagations: u64,
+    decisions: u64,
+}
 
 impl Default for Solver {
     fn default() -> Solver {
@@ -134,7 +153,9 @@ impl Solver {
             qhead: 0,
             ok: true,
             stats: SolverStats::default(),
-            conflict_budget: None,
+            budget: Budget::default(),
+            exhaustion: None,
+            next_soft_poll: 0,
             seen: Vec::new(),
             analyze_toclear: Vec::new(),
             conflict: Vec::new(),
@@ -185,9 +206,30 @@ impl Solver {
     /// Limits the number of conflicts a single `solve` may spend.
     ///
     /// `None` (the default) means no limit. When the budget is exhausted
-    /// [`Solver::solve`] returns [`SolveResult::Unknown`].
+    /// [`Solver::solve`] returns [`SolveResult::Unknown`]. Convenience for
+    /// setting only the conflict field of the [`Budget`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
-        self.conflict_budget = budget;
+        self.budget.conflicts = budget;
+    }
+
+    /// Installs a full resource [`Budget`] (deadline, counters, cancel).
+    ///
+    /// The deadline and cancellation flag are polled every few thousand
+    /// propagations/decisions, so even a conflict-free, propagation-heavy
+    /// solve observes them promptly; counter limits are checked exactly.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The currently installed budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Why the most recent solve returned [`SolveResult::Unknown`]
+    /// (`None` after a decisive answer).
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        self.exhaustion
     }
 
     /// Creates a fresh variable.
@@ -634,9 +676,63 @@ impl Solver {
     /// On `Unsat`, [`Solver::unsat_core`] lists the subset of assumptions
     /// (negated) that participated in the contradiction.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        #[cfg(feature = "fault-injection")]
+        {
+            let injected = crate::fault::fire(crate::fault::FaultSite::Sat);
+            match injected {
+                Some(crate::fault::FaultKind::ForceUnknown) => {
+                    self.exhaustion = Some(Exhaustion::Injected);
+                    return SolveResult::Unknown;
+                }
+                Some(crate::fault::FaultKind::Panic) => {
+                    panic!("injected fault: panic in alive_sat::Solver::solve")
+                }
+                Some(crate::fault::FaultKind::Hang) => {
+                    // Simulate a query that never terminates on its own: only
+                    // the budget's deadline or cancellation flag can end it.
+                    loop {
+                        if let Some(e) = self.budget.check_soft() {
+                            self.exhaustion = Some(e);
+                            return SolveResult::Unknown;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                Some(crate::fault::FaultKind::CorruptModel) => {
+                    let r = self.solve_inner(assumptions);
+                    if r == SolveResult::Sat {
+                        self.corrupt_model();
+                    }
+                    return r;
+                }
+                None => {}
+            }
+        }
+        self.solve_inner(assumptions)
+    }
+
+    /// Flips every assigned value in the stored model — a deliberately
+    /// wrong answer used by fault-injection tests to prove downstream
+    /// model re-validation catches solver defects. Public so higher
+    /// layers (the SMT solver's own fault site) can reuse it.
+    #[cfg(feature = "fault-injection")]
+    pub fn corrupt_model(&mut self) {
+        for v in &mut self.model {
+            *v = v.negate();
+        }
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.conflict.clear();
+        self.exhaustion = None;
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        // Pre-flight: an already-expired deadline or raised cancel flag must
+        // not start a search at all.
+        if let Some(e) = self.budget.check_soft() {
+            self.exhaustion = Some(e);
+            return SolveResult::Unknown;
         }
         self.cancel_until(0);
         if self.propagate().is_some() {
@@ -645,12 +741,18 @@ impl Solver {
             return SolveResult::Unsat;
         }
 
-        let budget_start = self.stats.conflicts;
+        let budget_start = BudgetStart {
+            conflicts: self.stats.conflicts,
+            propagations: self.stats.propagations,
+            decisions: self.stats.decisions,
+        };
+        // Force a soft poll within the first interval of work.
+        self.next_soft_poll = (self.stats.propagations + self.stats.decisions) + SOFT_POLL_INTERVAL;
         let mut luby_idx = 0u64;
         loop {
             let restart_limit = 100 * luby(luby_idx);
             luby_idx += 1;
-            match self.search(assumptions, restart_limit, budget_start) {
+            match self.search(assumptions, restart_limit, &budget_start) {
                 Some(r) => {
                     self.cancel_until(0);
                     return r;
@@ -663,13 +765,41 @@ impl Solver {
         }
     }
 
+    /// Checks every budget dimension against the counters accumulated since
+    /// `start`; deadline/cancellation are polled on an amortized tick.
+    fn budget_exceeded(&mut self, start: &BudgetStart) -> Option<Exhaustion> {
+        if let Some(max) = self.budget.conflicts {
+            if self.stats.conflicts - start.conflicts >= max {
+                return Some(Exhaustion::Conflicts);
+            }
+        }
+        if let Some(max) = self.budget.propagations {
+            if self.stats.propagations - start.propagations >= max {
+                return Some(Exhaustion::Propagations);
+            }
+        }
+        if let Some(max) = self.budget.decisions {
+            if self.stats.decisions - start.decisions >= max {
+                return Some(Exhaustion::Decisions);
+            }
+        }
+        let ticks = self.stats.propagations + self.stats.decisions;
+        if ticks >= self.next_soft_poll {
+            self.next_soft_poll = ticks + SOFT_POLL_INTERVAL;
+            if let Some(e) = self.budget.check_soft() {
+                return Some(e);
+            }
+        }
+        None
+    }
+
     /// Runs the CDCL loop until sat/unsat/restart/budget.
     /// `None` means "restart requested".
     fn search(
         &mut self,
         assumptions: &[Lit],
         restart_limit: u64,
-        budget_start: u64,
+        budget_start: &BudgetStart,
     ) -> Option<SolveResult> {
         let mut conflicts_this_run = 0u64;
         loop {
@@ -717,10 +847,9 @@ impl Solver {
                 self.var_inc /= VAR_DECAY;
                 self.cla_inc /= CLA_DECAY;
 
-                if let Some(budget) = self.conflict_budget {
-                    if self.stats.conflicts - budget_start >= budget {
-                        return Some(SolveResult::Unknown);
-                    }
+                if let Some(e) = self.budget_exceeded(budget_start) {
+                    self.exhaustion = Some(e);
+                    return Some(SolveResult::Unknown);
                 }
                 if self.db.num_learnt as f64 > self.max_learnts {
                     self.reduce_db();
@@ -730,7 +859,15 @@ impl Solver {
                     return None; // restart
                 }
             } else {
-                // No conflict: extend with assumptions, then decide.
+                // No conflict: a propagation-heavy or decision-heavy solve
+                // must still observe counter budgets, the deadline, and the
+                // cancellation flag (a satisfiable-but-huge query may never
+                // conflict at all).
+                if let Some(e) = self.budget_exceeded(budget_start) {
+                    self.exhaustion = Some(e);
+                    return Some(SolveResult::Unknown);
+                }
+                // Extend with assumptions, then decide.
                 let dl = self.decision_level() as usize;
                 if dl < assumptions.len() {
                     let a = assumptions[dl];

@@ -1,6 +1,8 @@
-//! Conflict-budget and statistics behavior.
+//! Budget (conflicts, propagations, decisions, deadline, cancellation)
+//! and statistics behavior.
 
-use alive_sat::{SolveResult, Solver, Var};
+use alive_sat::{Budget, CancelToken, Exhaustion, SolveResult, Solver, Var};
+use std::time::Duration;
 
 /// A hard random-ish 3-SAT-style instance the solver cannot finish within
 /// a one-conflict budget.
@@ -47,6 +49,113 @@ fn stats_accumulate() {
     assert!(st.conflicts > 0);
     assert!(st.decisions > 0);
     assert!(st.propagations > 0);
+}
+
+/// A long implication chain seeded with a unit: solved by propagation
+/// alone, without a single conflict or decision beyond the chain.
+fn propagation_chain(s: &mut Solver, n: usize) -> Vec<Var> {
+    let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+    for w in vars.windows(2) {
+        s.add_clause([w[0].negative(), w[1].positive()]);
+    }
+    vars
+}
+
+#[test]
+fn propagation_budget_trips_without_conflicts() {
+    // The satisfiable chain never conflicts, so a conflict budget alone
+    // would never fire; the propagation budget must stop it.
+    let mut s = Solver::new();
+    let vars = propagation_chain(&mut s, 4000);
+    s.set_budget(Budget::default().with_propagations(100));
+    // Trigger the chain inside the search (not at level 0): decide the head.
+    assert_eq!(
+        s.solve_with_assumptions(&[vars[0].positive()]),
+        SolveResult::Unknown
+    );
+    assert_eq!(s.exhaustion(), Some(Exhaustion::Propagations));
+    assert_eq!(s.stats().conflicts, 0, "chain must not conflict");
+    // Lifting the budget completes the same query on the same instance.
+    s.set_budget(Budget::default());
+    assert_eq!(
+        s.solve_with_assumptions(&[vars[0].positive()]),
+        SolveResult::Sat
+    );
+    assert_eq!(s.value(vars[3999]), Some(true));
+}
+
+#[test]
+fn decision_budget_trips_without_conflicts() {
+    let mut s = Solver::new();
+    // 64 unconstrained variable pairs: each needs a decision, none conflict.
+    for _ in 0..64 {
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.positive(), b.positive()]);
+    }
+    s.set_budget(Budget::default().with_decisions(5));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert_eq!(s.exhaustion(), Some(Exhaustion::Decisions));
+    s.set_budget(Budget::default());
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.exhaustion(), None);
+}
+
+#[test]
+fn expired_deadline_preempts_search() {
+    let mut s = Solver::new();
+    let _ = hard_instance(&mut s, 8);
+    s.set_budget(Budget::default().deadline_in(Duration::ZERO));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert_eq!(s.exhaustion(), Some(Exhaustion::Deadline));
+    s.set_budget(Budget::default());
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn cancellation_yields_unknown_and_solver_stays_usable() {
+    let token = CancelToken::new();
+    let mut s = Solver::new();
+    let _ = hard_instance(&mut s, 8);
+    s.set_budget(Budget::default().with_cancel(token.clone()));
+    token.cancel();
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert_eq!(s.exhaustion(), Some(Exhaustion::Cancelled));
+    // A fresh budget clears the cancellation; the instance still decides.
+    s.set_budget(Budget::default());
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn raising_the_budget_after_unknown_gives_correct_answers() {
+    // Unsat side: pigeonhole exhausts a one-conflict budget, then a raised
+    // budget resolves the very same instance.
+    let mut s = Solver::new();
+    let _ = hard_instance(&mut s, 8);
+    s.set_budget(Budget::default().with_conflicts(1));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert_eq!(s.exhaustion(), Some(Exhaustion::Conflicts));
+    s.set_budget(Budget::default().with_conflicts(1_000_000));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert_eq!(s.exhaustion(), None);
+
+    // Sat side: a conflict-free chain under a propagation budget, retried
+    // at a larger budget on the same solver instance.
+    let mut s = Solver::new();
+    let vars = propagation_chain(&mut s, 3000);
+    s.set_budget(Budget::default().with_propagations(50));
+    assert_eq!(
+        s.solve_with_assumptions(&[vars[0].positive()]),
+        SolveResult::Unknown
+    );
+    s.set_budget(Budget::default().with_propagations(10_000_000));
+    assert_eq!(
+        s.solve_with_assumptions(&[vars[0].positive()]),
+        SolveResult::Sat
+    );
+    for v in &vars {
+        assert_eq!(s.value(*v), Some(true));
+    }
 }
 
 #[test]

@@ -9,8 +9,13 @@
 
 use crate::term::{Op, TermId, TermPool};
 use crate::value::{BvVal, Sort};
-use alive_sat::{Lit, Solver};
+use alive_sat::{Exhaustion, Lit, Solver};
 use std::collections::HashMap;
+
+/// How many term nodes are encoded between deadline/cancellation polls in
+/// [`Blaster::try_blast`]. Wide terms expand to many gates, so polling per
+/// few nodes keeps even divider-heavy blasts responsive.
+const BLAST_POLL_INTERVAL: usize = 64;
 
 /// The SAT-level image of a term: one literal (Bool) or a little-endian
 /// vector of literals (BitVec).
@@ -89,15 +94,66 @@ impl Blaster {
         self.blast(pool, sat, id).as_bool()
     }
 
+    /// Budget-aware variant of [`Blaster::blast_bool`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the tripped limit when the solver's budget deadline passes
+    /// or its cancellation token is raised mid-blast.
+    pub fn try_blast_bool(
+        &mut self,
+        pool: &TermPool,
+        sat: &mut Solver,
+        id: TermId,
+    ) -> Result<Lit, Exhaustion> {
+        debug_assert_eq!(pool.sort(id), Sort::Bool);
+        Ok(self.try_blast(pool, sat, id)?.as_bool())
+    }
+
     /// Blasts a bitvector term to its bit literals.
     pub fn blast_bv(&mut self, pool: &TermPool, sat: &mut Solver, id: TermId) -> Vec<Lit> {
         self.blast(pool, sat, id).as_bv().to_vec()
     }
 
-    /// Blasts any term, memoized.
+    /// Blasts any term, memoized, ignoring any installed budget.
     pub fn blast(&mut self, pool: &TermPool, sat: &mut Solver, root: TermId) -> Blasted {
+        self.blast_inner(pool, sat, root, false)
+            .expect("unbudgeted blast cannot be exhausted")
+    }
+
+    /// Blasts any term, memoized, polling the solver's [`alive_sat::Budget`]
+    /// (deadline and cancellation) every few encoded nodes.
+    ///
+    /// Aborting mid-blast is safe: the cache only ever holds fully encoded
+    /// terms, so a later retry resumes from consistent state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the tripped limit when the budget's soft checks fire.
+    pub fn try_blast(
+        &mut self,
+        pool: &TermPool,
+        sat: &mut Solver,
+        root: TermId,
+    ) -> Result<Blasted, Exhaustion> {
+        self.blast_inner(pool, sat, root, true)
+    }
+
+    fn blast_inner(
+        &mut self,
+        pool: &TermPool,
+        sat: &mut Solver,
+        root: TermId,
+        poll_budget: bool,
+    ) -> Result<Blasted, Exhaustion> {
+        if poll_budget {
+            if let Some(e) = sat.budget().check_soft() {
+                return Err(e);
+            }
+        }
         // Iterative post-order to avoid deep recursion on ite-chains.
         let mut stack = vec![(root, false)];
+        let mut encoded = 0usize;
         while let Some((id, expanded)) = stack.pop() {
             if self.cache.contains_key(&id) {
                 continue;
@@ -111,10 +167,18 @@ impl Blaster {
                 }
                 continue;
             }
+            if poll_budget {
+                encoded += 1;
+                if encoded.is_multiple_of(BLAST_POLL_INTERVAL) {
+                    if let Some(e) = sat.budget().check_soft() {
+                        return Err(e);
+                    }
+                }
+            }
             let b = self.encode(pool, sat, id);
             self.cache.insert(id, b);
         }
-        self.cache[&root].clone()
+        Ok(self.cache[&root].clone())
     }
 
     /// Encodes one term whose children are already cached.

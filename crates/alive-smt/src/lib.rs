@@ -45,10 +45,13 @@ mod subst;
 mod term;
 mod value;
 
-pub use alive_sat::ProofEvent;
+pub use alive_sat::{Budget, CancelToken, Exhaustion, ProofEvent};
 pub use blast::{Blasted, Blaster};
 pub use eval::{eval, Assignment, EvalError};
-pub use qe::{solve_exists_forall, solve_exists_forall_with_proof, EfConfig, EfResult};
+pub use qe::{
+    solve_exists_forall, solve_exists_forall_full, solve_exists_forall_with_proof, EfConfig,
+    EfOutcome, EfResult, EfStats,
+};
 pub use solver::{ProofTranscript, SatResult, SmtSolver};
 pub use subst::{substitute, substitute_assignment};
 pub use term::{Op, Term, TermId, TermPool};

@@ -18,6 +18,7 @@ use crate::eval::Assignment;
 use crate::solver::{ProofTranscript, SatResult, SmtSolver};
 use crate::subst::substitute_assignment;
 use crate::term::{TermId, TermPool};
+use alive_sat::Budget;
 
 /// Result of an exists-forall query.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,17 +28,25 @@ pub enum EfResult {
     Sat(Assignment),
     /// No such witness exists.
     Unsat,
-    /// Iteration or conflict budget exhausted.
-    Unknown,
+    /// Gave up; the payload says why (iteration limit, budget exhaustion,
+    /// cancellation, ...).
+    Unknown(String),
 }
 
 /// Configuration for [`solve_exists_forall`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EfConfig {
     /// Maximum CEGIS refinement iterations.
     pub max_iterations: usize,
-    /// SAT conflict budget per sub-query (None = unlimited).
+    /// SAT conflict budget per sub-query (None = unlimited). Subsumed by
+    /// [`EfConfig::budget`]; kept as a convenience knob — it fills
+    /// `budget.conflicts` when that is unset.
     pub conflict_budget: Option<u64>,
+    /// Resource budget governing the whole query. The deadline and
+    /// cancellation token are shared across every sub-solver of the CEGIS
+    /// loop (the deadline is absolute), so `deadline_in(t)` bounds the
+    /// entire exists-forall solve, not each SAT call.
+    pub budget: Budget,
     /// Seed the candidate solver with the all-zeros instantiation of the
     /// universal variables before the first guess. Saves one round trip in
     /// the common case; disable to measure the unseeded loop (ablation).
@@ -49,9 +58,43 @@ impl Default for EfConfig {
         EfConfig {
             max_iterations: 4096,
             conflict_budget: None,
+            budget: Budget::default(),
             seed_with_zero: true,
         }
     }
+}
+
+impl EfConfig {
+    /// The budget actually installed in sub-solvers: [`EfConfig::budget`]
+    /// with the legacy `conflict_budget` folded in when no conflict limit
+    /// was set there.
+    fn effective_budget(&self) -> Budget {
+        let mut b = self.budget.clone();
+        if b.conflicts.is_none() {
+            b.conflicts = self.conflict_budget;
+        }
+        b
+    }
+}
+
+/// Counters describing one exists-forall solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EfStats {
+    /// Total SAT conflicts across every sub-solver.
+    pub conflicts: u64,
+    /// CEGIS refinement rounds run (0 for the quantifier-free path).
+    pub rounds: usize,
+}
+
+/// Everything [`solve_exists_forall_full`] has to say about a query.
+#[derive(Clone, Debug)]
+pub struct EfOutcome {
+    /// The verdict.
+    pub result: EfResult,
+    /// DRAT transcript on `Unsat` when proof logging was requested.
+    pub transcript: Option<ProofTranscript>,
+    /// Resource counters for reporting.
+    pub stats: EfStats,
 }
 
 /// Solves `∃ exist_vars ∀ univ_vars : matrix`.
@@ -65,7 +108,7 @@ pub fn solve_exists_forall(
     matrix: TermId,
     config: &EfConfig,
 ) -> EfResult {
-    solve_ef(pool, exist_vars, univ_vars, matrix, config, false).0
+    solve_exists_forall_full(pool, exist_vars, univ_vars, matrix, config, false).result
 }
 
 /// Like [`solve_exists_forall`], but on an `Unsat` answer also returns the
@@ -85,36 +128,66 @@ pub fn solve_exists_forall_with_proof(
     matrix: TermId,
     config: &EfConfig,
 ) -> (EfResult, Option<ProofTranscript>) {
-    solve_ef(pool, exist_vars, univ_vars, matrix, config, true)
+    let outcome = solve_exists_forall_full(pool, exist_vars, univ_vars, matrix, config, true);
+    (outcome.result, outcome.transcript)
 }
 
-fn solve_ef(
+/// Formats why a sub-solver answered `Unknown`.
+fn unknown_reason(s: &SmtSolver, what: &str) -> String {
+    match s.exhaustion() {
+        Some(e) => format!("{what}: {e}"),
+        None => format!("{what}: resource budget exhausted"),
+    }
+}
+
+/// The full-fat entry point: solves `∃ exist_vars ∀ univ_vars : matrix` and
+/// reports the verdict together with resource statistics (and, when
+/// `want_proof` is set, a DRAT transcript on `Unsat`).
+///
+/// One [`Budget`] governs the whole query: its deadline and cancellation
+/// token are cloned into the candidate solver, every per-round verifier
+/// solver, and polled between CEGIS rounds, so a five-second deadline means
+/// five seconds for the query — however many SAT calls that turns out to be.
+pub fn solve_exists_forall_full(
     pool: &mut TermPool,
     exist_vars: &[TermId],
     univ_vars: &[TermId],
     matrix: TermId,
     config: &EfConfig,
     want_proof: bool,
-) -> (EfResult, Option<ProofTranscript>) {
+) -> EfOutcome {
+    let budget = config.effective_budget();
+    let mut stats = EfStats::default();
+
     if univ_vars.is_empty() {
         // Quantifier-free: single query.
         let mut s = SmtSolver::new();
         let handle = want_proof.then(|| s.enable_proof_logging());
-        s.set_conflict_budget(config.conflict_budget);
+        s.set_budget(budget);
         s.assert_term(pool, matrix);
-        return match s.check() {
+        let check = s.check();
+        stats.conflicts = s.sat_stats().conflicts;
+        let (result, transcript) = match check {
             SatResult::Sat => (EfResult::Sat(s.model(pool, exist_vars)), None),
             SatResult::Unsat => {
                 let transcript = handle.as_ref().map(|h| s.proof_transcript(h));
                 (EfResult::Unsat, transcript)
             }
-            SatResult::Unknown => (EfResult::Unknown, None),
+            SatResult::Unknown => (
+                EfResult::Unknown(unknown_reason(&s, "quantifier-free query")),
+                None,
+            ),
+        };
+        return EfOutcome {
+            result,
+            transcript,
+            stats,
         };
     }
 
     let mut candidates = SmtSolver::new();
     let handle = want_proof.then(|| candidates.enable_proof_logging());
-    candidates.set_conflict_budget(config.conflict_budget);
+    candidates.set_budget(budget.clone());
     if config.seed_with_zero {
         // Seed with one instantiation (all universals zero) so the first
         // candidate is already filtered.
@@ -137,13 +210,36 @@ fn solve_ef(
 
     let not_matrix = pool.not(matrix);
 
+    let finish = |result: EfResult, transcript, stats| EfOutcome {
+        result,
+        transcript,
+        stats,
+    };
+
     for _ in 0..config.max_iterations {
+        stats.rounds += 1;
+        // The inter-round poll: even if every individual SAT call is cheap,
+        // a long refinement loop must still observe the shared deadline and
+        // cancellation promptly.
+        if let Some(e) = budget.check_soft() {
+            stats.conflicts += candidates.sat_stats().conflicts;
+            return finish(
+                EfResult::Unknown(format!("CEGIS round {}: {e}", stats.rounds)),
+                None,
+                stats,
+            );
+        }
         match candidates.check() {
             SatResult::Unsat => {
                 let transcript = handle.as_ref().map(|h| candidates.proof_transcript(h));
-                return (EfResult::Unsat, transcript);
+                stats.conflicts += candidates.sat_stats().conflicts;
+                return finish(EfResult::Unsat, transcript, stats);
             }
-            SatResult::Unknown => return (EfResult::Unknown, None),
+            SatResult::Unknown => {
+                let reason = unknown_reason(&candidates, "candidate search");
+                stats.conflicts += candidates.sat_stats().conflicts;
+                return finish(EfResult::Unknown(reason), None, stats);
+            }
             SatResult::Sat => {}
         }
         let x_star = candidates.model(pool, exist_vars);
@@ -151,11 +247,20 @@ fn solve_ef(
         // Verify: does some u break the candidate?  ∃u: ¬matrix(x*, u)
         let check_term = substitute_assignment(pool, not_matrix, &x_star);
         let mut verifier = SmtSolver::new();
-        verifier.set_conflict_budget(config.conflict_budget);
+        verifier.set_budget(budget.clone());
         verifier.assert_term(pool, check_term);
-        match verifier.check() {
-            SatResult::Unsat => return (EfResult::Sat(x_star), None),
-            SatResult::Unknown => return (EfResult::Unknown, None),
+        let verdict = verifier.check();
+        stats.conflicts += verifier.sat_stats().conflicts;
+        match verdict {
+            SatResult::Unsat => {
+                stats.conflicts += candidates.sat_stats().conflicts;
+                return finish(EfResult::Sat(x_star), None, stats);
+            }
+            SatResult::Unknown => {
+                let reason = unknown_reason(&verifier, "counterexample search");
+                stats.conflicts += candidates.sat_stats().conflicts;
+                return finish(EfResult::Unknown(reason), None, stats);
+            }
             SatResult::Sat => {
                 let u_star = verifier.model(pool, univ_vars);
                 let refined = substitute_assignment(pool, matrix, &u_star);
@@ -163,7 +268,15 @@ fn solve_ef(
             }
         }
     }
-    (EfResult::Unknown, None)
+    stats.conflicts += candidates.sat_stats().conflicts;
+    finish(
+        EfResult::Unknown(format!(
+            "CEGIS iteration limit of {} reached",
+            config.max_iterations
+        )),
+        None,
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -304,9 +417,92 @@ mod tests {
             conflict_budget: None,
             ..EfConfig::default()
         };
-        assert_eq!(
-            solve_exists_forall(&mut p, &[x], &[u], matrix, &config),
-            EfResult::Unknown
-        );
+        match solve_exists_forall(&mut p, &[x], &[u], matrix, &config) {
+            EfResult::Unknown(reason) => {
+                assert!(
+                    reason.contains("iteration limit"),
+                    "reason should name the iteration limit, got: {reason}"
+                );
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_whole_query() {
+        // The deadline is shared across the CEGIS loop: an already-expired
+        // deadline stops the query before the first round, with a reason
+        // naming the wall clock.
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(8));
+        let u = p.var("u", Sort::BitVec(8));
+        let xu = p.bv_xor(x, u);
+        let c = p.bv(8, 8);
+        let matrix = p.bv_ult(xu, c);
+        let config = EfConfig {
+            budget: alive_sat::Budget::default().deadline_in(std::time::Duration::ZERO),
+            ..EfConfig::default()
+        };
+        match solve_exists_forall(&mut p, &[x], &[u], matrix, &config) {
+            EfResult::Unknown(reason) => {
+                assert!(
+                    reason.contains("deadline"),
+                    "reason should name the deadline, got: {reason}"
+                );
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_the_query_with_reason() {
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(8));
+        let u = p.var("u", Sort::BitVec(8));
+        let matrix = p.eq(x, u);
+        let token = alive_sat::CancelToken::new();
+        token.cancel();
+        let config = EfConfig {
+            budget: alive_sat::Budget::default().with_cancel(token),
+            ..EfConfig::default()
+        };
+        match solve_exists_forall(&mut p, &[x], &[u], matrix, &config) {
+            EfResult::Unknown(reason) => {
+                assert!(
+                    reason.contains("cancelled"),
+                    "reason should say cancelled, got: {reason}"
+                );
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_outcome_reports_rounds_and_conflicts() {
+        // ∃x ∀u: x == u is unsat at width 3 and needs several CEGIS rounds.
+        let mut p = TermPool::new();
+        let x = p.var("x", Sort::BitVec(3));
+        let u = p.var("u", Sort::BitVec(3));
+        let matrix = p.eq(x, u);
+        let outcome =
+            solve_exists_forall_full(&mut p, &[x], &[u], matrix, &EfConfig::default(), false);
+        assert_eq!(outcome.result, EfResult::Unsat);
+        assert!(outcome.stats.rounds > 0, "CEGIS must have iterated");
+    }
+
+    #[test]
+    fn legacy_conflict_budget_feeds_the_effective_budget() {
+        let config = EfConfig {
+            conflict_budget: Some(7),
+            ..EfConfig::default()
+        };
+        assert_eq!(config.effective_budget().conflicts, Some(7));
+        // An explicit budget limit wins over the legacy knob.
+        let config = EfConfig {
+            conflict_budget: Some(7),
+            budget: alive_sat::Budget::default().with_conflicts(9),
+            ..EfConfig::default()
+        };
+        assert_eq!(config.effective_budget().conflicts, Some(9));
     }
 }

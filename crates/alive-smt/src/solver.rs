@@ -7,7 +7,9 @@ use crate::blast::Blaster;
 use crate::eval::Assignment;
 use crate::term::{TermId, TermPool};
 use crate::value::{Sort, Value};
-use alive_sat::{ProofEvent, SharedDratRecorder, SolveResult, Solver};
+use alive_sat::{
+    Budget, Exhaustion, ProofEvent, SharedDratRecorder, SolveResult, Solver, SolverStats,
+};
 
 /// Result of an SMT `check`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -62,6 +64,15 @@ pub struct SmtSolver {
     blaster: Blaster,
     trivially_false: bool,
     num_asserts: usize,
+    /// Set when bit-blasting itself was aborted by the budget. The CNF is
+    /// then missing an assertion, so every later `check` must answer
+    /// `Unknown` rather than reason about the truncated formula.
+    blast_exhausted: Option<Exhaustion>,
+    /// Per-call exhaustion that did not reach the SAT solver (an aborted
+    /// assumption blast, an injected hang); cleared at each check.
+    call_exhausted: Option<Exhaustion>,
+    #[cfg(feature = "fault-injection")]
+    injected: bool,
 }
 
 impl SmtSolver {
@@ -73,6 +84,35 @@ impl SmtSolver {
     /// Limits SAT conflicts per `check` call (None = unlimited).
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.sat.set_conflict_budget(budget);
+    }
+
+    /// Installs a full resource [`Budget`] (deadline, counter limits,
+    /// cancellation). It governs bit-blasting during `assert_term` and
+    /// `check_assuming` as well as every SAT search.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.sat.set_budget(budget);
+    }
+
+    /// The currently installed budget.
+    pub fn budget(&self) -> &Budget {
+        self.sat.budget()
+    }
+
+    /// Cumulative statistics of the underlying SAT solver.
+    pub fn sat_stats(&self) -> SolverStats {
+        self.sat.stats()
+    }
+
+    /// Why the most recent `check`/`check_assuming` returned
+    /// [`SatResult::Unknown`] (`None` after a decisive answer).
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        #[cfg(feature = "fault-injection")]
+        if self.injected {
+            return Some(Exhaustion::Injected);
+        }
+        self.blast_exhausted
+            .or(self.call_exhausted)
+            .or_else(|| self.sat.exhaustion())
     }
 
     /// Number of top-level assertions made.
@@ -125,6 +165,12 @@ impl SmtSolver {
 
     /// Asserts a boolean term.
     ///
+    /// Blasting polls the installed budget; if the deadline passes or the
+    /// cancellation token is raised mid-blast the assertion is dropped and
+    /// the solver is poisoned — every later `check` answers
+    /// [`SatResult::Unknown`] (the CNF would otherwise be silently missing
+    /// a conjunct).
+    ///
     /// # Panics
     ///
     /// Panics if the term is not boolean.
@@ -137,30 +183,48 @@ impl SmtSolver {
             }
             return;
         }
-        let l = self.blaster.blast_bool(pool, &mut self.sat, t);
-        self.sat.add_clause([l]);
+        match self.blaster.try_blast_bool(pool, &mut self.sat, t) {
+            Ok(l) => {
+                self.sat.add_clause([l]);
+            }
+            Err(e) => self.blast_exhausted = Some(e),
+        }
     }
 
     /// Checks satisfiability of the asserted formula.
     pub fn check(&mut self) -> SatResult {
+        self.clear_call_state();
         if self.trivially_false {
             return SatResult::Unsat;
         }
-        match self.sat.solve() {
-            SolveResult::Sat => SatResult::Sat,
-            SolveResult::Unsat => SatResult::Unsat,
-            SolveResult::Unknown => SatResult::Unknown,
+        if self.blast_exhausted.is_some() {
+            return SatResult::Unknown;
         }
+        #[cfg(feature = "fault-injection")]
+        if let Some(r) = self.fire_fault() {
+            return r;
+        }
+        Self::lift(self.sat.solve())
     }
 
     /// Checks satisfiability under temporary assumptions.
     ///
     /// Gate clauses for the assumption terms are added permanently (they
     /// are pure definitions), but the assumptions themselves hold only for
-    /// this call.
+    /// this call. If blasting an assumption trips the budget the call
+    /// answers [`SatResult::Unknown`] without poisoning the solver (the
+    /// asserted formula itself is still fully encoded).
     pub fn check_assuming(&mut self, pool: &TermPool, assumptions: &[TermId]) -> SatResult {
+        self.clear_call_state();
         if self.trivially_false {
             return SatResult::Unsat;
+        }
+        if self.blast_exhausted.is_some() {
+            return SatResult::Unknown;
+        }
+        #[cfg(feature = "fault-injection")]
+        if let Some(r) = self.fire_fault() {
+            return r;
         }
         let mut lits = Vec::with_capacity(assumptions.len());
         for &t in assumptions {
@@ -170,12 +234,59 @@ impl SmtSolver {
                 }
                 continue;
             }
-            lits.push(self.blaster.blast_bool(pool, &mut self.sat, t));
+            match self.blaster.try_blast_bool(pool, &mut self.sat, t) {
+                Ok(l) => lits.push(l),
+                Err(e) => {
+                    self.call_exhausted = Some(e);
+                    return SatResult::Unknown;
+                }
+            }
         }
-        match self.sat.solve_with_assumptions(&lits) {
+        Self::lift(self.sat.solve_with_assumptions(&lits))
+    }
+
+    fn lift(r: SolveResult) -> SatResult {
+        match r {
             SolveResult::Sat => SatResult::Sat,
             SolveResult::Unsat => SatResult::Unsat,
             SolveResult::Unknown => SatResult::Unknown,
+        }
+    }
+
+    fn clear_call_state(&mut self) {
+        self.call_exhausted = None;
+        #[cfg(feature = "fault-injection")]
+        {
+            self.injected = false;
+        }
+    }
+
+    /// Consults the installed [`alive_sat::fault::FailurePlan`] at the SMT
+    /// query site. `Some` short-circuits the check; `None` proceeds (with
+    /// `CorruptModel` having already run the solve and flipped the model).
+    #[cfg(feature = "fault-injection")]
+    fn fire_fault(&mut self) -> Option<SatResult> {
+        use alive_sat::fault::{self, FaultKind, FaultSite};
+        match fault::fire(FaultSite::Smt)? {
+            FaultKind::ForceUnknown => {
+                self.injected = true;
+                Some(SatResult::Unknown)
+            }
+            FaultKind::Panic => panic!("injected fault: panic in alive_smt::SmtSolver::check"),
+            FaultKind::Hang => loop {
+                if let Some(e) = self.sat.budget().check_soft() {
+                    self.call_exhausted = Some(e);
+                    return Some(SatResult::Unknown);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            },
+            FaultKind::CorruptModel => {
+                let r = Self::lift(self.sat.solve());
+                if r == SatResult::Sat {
+                    self.sat.corrupt_model();
+                }
+                Some(r)
+            }
         }
     }
 

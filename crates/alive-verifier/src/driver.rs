@@ -1,0 +1,376 @@
+//! The resilient corpus driver.
+//!
+//! Verifying a corpus of transformations must survive the failure of any
+//! one of them: a query that outgrows its budget, a wall-clock deadline, a
+//! Ctrl-C, or an outright defect (panic) in the solver stack. This module
+//! wraps [`verify`](crate::verify()) in the machinery that makes a batch
+//! run dependable:
+//!
+//! * **budgets** — each transform is verified under a [`Budget`] combining
+//!   a per-attempt wall-clock deadline, a SAT conflict limit, and a shared
+//!   [`CancelToken`];
+//! * **panic isolation** — a panic anywhere inside verification degrades to
+//!   an `Unknown` outcome with an `internal error:` reason instead of
+//!   aborting the run;
+//! * **escalating retries** — transforms whose counter budget ran out are
+//!   re-run with the conflict limit multiplied, so a cheap first pass over
+//!   the corpus is followed by a slower second look at the stragglers only;
+//! * **structured reporting** — every transform yields a
+//!   [`TransformOutcome`] with verdict, wall time, and solver counters, and
+//!   the whole run serializes to JSON ([`RunReport::to_json`]) even when it
+//!   was cancelled halfway.
+
+use crate::verify::{verify_with_certificates, verify_with_stats, Verdict, VerifyConfig};
+use alive_ir::Transform;
+use alive_proof::Certificate;
+use alive_smt::{Budget, CancelToken};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Settings for [`run_transforms`].
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Underlying verifier settings (type enumeration, CEGIS). The budget
+    /// inside `verify.ef` is overridden per attempt from the fields below.
+    pub verify: VerifyConfig,
+    /// Wall-clock limit per verification attempt (re-armed on retry).
+    pub timeout: Option<Duration>,
+    /// SAT conflict limit for the first attempt.
+    pub conflict_budget: Option<u64>,
+    /// Keep verifying after an invalid transform or an error (the default
+    /// stops at the first, reporting the rest as skipped).
+    pub keep_going: bool,
+    /// How many escalating retries a budget-exhausted transform gets.
+    pub max_retries: u32,
+    /// Conflict-budget multiplier applied on each retry.
+    pub retry_multiplier: u64,
+    /// Cooperative cancellation (Ctrl-C); checked between transforms and
+    /// polled inside every solver.
+    pub cancel: CancelToken,
+    /// Also produce refinement certificates for refuted conditions.
+    pub with_certificates: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> DriverConfig {
+        DriverConfig {
+            verify: VerifyConfig::default(),
+            timeout: None,
+            conflict_budget: None,
+            keep_going: false,
+            max_retries: 1,
+            retry_multiplier: 8,
+            cancel: CancelToken::new(),
+            with_certificates: false,
+        }
+    }
+}
+
+/// How one transform's verification concluded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OutcomeKind {
+    /// Proven correct.
+    Valid,
+    /// Counterexample found.
+    Invalid,
+    /// No conclusion (budget, deadline, cancellation, internal error).
+    Unknown,
+    /// The transform could not even be set up (ill-formed, ill-typed).
+    Error,
+}
+
+impl OutcomeKind {
+    /// Stable lower-case label used in the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutcomeKind::Valid => "valid",
+            OutcomeKind::Invalid => "invalid",
+            OutcomeKind::Unknown => "unknown",
+            OutcomeKind::Error => "error",
+        }
+    }
+}
+
+/// The record of one transform's verification within a run.
+#[derive(Clone, Debug)]
+pub struct TransformOutcome {
+    /// Transform name (or `<unnamed>`).
+    pub name: String,
+    /// Final classification.
+    pub kind: OutcomeKind,
+    /// Human-readable detail: the verdict display, counterexample, or the
+    /// reason no conclusion was reached.
+    pub detail: String,
+    /// Certificates for refuted conditions (when requested).
+    pub certificates: Vec<Certificate>,
+    /// Wall time across all attempts.
+    pub wall: Duration,
+    /// SAT conflicts spent across all attempts.
+    pub conflicts: u64,
+    /// SMT queries issued across all attempts.
+    pub queries: usize,
+    /// Type assignments examined (last attempt).
+    pub typings: usize,
+    /// How many retries were consumed.
+    pub retries: u32,
+}
+
+/// Everything a corpus run produced, cancelled or not.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Per-transform outcomes, in corpus order.
+    pub outcomes: Vec<TransformOutcome>,
+    /// `true` if the run was cut short by cancellation.
+    pub cancelled: bool,
+    /// Transforms never attempted (cancellation or fail-fast stop).
+    pub skipped: usize,
+}
+
+impl RunReport {
+    /// Number of outcomes with the given kind.
+    pub fn count(&self, kind: OutcomeKind) -> usize {
+        self.outcomes.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// The process exit code mirroring the CLI contract: 130 after
+    /// cancellation, 1 for any invalid/error, 2 for unknowns only, else 0.
+    pub fn exit_code(&self) -> i32 {
+        if self.cancelled {
+            130
+        } else if self.count(OutcomeKind::Invalid) > 0 || self.count(OutcomeKind::Error) > 0 {
+            1
+        } else if self.count(OutcomeKind::Unknown) > 0 {
+            2
+        } else {
+            0
+        }
+    }
+
+    /// Serializes the report (schema `alive-report/v1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.outcomes.len() * 160);
+        s.push_str("{\n  \"schema\": \"alive-report/v1\",\n");
+        s.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
+        s.push_str(&format!("  \"skipped\": {},\n", self.skipped));
+        s.push_str(&format!(
+            "  \"summary\": {{\"total\": {}, \"valid\": {}, \"invalid\": {}, \
+             \"unknown\": {}, \"errors\": {}}},\n",
+            self.outcomes.len(),
+            self.count(OutcomeKind::Valid),
+            self.count(OutcomeKind::Invalid),
+            self.count(OutcomeKind::Unknown),
+            self.count(OutcomeKind::Error),
+        ));
+        s.push_str("  \"transforms\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"reason\": \"{}\", \
+                 \"wall_ms\": {}, \"conflicts\": {}, \"queries\": {}, \
+                 \"typings\": {}, \"retries\": {}}}{}\n",
+                json_escape(&o.name),
+                o.kind.as_str(),
+                json_escape(&o.detail),
+                o.wall.as_millis(),
+                o.conflicts,
+                o.queries,
+                o.typings,
+                o.retries,
+                if i + 1 == self.outcomes.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Should an `Unknown` with this reason be retried at a larger budget?
+///
+/// Counter exhaustion (conflicts, propagations, decisions) and the CEGIS
+/// iteration limit are worth a second, bigger attempt. Deadline exhaustion
+/// is not — re-arming the same timeout would just spend it again. Neither
+/// are cancellation, injected faults, or internal errors.
+fn is_retryable_reason(reason: &str) -> bool {
+    (reason.contains("budget exhausted") || reason.contains("iteration limit"))
+        && !reason.contains("cancelled")
+        && !reason.contains("injected")
+        && !reason.contains("internal error")
+}
+
+/// Builds the budget for one attempt: a fresh deadline window, the
+/// (possibly escalated) conflict limit, and the shared cancel token.
+fn attempt_budget(config: &DriverConfig, conflicts: Option<u64>) -> Budget {
+    let mut b = Budget::default().with_cancel(config.cancel.clone());
+    if let Some(t) = config.timeout {
+        b = b.deadline_in(t);
+    }
+    b.conflicts = conflicts;
+    b
+}
+
+/// Verifies `t` once under the given budget, with the driver-level panic
+/// boundary (covering validation and type enumeration, which sit outside
+/// the verifier's own per-typing isolation).
+fn attempt(
+    t: &Transform,
+    config: &DriverConfig,
+    budget: Budget,
+) -> (Verdict, usize, usize, u64, Vec<Certificate>) {
+    let mut vc = config.verify.clone();
+    vc.ef.budget = budget;
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if config.with_certificates {
+            verify_with_certificates(t, &vc)
+        } else {
+            verify_with_stats(t, &vc).map(|(v, s)| (v, s, Vec::new()))
+        }
+    }));
+    match caught {
+        Ok(Ok((verdict, stats, certs))) => (
+            verdict,
+            stats.typings,
+            stats.queries,
+            stats.conflicts,
+            certs,
+        ),
+        Ok(Err(e)) => (
+            Verdict::Unknown {
+                reason: format!("error: {}", e.message),
+            },
+            0,
+            0,
+            0,
+            Vec::new(),
+        ),
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            (
+                Verdict::Unknown {
+                    reason: format!("internal error: {msg}"),
+                },
+                0,
+                0,
+                0,
+                Vec::new(),
+            )
+        }
+    }
+}
+
+/// Runs the whole corpus through the resilient driver.
+///
+/// Transforms are verified in order. Budget-exhausted transforms are
+/// retried with an escalated conflict budget (up to
+/// [`DriverConfig::max_retries`] times). Without
+/// [`DriverConfig::keep_going`], the first invalid transform or hard error
+/// stops the run, reporting the remainder as skipped; cancellation always
+/// stops it, and the report says so.
+pub fn run_transforms(transforms: &[(String, Transform)], config: &DriverConfig) -> RunReport {
+    run_transforms_with(transforms, config, |_, _| {})
+}
+
+/// Like [`run_transforms`], invoking `observer` with each transform's index
+/// and outcome as soon as it is decided (for incremental CLI output).
+pub fn run_transforms_with(
+    transforms: &[(String, Transform)],
+    config: &DriverConfig,
+    mut observer: impl FnMut(usize, &TransformOutcome),
+) -> RunReport {
+    let mut report = RunReport::default();
+    for (i, (name, t)) in transforms.iter().enumerate() {
+        if config.cancel.is_cancelled() {
+            report.cancelled = true;
+            report.skipped = transforms.len() - i;
+            return report;
+        }
+
+        let start = Instant::now();
+        let mut retries = 0u32;
+        let mut conflicts_spent = 0u64;
+        let mut queries_total = 0usize;
+        let mut budget_conflicts = config.conflict_budget;
+        let outcome = loop {
+            let (verdict, typings, queries, conflicts, certificates) =
+                attempt(t, config, attempt_budget(config, budget_conflicts));
+            conflicts_spent += conflicts;
+            queries_total += queries;
+            let (kind, detail) = match &verdict {
+                Verdict::Valid { .. } => (OutcomeKind::Valid, verdict.to_string()),
+                Verdict::Invalid(_) => (OutcomeKind::Invalid, verdict.to_string()),
+                Verdict::Unknown { reason } => {
+                    if let Some(rest) = reason.strip_prefix("error: ") {
+                        (OutcomeKind::Error, rest.to_string())
+                    } else {
+                        (OutcomeKind::Unknown, reason.clone())
+                    }
+                }
+            };
+            if kind == OutcomeKind::Unknown
+                && retries < config.max_retries
+                && budget_conflicts.is_some()
+                && is_retryable_reason(&detail)
+                && !config.cancel.is_cancelled()
+            {
+                retries += 1;
+                budget_conflicts =
+                    budget_conflicts.map(|c| c.saturating_mul(config.retry_multiplier.max(2)));
+                continue;
+            }
+            break TransformOutcome {
+                name: name.clone(),
+                kind,
+                detail,
+                certificates,
+                wall: start.elapsed(),
+                conflicts: conflicts_spent,
+                queries: queries_total,
+                typings,
+                retries,
+            };
+        };
+
+        let kind = outcome.kind;
+        let was_cancelled = config.cancel.is_cancelled()
+            && kind == OutcomeKind::Unknown
+            && outcome.detail.contains("cancelled");
+        observer(i, &outcome);
+        report.outcomes.push(outcome);
+
+        if was_cancelled {
+            report.cancelled = true;
+            report.skipped = transforms.len() - i - 1;
+            return report;
+        }
+        if !config.keep_going && matches!(kind, OutcomeKind::Invalid | OutcomeKind::Error) {
+            report.skipped = transforms.len() - i - 1;
+            return report;
+        }
+    }
+    report
+}

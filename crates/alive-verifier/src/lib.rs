@@ -33,10 +33,14 @@
 
 mod attrs;
 mod counterexample;
+mod driver;
 mod verify;
 
 pub use attrs::{infer_attributes, AttrInferenceResult, FlagPos};
 pub use counterexample::{Counterexample, FailureKind};
+pub use driver::{
+    run_transforms, run_transforms_with, DriverConfig, OutcomeKind, RunReport, TransformOutcome,
+};
 pub use verify::{
     verify, verify_with_certificates, verify_with_stats, Verdict, VerifyConfig, VerifyError,
     VerifyStats,

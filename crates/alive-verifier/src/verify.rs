@@ -17,12 +17,13 @@ use crate::counterexample::{build_counterexample, Counterexample, FailureKind};
 use alive_ir::{validate, Transform};
 use alive_proof::{Certificate, CertificateMeta, Step};
 use alive_smt::{
-    eval, solve_exists_forall, solve_exists_forall_with_proof, Assignment, BvVal, EfConfig,
-    EfResult, EvalError, ProofEvent, ProofTranscript, Sort, TermId, TermPool, Value,
+    eval, solve_exists_forall_full, Assignment, BvVal, EfConfig, EfResult, EvalError, ProofEvent,
+    ProofTranscript, Sort, TermId, TermPool, Value,
 };
-use alive_typeck::{enumerate_typings, TypeckConfig};
+use alive_typeck::{enumerate_typings, TypeAssignment, TypeckConfig};
 use alive_vcgen::{encode_transform, TransformEnc};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The overall outcome of verifying one transformation.
 #[derive(Clone, Debug)]
@@ -110,6 +111,8 @@ pub struct VerifyStats {
     /// Total SMT/SAT queries issued (at least; CEGIS rounds count once per
     /// candidate/verify pair).
     pub queries: usize,
+    /// Total SAT conflicts spent across every query.
+    pub conflicts: u64,
 }
 
 /// Verifies a transformation across all feasible type assignments.
@@ -159,6 +162,25 @@ pub fn verify_with_certificates(
     Ok((verdict, stats, certificates))
 }
 
+/// What checking one type assignment concluded.
+enum TypingOutcome {
+    /// Every refinement condition was refuted; move to the next typing.
+    Passed,
+    /// A final verdict (Invalid or Unknown) — stop here.
+    Stop(Verdict),
+}
+
+/// Renders a panic payload for an `Unknown` reason string.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn verify_impl(
     t: &Transform,
     config: &VerifyConfig,
@@ -175,92 +197,36 @@ fn verify_impl(
     let mut stats = VerifyStats::default();
     for typing in &typings {
         stats.typings += 1;
-        let mut pool = TermPool::new();
-        let enc = encode_transform(&mut pool, t, typing).map_err(|e| VerifyError {
-            message: e.to_string(),
-        })?;
-        let psi = enc.psi(&mut pool);
-
-        let root = enc.root.clone();
-        let tgt_def = enc.tgt.defined[&root];
-        let tgt_poison = enc.tgt.poison_free[&root];
-        let src_val = enc.src.values[&root];
-        let tgt_val = enc.tgt.values[&root];
-
-        let mut exist_vars = enc.exist_vars();
-        exist_vars.extend(enc.tgt.undefs.iter().copied());
-        let univ_vars: Vec<TermId> = enc.src.undefs.clone();
-
-        // The negated conditions 1–3 share the existential variables; the
-        // memory condition adds the quantified address.
-        let mut checks: Vec<(FailureKind, TermId, Vec<TermId>)> = {
-            let not_def = pool.not(tgt_def);
-            let c1 = pool.and2(psi, not_def);
-            let not_poison = pool.not(tgt_poison);
-            let c2 = pool.and2(psi, not_poison);
-            let neq = pool.ne(src_val, tgt_val);
-            let c3 = pool.and2(psi, neq);
-            vec![
-                (FailureKind::Definedness, c1, exist_vars.clone()),
-                (FailureKind::Poison, c2, exist_vars.clone()),
-                (FailureKind::ValueMismatch, c3, exist_vars.clone()),
-            ]
-        };
-        if enc.src.memory.has_ops || enc.tgt.memory.has_ops {
-            let (matrix, evars) = memory_check_matrix(&mut pool, &enc, &exist_vars);
-            checks.push((FailureKind::MemoryMismatch, matrix, evars));
-        }
-
-        for (kind, matrix, evars) in checks {
-            stats.queries += 1;
-            let (result, transcript) = if certificates.is_some() {
-                solve_exists_forall_with_proof(&mut pool, &evars, &univ_vars, matrix, &config.ef)
-            } else {
-                (
-                    solve_exists_forall(&mut pool, &evars, &univ_vars, matrix, &config.ef),
-                    None,
-                )
-            };
-            match result {
-                EfResult::Unsat => {
-                    if let (Some(certs), Some(transcript)) =
-                        (certificates.as_deref_mut(), transcript)
-                    {
-                        certs.push(certificate_from_transcript(
-                            &transform_name,
-                            &typing.summary(),
-                            kind,
-                            transcript,
-                        ));
-                    }
-                }
-                EfResult::Sat(model) => {
-                    // Dual-check: a counterexample is only reported after the
-                    // reference evaluator concretely reproduces the failure,
-                    // so a SAT-solver or bit-blaster bug cannot manufacture
-                    // a bogus Invalid verdict.
-                    if !revalidate_model(&pool, matrix, &model, &univ_vars) {
-                        return Ok((
-                            Verdict::Unknown {
-                                reason: format!(
-                                    "{kind} counterexample failed concrete re-validation \
-                                     (possible solver defect)"
-                                ),
-                            },
-                            stats,
-                        ));
-                    }
-                    let cex = build_counterexample(&pool, t, &enc, &model, kind, typing.summary());
-                    return Ok((Verdict::Invalid(Box::new(cex)), stats));
-                }
-                EfResult::Unknown => {
-                    return Ok((
-                        Verdict::Unknown {
-                            reason: format!("{kind} check exceeded budget"),
-                        },
-                        stats,
-                    ));
-                }
+        // Panic isolation (outer boundary): a defect anywhere in encoding,
+        // solving, or counterexample construction for one typing degrades
+        // the verdict to Unknown instead of tearing down the caller. The
+        // per-condition boundary inside gives more precise reasons; this one
+        // catches everything else.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check_one_typing(
+                t,
+                typing,
+                config,
+                &transform_name,
+                &mut stats,
+                certificates.as_deref_mut(),
+            )
+        }));
+        match caught {
+            Ok(Ok(TypingOutcome::Passed)) => {}
+            Ok(Ok(TypingOutcome::Stop(v))) => return Ok((v, stats)),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                return Ok((
+                    Verdict::Unknown {
+                        reason: format!(
+                            "internal error: panic while checking typing {}: {}",
+                            typing.summary(),
+                            panic_message(payload.as_ref())
+                        ),
+                    },
+                    stats,
+                ));
             }
         }
     }
@@ -270,6 +236,111 @@ fn verify_impl(
         },
         stats,
     ))
+}
+
+fn check_one_typing(
+    t: &Transform,
+    typing: &TypeAssignment,
+    config: &VerifyConfig,
+    transform_name: &str,
+    stats: &mut VerifyStats,
+    mut certificates: Option<&mut Vec<Certificate>>,
+) -> Result<TypingOutcome, VerifyError> {
+    let mut pool = TermPool::new();
+    let enc = encode_transform(&mut pool, t, typing).map_err(|e| VerifyError {
+        message: e.to_string(),
+    })?;
+    let psi = enc.psi(&mut pool);
+
+    let root = enc.root.clone();
+    let tgt_def = enc.tgt.defined[&root];
+    let tgt_poison = enc.tgt.poison_free[&root];
+    let src_val = enc.src.values[&root];
+    let tgt_val = enc.tgt.values[&root];
+
+    let mut exist_vars = enc.exist_vars();
+    exist_vars.extend(enc.tgt.undefs.iter().copied());
+    let univ_vars: Vec<TermId> = enc.src.undefs.clone();
+
+    // The negated conditions 1–3 share the existential variables; the
+    // memory condition adds the quantified address.
+    let mut checks: Vec<(FailureKind, TermId, Vec<TermId>)> = {
+        let not_def = pool.not(tgt_def);
+        let c1 = pool.and2(psi, not_def);
+        let not_poison = pool.not(tgt_poison);
+        let c2 = pool.and2(psi, not_poison);
+        let neq = pool.ne(src_val, tgt_val);
+        let c3 = pool.and2(psi, neq);
+        vec![
+            (FailureKind::Definedness, c1, exist_vars.clone()),
+            (FailureKind::Poison, c2, exist_vars.clone()),
+            (FailureKind::ValueMismatch, c3, exist_vars.clone()),
+        ]
+    };
+    if enc.src.memory.has_ops || enc.tgt.memory.has_ops {
+        let (matrix, evars) = memory_check_matrix(&mut pool, &enc, &exist_vars);
+        checks.push((FailureKind::MemoryMismatch, matrix, evars));
+    }
+
+    let want_proof = certificates.is_some();
+    for (kind, matrix, evars) in checks {
+        stats.queries += 1;
+        // Panic isolation (inner boundary): a panic inside the solver stack
+        // is reported against the condition being discharged.
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            solve_exists_forall_full(
+                &mut pool, &evars, &univ_vars, matrix, &config.ef, want_proof,
+            )
+        }));
+        let outcome = match solved {
+            Ok(o) => o,
+            Err(payload) => {
+                return Ok(TypingOutcome::Stop(Verdict::Unknown {
+                    reason: format!(
+                        "internal error: panic during {kind} check: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                }));
+            }
+        };
+        stats.conflicts += outcome.stats.conflicts;
+        match outcome.result {
+            EfResult::Unsat => {
+                if let (Some(certs), Some(transcript)) =
+                    (certificates.as_deref_mut(), outcome.transcript)
+                {
+                    certs.push(certificate_from_transcript(
+                        transform_name,
+                        &typing.summary(),
+                        kind,
+                        transcript,
+                    ));
+                }
+            }
+            EfResult::Sat(model) => {
+                // Dual-check: a counterexample is only reported after the
+                // reference evaluator concretely reproduces the failure,
+                // so a SAT-solver or bit-blaster bug cannot manufacture
+                // a bogus Invalid verdict.
+                if !revalidate_model(&pool, matrix, &model, &univ_vars) {
+                    return Ok(TypingOutcome::Stop(Verdict::Unknown {
+                        reason: format!(
+                            "{kind} counterexample failed concrete re-validation \
+                             (possible solver defect)"
+                        ),
+                    }));
+                }
+                let cex = build_counterexample(&pool, t, &enc, &model, kind, typing.summary());
+                return Ok(TypingOutcome::Stop(Verdict::Invalid(Box::new(cex))));
+            }
+            EfResult::Unknown(reason) => {
+                return Ok(TypingOutcome::Stop(Verdict::Unknown {
+                    reason: format!("{kind} check: {reason}"),
+                }));
+            }
+        }
+    }
+    Ok(TypingOutcome::Passed)
 }
 
 /// Converts an SMT-layer DRAT transcript into a metadata-carrying

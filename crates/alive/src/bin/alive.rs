@@ -3,172 +3,373 @@
 //!
 //! ```text
 //! usage: alive [OPTIONS] <file.opt>...
-//!   --fast          verify at widths {4,8} only
-//!   --exhaustive    verify at widths 1..=64 (slow, like the paper)
-//!   --cpp           print generated C++ for verified transformations
-//!   --infer         run nsw/nuw/exact attribute inference
-//!   --proof <dir>   write refinement certificates to <dir> and re-check
-//!                   each one with the independent proof checker
+//!   --fast            verify at widths {4,8} only
+//!   --exhaustive      verify at widths 1..=64 (slow, like the paper)
+//!   --cpp             print generated C++ for verified transformations
+//!   --infer           run nsw/nuw/exact attribute inference
+//!   --proof <dir>     write refinement certificates to <dir> and re-check
+//!                     each one with the independent proof checker
+//!   --timeout <secs>  wall-clock limit per verification attempt
+//!   --budget <n>      SAT conflict budget (retries escalate it)
+//!   --retries <n>     escalating retries for budget-exhausted transforms
+//!   --keep-going      continue past invalid transforms and errors
+//!   --report <file>   write a JSON run report (schema alive-report/v1)
 //! ```
+//!
+//! `--fast` and `--exhaustive` contradict each other and are rejected,
+//! whatever their order. Without `--keep-going`, the first invalid
+//! transform (or hard error) stops the run; the remainder is reported as
+//! skipped. Ctrl-C (SIGINT) cancels cooperatively: in-flight solvers wind
+//! down at their next budget poll, the partial report is still written,
+//! and the exit code is 130.
 //!
 //! Exit codes: `0` all transformations verified, `1` at least one
 //! refinement failure (or parse/IO error), `2` inconclusive only
-//! (budget exhausted / unknown), `64` usage error.
+//! (budget exhausted / unknown), `64` usage error, `130` interrupted.
 
 use alive::{
-    generate_cpp, infer_attributes, parse_transforms, verify, verify_with_certificates,
-    Certificate, Verdict, VerifyConfig,
+    generate_cpp, infer_attributes, parse_transforms, Certificate, Transform, VerifyConfig,
 };
+use alive_verifier::{run_transforms_with, DriverConfig, OutcomeKind, RunReport};
+use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
-const USAGE: &str =
-    "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--proof <dir>] <file.opt>...";
+const USAGE: &str = "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--proof <dir>] \
+     [--timeout <secs>] [--budget <conflicts>] [--retries <n>] [--keep-going] \
+     [--report <file.json>] <file.opt>...";
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut files = Vec::new();
-    let mut config = VerifyConfig::default();
-    let mut emit_cpp = false;
-    let mut infer = false;
-    let mut proof_dir: Option<String> = None;
+/// Width-coverage mode; `--fast` and `--exhaustive` are order-independent
+/// and mutually exclusive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WidthMode {
+    Default,
+    Fast,
+    Exhaustive,
+}
+
+/// Raised by the SIGINT handler; bridged to the driver's `CancelToken` by a
+/// watcher thread (a signal handler must only touch async-signal-safe
+/// state, so it cannot call into the token's `Arc` machinery directly).
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT handler via the C runtime (no libc crate needed —
+/// `signal` is always available from the platform's C library).
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+struct Options {
+    files: Vec<String>,
+    mode: WidthMode,
+    emit_cpp: bool,
+    infer: bool,
+    proof_dir: Option<String>,
+    timeout: Option<Duration>,
+    budget: Option<u64>,
+    retries: u32,
+    keep_going: bool,
+    report_path: Option<String>,
+}
+
+enum ParsedArgs {
+    Run(Box<Options>),
+    Exit(ExitCode),
+}
+
+fn usage_error(msg: &str) -> ParsedArgs {
+    eprintln!("error: {msg}\n{USAGE}");
+    ParsedArgs::Exit(ExitCode::from(64))
+}
+
+fn parse_args(args: &[String]) -> ParsedArgs {
+    let mut opts = Options {
+        files: Vec::new(),
+        mode: WidthMode::Default,
+        emit_cpp: false,
+        infer: false,
+        proof_dir: None,
+        timeout: None,
+        budget: None,
+        retries: 1,
+        keep_going: false,
+        report_path: None,
+    };
+    let mut fast = false;
+    let mut exhaustive = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--fast" => config = VerifyConfig::fast(),
-            "--exhaustive" => {
-                config.typeck = alive::TypeckConfig::exhaustive();
-            }
-            "--cpp" => emit_cpp = true,
-            "--infer" => infer = true,
+            "--fast" => fast = true,
+            "--exhaustive" => exhaustive = true,
+            "--cpp" => opts.emit_cpp = true,
+            "--infer" => opts.infer = true,
+            "--keep-going" => opts.keep_going = true,
             "--proof" => match it.next() {
-                Some(dir) => proof_dir = Some(dir.clone()),
-                None => {
-                    eprintln!("error: --proof requires a directory argument\n{USAGE}");
-                    return ExitCode::from(64);
+                Some(dir) => opts.proof_dir = Some(dir.clone()),
+                None => return usage_error("--proof requires a directory argument"),
+            },
+            "--report" => match it.next() {
+                Some(f) => opts.report_path = Some(f.clone()),
+                None => return usage_error("--report requires a file argument"),
+            },
+            "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs >= 0.0 => {
+                    opts.timeout = Some(Duration::from_secs_f64(secs));
                 }
+                _ => return usage_error("--timeout requires a non-negative number of seconds"),
+            },
+            "--budget" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => opts.budget = Some(n),
+                None => return usage_error("--budget requires a conflict count"),
+            },
+            "--retries" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => opts.retries = n,
+                None => return usage_error("--retries requires a count"),
             },
             "-h" | "--help" => {
                 eprintln!("{USAGE}");
-                return ExitCode::SUCCESS;
+                return ParsedArgs::Exit(ExitCode::SUCCESS);
             }
             other if other.starts_with('-') => {
-                eprintln!("error: unknown option '{other}'\n{USAGE}");
-                return ExitCode::from(64);
+                return usage_error(&format!("unknown option '{other}'"));
             }
-            other => files.push(other.to_string()),
+            other => opts.files.push(other.to_string()),
         }
     }
-    if files.is_empty() {
-        eprintln!("error: no input files (try --help)\n{USAGE}");
+    if fast && exhaustive {
+        return usage_error("--fast and --exhaustive contradict each other; pick one");
+    }
+    opts.mode = match (fast, exhaustive) {
+        (true, _) => WidthMode::Fast,
+        (_, true) => WidthMode::Exhaustive,
+        _ => WidthMode::Default,
+    };
+    if opts.files.is_empty() {
+        return usage_error("no input files (try --help)");
+    }
+    ParsedArgs::Run(Box::new(opts))
+}
+
+/// Installs the fault plan named by `ALIVE_FAULT` (fault-injection builds
+/// only). Returns `false` when the spec fails to parse.
+#[cfg(feature = "fault-injection")]
+fn install_fault_plan_from_env() -> bool {
+    match std::env::var("ALIVE_FAULT") {
+        Ok(spec) if !spec.is_empty() => match alive::sat::fault::FailurePlan::parse(&spec) {
+            Ok(plan) => {
+                alive::sat::fault::install(Some(plan));
+                true
+            }
+            Err(e) => {
+                eprintln!("error: bad ALIVE_FAULT spec: {e}");
+                false
+            }
+        },
+        _ => true,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        ParsedArgs::Run(o) => o,
+        ParsedArgs::Exit(code) => return code,
+    };
+
+    #[cfg(feature = "fault-injection")]
+    if !install_fault_plan_from_env() {
         return ExitCode::from(64);
     }
-    if let Some(dir) = &proof_dir {
+
+    if let Some(dir) = &opts.proof_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: cannot create proof directory {dir}: {e}");
             return ExitCode::FAILURE;
         }
     }
 
-    let mut failures = 0usize;
-    let mut unknowns = 0usize;
-    for path in &files {
+    // Parse every file up front so the driver sees one flat corpus.
+    let mut transforms: Vec<(String, Transform)> = Vec::new();
+    let mut parse_failures = 0usize;
+    for path in &opts.files {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("{path}: {e}");
-                failures += 1;
+                parse_failures += 1;
                 continue;
             }
         };
-        let transforms = match parse_transforms(&text) {
-            Ok(ts) => ts,
+        match parse_transforms(&text) {
+            Ok(ts) => {
+                for (i, t) in ts.into_iter().enumerate() {
+                    let name = t
+                        .name
+                        .clone()
+                        .unwrap_or_else(|| format!("{path}#{}", i + 1));
+                    transforms.push((name, t));
+                }
+            }
             Err(e) => {
                 eprintln!("{path}: {e}");
-                failures += 1;
-                continue;
-            }
-        };
-        for (i, t) in transforms.iter().enumerate() {
-            let name = t
-                .name
-                .clone()
-                .unwrap_or_else(|| format!("{path}#{}", i + 1));
-            println!("----------------------------------------");
-            println!("Name: {name}");
-            let (verdict, certificates) = if proof_dir.is_some() {
-                match verify_with_certificates(t, &config) {
-                    Ok((v, _, certs)) => (Ok(v), certs),
-                    Err(e) => (Err(e), Vec::new()),
-                }
-            } else {
-                (verify(t, &config), Vec::new())
-            };
-            match verdict {
-                Ok(Verdict::Valid { typings_checked }) => {
-                    println!("Optimization is correct! ({typings_checked} type assignments)");
-                    if let Some(dir) = &proof_dir {
-                        match persist_certificates(dir, &name, &certificates) {
-                            Ok(n) => println!("{n} certificates written and re-checked"),
-                            Err(e) => {
-                                println!("certificate error: {e}");
-                                failures += 1;
-                            }
-                        }
-                    }
-                    if infer {
-                        match infer_attributes(t, &config) {
-                            Ok(r) => {
-                                if r.pre_weakened || r.post_strengthened {
-                                    println!("Optimal attributes:\n{}", r.inferred);
-                                }
-                            }
-                            Err(e) => println!("(attribute inference: {e})"),
-                        }
-                    }
-                    if emit_cpp {
-                        match generate_cpp(t) {
-                            Ok(cpp) => println!("{cpp}"),
-                            Err(e) => println!("(codegen: {e})"),
-                        }
-                    }
-                }
-                Ok(Verdict::Invalid(cex)) => {
-                    println!("{cex}");
-                    failures += 1;
-                }
-                Ok(Verdict::Unknown { reason }) => {
-                    println!("Verification inconclusive: {reason}");
-                    unknowns += 1;
-                }
-                Err(e) => {
-                    println!("error: {e}");
-                    failures += 1;
-                }
+                parse_failures += 1;
             }
         }
     }
-    if failures > 0 {
-        ExitCode::from(1)
-    } else if unknowns > 0 {
-        ExitCode::from(2)
-    } else {
-        ExitCode::SUCCESS
+
+    let verify_config = match opts.mode {
+        WidthMode::Fast => VerifyConfig::fast(),
+        WidthMode::Exhaustive => VerifyConfig {
+            typeck: alive::TypeckConfig::exhaustive(),
+            ..VerifyConfig::default()
+        },
+        WidthMode::Default => VerifyConfig::default(),
+    };
+    let driver = DriverConfig {
+        verify: verify_config.clone(),
+        timeout: opts.timeout,
+        conflict_budget: opts.budget,
+        keep_going: opts.keep_going,
+        max_retries: opts.retries,
+        with_certificates: opts.proof_dir.is_some(),
+        ..DriverConfig::default()
+    };
+
+    // Ctrl-C → cooperative cancellation: the watcher thread raises the
+    // token, every solver winds down at its next budget poll, and the
+    // partial report still gets written.
+    install_sigint_handler();
+    {
+        let token = driver.cancel.clone();
+        std::thread::spawn(move || loop {
+            if SIGINT_RECEIVED.load(Ordering::SeqCst) {
+                token.cancel();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
     }
+
+    let mut aux_failures = 0usize;
+    let mut used_slugs: HashMap<String, usize> = HashMap::new();
+    let report = run_transforms_with(&transforms, &driver, |i, outcome| {
+        println!("----------------------------------------");
+        println!("Name: {}", outcome.name);
+        match outcome.kind {
+            OutcomeKind::Valid => {
+                println!("{}", outcome.detail);
+                if let Some(dir) = &opts.proof_dir {
+                    match persist_certificates(
+                        dir,
+                        &outcome.name,
+                        &outcome.certificates,
+                        &mut used_slugs,
+                    ) {
+                        Ok(n) => println!("{n} certificates written and re-checked"),
+                        Err(e) => {
+                            println!("certificate error: {e}");
+                            aux_failures += 1;
+                        }
+                    }
+                }
+                let t = &transforms[i].1;
+                if opts.infer {
+                    match infer_attributes(t, &verify_config) {
+                        Ok(r) => {
+                            if r.pre_weakened || r.post_strengthened {
+                                println!("Optimal attributes:\n{}", r.inferred);
+                            }
+                        }
+                        Err(e) => println!("(attribute inference: {e})"),
+                    }
+                }
+                if opts.emit_cpp {
+                    match generate_cpp(t) {
+                        Ok(cpp) => println!("{cpp}"),
+                        Err(e) => println!("(codegen: {e})"),
+                    }
+                }
+            }
+            OutcomeKind::Invalid => println!("{}", outcome.detail),
+            OutcomeKind::Unknown => println!("Verification inconclusive: {}", outcome.detail),
+            OutcomeKind::Error => println!("error: {}", outcome.detail),
+        }
+    });
+
+    println!("----------------------------------------");
+    println!(
+        "{} valid, {} invalid, {} unknown, {} errors{}{}",
+        report.count(OutcomeKind::Valid),
+        report.count(OutcomeKind::Invalid),
+        report.count(OutcomeKind::Unknown),
+        report.count(OutcomeKind::Error),
+        if report.skipped > 0 {
+            format!(", {} skipped", report.skipped)
+        } else {
+            String::new()
+        },
+        if report.cancelled {
+            " (interrupted)"
+        } else {
+            ""
+        },
+    );
+
+    if let Some(path) = &opts.report_path {
+        if let Err(e) = write_report(path, &report) {
+            eprintln!("error: cannot write report {path}: {e}");
+            aux_failures += 1;
+        }
+    }
+
+    let mut code = report.exit_code();
+    if code != 130 && (parse_failures > 0 || aux_failures > 0) {
+        code = 1;
+    }
+    ExitCode::from(code as u8)
 }
 
-/// Writes each certificate to `<dir>/<name>.<k>.cert`, then reads every
+fn write_report(path: &str, report: &RunReport) -> std::io::Result<()> {
+    std::fs::write(path, report.to_json())
+}
+
+/// Writes each certificate to `<dir>/<slug>.<k>.cert`, then reads every
 /// file back and runs the independent checker on the parsed result, so
 /// what lands on disk — not the in-memory copy — is what gets trusted.
+///
+/// Distinct transform names can collapse to one slug (`A:B` and `A_B` both
+/// become `A_B`); `used_slugs` disambiguates repeats with a numeric suffix
+/// so no transform's certificates overwrite another's.
 fn persist_certificates(
     dir: &str,
     transform_name: &str,
     certs: &[Certificate],
+    used_slugs: &mut HashMap<String, usize>,
 ) -> Result<usize, String> {
-    let slug: String = transform_name
+    let base: String = transform_name
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
+    let n = used_slugs.entry(base.clone()).or_insert(0);
+    *n += 1;
+    let slug = if *n == 1 {
+        base
+    } else {
+        format!("{base}__{n}")
+    };
     for (k, cert) in certs.iter().enumerate() {
         let file = Path::new(dir).join(format!("{slug}.{k}.cert"));
         std::fs::write(&file, cert.to_text()).map_err(|e| format!("{}: {e}", file.display()))?;

@@ -1,11 +1,15 @@
 //! Black-box tests of the `alive` binary: argument handling, exit codes,
-//! and the `--proof` certificate pipeline.
+//! the `--proof` certificate pipeline, the JSON run report, and the
+//! robustness flags (`--timeout`, `--budget`, `--retries`, `--keep-going`).
 
 use std::path::PathBuf;
 use std::process::Command;
 
 fn alive_bin() -> Command {
-    Command::new(env!("CARGO_BIN_EXE_alive"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_alive"));
+    // Keep fault-injection builds hermetic even if the harness env leaks.
+    cmd.env_remove("ALIVE_FAULT");
+    cmd
 }
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -17,6 +21,18 @@ fn temp_dir(name: &str) -> PathBuf {
 
 const GOOD: &str = "Name: not-add\n%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n";
 const BAD: &str = "Name: wrong\n%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C, %x\n";
+/// Valid and cheap: no solver-bound work, so it verifies under any budget.
+const EASY: &str = "Name: double-to-shl\n%r = add %x, %x\n=>\n%r = shl %x, 1\n";
+
+/// Runs the binary and returns (exit code, stdout, stderr).
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = alive_bin().args(args).output().expect("spawn alive");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
 
 #[test]
 fn valid_file_exits_zero() {
@@ -91,5 +107,285 @@ fn proof_flag_writes_checkable_certificates() {
             panic!("{}: {e}", path.display());
         });
         assert_eq!(cert.meta.transform, "not-add");
+    }
+}
+
+#[test]
+fn colliding_certificate_slugs_do_not_overwrite_each_other() {
+    // "A:B" and "A_B" both slug to "A_B"; the second must get a suffix.
+    let dir = temp_dir("slugs");
+    let f = dir.join("twins.opt");
+    std::fs::write(
+        &f,
+        format!(
+            "{}\n{}",
+            EASY.replace("double-to-shl", "A:B"),
+            EASY.replace("double-to-shl", "A_B")
+        ),
+    )
+    .unwrap();
+    let proofs = dir.join("proofs");
+    let (code, stdout, _) = run(&[
+        "--fast",
+        "--proof",
+        proofs.to_str().unwrap(),
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    let mut stems: Vec<String> = std::fs::read_dir(&proofs)
+        .unwrap()
+        .map(|e| {
+            let name = e.unwrap().file_name().to_string_lossy().into_owned();
+            name.split('.').next().unwrap().to_string()
+        })
+        .collect();
+    stems.sort();
+    stems.dedup();
+    assert_eq!(
+        stems,
+        ["A_B", "A_B__2"],
+        "one transform's certificates overwrote the other's"
+    );
+}
+
+#[test]
+fn contradictory_width_flags_are_rejected_in_either_order() {
+    for args in [["--fast", "--exhaustive"], ["--exhaustive", "--fast"]] {
+        let (code, _, stderr) = run(&[args[0], args[1], "x.opt"]);
+        assert_eq!(code, 64, "{stderr}");
+        assert!(stderr.contains("contradict"), "{stderr}");
+    }
+}
+
+#[test]
+fn malformed_numeric_flags_are_usage_errors() {
+    let (code, _, _) = run(&["--timeout", "never", "x.opt"]);
+    assert_eq!(code, 64);
+    let (code, _, _) = run(&["--timeout", "-1", "x.opt"]);
+    assert_eq!(code, 64);
+    let (code, _, _) = run(&["--budget"]);
+    assert_eq!(code, 64);
+    let (code, _, _) = run(&["--retries", "many", "x.opt"]);
+    assert_eq!(code, 64);
+}
+
+#[test]
+fn missing_file_exits_one() {
+    let dir = temp_dir("missing");
+    let ghost = dir.join("ghost.opt");
+    let (code, _, stderr) = run(&[ghost.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("ghost.opt"), "{stderr}");
+}
+
+#[test]
+fn without_keep_going_the_first_failure_skips_the_rest() {
+    let dir = temp_dir("failfast");
+    let f = dir.join("mix.opt");
+    std::fs::write(&f, format!("{BAD}\n{EASY}")).unwrap();
+    let (code, stdout, _) = run(&["--fast", f.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("1 skipped"), "{stdout}");
+
+    let (code, stdout, _) = run(&["--fast", "--keep-going", f.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("1 valid, 1 invalid"), "{stdout}");
+    assert!(!stdout.contains("skipped"), "{stdout}");
+}
+
+#[test]
+fn expired_timeout_is_inconclusive_exit_two() {
+    let dir = temp_dir("timeout");
+    let f = dir.join("slow.opt");
+    std::fs::write(&f, GOOD).unwrap();
+    let (code, stdout, _) = run(&["--fast", "--timeout", "0", f.to_str().unwrap()]);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(stdout.contains("deadline"), "{stdout}");
+}
+
+#[test]
+fn tiny_budget_is_inconclusive_and_retries_escalate_out_of_it() {
+    let dir = temp_dir("budget");
+    let f = dir.join("slow.opt");
+    std::fs::write(&f, GOOD).unwrap();
+    let (code, stdout, _) = run(&[
+        "--fast",
+        "--budget",
+        "2",
+        "--retries",
+        "0",
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 2, "{stdout}");
+    assert!(stdout.contains("conflict budget exhausted"), "{stdout}");
+
+    // With escalating retries (2 → 16 → 128 → 1024 conflicts) the same
+    // query completes.
+    let (code, stdout, _) = run(&[
+        "--fast",
+        "--budget",
+        "2",
+        "--retries",
+        "3",
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn report_has_the_v1_schema_and_per_transform_entries() {
+    let dir = temp_dir("report");
+    let f = dir.join("mix.opt");
+    std::fs::write(&f, format!("{EASY}\n{BAD}")).unwrap();
+    let report = dir.join("report.json");
+    let (code, _, _) = run(&[
+        "--fast",
+        "--keep-going",
+        "--report",
+        report.to_str().unwrap(),
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1);
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"schema\": \"alive-report/v1\""), "{json}");
+    for field in [
+        "\"valid\": 1",
+        "\"invalid\": 1",
+        "\"unknown\": 0",
+        "\"cancelled\": false",
+        "\"name\": \"double-to-shl\"",
+        "\"name\": \"wrong\"",
+        "\"verdict\": \"valid\"",
+        "\"verdict\": \"invalid\"",
+        "\"wall_ms\"",
+        "\"conflicts\"",
+        "\"retries\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+    // Well-formed at the bracket level (the report is hand-serialized).
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "{json}"
+    );
+    assert_eq!(
+        json.matches('[').count(),
+        json.matches(']').count(),
+        "{json}"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_cancels_cooperatively_and_still_writes_the_report() {
+    let dir = temp_dir("sigint");
+    // Enough solver-bound work (widths 1..=64 per copy) that the run is
+    // still going when the signal lands.
+    let mut corpus = String::new();
+    for i in 0..50 {
+        corpus.push_str(&GOOD.replace("not-add", &format!("not-add-{i}")));
+        corpus.push('\n');
+    }
+    let f = dir.join("big.opt");
+    std::fs::write(&f, corpus).unwrap();
+    let report = dir.join("report.json");
+    let mut child = alive_bin()
+        .args([
+            "--exhaustive",
+            "--keep-going",
+            "--report",
+            report.to_str().unwrap(),
+            f.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let _ = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status();
+    let status = child.wait().unwrap();
+    let code = status.code().unwrap_or(-1);
+    if code == 130 {
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"cancelled\": true"), "{json}");
+    } else {
+        // The run may have finished before the signal landed on a fast
+        // machine; then it must have completed normally.
+        assert_eq!(code, 0, "unexpected exit code {code}");
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+mod faults {
+    use super::*;
+
+    #[test]
+    fn bad_fault_spec_is_a_usage_error() {
+        let dir = temp_dir("badspec");
+        let f = dir.join("good.opt");
+        std::fs::write(&f, EASY).unwrap();
+        let out = alive_bin()
+            .env("ALIVE_FAULT", "sat:explode@1")
+            .args(["--fast", f.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(64));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("ALIVE_FAULT"), "{stderr}");
+    }
+
+    #[test]
+    fn injected_panic_is_survived_and_reported() {
+        let dir = temp_dir("panic");
+        let f = dir.join("pair.opt");
+        std::fs::write(&f, format!("{GOOD}\n{EASY}")).unwrap();
+        let report = dir.join("report.json");
+        let out = alive_bin()
+            .env("ALIVE_FAULT", "sat:panic@1")
+            .args([
+                "--fast",
+                "--keep-going",
+                "--retries",
+                "0",
+                "--report",
+                report.to_str().unwrap(),
+                f.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("internal error"), "{stdout}");
+        assert!(stdout.contains("1 valid, 0 invalid, 1 unknown"), "{stdout}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("internal error"), "{json}");
+        assert!(json.contains("\"verdict\": \"valid\""), "{json}");
+    }
+
+    #[test]
+    fn injected_hang_is_cut_down_by_the_timeout() {
+        let dir = temp_dir("hang");
+        let f = dir.join("pair.opt");
+        std::fs::write(&f, format!("{GOOD}\n{EASY}")).unwrap();
+        let out = alive_bin()
+            .env("ALIVE_FAULT", "sat:hang@1")
+            .args([
+                "--fast",
+                "--keep-going",
+                "--retries",
+                "0",
+                "--timeout",
+                "1",
+                f.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("deadline"), "{stdout}");
+        assert!(stdout.contains("1 valid, 0 invalid, 1 unknown"), "{stdout}");
     }
 }
