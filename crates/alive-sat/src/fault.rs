@@ -12,7 +12,7 @@
 //! Plans are written `site:kind@n` (1-based), comma-separated:
 //! `sat:panic@3,sat:hang@7`. Sites are `sat` (every
 //! `Solver::solve_with_assumptions`) and `smt` (every `SmtSolver` check).
-//! Kinds are `unknown`, `panic`, `hang`, and `corrupt-model`.
+//! Kinds are `unknown`, `panic`, `hang`, `hang-hard`, and `corrupt-model`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -27,6 +27,11 @@ pub enum FaultKind {
     /// Spin until the active budget's deadline or cancellation fires,
     /// simulating a query that would never terminate on its own.
     Hang,
+    /// Spin forever, ignoring the budget *and* the cancel token — a query
+    /// whose thread can only be abandoned. Exercises the supervised
+    /// driver's watchdog detach path; in sequential runs this fault hangs
+    /// the process (that is the point).
+    HangHard,
     /// Solve normally, then flip every model value of a `Sat` answer,
     /// exercising the verifier's concrete model re-validation.
     CorruptModel,
@@ -84,6 +89,7 @@ impl FailurePlan {
                 "unknown" => FaultKind::ForceUnknown,
                 "panic" => FaultKind::Panic,
                 "hang" => FaultKind::Hang,
+                "hang-hard" => FaultKind::HangHard,
                 "corrupt-model" => FaultKind::CorruptModel,
                 other => return Err(format!("fault '{part}': unknown kind '{other}'")),
             };

@@ -698,6 +698,14 @@ impl Solver {
                         std::thread::sleep(std::time::Duration::from_millis(1));
                     }
                 }
+                Some(crate::fault::FaultKind::HangHard) => {
+                    // A query whose thread can only be abandoned: ignores
+                    // the budget and the cancel token alike. The supervised
+                    // driver's watchdog must detach the worker running it.
+                    loop {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
                 Some(crate::fault::FaultKind::CorruptModel) => {
                     let r = self.solve_inner(assumptions);
                     if r == SolveResult::Sat {

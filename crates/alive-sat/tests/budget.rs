@@ -2,6 +2,7 @@
 //! and statistics behavior.
 
 use alive_sat::{Budget, CancelToken, Exhaustion, SolveResult, Solver, Var};
+use proptest::prelude::*;
 use std::time::Duration;
 
 /// A hard random-ish 3-SAT-style instance the solver cannot finish within
@@ -171,4 +172,140 @@ fn solver_is_reusable_after_unknown() {
     s.set_conflict_budget(None);
     assert_eq!(s.solve(), SolveResult::Sat);
     assert!(matches!(first, SolveResult::Sat | SolveResult::Unknown));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: Budget arithmetic and CancelToken visibility. These pin
+// the invariants the supervised driver leans on — a watchdog that re-arms
+// deadlines per attempt and escalates budgets across retries must never be
+// able to build a Budget that panics, silently drops a limit, or misses a
+// cancellation raised from another thread.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// `deadline_in` saturates instead of panicking: absurd timeouts
+    /// (beyond what `Instant` can represent) degrade to "no deadline",
+    /// which only ever makes the budget *more* permissive — the safe
+    /// direction for a limit that exists to stop runaway queries.
+    #[test]
+    fn deadline_in_never_panics_and_saturates(secs in 0u64..=u64::MAX) {
+        let b = Budget::default().deadline_in(Duration::from_secs(secs));
+        if let Some(d) = b.deadline {
+            // A representable deadline is never in the past at build time
+            // (modulo the zero-timeout case, where "now" already passed).
+            if secs > 0 {
+                prop_assert!(d > std::time::Instant::now() - Duration::from_secs(1));
+            }
+        } else {
+            // Saturation: only huge timeouts may lose the deadline, and an
+            // hour is comfortably representable on every platform.
+            prop_assert!(secs > 3600, "a {secs}s deadline must be representable");
+        }
+        // Saturated or not, a far-future deadline never trips the soft check.
+        if secs > 3600 {
+            prop_assert_ne!(b.check_soft(), Some(Exhaustion::Deadline));
+        }
+    }
+
+    /// Builder composition: each `with_*` setter touches exactly its own
+    /// field, order is irrelevant, and the last write to a field wins.
+    #[test]
+    fn limit_composition_is_order_independent(
+        conflicts in proptest::option::of(0u64..1_000_000),
+        propagations in proptest::option::of(0u64..1_000_000),
+        decisions in proptest::option::of(0u64..1_000_000),
+        overwrite in proptest::option::of(0u64..1_000_000),
+        order in 0usize..6,
+    ) {
+        let apply = |mut b: Budget, which: usize| -> Budget {
+            match which {
+                0 => {
+                    if let Some(n) = conflicts {
+                        b = b.with_conflicts(n);
+                    }
+                    b
+                }
+                1 => {
+                    if let Some(n) = propagations {
+                        b = b.with_propagations(n);
+                    }
+                    b
+                }
+                _ => {
+                    if let Some(n) = decisions {
+                        b = b.with_decisions(n);
+                    }
+                    b
+                }
+            }
+        };
+        let orders = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let mut b = Budget::default();
+        for &step in &orders[order] {
+            b = apply(b, step);
+        }
+        prop_assert_eq!(b.conflicts, conflicts);
+        prop_assert_eq!(b.propagations, propagations);
+        prop_assert_eq!(b.decisions, decisions);
+        prop_assert!(b.deadline.is_none());
+        prop_assert!(b.cancel.is_none());
+        // `is_unlimited` is exactly "no field set".
+        let any_limit = conflicts.is_some() || propagations.is_some() || decisions.is_some();
+        prop_assert_eq!(b.is_unlimited(), !any_limit);
+        // Re-applying a setter replaces the old limit wholesale (the
+        // driver's retry escalation depends on this, not on min/max).
+        if let Some(n) = overwrite {
+            let b2 = b.clone().with_conflicts(n);
+            prop_assert_eq!(b2.conflicts, Some(n));
+            prop_assert_eq!(b2.propagations, propagations);
+            prop_assert_eq!(b2.decisions, decisions);
+        }
+        // Counter limits alone never trip the soft check — counters are
+        // the solver's job; check_soft covers only cancel and deadline.
+        prop_assert_eq!(b.check_soft(), None);
+    }
+
+    /// A cancellation raised on one thread is visible through every clone
+    /// of the token on another thread, with no polling deadline to miss:
+    /// the flip happens-before the join, so one check suffices.
+    #[test]
+    fn cancel_token_is_visible_across_threads(clones in 1usize..8) {
+        let token = CancelToken::new();
+        let budgets: Vec<Budget> = (0..clones)
+            .map(|_| Budget::default().with_cancel(token.clone()))
+            .collect();
+        for b in &budgets {
+            prop_assert_eq!(b.check_soft(), None);
+        }
+        let t = token.clone();
+        std::thread::spawn(move || t.cancel())
+            .join()
+            .expect("cancelling thread panicked");
+        prop_assert!(token.is_cancelled());
+        for b in &budgets {
+            prop_assert_eq!(b.check_soft(), Some(Exhaustion::Cancelled));
+        }
+    }
+
+    /// Cancellation outranks an expired deadline whenever both apply, and
+    /// clearing the budget clears both — the retry loop builds a fresh
+    /// Budget per attempt and must start clean.
+    #[test]
+    fn cancellation_outranks_deadline_under_composition(
+        conflicts in proptest::option::of(1u64..1000),
+    ) {
+        let token = CancelToken::new();
+        let mut b = Budget::default()
+            .deadline_in(Duration::ZERO)
+            .with_cancel(token.clone());
+        if let Some(n) = conflicts {
+            b = b.with_conflicts(n);
+        }
+        prop_assert_eq!(b.check_soft(), Some(Exhaustion::Deadline));
+        token.cancel();
+        prop_assert_eq!(b.check_soft(), Some(Exhaustion::Cancelled));
+        prop_assert_eq!(Budget::default().check_soft(), None);
+    }
 }

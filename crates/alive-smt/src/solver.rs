@@ -280,6 +280,11 @@ impl SmtSolver {
                 }
                 std::thread::sleep(std::time::Duration::from_millis(1));
             },
+            FaultKind::HangHard => loop {
+                // Ignores budget and cancellation alike; only a watchdog
+                // detach (or process exit) ends this thread.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            },
             FaultKind::CorruptModel => {
                 let r = Self::lift(self.sat.solve());
                 if r == SatResult::Sat {

@@ -16,9 +16,14 @@
 //!   re-run with the conflict limit multiplied, so a cheap first pass over
 //!   the corpus is followed by a slower second look at the stragglers only;
 //! * **structured reporting** — every transform yields a
-//!   [`TransformOutcome`] with verdict, wall time, and solver counters, and
-//!   the whole run serializes to JSON ([`RunReport::to_json`]) even when it
-//!   was cancelled halfway.
+//!   [`TransformOutcome`] with verdict, wall time, per-attempt records, and
+//!   solver counters, and the whole run serializes to JSON
+//!   ([`RunReport::to_json`], schema `alive-report/v2`) even when it was
+//!   cancelled halfway.
+//!
+//! The sequential entry point is [`run_transforms`]; the supervised
+//! parallel driver (worker pool, watchdog, crash-safe journal) lives in
+//! [`crate::pool`] and reuses [`verify_one`] per task.
 
 use crate::verify::{verify_with_certificates, verify_with_stats, Verdict, VerifyConfig};
 use alive_ir::Transform;
@@ -77,18 +82,48 @@ pub enum OutcomeKind {
     Unknown,
     /// The transform could not even be set up (ill-formed, ill-typed).
     Error,
+    /// The worker verifying this transform ignored cancellation past the
+    /// watchdog's grace period and was detached (supervised runs only).
+    Hung,
 }
 
 impl OutcomeKind {
-    /// Stable lower-case label used in the JSON report.
+    /// Stable lower-case label used in the JSON report and the journal.
     pub fn as_str(self) -> &'static str {
         match self {
             OutcomeKind::Valid => "valid",
             OutcomeKind::Invalid => "invalid",
             OutcomeKind::Unknown => "unknown",
             OutcomeKind::Error => "error",
+            OutcomeKind::Hung => "hung",
         }
     }
+
+    /// Inverse of [`OutcomeKind::as_str`] (used when resuming a journal).
+    pub fn from_label(s: &str) -> Option<OutcomeKind> {
+        Some(match s {
+            "valid" => OutcomeKind::Valid,
+            "invalid" => OutcomeKind::Invalid,
+            "unknown" => OutcomeKind::Unknown,
+            "error" => OutcomeKind::Error,
+            "hung" => OutcomeKind::Hung,
+            _ => return None,
+        })
+    }
+}
+
+/// One verification attempt inside a [`TransformOutcome`]: supervised runs
+/// record every attempt (including requeue history carried over from a
+/// resumed journal) so the report can show where the time went.
+#[derive(Clone, Debug)]
+pub struct Attempt {
+    /// Wall time of this attempt.
+    pub wall: Duration,
+    /// SAT conflicts spent in this attempt.
+    pub conflicts: u64,
+    /// Short outcome label: `valid`, `invalid`, `error`, `hung`, or
+    /// `unknown: <reason>`.
+    pub outcome: String,
 }
 
 /// The record of one transform's verification within a run.
@@ -113,17 +148,51 @@ pub struct TransformOutcome {
     pub typings: usize,
     /// How many retries were consumed.
     pub retries: u32,
+    /// Pool worker that produced the outcome (0 in sequential runs).
+    pub worker: u32,
+    /// `true` when the outcome was replayed from a `--resume` journal
+    /// instead of being verified in this process.
+    pub resumed: bool,
+    /// Per-attempt history, oldest first. Includes attempts inherited from
+    /// a resumed journal record when the transform was requeued.
+    pub attempts: Vec<Attempt>,
+}
+
+impl TransformOutcome {
+    /// A synthetic outcome for bookkeeping paths (hung workers, resumed
+    /// records) that never ran the verifier in this process.
+    pub fn synthetic(name: &str, kind: OutcomeKind, detail: String) -> TransformOutcome {
+        TransformOutcome {
+            name: name.to_string(),
+            kind,
+            detail,
+            certificates: Vec::new(),
+            wall: Duration::ZERO,
+            conflicts: 0,
+            queries: 0,
+            typings: 0,
+            retries: 0,
+            worker: 0,
+            resumed: false,
+            attempts: Vec::new(),
+        }
+    }
 }
 
 /// Everything a corpus run produced, cancelled or not.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
-    /// Per-transform outcomes, in corpus order.
+    /// Per-transform outcomes, in corpus (input) order — regardless of the
+    /// order in which parallel workers completed them.
     pub outcomes: Vec<TransformOutcome>,
     /// `true` if the run was cut short by cancellation.
     pub cancelled: bool,
     /// Transforms never attempted (cancellation or fail-fast stop).
     pub skipped: usize,
+    /// Write-ahead journal appends that failed (I/O errors). The outcomes
+    /// were still counted; a nonzero value means a later `--resume` would
+    /// re-verify them.
+    pub journal_errors: usize,
 }
 
 impl RunReport {
@@ -133,40 +202,58 @@ impl RunReport {
     }
 
     /// The process exit code mirroring the CLI contract: 130 after
-    /// cancellation, 1 for any invalid/error, 2 for unknowns only, else 0.
+    /// cancellation, 1 for any invalid/error, 2 for unknowns/hangs only,
+    /// else 0.
     pub fn exit_code(&self) -> i32 {
         if self.cancelled {
             130
         } else if self.count(OutcomeKind::Invalid) > 0 || self.count(OutcomeKind::Error) > 0 {
             1
-        } else if self.count(OutcomeKind::Unknown) > 0 {
+        } else if self.count(OutcomeKind::Unknown) > 0 || self.count(OutcomeKind::Hung) > 0 {
             2
         } else {
             0
         }
     }
 
-    /// Serializes the report (schema `alive-report/v1`).
+    /// Serializes the report (schema `alive-report/v2`).
+    ///
+    /// Transforms are listed in input order, so sequential and parallel
+    /// runs of the same corpus produce identical reports apart from the
+    /// volatile fields (`wall_ms`, per-attempt `wall_ms`, and `worker` —
+    /// scheduling noise by construction).
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(256 + self.outcomes.len() * 160);
-        s.push_str("{\n  \"schema\": \"alive-report/v1\",\n");
+        let mut s = String::with_capacity(256 + self.outcomes.len() * 200);
+        s.push_str("{\n  \"schema\": \"alive-report/v2\",\n");
         s.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
         s.push_str(&format!("  \"skipped\": {},\n", self.skipped));
         s.push_str(&format!(
             "  \"summary\": {{\"total\": {}, \"valid\": {}, \"invalid\": {}, \
-             \"unknown\": {}, \"errors\": {}}},\n",
+             \"unknown\": {}, \"errors\": {}, \"hung\": {}}},\n",
             self.outcomes.len(),
             self.count(OutcomeKind::Valid),
             self.count(OutcomeKind::Invalid),
             self.count(OutcomeKind::Unknown),
             self.count(OutcomeKind::Error),
+            self.count(OutcomeKind::Hung),
         ));
         s.push_str("  \"transforms\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
+            let mut attempts = String::new();
+            for (k, a) in o.attempts.iter().enumerate() {
+                attempts.push_str(&format!(
+                    "{{\"wall_ms\": {}, \"conflicts\": {}, \"outcome\": \"{}\"}}{}",
+                    a.wall.as_millis(),
+                    a.conflicts,
+                    json_escape(&a.outcome),
+                    if k + 1 == o.attempts.len() { "" } else { ", " },
+                ));
+            }
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"reason\": \"{}\", \
                  \"wall_ms\": {}, \"conflicts\": {}, \"queries\": {}, \
-                 \"typings\": {}, \"retries\": {}}}{}\n",
+                 \"typings\": {}, \"retries\": {}, \"worker\": {}, \
+                 \"resumed\": {}, \"attempts\": [{}]}}{}\n",
                 json_escape(&o.name),
                 o.kind.as_str(),
                 json_escape(&o.detail),
@@ -175,6 +262,9 @@ impl RunReport {
                 o.queries,
                 o.typings,
                 o.retries,
+                o.worker,
+                o.resumed,
+                attempts,
                 if i + 1 == self.outcomes.len() {
                     ""
                 } else {
@@ -188,7 +278,7 @@ impl RunReport {
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -217,13 +307,15 @@ fn is_retryable_reason(reason: &str) -> bool {
         && !reason.contains("internal error")
 }
 
-/// Builds the budget for one attempt: a fresh deadline window, the
-/// (possibly escalated) conflict limit, and the shared cancel token.
-fn attempt_budget(config: &DriverConfig, conflicts: Option<u64>) -> Budget {
-    let mut b = Budget::default().with_cancel(config.cancel.clone());
-    if let Some(t) = config.timeout {
-        b = b.deadline_in(t);
-    }
+/// Builds the budget for one attempt: an absolute deadline, the (possibly
+/// escalated) conflict limit, and the given cancel token.
+fn attempt_budget(
+    deadline: Option<Instant>,
+    conflicts: Option<u64>,
+    cancel: &CancelToken,
+) -> Budget {
+    let mut b = Budget::default().with_cancel(cancel.clone());
+    b.deadline = deadline;
     b.conflicts = conflicts;
     b
 }
@@ -283,6 +375,91 @@ fn attempt(
     }
 }
 
+/// Verifies one transform end to end: escalating-retry loop, per-attempt
+/// budgets, attempt history. `cancel` is the token the attempt budgets
+/// poll — the driver's own token in sequential runs, a per-task token in
+/// supervised runs (so the watchdog can cut down one task without
+/// cancelling its siblings). `scale` multiplies the configured conflict
+/// budget and timeout (used to escalate requeued journal entries).
+/// `on_attempt` is invoked with each attempt's absolute deadline just
+/// before the attempt starts; the pool's watchdog uses it to know when a
+/// worker is overdue.
+pub(crate) fn verify_one(
+    name: &str,
+    t: &Transform,
+    config: &DriverConfig,
+    cancel: &CancelToken,
+    scale: u32,
+    worker: u32,
+    mut on_attempt: impl FnMut(Option<Instant>),
+) -> TransformOutcome {
+    let start = Instant::now();
+    let mut retries = 0u32;
+    let mut conflicts_spent = 0u64;
+    let mut queries_total = 0usize;
+    let timeout = config.timeout.map(|d| d.saturating_mul(scale.max(1)));
+    let mut budget_conflicts = config
+        .conflict_budget
+        .map(|c| c.saturating_mul(u64::from(scale.max(1))));
+    let mut attempts: Vec<Attempt> = Vec::new();
+    loop {
+        let attempt_start = Instant::now();
+        let deadline = timeout.and_then(|d| attempt_start.checked_add(d));
+        on_attempt(deadline);
+        let (verdict, typings, queries, conflicts, certificates) = attempt(
+            t,
+            config,
+            attempt_budget(deadline, budget_conflicts, cancel),
+        );
+        conflicts_spent += conflicts;
+        queries_total += queries;
+        let (kind, detail) = match &verdict {
+            Verdict::Valid { .. } => (OutcomeKind::Valid, verdict.to_string()),
+            Verdict::Invalid(_) => (OutcomeKind::Invalid, verdict.to_string()),
+            Verdict::Unknown { reason } => {
+                if let Some(rest) = reason.strip_prefix("error: ") {
+                    (OutcomeKind::Error, rest.to_string())
+                } else {
+                    (OutcomeKind::Unknown, reason.clone())
+                }
+            }
+        };
+        attempts.push(Attempt {
+            wall: attempt_start.elapsed(),
+            conflicts,
+            outcome: match kind {
+                OutcomeKind::Unknown => format!("unknown: {detail}"),
+                k => k.as_str().to_string(),
+            },
+        });
+        if kind == OutcomeKind::Unknown
+            && retries < config.max_retries
+            && budget_conflicts.is_some()
+            && is_retryable_reason(&detail)
+            && !cancel.is_cancelled()
+        {
+            retries += 1;
+            budget_conflicts =
+                budget_conflicts.map(|c| c.saturating_mul(config.retry_multiplier.max(2)));
+            continue;
+        }
+        return TransformOutcome {
+            name: name.to_string(),
+            kind,
+            detail,
+            certificates,
+            wall: start.elapsed(),
+            conflicts: conflicts_spent,
+            queries: queries_total,
+            typings,
+            retries,
+            worker,
+            resumed: false,
+            attempts,
+        };
+    }
+}
+
 /// Runs the whole corpus through the resilient driver.
 ///
 /// Transforms are verified in order. Budget-exhausted transforms are
@@ -310,50 +487,7 @@ pub fn run_transforms_with(
             return report;
         }
 
-        let start = Instant::now();
-        let mut retries = 0u32;
-        let mut conflicts_spent = 0u64;
-        let mut queries_total = 0usize;
-        let mut budget_conflicts = config.conflict_budget;
-        let outcome = loop {
-            let (verdict, typings, queries, conflicts, certificates) =
-                attempt(t, config, attempt_budget(config, budget_conflicts));
-            conflicts_spent += conflicts;
-            queries_total += queries;
-            let (kind, detail) = match &verdict {
-                Verdict::Valid { .. } => (OutcomeKind::Valid, verdict.to_string()),
-                Verdict::Invalid(_) => (OutcomeKind::Invalid, verdict.to_string()),
-                Verdict::Unknown { reason } => {
-                    if let Some(rest) = reason.strip_prefix("error: ") {
-                        (OutcomeKind::Error, rest.to_string())
-                    } else {
-                        (OutcomeKind::Unknown, reason.clone())
-                    }
-                }
-            };
-            if kind == OutcomeKind::Unknown
-                && retries < config.max_retries
-                && budget_conflicts.is_some()
-                && is_retryable_reason(&detail)
-                && !config.cancel.is_cancelled()
-            {
-                retries += 1;
-                budget_conflicts =
-                    budget_conflicts.map(|c| c.saturating_mul(config.retry_multiplier.max(2)));
-                continue;
-            }
-            break TransformOutcome {
-                name: name.clone(),
-                kind,
-                detail,
-                certificates,
-                wall: start.elapsed(),
-                conflicts: conflicts_spent,
-                queries: queries_total,
-                typings,
-                retries,
-            };
-        };
+        let outcome = verify_one(name, t, config, &config.cancel, 1, 0, |_| {});
 
         let kind = outcome.kind;
         let was_cancelled = config.cancel.is_cancelled()

@@ -1,0 +1,639 @@
+//! The crash-safe verification journal.
+//!
+//! A corpus run that dies — `kill -9`, OOM, power loss — must not throw
+//! away the verdicts it already earned. The supervised driver therefore
+//! appends every completed outcome to a **write-ahead journal** before the
+//! outcome is counted: an append-only JSONL file, fsync'd per record, with
+//! one self-delimiting line per transform. `alive --resume <journal>`
+//! replays the file, reuses every decided verdict, and requeues hung or
+//! inconclusive entries under an escalated budget.
+//!
+//! # Record format (`alive-journal/v1`)
+//!
+//! Line 1 is a header carrying the config fingerprint; every other line is
+//! one outcome record:
+//!
+//! ```text
+//! {"journal":"alive-journal/v1","config":"<16 hex>","crc":"<16 hex>"}
+//! {"key":"<16 hex>","name":"...","verdict":"valid","reason":"...",
+//!  "wall_ms":12,"conflicts":34,"queries":1,"typings":2,"retries":0,
+//!  "worker":3,"attempts":[{"wall_ms":12,"conflicts":34,"outcome":"valid"}],
+//!  "crc":"<16 hex>"}
+//! ```
+//!
+//! (shown wrapped; on disk each record is a single `\n`-terminated line).
+//!
+//! * `key` is an FNV-1a 64 hash of the transform's canonical printed text
+//!   plus the config fingerprint, so a journal from a different corpus or
+//!   different verifier settings never short-circuits a verdict.
+//! * `crc` is an FNV-1a 64 hash of everything before the `,"crc"` suffix.
+//!   A record is accepted only if its line is newline-terminated, its CRC
+//!   matches, and every field parses strictly.
+//!
+//! # Torn-write recovery
+//!
+//! After a `kill -9` the final record may be torn: missing its newline,
+//! truncated mid-field, or (on some filesystems) padded with garbage.
+//! [`Journal::load`] stops at the first unparseable line and discards it
+//! and everything after it — records are only ever appended, so a
+//! malformed line means the tail of the file is not trustworthy. The
+//! number of discarded lines is reported so the CLI can say so out loud.
+//!
+//! Re-running with `--resume` appends fresh records to the same file;
+//! when a key appears more than once the **last** record wins, so a
+//! requeued transform's escalated-budget verdict supersedes its earlier
+//! `hung`/`unknown` entry.
+
+use crate::driver::{json_escape, Attempt, OutcomeKind, TransformOutcome};
+use crate::verify::VerifyConfig;
+use alive_ir::Transform;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// FNV-1a 64-bit hash (the journal needs no cryptographic strength — keys
+/// guard against *accidental* mismatches, not adversaries).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A stable fingerprint of the verifier settings that affect verdicts:
+/// type-enumeration widths and caps plus the CEGIS iteration policy.
+/// Budgets and timeouts are deliberately excluded — they affect whether a
+/// verdict is reached, not which verdict is correct, and `--resume` exists
+/// precisely to retry inconclusive entries under different budgets.
+pub fn config_fingerprint(vc: &VerifyConfig) -> u64 {
+    let mut s = String::new();
+    s.push_str("widths=");
+    for w in &vc.typeck.widths {
+        s.push_str(&format!("{w},"));
+    }
+    s.push_str(&format!(
+        ";ptr={};max_assign={};cegis_iter={};seed_zero={}",
+        vc.typeck.ptr_width, vc.typeck.max_assignments, vc.ef.max_iterations, vc.ef.seed_with_zero,
+    ));
+    fnv1a64(s.as_bytes())
+}
+
+/// The journal key for one transform under one config: a content hash of
+/// the transform's canonical printed form and the config fingerprint,
+/// rendered as 16 lower-case hex digits.
+pub fn transform_key(t: &Transform, fingerprint: u64) -> String {
+    let text = format!("{t}\x00{fingerprint:016x}");
+    format!("{:016x}", fnv1a64(text.as_bytes()))
+}
+
+/// One parsed journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Content key (see [`transform_key`]).
+    pub key: String,
+    /// Transform name at the time of the run.
+    pub name: String,
+    /// Final classification.
+    pub verdict: OutcomeKind,
+    /// Reason / verdict detail.
+    pub reason: String,
+    /// Total wall milliseconds across attempts.
+    pub wall_ms: u64,
+    /// SAT conflicts across attempts.
+    pub conflicts: u64,
+    /// SMT queries across attempts.
+    pub queries: u64,
+    /// Type assignments examined.
+    pub typings: u64,
+    /// Retries consumed.
+    pub retries: u32,
+    /// Worker id that produced the record.
+    pub worker: u32,
+    /// Per-attempt history: (wall_ms, conflicts, outcome label).
+    pub attempts: Vec<(u64, u64, String)>,
+}
+
+impl JournalRecord {
+    /// Converts a live outcome into its journal form.
+    pub fn from_outcome(key: &str, o: &TransformOutcome) -> JournalRecord {
+        JournalRecord {
+            key: key.to_string(),
+            name: o.name.clone(),
+            verdict: o.kind,
+            reason: o.detail.clone(),
+            wall_ms: o.wall.as_millis() as u64,
+            conflicts: o.conflicts,
+            queries: o.queries as u64,
+            typings: o.typings as u64,
+            retries: o.retries,
+            worker: o.worker,
+            attempts: o
+                .attempts
+                .iter()
+                .map(|a| (a.wall.as_millis() as u64, a.conflicts, a.outcome.clone()))
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a replayable outcome (marked `resumed`) from the
+    /// journal form. Certificates are not journaled — `--proof` re-runs
+    /// are expected to re-verify.
+    pub fn to_outcome(&self) -> TransformOutcome {
+        TransformOutcome {
+            name: self.name.clone(),
+            kind: self.verdict,
+            detail: self.reason.clone(),
+            certificates: Vec::new(),
+            wall: Duration::from_millis(self.wall_ms),
+            conflicts: self.conflicts,
+            queries: self.queries as usize,
+            typings: self.typings as usize,
+            retries: self.retries,
+            worker: self.worker,
+            resumed: true,
+            attempts: self
+                .attempts
+                .iter()
+                .map(|(wall_ms, conflicts, outcome)| Attempt {
+                    wall: Duration::from_millis(*wall_ms),
+                    conflicts: *conflicts,
+                    outcome: outcome.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes the record body (everything before the CRC suffix).
+    fn body(&self) -> String {
+        let mut attempts = String::new();
+        for (i, (wall_ms, conflicts, outcome)) in self.attempts.iter().enumerate() {
+            attempts.push_str(&format!(
+                "{{\"wall_ms\":{wall_ms},\"conflicts\":{conflicts},\"outcome\":\"{}\"}}{}",
+                json_escape(outcome),
+                if i + 1 == self.attempts.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        format!(
+            "{{\"key\":\"{}\",\"name\":\"{}\",\"verdict\":\"{}\",\"reason\":\"{}\",\
+             \"wall_ms\":{},\"conflicts\":{},\"queries\":{},\"typings\":{},\
+             \"retries\":{},\"worker\":{},\"attempts\":[{}]",
+            self.key,
+            json_escape(&self.name),
+            self.verdict.as_str(),
+            json_escape(&self.reason),
+            self.wall_ms,
+            self.conflicts,
+            self.queries,
+            self.typings,
+            self.retries,
+            self.worker,
+            attempts,
+        )
+    }
+
+    /// Serializes one full, CRC-sealed journal line (without the newline).
+    pub fn to_line(&self) -> String {
+        seal(self.body())
+    }
+
+    /// Parses one journal line (CRC check included).
+    pub fn parse_line(line: &str) -> Option<JournalRecord> {
+        let body = unseal(line)?;
+        let mut sc = Scanner::new(body);
+        sc.lit("{\"key\":\"")?;
+        let key = sc.hex16()?;
+        sc.lit("\",\"name\":\"")?;
+        let name = sc.string_body()?;
+        sc.lit("\",\"verdict\":\"")?;
+        let verdict = OutcomeKind::from_label(&sc.string_body()?)?;
+        sc.lit("\",\"reason\":\"")?;
+        let reason = sc.string_body()?;
+        sc.lit("\",\"wall_ms\":")?;
+        let wall_ms = sc.number()?;
+        sc.lit(",\"conflicts\":")?;
+        let conflicts = sc.number()?;
+        sc.lit(",\"queries\":")?;
+        let queries = sc.number()?;
+        sc.lit(",\"typings\":")?;
+        let typings = sc.number()?;
+        sc.lit(",\"retries\":")?;
+        let retries = u32::try_from(sc.number()?).ok()?;
+        sc.lit(",\"worker\":")?;
+        let worker = u32::try_from(sc.number()?).ok()?;
+        sc.lit(",\"attempts\":[")?;
+        let mut attempts = Vec::new();
+        if !sc.try_lit("]") {
+            loop {
+                sc.lit("{\"wall_ms\":")?;
+                let a_wall = sc.number()?;
+                sc.lit(",\"conflicts\":")?;
+                let a_conflicts = sc.number()?;
+                sc.lit(",\"outcome\":\"")?;
+                let a_outcome = sc.string_body()?;
+                sc.lit("\"}")?;
+                attempts.push((a_wall, a_conflicts, a_outcome));
+                if sc.try_lit("]") {
+                    break;
+                }
+                sc.lit(",")?;
+            }
+        }
+        if !sc.at_end() {
+            return None;
+        }
+        Some(JournalRecord {
+            key,
+            name,
+            verdict,
+            reason,
+            wall_ms,
+            conflicts,
+            queries,
+            typings,
+            retries,
+            worker,
+            attempts,
+        })
+    }
+}
+
+/// Appends the CRC suffix: `body` → `body,"crc":"<16 hex>"}`.
+fn seal(body: String) -> String {
+    let crc = fnv1a64(body.as_bytes());
+    format!("{body},\"crc\":\"{crc:016x}\"}}")
+}
+
+/// Strips and verifies the CRC suffix, returning the body.
+fn unseal(line: &str) -> Option<&str> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let rest = line.strip_suffix("\"}")?;
+    let marker = ",\"crc\":\"";
+    let pos = rest.rfind(marker)?;
+    let (body, crc_hex) = rest.split_at(pos);
+    let crc_hex = &crc_hex[marker.len()..];
+    if crc_hex.len() != 16 {
+        return None;
+    }
+    let want = u64::from_str_radix(crc_hex, 16).ok()?;
+    if fnv1a64(body.as_bytes()) != want {
+        return None;
+    }
+    Some(body)
+}
+
+/// Strict cursor over a record body; every helper returns `None` on any
+/// deviation from the exact written format (that is the torn-write check).
+struct Scanner<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Scanner<'a> {
+        Scanner { rest: s }
+    }
+
+    fn lit(&mut self, lit: &str) -> Option<()> {
+        self.rest = self.rest.strip_prefix(lit)?;
+        Some(())
+    }
+
+    fn try_lit(&mut self, lit: &str) -> bool {
+        if let Some(r) = self.rest.strip_prefix(lit) {
+            self.rest = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    fn hex16(&mut self) -> Option<String> {
+        if self.rest.len() < 16 {
+            return None;
+        }
+        let (hex, rest) = self.rest.split_at(16);
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        self.rest = rest;
+        Some(hex.to_string())
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return None;
+        }
+        let (digits, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        digits.parse().ok()
+    }
+
+    /// Reads an escaped JSON string body up to (not including) the closing
+    /// quote, leaving the cursor on the quote.
+    fn string_body(&mut self) -> Option<String> {
+        let mut out = String::new();
+        let rest = self.rest;
+        let mut chars = rest.char_indices();
+        loop {
+            let (i, c) = chars.next()?;
+            match c {
+                '"' => {
+                    self.rest = &rest[i..];
+                    return Some(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next()?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars.next()?;
+                                code = code * 16 + h.to_digit(16)?;
+                            }
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+}
+
+/// What [`Journal::load`] recovered from disk.
+#[derive(Debug, Default)]
+pub struct LoadedJournal {
+    /// Accepted records, in file order (duplicate keys not collapsed).
+    pub records: Vec<JournalRecord>,
+    /// Lines discarded as torn or corrupt (counts the first bad line and
+    /// everything after it).
+    pub discarded: usize,
+    /// Config fingerprint from the header, if a header was readable.
+    pub fingerprint: Option<u64>,
+}
+
+/// An open, append-only journal. Every [`Journal::append`] writes one
+/// sealed line and fsyncs before returning, so a record that the caller
+/// has seen acknowledged survives `kill -9`.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (truncating) a fresh journal and writes the sealed header.
+    pub fn create(path: &Path, fingerprint: u64) -> std::io::Result<Journal> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let header = seal(format!(
+            "{{\"journal\":\"alive-journal/v1\",\"config\":\"{fingerprint:016x}\""
+        ));
+        file.write_all(header.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing journal for appending (the `--resume` path).
+    ///
+    /// A torn (non-newline-terminated) tail left by `kill -9` is truncated
+    /// away first: [`Journal::load`] already refuses it, and leaving it in
+    /// place would turn it into a mid-file corrupt line that poisons every
+    /// record appended after it under the discard-everything-after rule.
+    pub fn open_append(path: &Path) -> std::io::Result<Journal> {
+        let mut file = OpenOptions::new().read(true).append(true).open(path)?;
+        let mut contents = Vec::new();
+        file.read_to_end(&mut contents)?;
+        if !contents.is_empty() && contents.last() != Some(&b'\n') {
+            let keep = contents
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1);
+            file.set_len(keep as u64)?;
+            file.sync_data()?;
+        }
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The journal's path (for messages).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one outcome under `key`, fsync'ing before returning.
+    pub fn append(&mut self, key: &str, outcome: &TransformOutcome) -> std::io::Result<()> {
+        let line = JournalRecord::from_outcome(key, outcome).to_line();
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+
+    /// Loads a journal from disk, applying the torn-write recovery rules:
+    /// parse lines in order; the first line that fails the CRC or strict
+    /// field parse — or a final line missing its newline — invalidates
+    /// itself and every later line.
+    pub fn load(path: &Path) -> std::io::Result<LoadedJournal> {
+        let text = std::fs::read_to_string(path)?;
+        let mut loaded = LoadedJournal::default();
+        let mut lines: Vec<&str> = text.split('\n').collect();
+        // `split` yields a trailing "" for a newline-terminated file; a
+        // non-empty last element is a torn tail.
+        let torn_tail = match lines.last() {
+            Some(&"") => {
+                lines.pop();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        };
+        let total = lines.len();
+        for (i, line) in lines.iter().enumerate() {
+            let is_last = i + 1 == total;
+            if is_last && torn_tail {
+                loaded.discarded += 1;
+                break;
+            }
+            if i == 0 {
+                if let Some(fp) = parse_header(line) {
+                    loaded.fingerprint = Some(fp);
+                    continue;
+                }
+                // No (valid) header: fall through and try it as a record,
+                // so headerless journals from tooling still load.
+            }
+            match JournalRecord::parse_line(line) {
+                Some(rec) => loaded.records.push(rec),
+                None => {
+                    loaded.discarded += total - i;
+                    break;
+                }
+            }
+        }
+        Ok(loaded)
+    }
+}
+
+/// Parses the sealed header line, returning the config fingerprint.
+fn parse_header(line: &str) -> Option<u64> {
+    let body = unseal(line)?;
+    let rest = body
+        .strip_prefix("{\"journal\":\"alive-journal/v1\",\"config\":\"")?
+        .strip_suffix('"')?;
+    if rest.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(rest, 16).ok()
+}
+
+/// How a resumed run should treat each transform of the corpus.
+#[derive(Debug, Default)]
+pub struct ResumePlan {
+    /// Corpus indices whose verdict is replayed from the journal, with the
+    /// record it came from: `valid`, `invalid`, and `error` records.
+    pub reuse: Vec<(usize, JournalRecord)>,
+    /// Corpus indices journaled as `hung`/`unknown`: re-verified under an
+    /// escalated budget, carrying their prior attempt history.
+    pub requeue: Vec<(usize, JournalRecord)>,
+    /// Corpus indices with no journal record: verified normally.
+    pub fresh: Vec<usize>,
+}
+
+/// Partitions a corpus against the journal's records. `keys[i]` must be
+/// [`transform_key`] of the i-th corpus transform; when a key occurs in
+/// several records the last one wins (requeues append their new verdict
+/// after the superseded one).
+pub fn plan_resume(records: &[JournalRecord], keys: &[String]) -> ResumePlan {
+    let mut by_key: std::collections::HashMap<&str, &JournalRecord> = Default::default();
+    for rec in records {
+        by_key.insert(rec.key.as_str(), rec);
+    }
+    let mut plan = ResumePlan::default();
+    for (i, key) in keys.iter().enumerate() {
+        match by_key.get(key.as_str()) {
+            Some(rec) => match rec.verdict {
+                OutcomeKind::Valid | OutcomeKind::Invalid | OutcomeKind::Error => {
+                    plan.reuse.push((i, (*rec).clone()));
+                }
+                OutcomeKind::Unknown | OutcomeKind::Hung => {
+                    plan.requeue.push((i, (*rec).clone()));
+                }
+            },
+            None => plan.fresh.push(i),
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips_through_seal() {
+        let fingerprint = 0xfaa9_754c_5068_16cf_u64;
+        let header = seal(format!(
+            "{{\"journal\":\"alive-journal/v1\",\"config\":\"{fingerprint:016x}\""
+        ));
+        assert_eq!(parse_header(&header), Some(fingerprint));
+        // A header is not a record, and a record is not a header.
+        assert!(JournalRecord::parse_line(&header).is_none());
+    }
+
+    fn sample_outcome() -> TransformOutcome {
+        TransformOutcome {
+            name: "with \"quotes\"\nand newline".to_string(),
+            kind: OutcomeKind::Unknown,
+            detail: "conflict budget exhausted".to_string(),
+            certificates: Vec::new(),
+            wall: Duration::from_millis(12),
+            conflicts: 34,
+            queries: 5,
+            typings: 2,
+            retries: 1,
+            worker: 3,
+            resumed: false,
+            attempts: vec![
+                Attempt {
+                    wall: Duration::from_millis(4),
+                    conflicts: 10,
+                    outcome: "unknown: conflict budget exhausted".to_string(),
+                },
+                Attempt {
+                    wall: Duration::from_millis(8),
+                    conflicts: 24,
+                    outcome: "unknown: conflict budget exhausted".to_string(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_its_line_form() {
+        let rec = JournalRecord::from_outcome("00aabbccddeeff11", &sample_outcome());
+        let line = rec.to_line();
+        let back = JournalRecord::parse_line(&line).expect("parse");
+        assert_eq!(back, rec);
+        let outcome = back.to_outcome();
+        assert!(outcome.resumed);
+        assert_eq!(outcome.kind, OutcomeKind::Unknown);
+        assert_eq!(outcome.attempts.len(), 2);
+    }
+
+    #[test]
+    fn corrupted_lines_are_rejected() {
+        let rec = JournalRecord::from_outcome("00aabbccddeeff11", &sample_outcome());
+        let line = rec.to_line();
+        // Truncations at every length must fail the CRC or the parse.
+        for cut in 1..line.len() {
+            assert!(
+                JournalRecord::parse_line(&line[..cut]).is_none(),
+                "truncation at {cut} parsed"
+            );
+        }
+        // A flipped byte in the middle fails the CRC.
+        let mut bytes = line.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        let flipped = String::from_utf8_lossy(&bytes).into_owned();
+        assert!(JournalRecord::parse_line(&flipped).is_none());
+    }
+
+    #[test]
+    fn key_depends_on_config_fingerprint() {
+        let t = alive_ir::parse_transform("%r = add %x, %x\n=>\n%r = shl %x, 1").unwrap();
+        let a = transform_key(&t, 1);
+        let b = transform_key(&t, 2);
+        assert_ne!(a, b);
+        assert_eq!(a, transform_key(&t, 1));
+    }
+}

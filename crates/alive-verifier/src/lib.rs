@@ -34,13 +34,21 @@
 mod attrs;
 mod counterexample;
 mod driver;
+pub mod journal;
+mod pool;
 mod verify;
 
 pub use attrs::{infer_attributes, AttrInferenceResult, FlagPos};
 pub use counterexample::{Counterexample, FailureKind};
 pub use driver::{
-    run_transforms, run_transforms_with, DriverConfig, OutcomeKind, RunReport, TransformOutcome,
+    run_transforms, run_transforms_with, Attempt, DriverConfig, OutcomeKind, RunReport,
+    TransformOutcome,
 };
+pub use journal::{
+    config_fingerprint, plan_resume, transform_key, Journal, JournalRecord, LoadedJournal,
+    ResumePlan,
+};
+pub use pool::{run_supervised, run_transforms_parallel, PoolConfig, TaskSpec};
 pub use verify::{
     verify, verify_with_certificates, verify_with_stats, Verdict, VerifyConfig, VerifyError,
     VerifyStats,

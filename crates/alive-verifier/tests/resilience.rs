@@ -63,10 +63,15 @@ fn driver_classifies_and_reports_json() {
     assert_eq!(report.exit_code(), 1);
     assert_eq!(report.skipped, 0);
     let json = report.to_json();
-    assert!(json.contains("\"schema\": \"alive-report/v1\""));
+    assert!(json.contains("\"schema\": \"alive-report/v2\""));
     assert!(json.contains("\"verdict\": \"valid\""));
     assert!(json.contains("\"verdict\": \"invalid\""));
     assert!(json.contains("\"name\": \"bad\""));
+    // v2 additions: per-transform attempt history and worker attribution.
+    assert!(json.contains("\"attempts\": ["));
+    assert!(json.contains("\"worker\": 0"));
+    assert!(json.contains("\"resumed\": false"));
+    assert!(json.contains("\"hung\": 0"));
 }
 
 #[test]
@@ -171,7 +176,7 @@ fn exhausted_retries_stay_unknown() {
 #[test]
 fn json_report_escapes_special_characters() {
     let _g = serial();
-    use alive_verifier::TransformOutcome;
+    use alive_verifier::{Attempt, TransformOutcome};
     let report = RunReport {
         outcomes: vec![TransformOutcome {
             name: "with \"quotes\"\nand newline".to_string(),
@@ -183,9 +188,17 @@ fn json_report_escapes_special_characters() {
             queries: 2,
             typings: 1,
             retries: 0,
+            worker: 0,
+            resumed: false,
+            attempts: vec![Attempt {
+                wall: Duration::from_millis(3),
+                conflicts: 1,
+                outcome: "unknown: tab\there".to_string(),
+            }],
         }],
         cancelled: false,
         skipped: 0,
+        journal_errors: 0,
     };
     let json = report.to_json();
     assert!(json.contains("with \\\"quotes\\\"\\nand newline"));

@@ -13,33 +13,48 @@
 //!   --budget <n>      SAT conflict budget (retries escalate it)
 //!   --retries <n>     escalating retries for budget-exhausted transforms
 //!   --keep-going      continue past invalid transforms and errors
-//!   --report <file>   write a JSON run report (schema alive-report/v1)
+//!   --report <file>   write a JSON run report (schema alive-report/v2)
+//!   --jobs <n>        verify transforms across <n> supervised workers
+//!   --grace <secs>    watchdog grace before an unresponsive worker is
+//!                     detached and its transform recorded as hung
+//!   --journal <file>  append every completed outcome to a crash-safe
+//!                     write-ahead journal (fsync'd before it is counted)
+//!   --resume <file>   reuse verdicts from a previous run's journal, requeue
+//!                     hung/unknown entries under an escalated budget, and
+//!                     append new outcomes to the same file
 //! ```
 //!
 //! `--fast` and `--exhaustive` contradict each other and are rejected,
 //! whatever their order. Without `--keep-going`, the first invalid
-//! transform (or hard error) stops the run; the remainder is reported as
+//! transform (or hard error) stops dispatch; the remainder is reported as
 //! skipped. Ctrl-C (SIGINT) cancels cooperatively: in-flight solvers wind
-//! down at their next budget poll, the partial report is still written,
-//! and the exit code is 130.
+//! down at their next budget poll, the pool drains, the partial report is
+//! still written, and the exit code is 130. A **second** Ctrl-C while that
+//! drain is in progress force-exits 130 immediately — a hung query cannot
+//! make Ctrl-C appear dead.
 //!
 //! Exit codes: `0` all transformations verified, `1` at least one
 //! refinement failure (or parse/IO error), `2` inconclusive only
-//! (budget exhausted / unknown), `64` usage error, `130` interrupted.
+//! (budget exhausted / unknown / hung), `64` usage error, `130`
+//! interrupted.
 
 use alive::{
     generate_cpp, infer_attributes, parse_transforms, Certificate, Transform, VerifyConfig,
 };
-use alive_verifier::{run_transforms_with, DriverConfig, OutcomeKind, RunReport};
+use alive_verifier::{
+    config_fingerprint, plan_resume, run_supervised, transform_key, DriverConfig, Journal,
+    OutcomeKind, PoolConfig, RunReport, TaskSpec, TransformOutcome,
+};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
 const USAGE: &str = "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--proof <dir>] \
      [--timeout <secs>] [--budget <conflicts>] [--retries <n>] [--keep-going] \
-     [--report <file.json>] <file.opt>...";
+     [--report <file.json>] [--jobs <n>] [--grace <secs>] \
+     [--journal <file>] [--resume <file>] <file.opt>...";
 
 /// Width-coverage mode; `--fast` and `--exhaustive` are order-independent
 /// and mutually exclusive.
@@ -50,13 +65,14 @@ enum WidthMode {
     Exhaustive,
 }
 
-/// Raised by the SIGINT handler; bridged to the driver's `CancelToken` by a
-/// watcher thread (a signal handler must only touch async-signal-safe
-/// state, so it cannot call into the token's `Arc` machinery directly).
-static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+/// Counts SIGINTs; bridged to the driver's `CancelToken` by a watcher
+/// thread (a signal handler must only touch async-signal-safe state, so it
+/// cannot call into the token's `Arc` machinery directly). The first
+/// signal cancels cooperatively; the second force-exits.
+static SIGINT_COUNT: AtomicU32 = AtomicU32::new(0);
 
 extern "C" fn on_sigint(_signum: i32) {
-    SIGINT_RECEIVED.store(true, Ordering::SeqCst);
+    SIGINT_COUNT.fetch_add(1, Ordering::SeqCst);
 }
 
 /// Installs the SIGINT handler via the C runtime (no libc crate needed —
@@ -82,6 +98,10 @@ struct Options {
     retries: u32,
     keep_going: bool,
     report_path: Option<String>,
+    jobs: usize,
+    grace: Duration,
+    journal_path: Option<String>,
+    resume_path: Option<String>,
 }
 
 enum ParsedArgs {
@@ -106,6 +126,10 @@ fn parse_args(args: &[String]) -> ParsedArgs {
         retries: 1,
         keep_going: false,
         report_path: None,
+        jobs: 1,
+        grace: Duration::from_secs(2),
+        journal_path: None,
+        resume_path: None,
     };
     let mut fast = false;
     let mut exhaustive = false;
@@ -125,11 +149,25 @@ fn parse_args(args: &[String]) -> ParsedArgs {
                 Some(f) => opts.report_path = Some(f.clone()),
                 None => return usage_error("--report requires a file argument"),
             },
+            "--journal" => match it.next() {
+                Some(f) => opts.journal_path = Some(f.clone()),
+                None => return usage_error("--journal requires a file argument"),
+            },
+            "--resume" => match it.next() {
+                Some(f) => opts.resume_path = Some(f.clone()),
+                None => return usage_error("--resume requires a journal file argument"),
+            },
             "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(secs) if secs.is_finite() && secs >= 0.0 => {
                     opts.timeout = Some(Duration::from_secs_f64(secs));
                 }
                 _ => return usage_error("--timeout requires a non-negative number of seconds"),
+            },
+            "--grace" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs >= 0.0 => {
+                    opts.grace = Duration::from_secs_f64(secs);
+                }
+                _ => return usage_error("--grace requires a non-negative number of seconds"),
             },
             "--budget" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) => opts.budget = Some(n),
@@ -138,6 +176,10 @@ fn parse_args(args: &[String]) -> ParsedArgs {
             "--retries" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) => opts.retries = n,
                 None => return usage_error("--retries requires a count"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => opts.jobs = n,
+                _ => return usage_error("--jobs requires a worker count of at least 1"),
             },
             "-h" | "--help" => {
                 eprintln!("{USAGE}");
@@ -157,6 +199,15 @@ fn parse_args(args: &[String]) -> ParsedArgs {
         (_, true) => WidthMode::Exhaustive,
         _ => WidthMode::Default,
     };
+    if opts.resume_path.is_some() && opts.journal_path.is_some() {
+        return usage_error("--resume already names the journal; drop --journal");
+    }
+    if opts.resume_path.is_some() && opts.proof_dir.is_some() {
+        return usage_error(
+            "--proof needs live verification; certificates are not journaled — \
+             re-run without --resume to produce them",
+        );
+    }
     if opts.files.is_empty() {
         return usage_error("no input files (try --help)");
     }
@@ -181,6 +232,10 @@ fn install_fault_plan_from_env() -> bool {
         _ => true,
     }
 }
+
+/// Budget escalation factor applied to journal entries requeued by
+/// `--resume` (they already exhausted the configured budget once).
+const RESUME_ESCALATION: u32 = 8;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -247,75 +302,190 @@ fn main() -> ExitCode {
         with_certificates: opts.proof_dir.is_some(),
         ..DriverConfig::default()
     };
+    let pool = PoolConfig {
+        jobs: opts.jobs,
+        grace: opts.grace,
+    };
+
+    // Journal keys tie each verdict to the transform text *and* the
+    // verifier settings, so a journal never short-circuits a different
+    // corpus or config.
+    let fingerprint = config_fingerprint(&verify_config);
+    let keys: Vec<String> = transforms
+        .iter()
+        .map(|(_, t)| transform_key(t, fingerprint))
+        .collect();
+
+    // Partition the corpus: replayed verdicts, requeued stragglers, fresh
+    // work — and open the write-ahead journal.
+    let mut preset: Vec<(usize, TransformOutcome)> = Vec::new();
+    let mut tasks: Vec<TaskSpec> = Vec::new();
+    let mut journal: Option<Journal> = None;
+    if let Some(path) = &opts.resume_path {
+        let loaded = match Journal::load(Path::new(path)) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: cannot read journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if loaded.discarded > 0 {
+            eprintln!(
+                "warning: {path}: discarded {} torn/corrupt journal line(s)",
+                loaded.discarded
+            );
+        }
+        if let Some(fp) = loaded.fingerprint {
+            if fp != fingerprint {
+                eprintln!(
+                    "warning: {path}: journal was written under different verifier \
+                     settings; no verdicts will be reused"
+                );
+            }
+        }
+        let plan = plan_resume(&loaded.records, &keys);
+        println!(
+            "resume: {} verdict(s) reused, {} requeued at budget x{}, {} fresh",
+            plan.reuse.len(),
+            plan.requeue.len(),
+            RESUME_ESCALATION,
+            plan.fresh.len(),
+        );
+        for (i, rec) in plan.reuse {
+            preset.push((i, rec.to_outcome()));
+        }
+        for (i, rec) in plan.requeue {
+            tasks.push(TaskSpec {
+                index: i,
+                scale: RESUME_ESCALATION,
+                prior: rec.to_outcome().attempts,
+            });
+        }
+        for i in plan.fresh {
+            tasks.push(TaskSpec::fresh(i));
+        }
+        tasks.sort_by_key(|t| t.index);
+        match Journal::open_append(Path::new(path)) {
+            Ok(j) => journal = Some(j),
+            Err(e) => {
+                eprintln!("error: cannot append to journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        tasks = (0..transforms.len()).map(TaskSpec::fresh).collect();
+        if let Some(path) = &opts.journal_path {
+            match Journal::create(Path::new(path), fingerprint) {
+                Ok(j) => journal = Some(j),
+                Err(e) => {
+                    eprintln!("error: cannot create journal {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
 
     // Ctrl-C → cooperative cancellation: the watcher thread raises the
-    // token, every solver winds down at its next budget poll, and the
-    // partial report still gets written.
+    // token, every solver winds down at its next budget poll, the pool
+    // drains, and the partial report still gets written. A second Ctrl-C
+    // while draining force-exits immediately.
     install_sigint_handler();
     {
         let token = driver.cancel.clone();
-        std::thread::spawn(move || loop {
-            if SIGINT_RECEIVED.load(Ordering::SeqCst) {
-                token.cancel();
-                return;
+        std::thread::spawn(move || {
+            let mut cancelled = false;
+            loop {
+                let n = SIGINT_COUNT.load(Ordering::SeqCst);
+                if n >= 2 {
+                    eprintln!("second interrupt: exiting immediately");
+                    std::process::exit(130);
+                }
+                if n >= 1 && !cancelled {
+                    token.cancel();
+                    cancelled = true;
+                    eprintln!("interrupt: draining workers (Ctrl-C again to force exit)");
+                }
+                std::thread::sleep(Duration::from_millis(25));
             }
-            std::thread::sleep(Duration::from_millis(25));
         });
     }
 
     let mut aux_failures = 0usize;
     let mut used_slugs: HashMap<String, usize> = HashMap::new();
-    let report = run_transforms_with(&transforms, &driver, |i, outcome| {
-        println!("----------------------------------------");
-        println!("Name: {}", outcome.name);
-        match outcome.kind {
-            OutcomeKind::Valid => {
-                println!("{}", outcome.detail);
-                if let Some(dir) = &opts.proof_dir {
-                    match persist_certificates(
-                        dir,
-                        &outcome.name,
-                        &outcome.certificates,
-                        &mut used_slugs,
-                    ) {
-                        Ok(n) => println!("{n} certificates written and re-checked"),
-                        Err(e) => {
-                            println!("certificate error: {e}");
-                            aux_failures += 1;
+    let report = run_supervised(
+        &transforms,
+        tasks,
+        preset,
+        &driver,
+        &pool,
+        journal.as_mut().map(|j| (j, keys.as_slice())),
+        |i, outcome| {
+            println!("----------------------------------------");
+            println!("Name: {}", outcome.name);
+            match outcome.kind {
+                OutcomeKind::Valid => {
+                    println!(
+                        "{}{}",
+                        outcome.detail,
+                        if outcome.resumed {
+                            " [resumed from journal]"
+                        } else {
+                            ""
                         }
-                    }
-                }
-                let t = &transforms[i].1;
-                if opts.infer {
-                    match infer_attributes(t, &verify_config) {
-                        Ok(r) => {
-                            if r.pre_weakened || r.post_strengthened {
-                                println!("Optimal attributes:\n{}", r.inferred);
+                    );
+                    if let Some(dir) = &opts.proof_dir {
+                        match persist_certificates(
+                            dir,
+                            &outcome.name,
+                            &outcome.certificates,
+                            &mut used_slugs,
+                        ) {
+                            Ok(n) => println!("{n} certificates written and re-checked"),
+                            Err(e) => {
+                                println!("certificate error: {e}");
+                                aux_failures += 1;
                             }
                         }
-                        Err(e) => println!("(attribute inference: {e})"),
+                    }
+                    let t = &transforms[i].1;
+                    if opts.infer {
+                        match infer_attributes(t, &verify_config) {
+                            Ok(r) => {
+                                if r.pre_weakened || r.post_strengthened {
+                                    println!("Optimal attributes:\n{}", r.inferred);
+                                }
+                            }
+                            Err(e) => println!("(attribute inference: {e})"),
+                        }
+                    }
+                    if opts.emit_cpp {
+                        match generate_cpp(t) {
+                            Ok(cpp) => println!("{cpp}"),
+                            Err(e) => println!("(codegen: {e})"),
+                        }
                     }
                 }
-                if opts.emit_cpp {
-                    match generate_cpp(t) {
-                        Ok(cpp) => println!("{cpp}"),
-                        Err(e) => println!("(codegen: {e})"),
-                    }
+                OutcomeKind::Invalid => println!("{}", outcome.detail),
+                OutcomeKind::Unknown => {
+                    println!("Verification inconclusive: {}", outcome.detail)
                 }
+                OutcomeKind::Error => println!("error: {}", outcome.detail),
+                OutcomeKind::Hung => println!("Hung: {}", outcome.detail),
             }
-            OutcomeKind::Invalid => println!("{}", outcome.detail),
-            OutcomeKind::Unknown => println!("Verification inconclusive: {}", outcome.detail),
-            OutcomeKind::Error => println!("error: {}", outcome.detail),
-        }
-    });
+        },
+    );
 
     println!("----------------------------------------");
     println!(
-        "{} valid, {} invalid, {} unknown, {} errors{}{}",
+        "{} valid, {} invalid, {} unknown, {} errors{}{}{}",
         report.count(OutcomeKind::Valid),
         report.count(OutcomeKind::Invalid),
         report.count(OutcomeKind::Unknown),
         report.count(OutcomeKind::Error),
+        match report.count(OutcomeKind::Hung) {
+            0 => String::new(),
+            n => format!(", {n} hung"),
+        },
         if report.skipped > 0 {
             format!(", {} skipped", report.skipped)
         } else {
@@ -327,6 +497,13 @@ fn main() -> ExitCode {
             ""
         },
     );
+    if report.journal_errors > 0 {
+        eprintln!(
+            "warning: {} journal append(s) failed; --resume would re-verify them",
+            report.journal_errors
+        );
+        aux_failures += 1;
+    }
 
     if let Some(path) = &opts.report_path {
         if let Err(e) = write_report(path, &report) {

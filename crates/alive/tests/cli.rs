@@ -170,6 +170,110 @@ fn malformed_numeric_flags_are_usage_errors() {
 }
 
 #[test]
+fn supervision_flags_are_validated() {
+    // --jobs wants a positive count.
+    let (code, _, stderr) = run(&["--jobs", "0", "x.opt"]);
+    assert_eq!(code, 64, "{stderr}");
+    let (code, _, _) = run(&["--jobs", "many", "x.opt"]);
+    assert_eq!(code, 64);
+    let (code, _, _) = run(&["--jobs"]);
+    assert_eq!(code, 64);
+    // --grace wants a non-negative duration.
+    let (code, _, _) = run(&["--grace", "-1", "x.opt"]);
+    assert_eq!(code, 64);
+    // --journal / --resume want a path.
+    let (code, _, _) = run(&["--journal"]);
+    assert_eq!(code, 64);
+    let (code, _, _) = run(&["--resume"]);
+    assert_eq!(code, 64);
+    // --resume already names the journal.
+    let (code, _, stderr) = run(&["--resume", "a.jsonl", "--journal", "b.jsonl", "x.opt"]);
+    assert_eq!(code, 64, "{stderr}");
+    assert!(stderr.contains("--resume already names"), "{stderr}");
+    // Certificates require live verification.
+    let (code, _, stderr) = run(&["--resume", "a.jsonl", "--proof", "certs", "x.opt"]);
+    assert_eq!(code, 64, "{stderr}");
+    assert!(stderr.contains("--proof"), "{stderr}");
+    // Resuming from a journal that does not exist is a hard error, not a
+    // silent fresh start.
+    let dir = temp_dir("no-journal");
+    let f = dir.join("good.opt");
+    std::fs::write(&f, EASY).unwrap();
+    let ghost = dir.join("ghost.jsonl");
+    let (code, _, stderr) = run(&["--resume", ghost.to_str().unwrap(), f.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("cannot read journal"), "{stderr}");
+}
+
+#[test]
+fn parallel_jobs_match_sequential_results() {
+    let dir = temp_dir("jobs");
+    let f = dir.join("mix.opt");
+    let mut corpus = format!("{BAD}\n");
+    for i in 0..6 {
+        corpus.push_str(&EASY.replace("double-to-shl", &format!("easy-{i}")));
+        corpus.push('\n');
+    }
+    std::fs::write(&f, corpus).unwrap();
+    let (code1, stdout1, _) = run(&["--fast", "--keep-going", f.to_str().unwrap()]);
+    let (code4, stdout4, _) = run(&["--fast", "--keep-going", "--jobs", "4", f.to_str().unwrap()]);
+    assert_eq!(code1, 1, "{stdout1}");
+    assert_eq!(code4, 1, "{stdout4}");
+    assert!(stdout1.contains("6 valid, 1 invalid"), "{stdout1}");
+    assert!(stdout4.contains("6 valid, 1 invalid"), "{stdout4}");
+}
+
+#[test]
+fn journal_then_resume_reuses_every_verdict() {
+    let dir = temp_dir("journal-resume");
+    let f = dir.join("mix.opt");
+    let mut corpus = format!("{BAD}\n{GOOD}\n");
+    for i in 0..3 {
+        corpus.push_str(&EASY.replace("double-to-shl", &format!("easy-{i}")));
+        corpus.push('\n');
+    }
+    std::fs::write(&f, corpus).unwrap();
+    let journal = dir.join("run.jsonl");
+    let (code, stdout, _) = run(&[
+        "--fast",
+        "--keep-going",
+        "--jobs",
+        "2",
+        "--journal",
+        journal.to_str().unwrap(),
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("4 valid, 1 invalid"), "{stdout}");
+    let journal_after_run = std::fs::read_to_string(&journal).unwrap();
+
+    // Resume over a complete journal re-verifies nothing and reaches the
+    // same verdicts, flagged as resumed.
+    let report = dir.join("report.json");
+    let (code, stdout, _) = run(&[
+        "--fast",
+        "--keep-going",
+        "--resume",
+        journal.to_str().unwrap(),
+        "--report",
+        report.to_str().unwrap(),
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("resume: 5 verdict(s) reused"), "{stdout}");
+    assert!(stdout.contains("[resumed from journal]"), "{stdout}");
+    assert!(stdout.contains("4 valid, 1 invalid"), "{stdout}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert_eq!(json.matches("\"resumed\": true").count(), 5, "{json}");
+    // Nothing was re-verified, so nothing new was journaled.
+    assert_eq!(
+        std::fs::read_to_string(&journal).unwrap(),
+        journal_after_run,
+        "resume must not re-append reused verdicts"
+    );
+}
+
+#[test]
 fn missing_file_exits_one() {
     let dir = temp_dir("missing");
     let ghost = dir.join("ghost.opt");
@@ -233,7 +337,7 @@ fn tiny_budget_is_inconclusive_and_retries_escalate_out_of_it() {
 }
 
 #[test]
-fn report_has_the_v1_schema_and_per_transform_entries() {
+fn report_has_the_v2_schema_and_per_transform_entries() {
     let dir = temp_dir("report");
     let f = dir.join("mix.opt");
     std::fs::write(&f, format!("{EASY}\n{BAD}")).unwrap();
@@ -247,11 +351,12 @@ fn report_has_the_v1_schema_and_per_transform_entries() {
     ]);
     assert_eq!(code, 1);
     let json = std::fs::read_to_string(&report).unwrap();
-    assert!(json.contains("\"schema\": \"alive-report/v1\""), "{json}");
+    assert!(json.contains("\"schema\": \"alive-report/v2\""), "{json}");
     for field in [
         "\"valid\": 1",
         "\"invalid\": 1",
         "\"unknown\": 0",
+        "\"hung\": 0",
         "\"cancelled\": false",
         "\"name\": \"double-to-shl\"",
         "\"name\": \"wrong\"",
@@ -260,6 +365,9 @@ fn report_has_the_v1_schema_and_per_transform_entries() {
         "\"wall_ms\"",
         "\"conflicts\"",
         "\"retries\"",
+        "\"worker\"",
+        "\"resumed\": false",
+        "\"attempts\": [",
     ] {
         assert!(json.contains(field), "missing {field} in {json}");
     }

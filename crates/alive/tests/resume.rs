@@ -1,0 +1,190 @@
+//! The crash-safety acceptance test: a parallel corpus run is SIGKILLed
+//! mid-flight, then rerun with `--resume`. The merged result must carry
+//! the same verdicts as an uninterrupted run, and the transforms already
+//! journaled before the kill must not be verified a second time.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn alive_bin() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_alive"));
+    cmd.env_remove("ALIVE_FAULT");
+    cmd
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("alive-resume-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A corpus of textually distinct transforms (one journal key each):
+/// (x ^ -1) + k ==> (k-1) - x is valid for every k; every seventh entry
+/// uses k instead of k-1 and is invalid, so verdict fidelity is visible.
+fn corpus(n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        let k = i + 1;
+        let target = if i % 7 == 3 { k } else { k - 1 };
+        s.push_str(&format!(
+            "Name: t{i}\n%1 = xor %x, -1\n%2 = add %1, {k}\n=>\n%2 = sub {target}, %x\n\n"
+        ));
+    }
+    s
+}
+
+/// Extracts the per-transform `(name, verdict)` sequence from a v2 report.
+fn verdicts(json: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let t = line.trim_start();
+        if !t.starts_with("{\"name\": \"") {
+            continue;
+        }
+        let name = t["{\"name\": \"".len()..].split('"').next().unwrap();
+        let verdict = t
+            .split("\"verdict\": \"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap();
+        out.push((name.to_string(), verdict.to_string()));
+    }
+    out
+}
+
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_corpus_then_resume_completes_without_reverifying() {
+    let dir = temp_dir("kill9");
+    let f = dir.join("corpus.opt");
+    const N: usize = 40;
+    std::fs::write(&f, corpus(N)).unwrap();
+
+    // Reference: an uninterrupted run of the same corpus.
+    let reference = dir.join("reference.json");
+    let out = alive_bin()
+        .args([
+            "--fast",
+            "--keep-going",
+            "--jobs",
+            "4",
+            "--report",
+            reference.to_str().unwrap(),
+            f.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let reference = verdicts(&std::fs::read_to_string(&reference).unwrap());
+    assert_eq!(reference.len(), N);
+    assert!(reference.iter().any(|(_, v)| v == "invalid"));
+
+    // Journaled run, SIGKILLed once a few records are on disk.
+    let journal = dir.join("run.jsonl");
+    let mut child = alive_bin()
+        .args([
+            "--fast",
+            "--keep-going",
+            "--jobs",
+            "4",
+            "--journal",
+            journal.to_str().unwrap(),
+            f.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let lines = std::fs::read_to_string(&journal)
+            .map(|s| s.lines().count())
+            .unwrap_or(0);
+        // Header + at least three records, but don't wait for the finish.
+        if lines >= 4 {
+            break;
+        }
+        if child.try_wait().unwrap().is_some() || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = child.kill(); // SIGKILL — no cleanup, no final fsync
+    let _ = child.wait();
+
+    let journaled = std::fs::read_to_string(&journal).unwrap();
+    let records_before = journaled.lines().count().saturating_sub(1);
+    assert!(records_before >= 1, "kill landed before any record");
+
+    // Resume: reuse the journal, verify only what is missing.
+    let merged = dir.join("merged.json");
+    let out = alive_bin()
+        .args([
+            "--fast",
+            "--keep-going",
+            "--jobs",
+            "4",
+            "--resume",
+            journal.to_str().unwrap(),
+            "--report",
+            merged.to_str().unwrap(),
+            f.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resume: "), "{stdout}");
+
+    let merged_json = std::fs::read_to_string(&merged).unwrap();
+    assert_eq!(
+        verdicts(&merged_json),
+        reference,
+        "merged verdicts must match the uninterrupted run"
+    );
+
+    // Every reusable journaled verdict was replayed, not re-verified. A
+    // record for a transform the killed run completed may itself have been
+    // torn (discarded on load); the count of resumed entries must equal
+    // what the resume run actually reused.
+    let resumed_count = merged_json.matches("\"resumed\": true").count();
+    let reused_stdout: usize = stdout
+        .split("resume: ")
+        .nth(1)
+        .unwrap()
+        .split(" verdict(s) reused")
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(resumed_count, reused_stdout, "{stdout}");
+    assert!(
+        reused_stdout >= records_before.saturating_sub(1),
+        "at most the torn tail record may be lost: reused {reused_stdout}, \
+         journaled {records_before}\n{stdout}"
+    );
+
+    // The journal now covers the whole corpus: a second resume verifies
+    // nothing at all.
+    let out = alive_bin()
+        .args([
+            "--fast",
+            "--keep-going",
+            "--resume",
+            journal.to_str().unwrap(),
+            f.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!("resume: {N} verdict(s) reused, 0 requeued")),
+        "{stdout}"
+    );
+}

@@ -1,0 +1,185 @@
+//! Criterion benchmark: supervised parallel driver throughput, jobs=1
+//! vs jobs=4, over a corpus of suite transforms.
+//!
+//! Two workloads:
+//!
+//! * `cpu-bound`: every transform verifies at full speed. On a multi-core
+//!   host jobs=4 wins roughly linearly; on a single-core container the
+//!   workers time-slice one CPU and the numbers instead expose the pool's
+//!   coordination overhead (watchdog polling, slot bookkeeping), which
+//!   must stay small.
+//! * `stall-overlap` (needs `--features fault-injection`): a handful of
+//!   queries are injected with the sleep-based `hang` fault, modelling a
+//!   solver call that blocks without consuming CPU until its wall-clock
+//!   deadline cuts it down — the scenario the worker pool and watchdog
+//!   exist for. jobs=1 serializes the stalls (total ≈ work + sum of
+//!   deadlines); jobs=4 overlaps them with live verification (total ≈
+//!   work + max deadline), so the speedup is visible even on one core.
+//!   The summary pass asserts the speedup instead of just printing it.
+
+use alive::verifier::{run_transforms_parallel, DriverConfig, OutcomeKind, PoolConfig};
+use alive::{Transform, TypeckConfig};
+use criterion::{BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// A corpus of real suite transforms, replicated to give the pool
+/// enough independent work to overlap.
+fn corpus() -> Vec<(String, Transform)> {
+    let names = [
+        "AndOrXor:DeMorganAnd",
+        "AddSub:NotIntro",
+        "Shifts:ShlNswAshr",
+        "PR21242-fixed",
+        "MulDivRem:SDivSelf",
+    ];
+    let mut out = Vec::new();
+    for round in 0..4 {
+        for name in names {
+            let entry = alive::suite::by_name(name).expect("corpus entry");
+            out.push((format!("{name}#{round}"), entry.transform.clone()));
+        }
+    }
+    out
+}
+
+/// One attempt per transform, with a wall-clock deadline wide enough for
+/// every healthy transform and narrow enough to keep injected stalls
+/// bounded.
+fn driver_config() -> DriverConfig {
+    DriverConfig {
+        verify: alive::VerifyConfig {
+            typeck: TypeckConfig {
+                widths: vec![4, 8],
+                ..TypeckConfig::default()
+            },
+            ..alive::VerifyConfig::default()
+        },
+        timeout: Some(Duration::from_millis(150)),
+        max_retries: 0,
+        keep_going: true,
+        ..DriverConfig::default()
+    }
+}
+
+fn pool(jobs: usize) -> PoolConfig {
+    PoolConfig {
+        jobs,
+        ..PoolConfig::default()
+    }
+}
+
+fn bench_cpu_bound(c: &mut Criterion) {
+    let corpus = corpus();
+    let config = driver_config();
+    let mut group = c.benchmark_group("parallel_driver/cpu-bound");
+    group.sample_size(10);
+    for jobs in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            let pool = pool(jobs);
+            b.iter(|| {
+                let report = run_transforms_parallel(&corpus, &config, &pool);
+                assert_eq!(report.count(OutcomeKind::Valid), corpus.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+#[cfg(feature = "fault-injection")]
+mod stall {
+    use super::*;
+    use alive::sat::fault::{self, FailurePlan, Fault, FaultKind, FaultSite};
+    use std::time::Instant;
+
+    /// How many queries the corpus issues at the SAT site, measured by a
+    /// calibration run under an empty (count-only) fault plan.
+    fn sat_queries(corpus: &[(String, Transform)], config: &DriverConfig) -> u64 {
+        fault::install(Some(FailurePlan::default()));
+        let report = run_transforms_parallel(corpus, config, &pool(1));
+        assert_eq!(report.count(OutcomeKind::Valid), corpus.len());
+        let seen = fault::queries_seen(FaultSite::Sat);
+        fault::install(None);
+        seen
+    }
+
+    /// Sleep-based hangs at four ordinals spread across the run; each
+    /// stalls its transform until the 150 ms attempt deadline.
+    fn stall_plan(total_queries: u64) -> FailurePlan {
+        FailurePlan {
+            faults: (0..4)
+                .map(|i| Fault {
+                    site: FaultSite::Sat,
+                    kind: FaultKind::Hang,
+                    at: (total_queries * (2 * i + 1) / 8).max(1),
+                })
+                .collect(),
+        }
+    }
+
+    /// One supervised run under the stall plan; every transform must
+    /// still be decided or cleanly timed out — never hung or skipped.
+    fn run_stalled(
+        corpus: &[(String, Transform)],
+        config: &DriverConfig,
+        plan: &FailurePlan,
+        jobs: usize,
+    ) {
+        fault::install(Some(plan.clone()));
+        let report = run_transforms_parallel(corpus, config, &pool(jobs));
+        let valid = report.count(OutcomeKind::Valid);
+        let unknown = report.count(OutcomeKind::Unknown);
+        assert_eq!(valid + unknown, corpus.len());
+        assert!(unknown >= 1, "no injected stall landed");
+        assert_eq!(report.count(OutcomeKind::Hung), 0);
+    }
+
+    pub fn bench_stall_overlap(c: &mut Criterion) {
+        let corpus = corpus();
+        let config = driver_config();
+        let plan = stall_plan(sat_queries(&corpus, &config));
+
+        let mut group = c.benchmark_group("parallel_driver/stall-overlap");
+        group.sample_size(5);
+        for jobs in [1usize, 4] {
+            group.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+                b.iter(|| run_stalled(&corpus, &config, &plan, jobs))
+            });
+        }
+        group.finish();
+
+        // Summary pass: best-of-2 wall clock per jobs value, and the
+        // acceptance check itself — jobs=4 must beat jobs=1 on the
+        // stall-heavy corpus even on a single-core host.
+        let best = |jobs: usize| {
+            (0..2)
+                .map(|_| {
+                    let start = Instant::now();
+                    run_stalled(&corpus, &config, &plan, jobs);
+                    start.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let serial = best(1);
+        let overlapped = best(4);
+        fault::install(None);
+        println!(
+            "bench: parallel_driver/stall-overlap summary        \
+             jobs=1 {:.1} ms, jobs=4 {:.1} ms, speedup {:.2}x",
+            serial.as_secs_f64() * 1e3,
+            overlapped.as_secs_f64() * 1e3,
+            serial.as_secs_f64() / overlapped.as_secs_f64(),
+        );
+        assert!(
+            overlapped < serial.mul_f64(0.85),
+            "jobs=4 ({overlapped:?}) must measurably beat jobs=1 ({serial:?})"
+        );
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_cpu_bound(&mut criterion);
+    #[cfg(feature = "fault-injection")]
+    stall::bench_stall_overlap(&mut criterion);
+}

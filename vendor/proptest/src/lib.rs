@@ -371,9 +371,32 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::{BoxedStrategy, Strategy};
+
+    /// Strategy for `Option<T>`: `None` about a quarter of the time,
+    /// otherwise `Some` of a value drawn from `inner` (upstream proptest
+    /// defaults to a 3:1 Some:None weighting as well).
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.sample(rng))
+            }
+        })
+    }
+}
+
 pub mod prelude {
     //! One-stop imports mirroring `proptest::prelude`.
     pub use crate::collection;
+    pub use crate::option;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
