@@ -55,3 +55,7 @@ pub use clause::{Clause, ClauseDb, ClauseRef};
 pub use lit::{LBool, Lit, Var};
 pub use proof::{DratRecorder, ProofEvent, ProofLogger, SharedDratRecorder};
 pub use solver::{SolveResult, Solver, SolverStats};
+
+// Re-exported so callers can install a tracer without depending on
+// `alive-trace` directly (mirrors how `Budget` travels with the solver).
+pub use alive_trace::Tracer;

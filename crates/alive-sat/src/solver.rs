@@ -11,6 +11,7 @@ use crate::clause::{ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::{ProofEvent, ProofLogger};
+use alive_trace::Tracer;
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,6 +38,10 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learned clauses deleted by DB reduction.
     pub deleted_clauses: u64,
+    /// Number of learned-clause literals retained after minimization.
+    pub learned_literals: u64,
+    /// Number of `solve` calls answered (including `Unknown`).
+    pub sat_calls: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -111,6 +116,9 @@ pub struct Solver {
     /// Optional DRAT-style proof sink; `None` (the default) keeps every
     /// logging site down to one branch, so solving is unaffected.
     proof: Option<Box<dyn ProofLogger>>,
+
+    /// Structured-trace handle; disabled (one branch per site) by default.
+    tracer: Tracer,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -162,7 +170,25 @@ impl Solver {
             model: Vec::new(),
             max_learnts: 1000.0,
             proof: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a structured-trace handle. The disabled tracer (the
+    /// default) keeps every emission site down to one branch, mirroring
+    /// [`Solver::set_proof_logger`]. While enabled, each solve emits a
+    /// `sat.solve` span plus `sat.conflicts`/`sat.propagations`/
+    /// `sat.decisions` counter deltas, restarts and DB reductions emit
+    /// as they happen, and learned-clause lengths are sampled into the
+    /// `sat.learned_len` histogram.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed trace handle (disabled unless [`Solver::set_tracer`]
+    /// was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Installs (or removes) a DRAT-style proof logger.
@@ -619,6 +645,7 @@ impl Solver {
     }
 
     fn reduce_db(&mut self) {
+        let mut deleted_this_pass = 0u64;
         let mut learnts = self.db.learnt_refs();
         // Sort ascending by activity: delete the least active half, keeping
         // binary/glue clauses.
@@ -651,7 +678,10 @@ impl Solver {
             }
             self.db.free(cref);
             self.stats.deleted_clauses += 1;
+            deleted_this_pass += 1;
         }
+        self.tracer
+            .mark("sat.reduce", String::new, deleted_this_pass);
         // Purge watches of deleted clauses lazily during propagation; also
         // sweep now to keep lists tight.
         for list in &mut self.watches {
@@ -731,6 +761,24 @@ impl Solver {
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.sat_calls += 1;
+        if !self.tracer.enabled() {
+            return self.solve_loop(assumptions);
+        }
+        let tracer = self.tracer.clone();
+        let _span = tracer.span("sat.solve");
+        let before = self.stats;
+        let r = self.solve_loop(assumptions);
+        tracer.counter("sat.conflicts", self.stats.conflicts - before.conflicts);
+        tracer.counter(
+            "sat.propagations",
+            self.stats.propagations - before.propagations,
+        );
+        tracer.counter("sat.decisions", self.stats.decisions - before.decisions);
+        r
+    }
+
+    fn solve_loop(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.conflict.clear();
         self.exhaustion = None;
         if !self.ok {
@@ -767,6 +815,7 @@ impl Solver {
                 }
                 None => {
                     self.stats.restarts += 1;
+                    self.tracer.counter("sat.restarts", 1);
                     self.cancel_until(0);
                 }
             }
@@ -823,6 +872,8 @@ impl Solver {
                 }
                 // Conflict below/at assumption levels: extract the core.
                 let (learnt, bt_level) = self.analyze(confl);
+                self.stats.learned_literals += learnt.len() as u64;
+                self.tracer.sample("sat.learned_len", learnt.len() as u64);
                 let assumption_level = self.num_assumption_levels(assumptions);
                 if self.decision_level() <= assumption_level {
                     self.conflict = self.analyze_final(confl);

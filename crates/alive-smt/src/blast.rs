@@ -48,9 +48,28 @@ impl Blasted {
 pub struct Blaster {
     cache: HashMap<TermId, Blasted>,
     lit_true: Option<Lit>,
+    nodes_encoded: u64,
+    gates_by_op: HashMap<&'static str, u64>,
 }
 
 impl Blaster {
+    /// Number of term nodes actually encoded (cache misses) over this
+    /// blaster's lifetime. Hash-consing makes sharing pervasive, so this
+    /// is usually far below the term count of the asserted formulas.
+    pub fn nodes_encoded(&self) -> u64 {
+        self.nodes_encoded
+    }
+
+    /// Auxiliary SAT variables ("gates") introduced, keyed by the
+    /// operator kind ([`Op::kind_name`]) whose encoding created them.
+    pub fn gates_by_op(&self) -> &HashMap<&'static str, u64> {
+        &self.gates_by_op
+    }
+
+    /// Total auxiliary SAT variables introduced across all op kinds.
+    pub fn gates_total(&self) -> u64 {
+        self.gates_by_op.values().sum()
+    }
     /// Creates an empty blaster.
     pub fn new() -> Blaster {
         Blaster::default()
@@ -175,7 +194,16 @@ impl Blaster {
                     }
                 }
             }
+            let vars_before = sat.num_vars();
             let b = self.encode(pool, sat, id);
+            self.nodes_encoded += 1;
+            let gates = (sat.num_vars() - vars_before) as u64;
+            if gates > 0 {
+                *self
+                    .gates_by_op
+                    .entry(pool.term(id).op.kind_name())
+                    .or_insert(0) += gates;
+            }
             self.cache.insert(id, b);
         }
         Ok(self.cache[&root].clone())

@@ -45,7 +45,7 @@ mod subst;
 mod term;
 mod value;
 
-pub use alive_sat::{Budget, CancelToken, Exhaustion, ProofEvent};
+pub use alive_sat::{Budget, CancelToken, Exhaustion, ProofEvent, Tracer};
 pub use blast::{Blasted, Blaster};
 pub use eval::{eval, Assignment, EvalError};
 pub use qe::{

@@ -18,7 +18,7 @@ use crate::eval::Assignment;
 use crate::solver::{ProofTranscript, SatResult, SmtSolver};
 use crate::subst::substitute_assignment;
 use crate::term::{TermId, TermPool};
-use alive_sat::Budget;
+use alive_sat::{Budget, Tracer};
 
 /// Result of an exists-forall query.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,6 +51,11 @@ pub struct EfConfig {
     /// universal variables before the first guess. Saves one round trip in
     /// the common case; disable to measure the unseeded loop (ablation).
     pub seed_with_zero: bool,
+    /// Structured-trace handle cloned into every sub-solver; the disabled
+    /// default costs one branch per emission site. Deliberately excluded
+    /// from the journal's config fingerprint — tracing cannot change
+    /// verdicts.
+    pub tracer: Tracer,
 }
 
 impl Default for EfConfig {
@@ -60,6 +65,7 @@ impl Default for EfConfig {
             conflict_budget: None,
             budget: Budget::default(),
             seed_with_zero: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -84,6 +90,27 @@ pub struct EfStats {
     pub conflicts: u64,
     /// CEGIS refinement rounds run (0 for the quantifier-free path).
     pub rounds: usize,
+    /// Total literals propagated across every sub-solver.
+    pub propagations: u64,
+    /// Total decisions taken across every sub-solver.
+    pub decisions: u64,
+    /// Total restarts performed across every sub-solver.
+    pub restarts: u64,
+    /// Number of SAT `solve` calls issued across every sub-solver.
+    pub sat_calls: u64,
+}
+
+impl EfStats {
+    /// Folds a sub-solver's cumulative SAT statistics into these totals.
+    /// Call exactly once per solver (the stats are lifetime counters).
+    fn absorb(&mut self, s: &SmtSolver) {
+        let ss = s.sat_stats();
+        self.conflicts += ss.conflicts;
+        self.propagations += ss.propagations;
+        self.decisions += ss.decisions;
+        self.restarts += ss.restarts;
+        self.sat_calls += ss.sat_calls;
+    }
 }
 
 /// Everything [`solve_exists_forall_full`] has to say about a query.
@@ -164,9 +191,10 @@ pub fn solve_exists_forall_full(
         let mut s = SmtSolver::new();
         let handle = want_proof.then(|| s.enable_proof_logging());
         s.set_budget(budget);
+        s.set_tracer(config.tracer.clone());
         s.assert_term(pool, matrix);
         let check = s.check();
-        stats.conflicts = s.sat_stats().conflicts;
+        stats.absorb(&s);
         let (result, transcript) = match check {
             SatResult::Sat => (EfResult::Sat(s.model(pool, exist_vars)), None),
             SatResult::Unsat => {
@@ -188,6 +216,7 @@ pub fn solve_exists_forall_full(
     let mut candidates = SmtSolver::new();
     let handle = want_proof.then(|| candidates.enable_proof_logging());
     candidates.set_budget(budget.clone());
+    candidates.set_tracer(config.tracer.clone());
     if config.seed_with_zero {
         // Seed with one instantiation (all universals zero) so the first
         // candidate is already filtered.
@@ -218,11 +247,15 @@ pub fn solve_exists_forall_full(
 
     for _ in 0..config.max_iterations {
         stats.rounds += 1;
+        let _round = config
+            .tracer
+            .span_with("cegis.round", || stats.rounds.to_string());
+        config.tracer.counter("cegis.rounds", 1);
         // The inter-round poll: even if every individual SAT call is cheap,
         // a long refinement loop must still observe the shared deadline and
         // cancellation promptly.
         if let Some(e) = budget.check_soft() {
-            stats.conflicts += candidates.sat_stats().conflicts;
+            stats.absorb(&candidates);
             return finish(
                 EfResult::Unknown(format!("CEGIS round {}: {e}", stats.rounds)),
                 None,
@@ -232,12 +265,12 @@ pub fn solve_exists_forall_full(
         match candidates.check() {
             SatResult::Unsat => {
                 let transcript = handle.as_ref().map(|h| candidates.proof_transcript(h));
-                stats.conflicts += candidates.sat_stats().conflicts;
+                stats.absorb(&candidates);
                 return finish(EfResult::Unsat, transcript, stats);
             }
             SatResult::Unknown => {
                 let reason = unknown_reason(&candidates, "candidate search");
-                stats.conflicts += candidates.sat_stats().conflicts;
+                stats.absorb(&candidates);
                 return finish(EfResult::Unknown(reason), None, stats);
             }
             SatResult::Sat => {}
@@ -248,17 +281,18 @@ pub fn solve_exists_forall_full(
         let check_term = substitute_assignment(pool, not_matrix, &x_star);
         let mut verifier = SmtSolver::new();
         verifier.set_budget(budget.clone());
+        verifier.set_tracer(config.tracer.clone());
         verifier.assert_term(pool, check_term);
         let verdict = verifier.check();
-        stats.conflicts += verifier.sat_stats().conflicts;
+        stats.absorb(&verifier);
         match verdict {
             SatResult::Unsat => {
-                stats.conflicts += candidates.sat_stats().conflicts;
+                stats.absorb(&candidates);
                 return finish(EfResult::Sat(x_star), None, stats);
             }
             SatResult::Unknown => {
                 let reason = unknown_reason(&verifier, "counterexample search");
-                stats.conflicts += candidates.sat_stats().conflicts;
+                stats.absorb(&candidates);
                 return finish(EfResult::Unknown(reason), None, stats);
             }
             SatResult::Sat => {
@@ -268,7 +302,7 @@ pub fn solve_exists_forall_full(
             }
         }
     }
-    stats.conflicts += candidates.sat_stats().conflicts;
+    stats.absorb(&candidates);
     finish(
         EfResult::Unknown(format!(
             "CEGIS iteration limit of {} reached",

@@ -8,7 +8,7 @@ use crate::eval::Assignment;
 use crate::term::{TermId, TermPool};
 use crate::value::{Sort, Value};
 use alive_sat::{
-    Budget, Exhaustion, ProofEvent, SharedDratRecorder, SolveResult, Solver, SolverStats,
+    Budget, Exhaustion, ProofEvent, SharedDratRecorder, SolveResult, Solver, SolverStats, Tracer,
 };
 
 /// Result of an SMT `check`.
@@ -73,12 +73,30 @@ pub struct SmtSolver {
     call_exhausted: Option<Exhaustion>,
     #[cfg(feature = "fault-injection")]
     injected: bool,
+    /// Structured-trace handle; disabled (one branch per site) by default.
+    tracer: Tracer,
 }
 
 impl SmtSolver {
     /// Creates an empty solver.
     pub fn new() -> SmtSolver {
         SmtSolver::default()
+    }
+
+    /// Installs a structured-trace handle on this solver and its
+    /// underlying SAT solver. While enabled, `assert_term` wraps
+    /// bit-blasting in a `blast` span and emits `blast.nodes` /
+    /// `blast.gates` (total and per op kind) counter deltas; the SAT
+    /// layer adds `sat.solve` spans and CDCL counters.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.sat.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The bit-blasting statistics accumulated so far (encoded nodes and
+    /// auxiliary variables per op kind), regardless of tracing.
+    pub fn blast_stats(&self) -> (u64, u64) {
+        (self.blaster.nodes_encoded(), self.blaster.gates_total())
     }
 
     /// Limits SAT conflicts per `check` call (None = unlimited).
@@ -183,12 +201,33 @@ impl SmtSolver {
             }
             return;
         }
+        if !self.tracer.enabled() {
+            match self.blaster.try_blast_bool(pool, &mut self.sat, t) {
+                Ok(l) => {
+                    self.sat.add_clause([l]);
+                }
+                Err(e) => self.blast_exhausted = Some(e),
+            }
+            return;
+        }
+        let tracer = self.tracer.clone();
+        let _span = tracer.span("blast");
+        let nodes_before = self.blaster.nodes_encoded();
+        let gates_before = self.blaster.gates_by_op().clone();
         match self.blaster.try_blast_bool(pool, &mut self.sat, t) {
             Ok(l) => {
                 self.sat.add_clause([l]);
             }
             Err(e) => self.blast_exhausted = Some(e),
         }
+        tracer.counter("blast.nodes", self.blaster.nodes_encoded() - nodes_before);
+        let mut total = 0u64;
+        for (&kind, &gates) in self.blaster.gates_by_op() {
+            let delta = gates - gates_before.get(kind).copied().unwrap_or(0);
+            total += delta;
+            tracer.counter_with("blast.gates", || kind.to_string(), delta);
+        }
+        tracer.counter("blast.gates", total);
     }
 
     /// Checks satisfiability of the asserted formula.

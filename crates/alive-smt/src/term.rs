@@ -141,6 +141,46 @@ impl Op {
             Op::Ite(c, t, e) => vec![*c, *t, *e],
         }
     }
+
+    /// Stable SMT-LIB-flavoured name of the operator kind, used to key
+    /// per-op metrics (`blast.gates.<kind>`) and profiles.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::BoolConst(_) => "bool-const",
+            Op::BvConst(_) => "bv-const",
+            Op::Var(_) => "var",
+            Op::Not(_) => "not",
+            Op::And(_) => "and",
+            Op::Or(_) => "or",
+            Op::Xor(_, _) => "xor",
+            Op::Implies(_, _) => "implies",
+            Op::Eq(_, _) => "eq",
+            Op::Ite(_, _, _) => "ite",
+            Op::BvNot(_) => "bvnot",
+            Op::BvAnd(_, _) => "bvand",
+            Op::BvOr(_, _) => "bvor",
+            Op::BvXor(_, _) => "bvxor",
+            Op::BvNeg(_) => "bvneg",
+            Op::BvAdd(_, _) => "bvadd",
+            Op::BvSub(_, _) => "bvsub",
+            Op::BvMul(_, _) => "bvmul",
+            Op::BvUdiv(_, _) => "bvudiv",
+            Op::BvUrem(_, _) => "bvurem",
+            Op::BvSdiv(_, _) => "bvsdiv",
+            Op::BvSrem(_, _) => "bvsrem",
+            Op::BvShl(_, _) => "bvshl",
+            Op::BvLshr(_, _) => "bvlshr",
+            Op::BvAshr(_, _) => "bvashr",
+            Op::BvUlt(_, _) => "bvult",
+            Op::BvUle(_, _) => "bvule",
+            Op::BvSlt(_, _) => "bvslt",
+            Op::BvSle(_, _) => "bvsle",
+            Op::ZExt(_) => "zext",
+            Op::SExt(_) => "sext",
+            Op::Extract(_, _, _) => "extract",
+            Op::Concat(_, _) => "concat",
+        }
+    }
 }
 
 /// A term: operator plus result sort.

@@ -1,0 +1,541 @@
+//! The `alive-trace/v1` JSONL stream: CRC-sealed line-oriented trace
+//! files written by [`JsonlSink`] and read back by [`read_trace`].
+//!
+//! The framing mirrors the verification journal: every line is a single
+//! JSON object whose last field is `"crc"`, the FNV-1a 64 hash of the
+//! bytes before it, rendered as 16 lower-case hex digits. The first line
+//! is a header naming the schema; each following line is one event:
+//!
+//! ```json
+//! {"trace":"alive-trace/v1","crc":"..."}
+//! {"ev":"start","id":1,"parent":0,"tid":0,"us":12,"name":"pool.task","arg":"mul_shift","crc":"..."}
+//! {"ev":"counter","tid":0,"us":90,"name":"sat.conflicts","arg":"","value":17,"crc":"..."}
+//! {"ev":"end","id":1,"tid":0,"us":951,"name":"pool.task","value":939,"crc":"..."}
+//! ```
+//!
+//! `start`, `counter`, and `mark` lines carry `arg` (a counter's arg is
+//! a sub-key, e.g. the op kind under `blast.gates`); `end` carries the
+//! duration in `value`; `counter`/`gauge`/`sample` carry their
+//! delta/level/sample in `value`. Field order is fixed and parsing is
+//! strict — any deviation
+//! (reordered keys, truncated line, bad CRC) is a hard error with the
+//! offending line number, which is what the CI schema-validation job and
+//! `alive stats` rely on.
+
+use crate::{Event, EventKind, TraceSink};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Schema tag carried in the header line of every trace file.
+pub const TRACE_SCHEMA: &str = "alive-trace/v1";
+
+/// FNV-1a 64-bit hash (same parameters as the journal's line seal).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the CRC field and closing brace to a partial JSON object.
+fn seal(body: String) -> String {
+    let crc = fnv1a64(body.as_bytes());
+    format!("{body},\"crc\":\"{crc:016x}\"}}")
+}
+
+/// Strips and verifies the CRC suffix, returning the body.
+fn unseal(line: &str) -> Option<&str> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let rest = line.strip_suffix("\"}")?;
+    let marker = ",\"crc\":\"";
+    let pos = rest.rfind(marker)?;
+    let (body, crc_hex) = rest.split_at(pos);
+    let crc_hex = &crc_hex[marker.len()..];
+    if crc_hex.len() != 16 {
+        return None;
+    }
+    let want = u64::from_str_radix(crc_hex, 16).ok()?;
+    if fnv1a64(body.as_bytes()) != want {
+        return None;
+    }
+    Some(body)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`json_escape`]; `None` on a malformed escape.
+fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Renders one event as a sealed JSONL line (no trailing newline).
+fn event_line(ev: &Event) -> String {
+    let mut body = format!("{{\"ev\":\"{}\"", ev.kind.as_str());
+    match ev.kind {
+        EventKind::Start => {
+            body.push_str(&format!(
+                ",\"id\":{},\"parent\":{},\"tid\":{},\"us\":{},\"name\":\"{}\",\"arg\":\"{}\"",
+                ev.id,
+                ev.parent,
+                ev.tid,
+                ev.us,
+                json_escape(ev.name),
+                json_escape(&ev.arg),
+            ));
+        }
+        EventKind::End => {
+            body.push_str(&format!(
+                ",\"id\":{},\"tid\":{},\"us\":{},\"name\":\"{}\",\"value\":{}",
+                ev.id,
+                ev.tid,
+                ev.us,
+                json_escape(ev.name),
+                ev.value,
+            ));
+        }
+        EventKind::Gauge | EventKind::Sample => {
+            body.push_str(&format!(
+                ",\"tid\":{},\"us\":{},\"name\":\"{}\",\"value\":{}",
+                ev.tid,
+                ev.us,
+                json_escape(ev.name),
+                ev.value,
+            ));
+        }
+        EventKind::Counter | EventKind::Mark => {
+            body.push_str(&format!(
+                ",\"tid\":{},\"us\":{},\"name\":\"{}\",\"arg\":\"{}\",\"value\":{}",
+                ev.tid,
+                ev.us,
+                json_escape(ev.name),
+                json_escape(&ev.arg),
+                ev.value,
+            ));
+        }
+    }
+    seal(body)
+}
+
+/// A [`TraceSink`] streaming sealed JSONL to a file.
+///
+/// Lines are formatted outside the lock; the critical section is one
+/// buffered write. I/O errors after creation are swallowed (tracing is
+/// advisory and must never take the verification run down with it), but
+/// the first one latches and is reported by [`JsonlSink::had_error`].
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+    errored: std::sync::atomic::AtomicBool,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file and writes the header line.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        let header = seal(format!("{{\"trace\":\"{TRACE_SCHEMA}\""));
+        writeln!(out, "{header}")?;
+        Ok(JsonlSink {
+            out: Mutex::new(out),
+            errored: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// `true` if any write or flush failed since creation.
+    pub fn had_error(&self) -> bool {
+        self.errored.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn note(&self, r: std::io::Result<()>) {
+        if r.is_err() {
+            self.errored
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = event_line(event);
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        self.note(writeln!(out, "{line}"));
+    }
+
+    fn flush(&self) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        self.note(out.flush());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // Best-effort fallback; the CLI flushes explicitly because
+        // detached worker threads can keep the sink alive past exit.
+        TraceSink::flush(self);
+    }
+}
+
+/// One parsed trace event (owned strings, unlike the live [`Event`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Record kind.
+    pub kind: EventKind,
+    /// Span id (`Start`/`End`; 0 otherwise).
+    pub id: u64,
+    /// Enclosing span id at emission (`Start` only; 0 = root).
+    pub parent: u64,
+    /// Trace-local thread id.
+    pub tid: u32,
+    /// Microseconds since the trace epoch.
+    pub us: u64,
+    /// Phase / metric name.
+    pub name: String,
+    /// Optional argument (`Start`/`Mark`; empty = none).
+    pub arg: String,
+    /// Kind-dependent payload (see [`Event::value`]).
+    pub value: u64,
+}
+
+/// Why a trace file failed to load.
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// The file could not be opened or read.
+    Io(std::io::Error),
+    /// The first line is missing or is not a valid `alive-trace/v1`
+    /// header.
+    BadHeader,
+    /// Line `.0` (1-based) failed CRC verification or schema parsing.
+    BadLine(usize),
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "cannot read trace: {e}"),
+            TraceReadError::BadHeader => {
+                write!(
+                    f,
+                    "not an {TRACE_SCHEMA} trace (bad or missing header line)"
+                )
+            }
+            TraceReadError::BadLine(n) => {
+                write!(
+                    f,
+                    "trace line {n}: bad CRC or malformed {TRACE_SCHEMA} record"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+impl From<std::io::Error> for TraceReadError {
+    fn from(e: std::io::Error) -> TraceReadError {
+        TraceReadError::Io(e)
+    }
+}
+
+/// Strict cursor over a record body; every helper returns `None` on any
+/// deviation from the exact written format.
+struct Scanner<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Scanner<'a> {
+        Scanner { rest: s }
+    }
+
+    fn lit(&mut self, lit: &str) -> Option<()> {
+        self.rest = self.rest.strip_prefix(lit)?;
+        Some(())
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return None;
+        }
+        let (digits, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        digits.parse().ok()
+    }
+
+    /// The body of a JSON string literal up to its closing quote
+    /// (respecting escapes), unescaped.
+    fn string_body(&mut self) -> Option<String> {
+        let bytes = self.rest.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => {
+                    let (raw, rest) = self.rest.split_at(i);
+                    self.rest = &rest[1..];
+                    return json_unescape(raw);
+                }
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        None
+    }
+
+    fn at_end(&self) -> bool {
+        self.rest.is_empty()
+    }
+}
+
+/// Parses one sealed line (without its trailing newline) into an event.
+pub(crate) fn parse_event_line(line: &str) -> Option<TraceEvent> {
+    let body = unseal(line)?;
+    let mut s = Scanner::new(body);
+    s.lit("{\"ev\":\"")?;
+    let kind_label = s.string_body()?;
+    let kind = EventKind::from_label(&kind_label)?;
+    let mut ev = TraceEvent {
+        kind,
+        id: 0,
+        parent: 0,
+        tid: 0,
+        us: 0,
+        name: String::new(),
+        arg: String::new(),
+        value: 0,
+    };
+    match kind {
+        EventKind::Start => {
+            s.lit(",\"id\":")?;
+            ev.id = s.number()?;
+            s.lit(",\"parent\":")?;
+            ev.parent = s.number()?;
+            s.lit(",\"tid\":")?;
+            ev.tid = u32::try_from(s.number()?).ok()?;
+            s.lit(",\"us\":")?;
+            ev.us = s.number()?;
+            s.lit(",\"name\":\"")?;
+            ev.name = s.string_body()?;
+            s.lit(",\"arg\":\"")?;
+            ev.arg = s.string_body()?;
+        }
+        EventKind::End => {
+            s.lit(",\"id\":")?;
+            ev.id = s.number()?;
+            s.lit(",\"tid\":")?;
+            ev.tid = u32::try_from(s.number()?).ok()?;
+            s.lit(",\"us\":")?;
+            ev.us = s.number()?;
+            s.lit(",\"name\":\"")?;
+            ev.name = s.string_body()?;
+            s.lit(",\"value\":")?;
+            ev.value = s.number()?;
+        }
+        EventKind::Gauge | EventKind::Sample => {
+            s.lit(",\"tid\":")?;
+            ev.tid = u32::try_from(s.number()?).ok()?;
+            s.lit(",\"us\":")?;
+            ev.us = s.number()?;
+            s.lit(",\"name\":\"")?;
+            ev.name = s.string_body()?;
+            s.lit(",\"value\":")?;
+            ev.value = s.number()?;
+        }
+        EventKind::Counter | EventKind::Mark => {
+            s.lit(",\"tid\":")?;
+            ev.tid = u32::try_from(s.number()?).ok()?;
+            s.lit(",\"us\":")?;
+            ev.us = s.number()?;
+            s.lit(",\"name\":\"")?;
+            ev.name = s.string_body()?;
+            s.lit(",\"arg\":\"")?;
+            ev.arg = s.string_body()?;
+            s.lit(",\"value\":")?;
+            ev.value = s.number()?;
+        }
+    }
+    if !s.at_end() {
+        return None;
+    }
+    Some(ev)
+}
+
+/// Checks that `line` is the schema header.
+fn parse_header(line: &str) -> Option<()> {
+    let body = unseal(line)?;
+    let mut s = Scanner::new(body);
+    s.lit("{\"trace\":\"")?;
+    let schema = s.string_body()?;
+    if schema != TRACE_SCHEMA || !s.at_end() {
+        return None;
+    }
+    Some(())
+}
+
+/// Loads a trace file, verifying the header and every line's CRC and
+/// schema. Strict: the first malformed line aborts the load (unlike the
+/// journal there is no torn-tail tolerance — a trace that fails here is
+/// a bug or an unflushed write, and the CI validation job wants to know).
+pub fn read_trace(path: &Path) -> Result<Vec<TraceEvent>, TraceReadError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut events = Vec::new();
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or(TraceReadError::BadHeader)??;
+    parse_header(&header).ok_or(TraceReadError::BadHeader)?;
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.is_empty() {
+            continue;
+        }
+        let ev = parse_event_line(&line).ok_or(TraceReadError::BadLine(lineno))?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+    use std::sync::Arc;
+
+    fn roundtrip(ev: &Event) -> TraceEvent {
+        parse_event_line(&event_line(ev)).expect("line must round-trip")
+    }
+
+    fn base(kind: EventKind) -> Event {
+        Event {
+            kind,
+            id: 7,
+            parent: 3,
+            tid: 2,
+            us: 12345,
+            name: "pool.task",
+            arg: String::new(),
+            value: 99,
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        for kind in [
+            EventKind::Start,
+            EventKind::End,
+            EventKind::Counter,
+            EventKind::Gauge,
+            EventKind::Sample,
+            EventKind::Mark,
+        ] {
+            let mut ev = base(kind);
+            if matches!(kind, EventKind::Start | EventKind::Mark) {
+                ev.arg = "weird \"arg\"\\with\nescapes\u{1}".to_string();
+            }
+            let got = roundtrip(&ev);
+            assert_eq!(got.kind, kind);
+            assert_eq!(got.name, ev.name);
+            assert_eq!(got.arg, ev.arg);
+            match kind {
+                EventKind::Start => {
+                    assert_eq!((got.id, got.parent), (ev.id, ev.parent));
+                }
+                EventKind::End => {
+                    assert_eq!((got.id, got.value), (ev.id, ev.value));
+                }
+                _ => assert_eq!(got.value, ev.value),
+            }
+            assert_eq!((got.tid, got.us), (ev.tid, ev.us));
+        }
+    }
+
+    #[test]
+    fn corrupted_lines_are_rejected() {
+        let line = event_line(&base(EventKind::Counter));
+        assert!(parse_event_line(&line).is_some());
+        // Flip a digit inside the body: CRC must catch it.
+        let tampered = line.replacen("12345", "12346", 1);
+        assert!(parse_event_line(&tampered).is_none());
+        // Truncation must be caught too.
+        assert!(parse_event_line(&line[..line.len() - 4]).is_none());
+    }
+
+    #[test]
+    fn file_round_trip_via_sink() {
+        let dir = std::env::temp_dir().join(format!("alive-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        {
+            let sink = Arc::new(JsonlSink::create(&path).unwrap());
+            let t = Tracer::new(Box::new(Arc::clone(&sink)));
+            {
+                let _s = t.span_with("pool.task", || "add_nsw".to_string());
+                t.counter("sat.conflicts", 4);
+            }
+            t.flush();
+            assert!(!sink.had_error());
+        }
+        let events = read_trace(&path).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Start);
+        assert_eq!(events[0].arg, "add_nsw");
+        assert_eq!(events[2].kind, EventKind::End);
+        assert_eq!(events[2].id, events[0].id);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_or_bad_header_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("alive-trace-hdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{\"journal\":\"alive-journal/v1\"}\n").unwrap();
+        assert!(matches!(read_trace(&path), Err(TraceReadError::BadHeader)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

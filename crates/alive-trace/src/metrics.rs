@@ -1,0 +1,193 @@
+//! In-memory metric aggregation: the sink behind `--metrics`.
+//!
+//! [`MetricsSink`] folds the event stream down to totals as it arrives —
+//! counter sums, last-seen gauge levels, log2 [`Histogram`]s of samples
+//! and span durations — and renders the end-of-run summary table printed
+//! to stderr. It is usually installed behind a [`TeeSink`](crate::TeeSink)
+//! next to the JSONL sink so one run feeds both the file and the table.
+
+use crate::hist::Histogram;
+use crate::{Event, EventKind, TraceSink};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct MetricsState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    samples: BTreeMap<&'static str, Histogram>,
+    spans: BTreeMap<&'static str, Histogram>,
+}
+
+/// A [`TraceSink`] aggregating events into counters, gauges, and
+/// histograms, for the `--metrics` summary table.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    state: Mutex<MetricsState>,
+}
+
+/// Renders microseconds compactly (`950us`, `12.3ms`, `4.56s`).
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+impl MetricsSink {
+    /// Creates an empty aggregator.
+    pub fn new() -> MetricsSink {
+        MetricsSink::default()
+    }
+
+    /// Final value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last-seen level of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.gauges.get(name).copied()
+    }
+
+    /// Histogram of samples recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.samples.get(name).cloned()
+    }
+
+    /// Histogram of durations (µs) of completed spans named `name`.
+    pub fn span_durations(&self, name: &str) -> Option<Histogram> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.spans.get(name).cloned()
+    }
+
+    /// The human-readable summary table (one section each for spans,
+    /// counters, gauges, and sample histograms; empty sections omitted).
+    pub fn render(&self) -> String {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        if !st.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<18} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "span", "count", "total", "mean", "p95", "max"
+            ));
+            for (name, h) in &st.spans {
+                out.push_str(&format!(
+                    "{:<18} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    name,
+                    h.count(),
+                    fmt_us(h.sum()),
+                    fmt_us(h.mean().unwrap_or(0.0) as u64),
+                    fmt_us(h.quantile(0.95).unwrap_or(0)),
+                    fmt_us(h.max().unwrap_or(0)),
+                ));
+            }
+        }
+        if !st.counters.is_empty() {
+            out.push_str(&format!("\n{:<28} {:>12}\n", "counter", "total"));
+            for (name, v) in &st.counters {
+                out.push_str(&format!("{name:<28} {v:>12}\n"));
+            }
+        }
+        if !st.gauges.is_empty() {
+            out.push_str(&format!("\n{:<28} {:>12}\n", "gauge", "last"));
+            for (name, v) in &st.gauges {
+                out.push_str(&format!("{name:<28} {v:>12}\n"));
+            }
+        }
+        if !st.samples.is_empty() {
+            out.push_str(&format!(
+                "\n{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                "histogram", "count", "min", "mean", "p95", "max"
+            ));
+            for (name, h) in &st.samples {
+                out.push_str(&format!(
+                    "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+                    name,
+                    h.count(),
+                    h.min().unwrap_or(0),
+                    h.mean().unwrap_or(0.0).round() as u64,
+                    h.quantile(0.95).unwrap_or(0),
+                    h.max().unwrap_or(0),
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn record(&self, event: &Event) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match event.kind {
+            EventKind::Start | EventKind::Mark => {}
+            EventKind::End => {
+                st.spans.entry(event.name).or_default().record(event.value);
+            }
+            EventKind::Counter => {
+                let key = if event.arg.is_empty() {
+                    event.name.to_string()
+                } else {
+                    format!("{}.{}", event.name, event.arg)
+                };
+                *st.counters.entry(key).or_insert(0) += event.value;
+            }
+            EventKind::Gauge => {
+                st.gauges.insert(event.name, event.value);
+            }
+            EventKind::Sample => {
+                st.samples
+                    .entry(event.name)
+                    .or_default()
+                    .record(event.value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+    use std::sync::Arc;
+
+    #[test]
+    fn aggregates_counters_spans_and_samples() {
+        let sink = Arc::new(MetricsSink::new());
+        let t = Tracer::new(Box::new(Arc::clone(&sink)));
+        {
+            let _s = t.span("sat.solve");
+            t.counter("sat.conflicts", 10);
+            t.counter("sat.conflicts", 5);
+            t.gauge("pool.queue_depth", 3);
+            t.sample("sat.learned_len", 8);
+            t.sample("sat.learned_len", 2);
+        }
+        assert_eq!(sink.counter("sat.conflicts"), 15);
+        assert_eq!(sink.gauge("pool.queue_depth"), Some(3));
+        let h = sink.histogram("sat.learned_len").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 10);
+        let d = sink.span_durations("sat.solve").unwrap();
+        assert_eq!(d.count(), 1);
+        let table = sink.render();
+        assert!(table.contains("sat.solve"));
+        assert!(table.contains("sat.conflicts"));
+        assert!(table.contains("15"));
+        assert!(table.contains("pool.queue_depth"));
+        assert!(table.contains("sat.learned_len"));
+    }
+
+    #[test]
+    fn fmt_us_scales() {
+        assert_eq!(fmt_us(950), "950us");
+        assert_eq!(fmt_us(12_300), "12.3ms");
+        assert_eq!(fmt_us(4_560_000), "4.56s");
+    }
+}

@@ -1,0 +1,360 @@
+//! Offline trace analysis: the engine behind `alive stats`.
+//!
+//! [`TraceStats::from_events`] replays a parsed trace per thread,
+//! validating span nesting (every `end` must match the innermost open
+//! span on its thread; spans still open at end-of-trace are legal — a
+//! detached worker never gets to close its `pool.task`), and aggregates:
+//!
+//! * per-phase totals and **self time** (duration minus child spans), so
+//!   the phase breakdown sums exactly to the traced wall time instead of
+//!   double-counting nested work;
+//! * the top-N slowest `pool.task` spans (i.e. slowest transforms);
+//! * flamegraph-style folded stacks (`root;child;leaf <self_us>`),
+//!   consumable by `inferno` / `flamegraph.pl`;
+//! * counter totals and sample histograms.
+
+use crate::hist::Histogram;
+use crate::jsonl::TraceEvent;
+use crate::EventKind;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Aggregate for one span name.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseAgg {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Summed full durations (µs); nested phases double-count here.
+    pub total_us: u64,
+    /// Summed self time (µs): duration minus time spent in child spans.
+    /// Self times across all phases partition the traced time exactly.
+    pub self_us: u64,
+}
+
+/// A nesting violation found while replaying a trace.
+#[derive(Debug)]
+pub struct NestingError {
+    /// Index of the offending event (0-based, in file order).
+    pub event: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for NestingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace event {}: {}", self.event, self.detail)
+    }
+}
+
+impl std::error::Error for NestingError {}
+
+/// One open span during replay.
+#[derive(Debug)]
+struct Open {
+    id: u64,
+    name: String,
+    arg: String,
+    child_us: u64,
+    path: String,
+}
+
+/// The aggregated view of one trace, produced by
+/// [`TraceStats::from_events`].
+#[derive(Debug, Default)]
+pub struct TraceStats {
+    /// Per-span-name aggregates, keyed by name.
+    pub phases: BTreeMap<String, PhaseAgg>,
+    /// Completed `pool.task` spans as `(transform, duration µs)`,
+    /// slowest first.
+    pub tasks: Vec<(String, u64)>,
+    /// Folded stacks: `a;b;c` path → summed self time (µs).
+    pub folded: BTreeMap<String, u64>,
+    /// Counter name → summed deltas.
+    pub counters: BTreeMap<String, u64>,
+    /// Sample name → histogram of values.
+    pub samples: BTreeMap<String, Histogram>,
+    /// Spans never closed (detached workers, torn runs).
+    pub open_spans: usize,
+    /// Span of event timestamps (first to last, µs).
+    pub wall_us: u64,
+}
+
+impl TraceStats {
+    /// Replays `events`, checking nesting per thread and aggregating.
+    pub fn from_events(events: &[TraceEvent]) -> Result<TraceStats, NestingError> {
+        let mut stats = TraceStats::default();
+        let mut stacks: HashMap<u32, Vec<Open>> = HashMap::new();
+        let mut first_us = None;
+        let mut last_us = 0u64;
+        for (i, ev) in events.iter().enumerate() {
+            first_us.get_or_insert(ev.us);
+            last_us = last_us.max(ev.us);
+            let stack = stacks.entry(ev.tid).or_default();
+            match ev.kind {
+                EventKind::Start => {
+                    let top_id = stack.last().map(|o| o.id).unwrap_or(0);
+                    if ev.parent != top_id {
+                        return Err(NestingError {
+                            event: i,
+                            detail: format!(
+                                "span {} '{}' opened under parent {} but the innermost \
+                                 open span on tid {} is {}",
+                                ev.id, ev.name, ev.parent, ev.tid, top_id
+                            ),
+                        });
+                    }
+                    let path = match stack.last() {
+                        Some(parent) => format!("{};{}", parent.path, ev.name),
+                        None => ev.name.clone(),
+                    };
+                    stack.push(Open {
+                        id: ev.id,
+                        name: ev.name.clone(),
+                        arg: ev.arg.clone(),
+                        child_us: 0,
+                        path,
+                    });
+                }
+                EventKind::End => {
+                    let Some(top) = stack.pop() else {
+                        return Err(NestingError {
+                            event: i,
+                            detail: format!(
+                                "end of span {} '{}' on tid {} with no span open",
+                                ev.id, ev.name, ev.tid
+                            ),
+                        });
+                    };
+                    if top.id != ev.id || top.name != ev.name {
+                        return Err(NestingError {
+                            event: i,
+                            detail: format!(
+                                "end of span {} '{}' does not match innermost open \
+                                 span {} '{}' on tid {}",
+                                ev.id, ev.name, top.id, top.name, ev.tid
+                            ),
+                        });
+                    }
+                    let dur = ev.value;
+                    let self_us = dur.saturating_sub(top.child_us);
+                    let agg = stats.phases.entry(top.name.clone()).or_default();
+                    agg.count += 1;
+                    agg.total_us += dur;
+                    agg.self_us += self_us;
+                    *stats.folded.entry(top.path.clone()).or_insert(0) += self_us;
+                    if top.name == "pool.task" {
+                        let label = if top.arg.is_empty() {
+                            format!("task-{}", top.id)
+                        } else {
+                            top.arg
+                        };
+                        stats.tasks.push((label, dur));
+                    }
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_us += dur;
+                    }
+                }
+                EventKind::Counter => {
+                    let key = if ev.arg.is_empty() {
+                        ev.name.clone()
+                    } else {
+                        format!("{}.{}", ev.name, ev.arg)
+                    };
+                    *stats.counters.entry(key).or_insert(0) += ev.value;
+                }
+                EventKind::Gauge | EventKind::Mark => {}
+                EventKind::Sample => {
+                    stats
+                        .samples
+                        .entry(ev.name.clone())
+                        .or_default()
+                        .record(ev.value);
+                }
+            }
+        }
+        stats.open_spans = stacks.values().map(|s| s.len()).sum();
+        stats.wall_us = last_us.saturating_sub(first_us.unwrap_or(0));
+        stats
+            .tasks
+            .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(stats)
+    }
+
+    /// Total traced self time across all phases (µs). Because self times
+    /// partition span time, this equals the summed duration of all
+    /// completed root spans.
+    pub fn total_self_us(&self) -> u64 {
+        self.phases.values().map(|a| a.self_us).sum()
+    }
+
+    /// Folded-stack output (`path self_us` per line, sorted by path),
+    /// ready for `inferno` / `flamegraph.pl`.
+    pub fn folded_output(&self) -> String {
+        let mut out = String::new();
+        for (path, us) in &self.folded {
+            out.push_str(&format!("{path} {us}\n"));
+        }
+        out
+    }
+
+    /// The human-readable report: time by phase (self-time percentages),
+    /// top-`n` slowest tasks, counters, and open-span note.
+    pub fn render(&self, n: usize) -> String {
+        let mut out = String::new();
+        let total = self.total_self_us().max(1);
+        out.push_str(&format!(
+            "{:<18} {:>8} {:>12} {:>12} {:>7}\n",
+            "phase", "count", "total", "self", "self%"
+        ));
+        let mut phases: Vec<_> = self.phases.iter().collect();
+        phases.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(b.0)));
+        for (name, agg) in phases {
+            out.push_str(&format!(
+                "{:<18} {:>8} {:>10}us {:>10}us {:>6.1}%\n",
+                name,
+                agg.count,
+                agg.total_us,
+                agg.self_us,
+                agg.self_us as f64 * 100.0 / total as f64,
+            ));
+        }
+        out.push_str(&format!(
+            "\ntraced: {}us across {} phases (wall span {}us)\n",
+            self.total_self_us(),
+            self.phases.len(),
+            self.wall_us,
+        ));
+        if !self.tasks.is_empty() {
+            out.push_str(&format!("\nslowest transforms (top {n}):\n"));
+            for (name, dur) in self.tasks.iter().take(n) {
+                out.push_str(&format!("  {dur:>10}us  {name}\n"));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("\n{:<28} {:>12}\n", "counter", "total"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<28} {v:>12}\n"));
+            }
+        }
+        if !self.samples.is_empty() {
+            out.push_str(&format!(
+                "\n{:<22} {:>8} {:>8} {:>8} {:>8}\n",
+                "histogram", "count", "mean", "p95", "max"
+            ));
+            for (name, h) in &self.samples {
+                out.push_str(&format!(
+                    "{:<22} {:>8} {:>8} {:>8} {:>8}\n",
+                    name,
+                    h.count(),
+                    h.mean().unwrap_or(0.0).round() as u64,
+                    h.quantile(0.95).unwrap_or(0),
+                    h.max().unwrap_or(0),
+                ));
+            }
+        }
+        if self.open_spans > 0 {
+            out.push_str(&format!(
+                "\nnote: {} span(s) never closed (detached or interrupted workers)\n",
+                self.open_spans
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        kind: EventKind,
+        id: u64,
+        parent: u64,
+        tid: u32,
+        us: u64,
+        name: &str,
+        value: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            kind,
+            id,
+            parent,
+            tid,
+            us,
+            name: name.to_string(),
+            arg: String::new(),
+            value,
+        }
+    }
+
+    #[test]
+    fn self_time_partitions_root_duration() {
+        // pool.task(100us) containing sat.solve(60us): self 40 + 60.
+        let mut start = ev(EventKind::Start, 1, 0, 0, 0, "pool.task", 0);
+        start.arg = "mul_shift".to_string();
+        let events = vec![
+            start,
+            ev(EventKind::Start, 2, 1, 0, 10, "sat.solve", 0),
+            ev(EventKind::End, 2, 0, 0, 70, "sat.solve", 60),
+            ev(EventKind::End, 1, 0, 0, 100, "pool.task", 100),
+        ];
+        let stats = TraceStats::from_events(&events).unwrap();
+        assert_eq!(stats.phases["pool.task"].self_us, 40);
+        assert_eq!(stats.phases["sat.solve"].self_us, 60);
+        assert_eq!(stats.total_self_us(), 100);
+        assert_eq!(stats.tasks, vec![("mul_shift".to_string(), 100)]);
+        assert_eq!(stats.folded["pool.task"], 40);
+        assert_eq!(stats.folded["pool.task;sat.solve"], 60);
+        let folded = stats.folded_output();
+        assert!(folded.contains("pool.task;sat.solve 60\n"));
+        let report = stats.render(5);
+        assert!(report.contains("sat.solve"));
+        assert!(report.contains("mul_shift"));
+    }
+
+    #[test]
+    fn mismatched_end_is_rejected() {
+        let events = vec![
+            ev(EventKind::Start, 1, 0, 0, 0, "pool.task", 0),
+            ev(EventKind::Start, 2, 1, 0, 1, "typeck", 0),
+            ev(EventKind::End, 1, 0, 0, 2, "pool.task", 2),
+        ];
+        let err = TraceStats::from_events(&events).unwrap_err();
+        assert_eq!(err.event, 2);
+        assert!(err.detail.contains("does not match"));
+    }
+
+    #[test]
+    fn end_without_start_is_rejected() {
+        let events = vec![ev(EventKind::End, 1, 0, 0, 2, "typeck", 2)];
+        assert!(TraceStats::from_events(&events).is_err());
+    }
+
+    #[test]
+    fn threads_nest_independently_and_open_spans_are_legal() {
+        let events = vec![
+            ev(EventKind::Start, 1, 0, 0, 0, "pool.task", 0),
+            ev(EventKind::Start, 2, 0, 1, 1, "pool.task", 0),
+            ev(EventKind::End, 1, 0, 0, 5, "pool.task", 5),
+            // Span 2 never ends: a detached worker. Legal.
+        ];
+        let stats = TraceStats::from_events(&events).unwrap();
+        assert_eq!(stats.open_spans, 1);
+        assert_eq!(stats.phases["pool.task"].count, 1);
+        assert!(stats.render(3).contains("never closed"));
+    }
+
+    #[test]
+    fn counters_and_samples_aggregate() {
+        let mut c = ev(EventKind::Counter, 0, 0, 0, 1, "sat.conflicts", 7);
+        c.parent = 0;
+        let events = vec![
+            c.clone(),
+            ev(EventKind::Counter, 0, 0, 1, 2, "sat.conflicts", 3),
+            ev(EventKind::Sample, 0, 0, 0, 3, "sat.learned_len", 9),
+        ];
+        let stats = TraceStats::from_events(&events).unwrap();
+        assert_eq!(stats.counters["sat.conflicts"], 10);
+        assert_eq!(stats.samples["sat.learned_len"].count(), 1);
+    }
+}

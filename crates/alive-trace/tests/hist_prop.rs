@@ -1,0 +1,50 @@
+//! Property tests for log2 histogram bucketing.
+//!
+//! The metrics layer summarizes learned-clause lengths and queue waits
+//! with power-of-two buckets; these properties pin down that bucketing
+//! round-trips arbitrary `u64` samples (every sample lies inside the
+//! bounds of its assigned bucket, and bounds invert index exactly).
+
+use alive_trace::hist::{Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Round trip: any u64 sample lands in a bucket whose inclusive
+    /// bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_sample(v in any::<u64>()) {
+        let i = Histogram::index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        let (lo, hi) = Histogram::bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+
+    /// The inverse direction: every bound value of every bucket indexes
+    /// back to that bucket (bounds are tight, not merely containing).
+    #[test]
+    fn bounds_invert_index(i in 0usize..NUM_BUCKETS) {
+        let (lo, hi) = Histogram::bounds(i);
+        prop_assert_eq!(Histogram::index(lo), i);
+        prop_assert_eq!(Histogram::index(hi), i);
+    }
+
+    /// Recording preserves count/sum/min/max and places each sample in
+    /// exactly one bucket (bucket counts sum to the sample count).
+    #[test]
+    fn record_accounts_for_every_sample(samples in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let bucket_total: u64 = (0..NUM_BUCKETS).map(|i| h.bucket(i)).sum();
+        prop_assert_eq!(bucket_total, samples.len() as u64);
+        prop_assert_eq!(h.min(), samples.iter().min().copied());
+        prop_assert_eq!(h.max(), samples.iter().max().copied());
+        if let Some(q) = h.quantile(1.0) {
+            prop_assert_eq!(Some(q), h.max());
+        }
+    }
+}

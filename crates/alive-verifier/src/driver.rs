@@ -16,16 +16,18 @@
 //!   re-run with the conflict limit multiplied, so a cheap first pass over
 //!   the corpus is followed by a slower second look at the stragglers only;
 //! * **structured reporting** — every transform yields a
-//!   [`TransformOutcome`] with verdict, wall time, per-attempt records, and
-//!   solver counters, and the whole run serializes to JSON
-//!   ([`RunReport::to_json`], schema `alive-report/v2`) even when it was
-//!   cancelled halfway.
+//!   [`TransformOutcome`] with verdict, wall time, per-attempt records,
+//!   solver counters, and per-phase timings, and the whole run serializes
+//!   to JSON ([`RunReport::to_json`], schema `alive-report/v3`) even when
+//!   it was cancelled halfway.
 //!
 //! The sequential entry point is [`run_transforms`]; the supervised
 //! parallel driver (worker pool, watchdog, crash-safe journal) lives in
 //! [`crate::pool`] and reuses [`verify_one`] per task.
 
-use crate::verify::{verify_with_certificates, verify_with_stats, Verdict, VerifyConfig};
+use crate::verify::{
+    verify_with_certificates, verify_with_stats, PhaseTimes, Verdict, VerifyConfig, VerifyStats,
+};
 use alive_ir::Transform;
 use alive_proof::Certificate;
 use alive_smt::{Budget, CancelToken};
@@ -142,6 +144,16 @@ pub struct TransformOutcome {
     pub wall: Duration,
     /// SAT conflicts spent across all attempts.
     pub conflicts: u64,
+    /// Literals propagated across all attempts.
+    pub propagations: u64,
+    /// Solver decisions across all attempts.
+    pub decisions: u64,
+    /// Solver restarts across all attempts.
+    pub restarts: u64,
+    /// CEGIS refinement rounds across all attempts.
+    pub ef_rounds: u64,
+    /// Per-phase wall time across all attempts.
+    pub phases: PhaseTimes,
     /// SMT queries issued across all attempts.
     pub queries: usize,
     /// Type assignments examined (last attempt).
@@ -169,6 +181,11 @@ impl TransformOutcome {
             certificates: Vec::new(),
             wall: Duration::ZERO,
             conflicts: 0,
+            propagations: 0,
+            decisions: 0,
+            restarts: 0,
+            ef_rounds: 0,
+            phases: PhaseTimes::default(),
             queries: 0,
             typings: 0,
             retries: 0,
@@ -216,15 +233,19 @@ impl RunReport {
         }
     }
 
-    /// Serializes the report (schema `alive-report/v2`).
+    /// Serializes the report (schema `alive-report/v3`).
+    ///
+    /// v3 extends v2 with per-transform solver counters (`propagations`,
+    /// `decisions`, `restarts`, `ef_rounds`) and a `phases` object giving
+    /// microsecond wall time per verification phase.
     ///
     /// Transforms are listed in input order, so sequential and parallel
     /// runs of the same corpus produce identical reports apart from the
-    /// volatile fields (`wall_ms`, per-attempt `wall_ms`, and `worker` —
-    /// scheduling noise by construction).
+    /// volatile fields (`wall_ms`, per-attempt `wall_ms`, `phases`, and
+    /// `worker` — scheduling noise by construction).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + self.outcomes.len() * 200);
-        s.push_str("{\n  \"schema\": \"alive-report/v2\",\n");
+        s.push_str("{\n  \"schema\": \"alive-report/v3\",\n");
         s.push_str(&format!("  \"cancelled\": {},\n", self.cancelled));
         s.push_str(&format!("  \"skipped\": {},\n", self.skipped));
         s.push_str(&format!(
@@ -251,19 +272,29 @@ impl RunReport {
             }
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"verdict\": \"{}\", \"reason\": \"{}\", \
-                 \"wall_ms\": {}, \"conflicts\": {}, \"queries\": {}, \
-                 \"typings\": {}, \"retries\": {}, \"worker\": {}, \
-                 \"resumed\": {}, \"attempts\": [{}]}}{}\n",
+                 \"wall_ms\": {}, \"conflicts\": {}, \"propagations\": {}, \
+                 \"decisions\": {}, \"restarts\": {}, \"ef_rounds\": {}, \
+                 \"queries\": {}, \"typings\": {}, \"retries\": {}, \"worker\": {}, \
+                 \"resumed\": {}, \"phases\": {{\"typeck_us\": {}, \"encode_us\": {}, \
+                 \"solve_us\": {}, \"check_us\": {}}}, \"attempts\": [{}]}}{}\n",
                 json_escape(&o.name),
                 o.kind.as_str(),
                 json_escape(&o.detail),
                 o.wall.as_millis(),
                 o.conflicts,
+                o.propagations,
+                o.decisions,
+                o.restarts,
+                o.ef_rounds,
                 o.queries,
                 o.typings,
                 o.retries,
                 o.worker,
                 o.resumed,
+                o.phases.typeck.as_micros(),
+                o.phases.encode.as_micros(),
+                o.phases.solve.as_micros(),
+                o.phases.check.as_micros(),
                 attempts,
                 if i + 1 == self.outcomes.len() {
                     ""
@@ -327,7 +358,7 @@ fn attempt(
     t: &Transform,
     config: &DriverConfig,
     budget: Budget,
-) -> (Verdict, usize, usize, u64, Vec<Certificate>) {
+) -> (Verdict, VerifyStats, Vec<Certificate>) {
     let mut vc = config.verify.clone();
     vc.ef.budget = budget;
     let caught = catch_unwind(AssertUnwindSafe(|| {
@@ -338,20 +369,12 @@ fn attempt(
         }
     }));
     match caught {
-        Ok(Ok((verdict, stats, certs))) => (
-            verdict,
-            stats.typings,
-            stats.queries,
-            stats.conflicts,
-            certs,
-        ),
+        Ok(Ok((verdict, stats, certs))) => (verdict, stats, certs),
         Ok(Err(e)) => (
             Verdict::Unknown {
                 reason: format!("error: {}", e.message),
             },
-            0,
-            0,
-            0,
+            VerifyStats::default(),
             Vec::new(),
         ),
         Err(payload) => {
@@ -366,9 +389,7 @@ fn attempt(
                 Verdict::Unknown {
                     reason: format!("internal error: {msg}"),
                 },
-                0,
-                0,
-                0,
+                VerifyStats::default(),
                 Vec::new(),
             )
         }
@@ -395,8 +416,7 @@ pub(crate) fn verify_one(
 ) -> TransformOutcome {
     let start = Instant::now();
     let mut retries = 0u32;
-    let mut conflicts_spent = 0u64;
-    let mut queries_total = 0usize;
+    let mut totals = VerifyStats::default();
     let timeout = config.timeout.map(|d| d.saturating_mul(scale.max(1)));
     let mut budget_conflicts = config
         .conflict_budget
@@ -406,13 +426,21 @@ pub(crate) fn verify_one(
         let attempt_start = Instant::now();
         let deadline = timeout.and_then(|d| attempt_start.checked_add(d));
         on_attempt(deadline);
-        let (verdict, typings, queries, conflicts, certificates) = attempt(
+        let (verdict, stats, certificates) = attempt(
             t,
             config,
             attempt_budget(deadline, budget_conflicts, cancel),
         );
-        conflicts_spent += conflicts;
-        queries_total += queries;
+        let conflicts = stats.conflicts;
+        totals.conflicts += stats.conflicts;
+        totals.propagations += stats.propagations;
+        totals.decisions += stats.decisions;
+        totals.restarts += stats.restarts;
+        totals.sat_calls += stats.sat_calls;
+        totals.ef_rounds += stats.ef_rounds;
+        totals.queries += stats.queries;
+        totals.typings = stats.typings;
+        totals.phases.absorb(&stats.phases);
         let (kind, detail) = match &verdict {
             Verdict::Valid { .. } => (OutcomeKind::Valid, verdict.to_string()),
             Verdict::Invalid(_) => (OutcomeKind::Invalid, verdict.to_string()),
@@ -449,9 +477,14 @@ pub(crate) fn verify_one(
             detail,
             certificates,
             wall: start.elapsed(),
-            conflicts: conflicts_spent,
-            queries: queries_total,
-            typings,
+            conflicts: totals.conflicts,
+            propagations: totals.propagations,
+            decisions: totals.decisions,
+            restarts: totals.restarts,
+            ef_rounds: totals.ef_rounds,
+            phases: totals.phases,
+            queries: totals.queries,
+            typings: totals.typings,
             retries,
             worker,
             resumed: false,

@@ -140,7 +140,9 @@ impl JournalRecord {
 
     /// Reconstructs a replayable outcome (marked `resumed`) from the
     /// journal form. Certificates are not journaled — `--proof` re-runs
-    /// are expected to re-verify.
+    /// are expected to re-verify. The extended v3 counters (propagations,
+    /// decisions, restarts, CEGIS rounds, per-phase timings) are not part
+    /// of the `alive-journal/v1` record and replay as zero.
     pub fn to_outcome(&self) -> TransformOutcome {
         TransformOutcome {
             name: self.name.clone(),
@@ -149,6 +151,11 @@ impl JournalRecord {
             certificates: Vec::new(),
             wall: Duration::from_millis(self.wall_ms),
             conflicts: self.conflicts,
+            propagations: 0,
+            decisions: 0,
+            restarts: 0,
+            ef_rounds: 0,
+            phases: crate::verify::PhaseTimes::default(),
             queries: self.queries as usize,
             typings: self.typings as usize,
             retries: self.retries,
@@ -577,6 +584,11 @@ mod tests {
             certificates: Vec::new(),
             wall: Duration::from_millis(12),
             conflicts: 34,
+            propagations: 120,
+            decisions: 17,
+            restarts: 1,
+            ef_rounds: 2,
+            phases: crate::verify::PhaseTimes::default(),
             queries: 5,
             typings: 2,
             retries: 1,

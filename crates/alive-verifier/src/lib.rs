@@ -50,6 +50,6 @@ pub use journal::{
 };
 pub use pool::{run_supervised, run_transforms_parallel, PoolConfig, TaskSpec};
 pub use verify::{
-    verify, verify_with_certificates, verify_with_stats, Verdict, VerifyConfig, VerifyError,
-    VerifyStats,
+    verify, verify_with_certificates, verify_with_stats, PhaseTimes, Verdict, VerifyConfig,
+    VerifyError, VerifyStats,
 };

@@ -131,7 +131,9 @@ struct Shared {
     transforms: Vec<(String, Transform)>,
     config: DriverConfig,
     grace: Duration,
-    queue: Mutex<VecDeque<TaskSpec>>,
+    /// Pending tasks with their enqueue instant, so the tracer can report
+    /// how long each task sat waiting for a worker.
+    queue: Mutex<VecDeque<(TaskSpec, Instant)>>,
     workers: Mutex<Vec<WorkerEntry>>,
     results: mpsc::Sender<(usize, TransformOutcome)>,
     shutdown: AtomicBool,
@@ -175,6 +177,16 @@ fn spawn_worker(shared: &Arc<Shared>) {
 /// The worker main loop: pull a task, verify it under a per-task token,
 /// publish the outcome — unless the watchdog detached us meanwhile.
 fn worker_loop(shared: &Arc<Shared>, slot_idx: usize, worker_id: u32) {
+    // Spans the worker's whole lifetime; its self-time (everything outside
+    // the nested pool.task spans) is the dispatch overhead — queue locking,
+    // slot bookkeeping, result publication. A detached worker never closes
+    // it, same as its task span.
+    let _worker_span = shared
+        .config
+        .verify
+        .ef
+        .tracer
+        .span_with("pool.worker", || worker_id.to_string());
     loop {
         if shared.config.cancel.is_cancelled()
             || shared.shutdown.load(Ordering::SeqCst)
@@ -182,13 +194,16 @@ fn worker_loop(shared: &Arc<Shared>, slot_idx: usize, worker_id: u32) {
         {
             return;
         }
-        let task = {
+        let (task, waited, depth_left) = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             match queue.pop_front() {
-                Some(t) => t,
+                Some((t, enqueued)) => (t, enqueued.elapsed(), queue.len() as u64),
                 None => return,
             }
         };
+        let tracer = shared.config.verify.ef.tracer.clone();
+        tracer.sample("pool.queue_wait_us", waited.as_micros() as u64);
+        tracer.gauge("pool.queue_depth", depth_left);
         let token = CancelToken::new();
         {
             let mut workers = shared.workers.lock().unwrap_or_else(|e| e.into_inner());
@@ -202,6 +217,11 @@ fn worker_loop(shared: &Arc<Shared>, slot_idx: usize, worker_id: u32) {
             slot.prior = task.prior.clone();
         }
         let (name, transform) = &shared.transforms[task.index];
+        // The task span stays open for as long as the verification runs; a
+        // worker that the watchdog detaches never closes it, which is
+        // exactly what the trace should show (readers treat still-open
+        // spans at end-of-trace as detached work).
+        let task_span = tracer.span_with("pool.task", || name.clone());
         let mut outcome = verify_one(
             name,
             transform,
@@ -214,6 +234,7 @@ fn worker_loop(shared: &Arc<Shared>, slot_idx: usize, worker_id: u32) {
                 workers[slot_idx].slot.deadline = deadline;
             },
         );
+        drop(task_span);
         // The task token is private, so "cancelled" can mean two things:
         // global cancellation, or the watchdog's deadline backstop. Keep
         // the reason honest.
@@ -297,6 +318,13 @@ fn watchdog_loop(shared: &Arc<Shared>) {
                             slot.detached = true;
                             slot.busy = false;
                             let (name, _) = &shared.transforms[slot.task];
+                            let elapsed = now.duration_since(slot.started);
+                            let worker_id = slot.worker;
+                            shared.config.verify.ef.tracer.mark(
+                                "pool.detach",
+                                || format!("worker-{worker_id} {name}"),
+                                elapsed.as_micros() as u64,
+                            );
                             let mut outcome = TransformOutcome::synthetic(
                                 name,
                                 OutcomeKind::Hung,
@@ -374,12 +402,13 @@ pub fn run_supervised(
 
     let mut remaining = tasks.len();
     let jobs = pool.jobs.max(1).min(tasks.len().max(1));
+    let spawn_span = config.verify.ef.tracer.span("pool.spawn");
     let (tx, rx) = mpsc::channel();
     let shared = Arc::new(Shared {
         transforms: transforms.to_vec(),
         config: config.clone(),
         grace: pool.grace,
-        queue: Mutex::new(tasks.into_iter().collect()),
+        queue: Mutex::new(tasks.into_iter().map(|t| (t, Instant::now())).collect()),
         workers: Mutex::new(Vec::new()),
         results: tx,
         shutdown: AtomicBool::new(false),
@@ -401,6 +430,7 @@ pub fn run_supervised(
     } else {
         None
     };
+    drop(spawn_span);
 
     let mut stopped_dispatch = false;
     while remaining > 0 {
@@ -410,6 +440,7 @@ pub fn run_supervised(
                     continue; // late duplicate after a detach race
                 }
                 if let Some((journal, keys)) = journal.as_mut() {
+                    let _span = config.verify.ef.tracer.span("journal.append");
                     if journal.append(&keys[index], &outcome).is_err() {
                         report.journal_errors += 1;
                     }

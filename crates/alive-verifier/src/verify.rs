@@ -24,6 +24,7 @@ use alive_typeck::{enumerate_typings, TypeAssignment, TypeckConfig};
 use alive_vcgen::{encode_transform, TransformEnc};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// The overall outcome of verifying one transformation.
 #[derive(Clone, Debug)]
@@ -103,6 +104,33 @@ impl VerifyConfig {
     }
 }
 
+/// Wall time spent in each verification phase, summed across typings.
+///
+/// The phases partition one verification end to end: type enumeration,
+/// term encoding (templates, ψ, check matrices), solving (quantifier-free
+/// SAT or the CEGIS loop), and counterexample re-validation/construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Enumerating feasible type assignments.
+    pub typeck: Duration,
+    /// Encoding templates and refinement-check matrices.
+    pub encode: Duration,
+    /// Discharging the checks (SAT/CEGIS).
+    pub solve: Duration,
+    /// Concretely re-validating and rendering counterexamples.
+    pub check: Duration,
+}
+
+impl PhaseTimes {
+    /// Accumulates another measurement (used when merging attempts).
+    pub fn absorb(&mut self, other: &PhaseTimes) {
+        self.typeck += other.typeck;
+        self.encode += other.encode;
+        self.solve += other.solve;
+        self.check += other.check;
+    }
+}
+
 /// Per-condition timing and statistics for one verification.
 #[derive(Clone, Debug, Default)]
 pub struct VerifyStats {
@@ -113,6 +141,31 @@ pub struct VerifyStats {
     pub queries: usize,
     /// Total SAT conflicts spent across every query.
     pub conflicts: u64,
+    /// Total literals propagated across every query.
+    pub propagations: u64,
+    /// Total decisions taken across every query.
+    pub decisions: u64,
+    /// Total solver restarts across every query.
+    pub restarts: u64,
+    /// SAT `solve` calls issued across every query.
+    pub sat_calls: u64,
+    /// CEGIS refinement rounds across every query (0 when every source was
+    /// `undef`-free).
+    pub ef_rounds: u64,
+    /// Where the wall time went.
+    pub phases: PhaseTimes,
+}
+
+impl VerifyStats {
+    /// Folds one solver outcome's counters into the running totals.
+    fn absorb_ef(&mut self, s: &alive_smt::EfStats) {
+        self.conflicts += s.conflicts;
+        self.propagations += s.propagations;
+        self.decisions += s.decisions;
+        self.restarts += s.restarts;
+        self.sat_calls += s.sat_calls;
+        self.ef_rounds += s.rounds as u64;
+    }
 }
 
 /// Verifies a transformation across all feasible type assignments.
@@ -186,17 +239,28 @@ fn verify_impl(
     config: &VerifyConfig,
     mut certificates: Option<&mut Vec<Certificate>>,
 ) -> Result<(Verdict, VerifyStats), VerifyError> {
+    // The tracer travels inside the CEGIS config so one installation covers
+    // the whole stack (driver phases here, blasting and SAT below).
+    let tracer = config.ef.tracer.clone();
+    let mut stats = VerifyStats::default();
+
     validate(t).map_err(|e| VerifyError {
         message: e.to_string(),
     })?;
-    let typings = enumerate_typings(t, &config.typeck).map_err(|e| VerifyError {
+    let typeck_start = Instant::now();
+    let typings = {
+        let _span = tracer.span("typeck");
+        enumerate_typings(t, &config.typeck)
+    }
+    .map_err(|e| VerifyError {
         message: e.to_string(),
     })?;
+    stats.phases.typeck += typeck_start.elapsed();
     let transform_name = t.name.clone().unwrap_or_else(|| "<unnamed>".to_string());
 
-    let mut stats = VerifyStats::default();
-    for typing in &typings {
+    for (typing_idx, typing) in typings.iter().enumerate() {
         stats.typings += 1;
+        let _typing_span = tracer.span_with("typing", || typing_idx.to_string());
         // Panic isolation (outer boundary): a defect anywhere in encoding,
         // solving, or counterexample construction for one typing degrades
         // the verdict to Unknown instead of tearing down the caller. The
@@ -246,6 +310,9 @@ fn check_one_typing(
     stats: &mut VerifyStats,
     mut certificates: Option<&mut Vec<Certificate>>,
 ) -> Result<TypingOutcome, VerifyError> {
+    let tracer = config.ef.tracer.clone();
+    let encode_start = Instant::now();
+    let encode_span = tracer.span("encode");
     let mut pool = TermPool::new();
     let enc = encode_transform(&mut pool, t, typing).map_err(|e| VerifyError {
         message: e.to_string(),
@@ -281,17 +348,21 @@ fn check_one_typing(
         let (matrix, evars) = memory_check_matrix(&mut pool, &enc, &exist_vars);
         checks.push((FailureKind::MemoryMismatch, matrix, evars));
     }
+    drop(encode_span);
+    stats.phases.encode += encode_start.elapsed();
 
     let want_proof = certificates.is_some();
     for (kind, matrix, evars) in checks {
         stats.queries += 1;
         // Panic isolation (inner boundary): a panic inside the solver stack
         // is reported against the condition being discharged.
+        let solve_start = Instant::now();
         let solved = catch_unwind(AssertUnwindSafe(|| {
             solve_exists_forall_full(
                 &mut pool, &evars, &univ_vars, matrix, &config.ef, want_proof,
             )
         }));
+        stats.phases.solve += solve_start.elapsed();
         let outcome = match solved {
             Ok(o) => o,
             Err(payload) => {
@@ -303,7 +374,7 @@ fn check_one_typing(
                 }));
             }
         };
-        stats.conflicts += outcome.stats.conflicts;
+        stats.absorb_ef(&outcome.stats);
         match outcome.result {
             EfResult::Unsat => {
                 if let (Some(certs), Some(transcript)) =
@@ -322,7 +393,10 @@ fn check_one_typing(
                 // reference evaluator concretely reproduces the failure,
                 // so a SAT-solver or bit-blaster bug cannot manufacture
                 // a bogus Invalid verdict.
+                let check_start = Instant::now();
+                let _span = tracer.span("check-model");
                 if !revalidate_model(&pool, matrix, &model, &univ_vars) {
+                    stats.phases.check += check_start.elapsed();
                     return Ok(TypingOutcome::Stop(Verdict::Unknown {
                         reason: format!(
                             "{kind} counterexample failed concrete re-validation \
@@ -331,6 +405,7 @@ fn check_one_typing(
                     }));
                 }
                 let cex = build_counterexample(&pool, t, &enc, &model, kind, typing.summary());
+                stats.phases.check += check_start.elapsed();
                 return Ok(TypingOutcome::Stop(Verdict::Invalid(Box::new(cex))));
             }
             EfResult::Unknown(reason) => {

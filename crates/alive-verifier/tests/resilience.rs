@@ -63,7 +63,7 @@ fn driver_classifies_and_reports_json() {
     assert_eq!(report.exit_code(), 1);
     assert_eq!(report.skipped, 0);
     let json = report.to_json();
-    assert!(json.contains("\"schema\": \"alive-report/v2\""));
+    assert!(json.contains("\"schema\": \"alive-report/v3\""));
     assert!(json.contains("\"verdict\": \"valid\""));
     assert!(json.contains("\"verdict\": \"invalid\""));
     assert!(json.contains("\"name\": \"bad\""));
@@ -72,6 +72,10 @@ fn driver_classifies_and_reports_json() {
     assert!(json.contains("\"worker\": 0"));
     assert!(json.contains("\"resumed\": false"));
     assert!(json.contains("\"hung\": 0"));
+    // v3 additions: extended solver counters and per-phase timings.
+    assert!(json.contains("\"propagations\": "));
+    assert!(json.contains("\"ef_rounds\": "));
+    assert!(json.contains("\"phases\": {\"typeck_us\": "));
 }
 
 #[test]
@@ -185,6 +189,11 @@ fn json_report_escapes_special_characters() {
             certificates: Vec::new(),
             wall: Duration::from_millis(3),
             conflicts: 1,
+            propagations: 0,
+            decisions: 0,
+            restarts: 0,
+            ef_rounds: 0,
+            phases: alive_verifier::PhaseTimes::default(),
             queries: 2,
             typings: 1,
             retries: 0,

@@ -78,16 +78,23 @@ fn tmp_path(name: &str) -> PathBuf {
     p
 }
 
-/// Masks the volatile fields (timings, worker attribution) in a v2
+/// Masks the volatile fields (timings, worker attribution) in a v3
 /// report, leaving what must be byte-identical across runs.
 fn normalize(json: &str) -> String {
     let mut out = String::with_capacity(json.len());
     let mut rest = json;
     while !rest.is_empty() {
-        let hit = ["\"wall_ms\": ", "\"worker\": "]
-            .iter()
-            .filter_map(|m| rest.find(m).map(|p| (p, m.len())))
-            .min();
+        let hit = [
+            "\"wall_ms\": ",
+            "\"worker\": ",
+            "\"typeck_us\": ",
+            "\"encode_us\": ",
+            "\"solve_us\": ",
+            "\"check_us\": ",
+        ]
+        .iter()
+        .filter_map(|m| rest.find(m).map(|p| (p, m.len())))
+        .min();
         match hit {
             Some((pos, len)) => {
                 let end = pos + len;

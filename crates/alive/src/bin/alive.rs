@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! usage: alive [OPTIONS] <file.opt>...
+//!        alive stats <trace.jsonl> [--top <n>] [--folded]
 //!   --fast            verify at widths {4,8} only
 //!   --exhaustive      verify at widths 1..=64 (slow, like the paper)
 //!   --cpp             print generated C++ for verified transformations
@@ -13,7 +14,7 @@
 //!   --budget <n>      SAT conflict budget (retries escalate it)
 //!   --retries <n>     escalating retries for budget-exhausted transforms
 //!   --keep-going      continue past invalid transforms and errors
-//!   --report <file>   write a JSON run report (schema alive-report/v2)
+//!   --report <file>   write a JSON run report (schema alive-report/v3)
 //!   --jobs <n>        verify transforms across <n> supervised workers
 //!   --grace <secs>    watchdog grace before an unresponsive worker is
 //!                     detached and its transform recorded as hung
@@ -22,7 +23,15 @@
 //!   --resume <file>   reuse verdicts from a previous run's journal, requeue
 //!                     hung/unknown entries under an escalated budget, and
 //!                     append new outcomes to the same file
+//!   --trace <file>    stream structured trace events (spans, counters,
+//!                     histogram samples) to <file> as CRC-sealed JSONL
+//!                     (schema alive-trace/v1)
+//!   --metrics         print an end-of-run metrics summary table
 //! ```
+//!
+//! `alive stats` replays a `--trace` file offline: per-phase self-time
+//! breakdown, slowest transforms, counter totals, and (with `--folded`)
+//! flamegraph-style folded stacks consumable by `flamegraph.pl`.
 //!
 //! `--fast` and `--exhaustive` contradict each other and are rejected,
 //! whatever their order. Without `--keep-going`, the first invalid
@@ -38,6 +47,7 @@
 //! (budget exhausted / unknown / hung), `64` usage error, `130`
 //! interrupted.
 
+use alive::trace::{read_trace, JsonlSink, MetricsSink, TeeSink, TraceSink, TraceStats, Tracer};
 use alive::{
     generate_cpp, infer_attributes, parse_transforms, Certificate, Transform, VerifyConfig,
 };
@@ -49,12 +59,14 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--proof <dir>] \
      [--timeout <secs>] [--budget <conflicts>] [--retries <n>] [--keep-going] \
      [--report <file.json>] [--jobs <n>] [--grace <secs>] \
-     [--journal <file>] [--resume <file>] <file.opt>...";
+     [--journal <file>] [--resume <file>] [--trace <file>] [--metrics] <file.opt>...\n\
+       alive stats <trace.jsonl> [--top <n>] [--folded]";
 
 /// Width-coverage mode; `--fast` and `--exhaustive` are order-independent
 /// and mutually exclusive.
@@ -102,6 +114,8 @@ struct Options {
     grace: Duration,
     journal_path: Option<String>,
     resume_path: Option<String>,
+    trace_path: Option<String>,
+    metrics: bool,
 }
 
 enum ParsedArgs {
@@ -130,6 +144,8 @@ fn parse_args(args: &[String]) -> ParsedArgs {
         grace: Duration::from_secs(2),
         journal_path: None,
         resume_path: None,
+        trace_path: None,
+        metrics: false,
     };
     let mut fast = false;
     let mut exhaustive = false;
@@ -157,6 +173,11 @@ fn parse_args(args: &[String]) -> ParsedArgs {
                 Some(f) => opts.resume_path = Some(f.clone()),
                 None => return usage_error("--resume requires a journal file argument"),
             },
+            "--trace" => match it.next() {
+                Some(f) => opts.trace_path = Some(f.clone()),
+                None => return usage_error("--trace requires a file argument"),
+            },
+            "--metrics" => opts.metrics = true,
             "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(secs) if secs.is_finite() && secs >= 0.0 => {
                     opts.timeout = Some(Duration::from_secs_f64(secs));
@@ -208,6 +229,17 @@ fn parse_args(args: &[String]) -> ParsedArgs {
              re-run without --resume to produce them",
         );
     }
+    if let Some(trace) = &opts.trace_path {
+        // The trace and the journal are both append-streamed JSONL files;
+        // pointing them at one path would interleave the two schemas and
+        // corrupt both. Catch it before either file is touched.
+        if Some(trace) == opts.journal_path.as_ref() || Some(trace) == opts.resume_path.as_ref() {
+            return usage_error(&format!(
+                "--trace and --journal/--resume point at the same file ({trace}); \
+                 the trace would corrupt the journal — use distinct paths"
+            ));
+        }
+    }
     if opts.files.is_empty() {
         return usage_error("no input files (try --help)");
     }
@@ -237,8 +269,76 @@ fn install_fault_plan_from_env() -> bool {
 /// `--resume` (they already exhausted the configured budget once).
 const RESUME_ESCALATION: u32 = 8;
 
+/// The `alive stats <trace.jsonl>` subcommand: replay a trace offline and
+/// print the per-phase breakdown (or folded stacks for flamegraph.pl).
+///
+/// The trace reader is strict — any line that fails its CRC or schema
+/// check aborts with exit 1, unlike the journal's torn-tail tolerance: a
+/// trace is an analysis artifact, not a recovery mechanism, and silently
+/// dropping events would skew every percentage printed below it.
+fn run_stats(args: &[String]) -> ExitCode {
+    const STATS_USAGE: &str = "usage: alive stats <trace.jsonl> [--top <n>] [--folded]";
+    let mut file: Option<String> = None;
+    let mut top = 10usize;
+    let mut folded = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => top = n,
+                _ => {
+                    eprintln!("error: --top requires a count of at least 1\n{STATS_USAGE}");
+                    return ExitCode::from(64);
+                }
+            },
+            "--folded" => folded = true,
+            "-h" | "--help" => {
+                eprintln!("{STATS_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option '{other}'\n{STATS_USAGE}");
+                return ExitCode::from(64);
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    eprintln!("error: exactly one trace file expected\n{STATS_USAGE}");
+                    return ExitCode::from(64);
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: no trace file given\n{STATS_USAGE}");
+        return ExitCode::from(64);
+    };
+    let events = match read_trace(Path::new(&file)) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match TraceStats::from_events(&events) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if folded {
+        print!("{}", stats.folded_output());
+    } else {
+        print!("{}", stats.render(top));
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("stats") {
+        return run_stats(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         ParsedArgs::Run(o) => o,
         ParsedArgs::Exit(code) => return code,
@@ -256,10 +356,43 @@ fn main() -> ExitCode {
         }
     }
 
+    // Assemble the tracer: a JSONL stream (--trace), an in-process metrics
+    // aggregator (--metrics), both behind one tee, or the disabled tracer
+    // whose per-site cost is a single branch.
+    let mut jsonl_sink: Option<Arc<JsonlSink>> = None;
+    let mut metrics_sink: Option<Arc<MetricsSink>> = None;
+    let tracer = {
+        let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+        if let Some(path) = &opts.trace_path {
+            match JsonlSink::create(Path::new(path)) {
+                Ok(s) => {
+                    let s = Arc::new(s);
+                    jsonl_sink = Some(Arc::clone(&s));
+                    sinks.push(Box::new(s));
+                }
+                Err(e) => {
+                    eprintln!("error: cannot create trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if opts.metrics {
+            let s = Arc::new(MetricsSink::new());
+            metrics_sink = Some(Arc::clone(&s));
+            sinks.push(Box::new(s));
+        }
+        match sinks.len() {
+            0 => Tracer::disabled(),
+            1 => Tracer::new(sinks.pop().expect("one sink")),
+            _ => Tracer::new(Box::new(TeeSink::new(sinks))),
+        }
+    };
+
     // Parse every file up front so the driver sees one flat corpus.
     let mut transforms: Vec<(String, Transform)> = Vec::new();
     let mut parse_failures = 0usize;
     for path in &opts.files {
+        let _parse_span = tracer.span_with("parse", || path.clone());
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
@@ -285,6 +418,9 @@ fn main() -> ExitCode {
         }
     }
 
+    // Covers config assembly, corpus fingerprinting, and journal/resume
+    // planning — closed before the driver starts so its spans don't nest.
+    let setup_span = tracer.span("setup");
     let verify_config = match opts.mode {
         WidthMode::Fast => VerifyConfig::fast(),
         WidthMode::Exhaustive => VerifyConfig {
@@ -293,8 +429,12 @@ fn main() -> ExitCode {
         },
         WidthMode::Default => VerifyConfig::default(),
     };
+    // The tracer rides inside the CEGIS config: one installation reaches
+    // the driver phases, the bit-blaster, and the SAT solver cores.
+    let mut traced_verify = verify_config.clone();
+    traced_verify.ef.tracer = tracer.clone();
     let driver = DriverConfig {
-        verify: verify_config.clone(),
+        verify: traced_verify,
         timeout: opts.timeout,
         conflict_budget: opts.budget,
         keep_going: opts.keep_going,
@@ -412,6 +552,7 @@ fn main() -> ExitCode {
 
     let mut aux_failures = 0usize;
     let mut used_slugs: HashMap<String, usize> = HashMap::new();
+    drop(setup_span);
     let report = run_supervised(
         &transforms,
         tasks,
@@ -503,6 +644,23 @@ fn main() -> ExitCode {
             report.journal_errors
         );
         aux_failures += 1;
+    }
+
+    // Flush explicitly: a worker the watchdog detached still holds a clone
+    // of the sink, so the Drop-based flush may never run in this process.
+    tracer.flush();
+    if let Some(sink) = &jsonl_sink {
+        if sink.had_error() {
+            eprintln!(
+                "warning: trace writes failed; {} is incomplete",
+                opts.trace_path.as_deref().unwrap_or("the trace file"),
+            );
+            aux_failures += 1;
+        }
+    }
+    if let Some(sink) = &metrics_sink {
+        println!();
+        print!("{}", sink.render());
     }
 
     if let Some(path) = &opts.report_path {

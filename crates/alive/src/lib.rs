@@ -69,6 +69,8 @@ pub use alive_sat as sat;
 pub use alive_smt as smt;
 /// The InstCombine corpus.
 pub use alive_suite as suite;
+/// Structured tracing, metrics, and per-phase profiling.
+pub use alive_trace as trace;
 /// Type inference and feasible-type enumeration.
 pub use alive_typeck as typeck;
 /// Verification-condition generation.

@@ -337,7 +337,7 @@ fn tiny_budget_is_inconclusive_and_retries_escalate_out_of_it() {
 }
 
 #[test]
-fn report_has_the_v2_schema_and_per_transform_entries() {
+fn report_has_the_v3_schema_and_per_transform_entries() {
     let dir = temp_dir("report");
     let f = dir.join("mix.opt");
     std::fs::write(&f, format!("{EASY}\n{BAD}")).unwrap();
@@ -351,7 +351,7 @@ fn report_has_the_v2_schema_and_per_transform_entries() {
     ]);
     assert_eq!(code, 1);
     let json = std::fs::read_to_string(&report).unwrap();
-    assert!(json.contains("\"schema\": \"alive-report/v2\""), "{json}");
+    assert!(json.contains("\"schema\": \"alive-report/v3\""), "{json}");
     for field in [
         "\"valid\": 1",
         "\"invalid\": 1",
@@ -364,6 +364,11 @@ fn report_has_the_v2_schema_and_per_transform_entries() {
         "\"verdict\": \"invalid\"",
         "\"wall_ms\"",
         "\"conflicts\"",
+        "\"propagations\"",
+        "\"decisions\"",
+        "\"restarts\"",
+        "\"ef_rounds\"",
+        "\"phases\": {\"typeck_us\": ",
         "\"retries\"",
         "\"worker\"",
         "\"resumed\": false",
@@ -382,6 +387,148 @@ fn report_has_the_v2_schema_and_per_transform_entries() {
         json.matches(']').count(),
         "{json}"
     );
+}
+
+#[test]
+fn trace_and_journal_must_be_distinct_files() {
+    let (code, _, stderr) = run(&["--trace", "same.jsonl", "--journal", "same.jsonl", "x.opt"]);
+    assert_eq!(code, 64, "{stderr}");
+    assert!(stderr.contains("same file"), "{stderr}");
+    let (code, _, stderr) = run(&["--trace", "same.jsonl", "--resume", "same.jsonl", "x.opt"]);
+    assert_eq!(code, 64, "{stderr}");
+    assert!(stderr.contains("same file"), "{stderr}");
+    // Distinct paths are fine (the run itself fails later on the missing
+    // input, not on flag validation).
+    let dir = temp_dir("trace-distinct");
+    let trace = dir.join("a.jsonl");
+    let journal = dir.join("b.jsonl");
+    let (code, _, stderr) = run(&[
+        "--trace",
+        trace.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+        "x.opt",
+    ]);
+    assert_ne!(code, 64, "{stderr}");
+}
+
+#[test]
+fn trace_flag_requires_argument() {
+    let (code, _, _) = run(&["--trace"]);
+    assert_eq!(code, 64);
+}
+
+/// Golden-file check of the trace pipeline: a corpus run with `--trace`
+/// yields a strictly-parseable `alive-trace/v1` file whose spans nest
+/// correctly per worker, and whose per-phase self-times account for the
+/// traced wall span (the `alive stats` percentages are trustworthy).
+#[test]
+fn trace_file_has_correctly_nesting_spans_and_consistent_phase_times() {
+    use alive::trace::{read_trace, TraceStats};
+
+    let dir = temp_dir("trace-golden");
+    let f = dir.join("ten.opt");
+    let mut corpus = format!("{GOOD}\n");
+    for i in 0..9 {
+        corpus.push_str(&EASY.replace("double-to-shl", &format!("easy-{i}")));
+        corpus.push('\n');
+    }
+    std::fs::write(&f, corpus).unwrap();
+    let trace = dir.join("run-trace.jsonl");
+    let (code, stdout, _) = run(&[
+        "--fast",
+        "--keep-going",
+        "--jobs",
+        "2",
+        "--trace",
+        trace.to_str().unwrap(),
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+
+    // Strict read: every line CRC-sealed and schema-valid.
+    let events = read_trace(&trace).unwrap();
+    assert!(!events.is_empty());
+    // Replay validates nesting (every End matches the innermost Start of
+    // its thread); a violation is an Err here.
+    let stats = TraceStats::from_events(&events).unwrap();
+    // No detached workers in a healthy run: every span closed.
+    assert_eq!(stats.open_spans, 0);
+    // One pool.task span per transform, each attributed by name.
+    assert_eq!(stats.tasks.len(), 10, "{:?}", stats.tasks);
+    assert!(stats.tasks.iter().any(|(n, _)| n == "not-add"));
+    // The span taxonomy of a corpus run is present.
+    for phase in ["parse", "typeck", "typing", "encode", "blast", "sat.solve"] {
+        assert!(stats.phases.contains_key(phase), "missing {phase} span");
+    }
+    // Re-run sequentially: with one worker the per-phase self-times must
+    // partition the traced interval — their sum accounts for (almost all
+    // of) the first-to-last-event wall span. Scheduling gaps between tasks
+    // are the only slack, so 5% is generous. (With --jobs 2 the sum is
+    // legitimately ~2x wall, so the partition check needs --jobs 1.)
+    let seq = dir.join("seq-trace.jsonl");
+    let (code, stdout, _) = run(&[
+        "--fast",
+        "--keep-going",
+        "--jobs",
+        "1",
+        "--trace",
+        seq.to_str().unwrap(),
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    let stats = TraceStats::from_events(&read_trace(&seq).unwrap()).unwrap();
+    let self_sum = stats.total_self_us();
+    assert!(self_sum <= stats.wall_us + 1);
+    assert!(
+        self_sum * 100 >= stats.wall_us * 95,
+        "phase self-times ({self_sum}us) cover under 95% of the traced wall span ({}us)",
+        stats.wall_us
+    );
+}
+
+#[test]
+fn stats_subcommand_renders_breakdown_and_folded_stacks() {
+    let dir = temp_dir("stats-cmd");
+    let f = dir.join("good.opt");
+    std::fs::write(&f, GOOD).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let (code, _, _) = run(&[
+        "--fast",
+        "--trace",
+        trace.to_str().unwrap(),
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+
+    let (code, stdout, _) = run(&["stats", trace.to_str().unwrap(), "--top", "3"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("phase"), "{stdout}");
+    assert!(stdout.contains("sat.solve"), "{stdout}");
+    assert!(stdout.contains("slowest transforms"), "{stdout}");
+    assert!(stdout.contains("not-add"), "{stdout}");
+
+    // Folded output: `stack;frames self_us` lines, flamegraph.pl's input.
+    let (code, stdout, _) = run(&["stats", trace.to_str().unwrap(), "--folded"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("pool.task;typing"), "{stdout}");
+    for line in stdout.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect(line);
+        assert!(!stack.is_empty(), "{line}");
+        value.parse::<u64>().expect(line);
+    }
+
+    // A corrupted trace is refused loudly, not averaged over.
+    let mangled = dir.join("mangled.jsonl");
+    let mut text = std::fs::read_to_string(&trace).unwrap();
+    let mid = text.len() / 2;
+    text.replace_range(mid..mid + 1, "~");
+    std::fs::write(&mangled, text).unwrap();
+    let (code, _, stderr) = run(&["stats", mangled.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stderr}");
+
+    let (code, _, _) = run(&["stats"]);
+    assert_eq!(code, 64);
 }
 
 #[cfg(unix)]
@@ -471,6 +618,68 @@ mod faults {
         let json = std::fs::read_to_string(&report).unwrap();
         assert!(json.contains("internal error"), "{json}");
         assert!(json.contains("\"verdict\": \"valid\""), "{json}");
+    }
+
+    /// Satellite 4: when the watchdog detaches a worker stuck on a
+    /// `hang-hard` fault (ignores budget AND cancellation), the trace must
+    /// carry a `pool.detach` mark naming the hung worker and recording the
+    /// task's elapsed time. The detached thread leaks and may still be
+    /// mid-write when the process exits, so we grep the raw text instead
+    /// of using the strict reader (a torn tail is legal here).
+    #[test]
+    fn watchdog_detach_is_recorded_in_the_trace() {
+        let dir = temp_dir("detach-trace");
+        let f = dir.join("corpus.opt");
+        let mut corpus = format!("{GOOD}\n");
+        for i in 0..4 {
+            corpus.push_str(&EASY.replace("double-to-shl", &format!("easy-{i}")));
+            corpus.push('\n');
+        }
+        std::fs::write(&f, corpus).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let out = alive_bin()
+            .env("ALIVE_FAULT", "sat:hang-hard@3")
+            .args([
+                "--fast",
+                "--keep-going",
+                "--jobs",
+                "2",
+                "--retries",
+                "0",
+                "--timeout",
+                "1",
+                "--grace",
+                "1",
+                "--trace",
+                trace.to_str().unwrap(),
+                f.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("hung"), "{stdout}");
+
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let detach = text
+            .lines()
+            .find(|l| l.contains("\"name\":\"pool.detach\""))
+            .unwrap_or_else(|| panic!("no pool.detach mark in trace:\n{text}"));
+        assert!(detach.contains("\"ev\":\"mark\""), "{detach}");
+        // The arg names the detached worker: "worker-<id> <transform>".
+        assert!(detach.contains("\"arg\":\"worker-"), "{detach}");
+        // The value is the task's elapsed time at detach: at least the
+        // 1s timeout plus the 1s grace period, in microseconds.
+        let value: u64 = detach
+            .split("\"value\":")
+            .nth(1)
+            .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|digits| digits.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable value in: {detach}"));
+        assert!(
+            value >= 1_900_000,
+            "elapsed {value}us is below timeout+grace"
+        );
     }
 
     #[test]
