@@ -1,0 +1,380 @@
+//! Lowering a typed Alive transform to the mini-LLVM IR.
+//!
+//! The paranoid oracle wants to *execute* both templates of a transform on
+//! concrete inputs through [`alive_opt::interp`] — an evaluator written
+//! independently of the SMT encoding. This module builds, for one type
+//! assignment, a pair of [`Function`]s (source and target) whose parameters
+//! are the transform's input registers, its abstract constants, and one
+//! extra parameter per non-literal constant-expression operand (the oracle
+//! evaluates those through the SMT term evaluator, where division is total
+//! per SMT-LIB, and passes the results in).
+//!
+//! One semantic wrinkle is handled here rather than in the oracle:
+//! `select` is *lazy* in the interpreter (only the chosen arm is demanded)
+//! but *strict* in the vcgen encoding (UB and poison flow from both arms).
+//! To compare like with like, `select c, t, e` is lowered to the strict
+//! mask form
+//!
+//! ```text
+//! m = sext c to w        ; all-ones or all-zeros
+//! r = (t & m) | (e & ~m)
+//! ```
+//!
+//! which demands both arms, exactly like the encoding does.
+
+use alive_ir::ast::{CExpr, ConvOp, Inst, Operand, Transform};
+use alive_opt::{Function, MInst, MValue};
+use alive_smt::BvVal;
+use alive_typeck::{Key, TypeAssignment};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a transform could not be lowered (the oracle then skips
+/// brute-forcing it; the SMT pipeline is unaffected).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not executable: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// A transform lowered to two executable functions over shared parameters.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// Executes the source template (returns the root value).
+    pub src_fn: Function,
+    /// Executes the target template (same parameters, returns the
+    /// redefined root).
+    pub tgt_fn: Function,
+    /// Input register names, in parameter order (first).
+    pub input_names: Vec<String>,
+    /// Abstract constant names, in parameter order (after the inputs).
+    pub sym_names: Vec<String>,
+    /// Constant expressions bound to the remaining parameters, with their
+    /// widths. The oracle evaluates each under the current symbol values
+    /// and passes the result as the corresponding argument.
+    pub cexprs: Vec<(CExpr, u32)>,
+}
+
+fn err(msg: impl Into<String>) -> LowerError {
+    LowerError(msg.into())
+}
+
+/// Integer width of `key` under `typing`, or an error for non-integers.
+fn int_width(typing: &TypeAssignment, key: &Key, what: &str) -> Result<u32, LowerError> {
+    match typing.get(key) {
+        Some(t) if t.is_int() => Ok(t.register_width(typing.ptr_width)),
+        Some(_) => Err(err(format!("{what} is not an integer"))),
+        None => Err(err(format!("{what} has no type"))),
+    }
+}
+
+struct Ctx<'a> {
+    typing: &'a TypeAssignment,
+    /// Register name -> lowered value.
+    env: HashMap<String, MValue>,
+    /// Constant-expression parameters discovered during the pre-pass.
+    cexprs: Vec<(CExpr, u32)>,
+    /// Parameter index for each cexpr (aligned with `cexprs`).
+    cexpr_params: Vec<u32>,
+}
+
+impl Ctx<'_> {
+    /// Lowers an operand of the statement at (`in_target`, `si`),
+    /// operand index `oi`.
+    fn operand(
+        &mut self,
+        in_target: bool,
+        si: usize,
+        oi: usize,
+        op: &Operand,
+    ) -> Result<MValue, LowerError> {
+        match op {
+            Operand::Reg(name, _) => self
+                .env
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(format!("register %{name} unbound"))),
+            Operand::Const(e, _) => {
+                let w = int_width(self.typing, &Key::Operand(in_target, si, oi), "constant")?;
+                if let CExpr::Lit(n) = e {
+                    return Ok(MValue::Const(BvVal::from_i128(w, *n)));
+                }
+                // Pre-pass registered this expression as a parameter.
+                let idx = self
+                    .cexprs
+                    .iter()
+                    .position(|(ce, cw)| ce == e && *cw == w)
+                    .ok_or_else(|| err("constant expression not registered"))?;
+                Ok(MValue::Reg(self.cexpr_params[idx]))
+            }
+            Operand::Undef(_) => Err(err("undef operand")),
+        }
+    }
+}
+
+/// Lowers a statement's instruction, pushing mini-LLVM instructions onto
+/// `f` and returning the defined value (if any).
+fn lower_inst(
+    ctx: &mut Ctx<'_>,
+    f: &mut Function,
+    in_target: bool,
+    si: usize,
+    stmt_name: Option<&str>,
+    inst: &Inst,
+) -> Result<Option<MValue>, LowerError> {
+    match inst {
+        Inst::BinOp { op, flags, a, b } => {
+            let a = ctx.operand(in_target, si, 0, a)?;
+            let b = ctx.operand(in_target, si, 1, b)?;
+            let id = f.push(MInst::Bin {
+                op: *op,
+                flags: flags.clone(),
+                a,
+                b,
+            });
+            Ok(Some(MValue::Reg(id)))
+        }
+        Inst::ICmp { pred, a, b } => {
+            let a = ctx.operand(in_target, si, 0, a)?;
+            let b = ctx.operand(in_target, si, 1, b)?;
+            let id = f.push(MInst::ICmp { pred: *pred, a, b });
+            Ok(Some(MValue::Reg(id)))
+        }
+        Inst::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let c = ctx.operand(in_target, si, 0, cond)?;
+            let t = ctx.operand(in_target, si, 1, on_true)?;
+            let e = ctx.operand(in_target, si, 2, on_false)?;
+            let name = stmt_name.ok_or_else(|| err("select without a result"))?;
+            let w = int_width(ctx.typing, &Key::Reg(name.to_string()), "select result")?;
+            // Strict mask form; see module docs.
+            let mask = MValue::Reg(f.push(MInst::Conv {
+                op: ConvOp::SExt,
+                a: c,
+                to: w,
+            }));
+            let inv = MValue::Reg(f.push(MInst::Bin {
+                op: alive_ir::BinOp::Xor,
+                flags: vec![],
+                a: mask,
+                b: MValue::Const(BvVal::ones(w)),
+            }));
+            let tm = MValue::Reg(f.push(MInst::Bin {
+                op: alive_ir::BinOp::And,
+                flags: vec![],
+                a: t,
+                b: mask,
+            }));
+            let em = MValue::Reg(f.push(MInst::Bin {
+                op: alive_ir::BinOp::And,
+                flags: vec![],
+                a: e,
+                b: inv,
+            }));
+            let id = f.push(MInst::Bin {
+                op: alive_ir::BinOp::Or,
+                flags: vec![],
+                a: tm,
+                b: em,
+            });
+            Ok(Some(MValue::Reg(id)))
+        }
+        Inst::Conv { op, arg, .. } => {
+            let a = ctx.operand(in_target, si, 0, arg)?;
+            let name = stmt_name.ok_or_else(|| err("conversion without a result"))?;
+            let to = int_width(ctx.typing, &Key::Reg(name.to_string()), "conversion result")?;
+            let from = int_width(
+                ctx.typing,
+                &match arg {
+                    Operand::Reg(n, _) => Key::Reg(n.clone()),
+                    _ => Key::Operand(in_target, si, 0),
+                },
+                "conversion operand",
+            )?;
+            match op {
+                ConvOp::ZExt | ConvOp::SExt | ConvOp::Trunc => {
+                    let id = f.push(MInst::Conv { op: *op, a, to });
+                    Ok(Some(MValue::Reg(id)))
+                }
+                ConvOp::Bitcast if from == to => {
+                    let id = f.push(MInst::Copy { a });
+                    Ok(Some(MValue::Reg(id)))
+                }
+                _ => Err(err(format!("unsupported conversion {op}"))),
+            }
+        }
+        Inst::Copy { val } => {
+            let a = ctx.operand(in_target, si, 0, val)?;
+            let id = f.push(MInst::Copy { a });
+            Ok(Some(MValue::Reg(id)))
+        }
+        Inst::Alloca { .. } | Inst::Load { .. } | Inst::Store { .. } | Inst::Gep { .. } => {
+            Err(err("memory operation"))
+        }
+        Inst::Unreachable => Err(err("unreachable")),
+    }
+}
+
+/// Lowers `t` under `typing` into an executable source/target pair.
+///
+/// # Errors
+///
+/// Returns [`LowerError`] for transforms the interpreter cannot execute:
+/// memory operations, `unreachable`, `undef` operands, pointer-typed
+/// values, and non-integer conversions.
+pub fn lower(t: &Transform, typing: &TypeAssignment) -> Result<Lowered, LowerError> {
+    // Parameter layout: inputs, then syms, then cexpr params.
+    let input_names: Vec<String> = t.inputs().iter().map(|s| s.to_string()).collect();
+    let sym_names: Vec<String> = t.constant_symbols();
+
+    let mut params: Vec<u32> = Vec::new();
+    for n in &input_names {
+        params.push(int_width(typing, &Key::Reg(n.clone()), &format!("%{n}"))?);
+    }
+    for n in &sym_names {
+        params.push(int_width(typing, &Key::Sym(n.clone()), n)?);
+    }
+
+    // Pre-pass: register every non-literal constant-expression operand as
+    // an extra parameter (deduplicated by expression and width).
+    let mut cexprs: Vec<(CExpr, u32)> = Vec::new();
+    for (in_target, stmts) in [(false, &t.source), (true, &t.target)] {
+        for (si, stmt) in stmts.iter().enumerate() {
+            for (oi, op) in stmt.inst.operands().into_iter().enumerate() {
+                if let Operand::Const(e, _) = op {
+                    if matches!(e, CExpr::Lit(_)) {
+                        continue;
+                    }
+                    let w = int_width(typing, &Key::Operand(in_target, si, oi), "constant")?;
+                    if !cexprs.iter().any(|(ce, cw)| ce == e && *cw == w) {
+                        cexprs.push((e.clone(), w));
+                    }
+                }
+            }
+        }
+    }
+    let base = params.len() as u32;
+    let cexpr_params: Vec<u32> = (0..cexprs.len() as u32).map(|i| base + i).collect();
+    for (_, w) in &cexprs {
+        params.push(*w);
+    }
+
+    let mut env: HashMap<String, MValue> = HashMap::new();
+    for (i, n) in input_names.iter().enumerate() {
+        env.insert(n.clone(), MValue::Reg(i as u32));
+    }
+
+    let mut ctx = Ctx {
+        typing,
+        env,
+        cexprs,
+        cexpr_params,
+    };
+
+    // Both templates go into one instruction stream; lazy interpretation
+    // only evaluates what each root demands.
+    let mut f = Function::new("fuzz", params);
+
+    for (si, stmt) in t.source.iter().enumerate() {
+        let v = lower_inst(
+            &mut ctx,
+            &mut f,
+            false,
+            si,
+            stmt.name.as_deref(),
+            &stmt.inst,
+        )?;
+        if let (Some(name), Some(v)) = (&stmt.name, v) {
+            ctx.env.insert(name.clone(), v);
+        }
+    }
+    let root = t.root().to_string();
+    let src_ret = *ctx
+        .env
+        .get(&root)
+        .ok_or_else(|| err("source defines no root"))?;
+
+    // Target statements shadow same-named source definitions.
+    for (si, stmt) in t.target.iter().enumerate() {
+        let v = lower_inst(&mut ctx, &mut f, true, si, stmt.name.as_deref(), &stmt.inst)?;
+        if let (Some(name), Some(v)) = (&stmt.name, v) {
+            ctx.env.insert(name.clone(), v);
+        }
+    }
+    let tgt_ret = *ctx
+        .env
+        .get(&root)
+        .ok_or_else(|| err("target does not redefine the root"))?;
+
+    let mut src_fn = f.clone();
+    src_fn.ret = src_ret;
+    let mut tgt_fn = f;
+    tgt_fn.ret = tgt_ret;
+
+    Ok(Lowered {
+        src_fn,
+        tgt_fn,
+        input_names,
+        sym_names,
+        cexprs: ctx.cexprs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alive_opt::{run, Exec, Outcome};
+    use alive_typeck::{enumerate_typings, TypeckConfig};
+
+    fn first_typing(t: &Transform) -> TypeAssignment {
+        let cfg = TypeckConfig::fast();
+        enumerate_typings(t, &cfg).unwrap().remove(0)
+    }
+
+    #[test]
+    fn lowers_and_executes_a_simple_transform() {
+        let t = alive_ir::parse_transform("%r = add i8 %x, %y\n=>\n%r = add i8 %y, %x\n").unwrap();
+        let l = lower(&t, &first_typing(&t)).unwrap();
+        let args = vec![BvVal::new(8, 3), BvVal::new(8, 4)];
+        let s = run(&l.src_fn, &args);
+        let g = run(&l.tgt_fn, &args);
+        assert_eq!(s, Outcome::Return(Exec::Val(BvVal::new(8, 7))));
+        assert_eq!(s, g);
+    }
+
+    #[test]
+    fn select_is_strict_in_both_arms() {
+        // The false arm divides by zero; the lazy interpreter would ignore
+        // it when the condition is true, but the strict lowering must not.
+        let t = alive_ir::parse_transform(
+            "%q = udiv i8 %x, 0\n%r = select i1 %c, i8 %x, %q\n=>\n%r = %x\n",
+        )
+        .unwrap();
+        let l = lower(&t, &first_typing(&t)).unwrap();
+        let args = vec![BvVal::new(1, 1), BvVal::new(8, 5)];
+        // Parameter order follows t.inputs(): %c first? inputs() walks
+        // source statements in order, so %x (from %q) comes first.
+        assert_eq!(l.input_names, vec!["x", "c"]);
+        let s = run(&l.src_fn, &[BvVal::new(8, 5), BvVal::new(1, 1)]);
+        assert_eq!(s, Outcome::Ub, "strict select must demand the UB arm");
+        let _ = args;
+    }
+
+    #[test]
+    fn memory_transforms_are_rejected() {
+        let t = alive_ir::parse_transform(
+            "%p = alloca i8, 1\nstore %v, %p\n%r = load %p\n=>\n%r = %v\n",
+        )
+        .unwrap();
+        let typings = enumerate_typings(&t, &TypeckConfig::fast()).unwrap();
+        assert!(lower(&t, &typings[0]).is_err());
+    }
+}

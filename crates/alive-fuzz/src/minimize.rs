@@ -1,0 +1,345 @@
+//! Delta-debugging minimization of failing transforms.
+//!
+//! Given a transform that triggers a failure (a panic, a hang, a paranoid
+//! disagreement, …) and a *probe* that re-runs the full pipeline and says
+//! whether a candidate still fails the same way, [`minimize`] greedily
+//! shrinks the transform until no reduction step preserves the failure:
+//!
+//! 1. drop a statement, rewiring uses of its result to one of its
+//!    operands, a fresh input, or a literal;
+//! 2. replace the precondition with `true`;
+//! 3. strip instruction attributes (`nsw`, `nuw`, `exact`);
+//! 4. replace abstract constants with small literals;
+//! 5. simplify composite constant expressions to their first symbol.
+//!
+//! Candidates that fail *differently* (including candidates that are no
+//! longer well-formed — the probe sees a validation error) are rejected,
+//! so the result always reproduces the original failure signature. The
+//! probe budget bounds total work on pathologically shrink-resistant
+//! inputs.
+
+use alive_ir::ast::{CExpr, Inst, Operand, Pred, Stmt, Transform};
+
+/// Counters describing one minimization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Probe invocations (each re-runs the pipeline).
+    pub probes: usize,
+    /// Accepted reduction steps.
+    pub accepted: usize,
+}
+
+/// Replaces every use of register `name` in `t` with `rep`.
+fn subst_reg(t: &mut Transform, name: &str, rep: &Operand) {
+    for stmt in t.source.iter_mut().chain(t.target.iter_mut()) {
+        stmt.inst.map_operands_mut(|op| {
+            if matches!(op, Operand::Reg(n, _) if n == name) {
+                // The annotation comes from the replacement; the probe
+                // re-validates and re-types the candidate anyway.
+                *op = rep.clone();
+            }
+        });
+    }
+}
+
+/// Candidate replacements for the result of a dropped statement.
+fn replacements(stmt: &Stmt) -> Vec<Operand> {
+    let mut out: Vec<Operand> = Vec::new();
+    // First choice: forward one of the instruction's own register
+    // operands (keeps the dataflow shape).
+    for op in stmt.inst.operands() {
+        if matches!(op, Operand::Reg(..)) && !out.contains(op) {
+            out.push(op.clone());
+        }
+    }
+    out.push(Operand::Const(CExpr::Lit(0), None));
+    out.push(Operand::Const(CExpr::Lit(1), None));
+    out
+}
+
+/// One round of candidate generation, cheapest-win first.
+fn candidates(t: &Transform) -> Vec<Transform> {
+    let mut out: Vec<Transform> = Vec::new();
+
+    // Drop a statement (never the final root definition of a template).
+    for (in_target, len) in [(false, t.source.len()), (true, t.target.len())] {
+        for i in 0..len {
+            let stmts = if in_target { &t.target } else { &t.source };
+            if i + 1 == len {
+                continue; // keep each template's root definition
+            }
+            let stmt = &stmts[i];
+            let name = match &stmt.name {
+                Some(n) => n.clone(),
+                None => {
+                    // store/unreachable: plain removal.
+                    let mut c = t.clone();
+                    if in_target {
+                        c.target.remove(i);
+                    } else {
+                        c.source.remove(i);
+                    }
+                    out.push(c);
+                    continue;
+                }
+            };
+            for rep in replacements(stmt) {
+                let mut c = t.clone();
+                if in_target {
+                    c.target.remove(i);
+                } else {
+                    c.source.remove(i);
+                }
+                subst_reg(&mut c, &name, &rep);
+                out.push(c);
+            }
+        }
+    }
+
+    // Precondition to true.
+    if t.pre != Pred::True {
+        let mut c = t.clone();
+        c.pre = Pred::True;
+        out.push(c);
+    }
+
+    // Strip flags.
+    for in_target in [false, true] {
+        let stmts = if in_target { &t.target } else { &t.source };
+        for (i, stmt) in stmts.iter().enumerate() {
+            if let Inst::BinOp { flags, .. } = &stmt.inst {
+                if !flags.is_empty() {
+                    let mut c = t.clone();
+                    let cs = if in_target {
+                        &mut c.target
+                    } else {
+                        &mut c.source
+                    };
+                    if let Inst::BinOp { flags, .. } = &mut cs[i].inst {
+                        flags.clear();
+                    }
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    // Abstract constants to literals; composite constant expressions to
+    // their first symbol.
+    for sym in t.constant_symbols() {
+        for lit in [0i128, 1] {
+            let mut c = t.clone();
+            subst_sym(&mut c, &sym, &CExpr::Lit(lit));
+            out.push(c);
+        }
+    }
+    for in_target in [false, true] {
+        let stmts = if in_target { &t.target } else { &t.source };
+        for (i, stmt) in stmts.iter().enumerate() {
+            for (oi, op) in stmt.inst.operands().into_iter().enumerate() {
+                if let Operand::Const(e, ann) = op {
+                    if matches!(e, CExpr::Lit(_) | CExpr::Sym(_)) {
+                        continue;
+                    }
+                    let simpler = match e.symbols().first() {
+                        Some(s) => CExpr::Sym(s.to_string()),
+                        None => CExpr::Lit(0),
+                    };
+                    let mut c = t.clone();
+                    let cs = if in_target {
+                        &mut c.target
+                    } else {
+                        &mut c.source
+                    };
+                    set_operand(&mut cs[i].inst, oi, Operand::Const(simpler, ann.clone()));
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Replaces every occurrence of symbol `sym` in constant expressions.
+fn subst_sym(t: &mut Transform, sym: &str, rep: &CExpr) {
+    fn fix_expr(e: &mut CExpr, sym: &str, rep: &CExpr) {
+        match e {
+            CExpr::Sym(s) if s == sym => *e = rep.clone(),
+            CExpr::Unop(_, a) => fix_expr(a, sym, rep),
+            CExpr::Binop(_, a, b) => {
+                fix_expr(a, sym, rep);
+                fix_expr(b, sym, rep);
+            }
+            CExpr::Fun(_, args) => {
+                for a in args {
+                    if let alive_ir::CExprArg::Expr(e) = a {
+                        fix_expr(e, sym, rep);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fn fix_pred(p: &mut Pred, sym: &str, rep: &CExpr) {
+        match p {
+            Pred::Not(a) => fix_pred(a, sym, rep),
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                fix_pred(a, sym, rep);
+                fix_pred(b, sym, rep);
+            }
+            Pred::Cmp(_, a, b) => {
+                fix_expr(a, sym, rep);
+                fix_expr(b, sym, rep);
+            }
+            Pred::Fun(_, args) => {
+                for a in args {
+                    if let alive_ir::PredArg::Expr(e) = a {
+                        fix_expr(e, sym, rep);
+                    }
+                }
+            }
+            Pred::True => {}
+        }
+    }
+    for stmt in t.source.iter_mut().chain(t.target.iter_mut()) {
+        stmt.inst.map_operands_mut(|op| {
+            if let Operand::Const(e, _) = op {
+                fix_expr(e, sym, rep);
+            }
+        });
+    }
+    fix_pred(&mut t.pre, sym, rep);
+}
+
+/// Overwrites operand `oi` of `inst`.
+fn set_operand(inst: &mut Inst, oi: usize, new: Operand) {
+    let mut i = 0usize;
+    inst.map_operands_mut(|op| {
+        if i == oi {
+            *op = new.clone();
+        }
+        i += 1;
+    });
+}
+
+/// Helper: in-place operand iteration (the AST has no mutable operand
+/// accessor; this mirrors [`Inst::operands`]'s ordering exactly).
+trait MapOperandsMut {
+    fn map_operands_mut(&mut self, f: impl FnMut(&mut Operand));
+}
+
+impl MapOperandsMut for Inst {
+    fn map_operands_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Inst::BinOp { a, b, .. } | Inst::ICmp { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Inst::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                f(cond);
+                f(on_true);
+                f(on_false);
+            }
+            Inst::Conv { arg, .. } | Inst::Copy { val: arg } => f(arg),
+            Inst::Alloca { count, .. } => f(count),
+            Inst::Load { ptr } => f(ptr),
+            Inst::Store { val, ptr } => {
+                f(val);
+                f(ptr);
+            }
+            Inst::Gep { ptr, idxs } => {
+                f(ptr);
+                for i in idxs {
+                    f(i);
+                }
+            }
+            Inst::Unreachable => {}
+        }
+    }
+}
+
+/// Shrinks `t` while `probe` keeps reporting the same failure.
+///
+/// `probe` must return `true` iff the candidate still fails with the
+/// *original* signature (callers compare [`crate::Signature`]s). The input
+/// transform itself is assumed to satisfy the probe. Work is bounded by
+/// `max_probes`.
+pub fn minimize(
+    t: &Transform,
+    mut probe: impl FnMut(&Transform) -> bool,
+    max_probes: usize,
+) -> (Transform, MinimizeStats) {
+    let mut cur = t.clone();
+    let mut stats = MinimizeStats::default();
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            if stats.probes >= max_probes {
+                return (cur, stats);
+            }
+            // Only consider candidates that actually got smaller or
+            // simpler (candidates() guarantees this by construction, but
+            // statement drops can be no-ops if the register was unused).
+            stats.probes += 1;
+            if probe(&cand) {
+                cur = cand;
+                stats.accepted += 1;
+                improved = true;
+                break; // restart candidate generation on the smaller input
+            }
+        }
+        if !improved {
+            return (cur, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake failure: "fails" whenever the source contains a udiv.
+    fn has_udiv(t: &Transform) -> bool {
+        alive_ir::validate(t).is_ok()
+            && t.source.iter().chain(t.target.iter()).any(|s| {
+                matches!(
+                    s.inst,
+                    Inst::BinOp {
+                        op: alive_ir::BinOp::UDiv,
+                        ..
+                    }
+                )
+            })
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_instruction() {
+        let t = alive_ir::parse_transform(
+            "Pre: isPowerOf2(C)\n%a = mul i8 %x, C\n%b = add i8 %a, 1\n%t = udiv i8 %b, %y\n%r = xor i8 %t, %a\n=>\n%r = xor i8 %t, %a\n",
+        )
+        .unwrap();
+        assert!(has_udiv(&t));
+        let (small, stats) = minimize(&t, has_udiv, 10_000);
+        assert!(has_udiv(&small));
+        assert!(stats.accepted > 0);
+        let insts: usize = small.source.len() + small.target.len();
+        assert!(
+            insts <= 3,
+            "expected <= 3 instructions after shrinking, got {insts}:\n{small}"
+        );
+        assert_eq!(small.pre, Pred::True);
+    }
+
+    #[test]
+    fn returns_input_when_nothing_shrinks() {
+        let t =
+            alive_ir::parse_transform("%r = udiv i8 %x, %y\n=>\n%r = udiv i8 %x, %y\n").unwrap();
+        let (small, _) = minimize(&t, has_udiv, 1000);
+        assert_eq!(small, t);
+    }
+}

@@ -1,0 +1,45 @@
+//! Replays every checked-in crash reproducer as a regression test.
+//!
+//! The `corpus/` directory holds minimized reproducers for failures the
+//! fuzzer (or its fault-injection harness) has caught, one `.opt` file
+//! per failure signature. Each must now run through the full pipeline —
+//! verification plus the paranoid audit — without panicking, hanging,
+//! disagreeing, or erroring. A regression that re-introduces one of these
+//! failures turns this test red with the entry's name.
+
+use alive_fuzz::{replay_corpus, FuzzConfig, OracleConfig};
+use alive_trace::Tracer;
+use std::path::Path;
+use std::time::Duration;
+
+#[test]
+fn checked_in_reproducers_replay_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    assert!(
+        dir.is_dir(),
+        "crash corpus directory is missing: {}",
+        dir.display()
+    );
+    let cfg = FuzzConfig {
+        // Bounded so a re-introduced hang fails fast instead of wedging CI.
+        timeout: Some(Duration::from_secs(30)),
+        conflict_budget: Some(100_000),
+        oracle: OracleConfig {
+            max_points: 1024,
+            max_typings: 4,
+            ..OracleConfig::default()
+        },
+        ..FuzzConfig::default()
+    };
+    let report = replay_corpus(&dir, &cfg, &Tracer::disabled()).unwrap();
+    assert!(report.cases > 0, "corpus unexpectedly empty");
+    assert!(
+        report.is_clean(),
+        "corpus reproducers failed again: {:#?}",
+        report
+            .failures
+            .iter()
+            .map(|f| (f.index, f.signature.slug(), f.detail.clone()))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,38 @@
+//! Property test: the grammar-aware fuzzer's generator and the printer /
+//! parser agree. Proptest drives the generator through its `(seed, index)`
+//! space (plus generator tunables), and for every generated transform:
+//!
+//! 1. printing and reparsing yields the identical AST, and
+//! 2. printing is a *fixpoint*: `print(parse(print(t))) == print(t)`.
+//!
+//! The fixpoint property is what lets the crash corpus store reproducers
+//! as plain text: a saved file reparses to exactly the transform that
+//! produced the failure.
+
+use alive_fuzz::{gen_case, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_transforms_print_parse_print_fixpoint(
+        seed in any::<u64>(),
+        index in 0u64..1024,
+        max_width in 1u32..=8,
+        max_insts in 1usize..=8,
+    ) {
+        let cfg = GenConfig {
+            max_width,
+            max_insts,
+            ..GenConfig::default()
+        };
+        let t = gen_case(seed, index, &cfg);
+        alive_ir::validate(&t).expect("generator output is well-formed");
+        let printed = t.to_string();
+        let back = alive_ir::parse_transform(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&back, &t, "AST round trip mismatch:\n{}", printed);
+        prop_assert_eq!(back.to_string(), printed, "printer is not a fixpoint");
+    }
+}

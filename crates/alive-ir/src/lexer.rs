@@ -134,13 +134,16 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its source line (1-based) for error reporting.
+/// A token with its source position (1-based line/column) for error
+/// reporting.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SpannedTok {
     /// The token.
     pub tok: Tok,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
 }
 
 /// Lexical errors.
@@ -150,11 +153,17 @@ pub struct LexError {
     pub message: String,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "lex error at line {}, col {}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -168,6 +177,30 @@ fn is_ident_continue(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_' || c == '.'
 }
 
+/// A character cursor that tracks the current 1-based line and column.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line = self.line.saturating_add(1);
+            self.col = 1;
+        } else {
+            self.col = self.col.saturating_add(1);
+        }
+        Some(c)
+    }
+}
+
 /// Tokenizes Alive source text.
 ///
 /// # Errors
@@ -175,10 +208,13 @@ fn is_ident_continue(c: char) -> bool {
 /// Returns [`LexError`] on unrecognized characters or malformed numbers.
 pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
     let mut out: Vec<SpannedTok> = Vec::new();
-    let mut line: u32 = 1;
-    let mut chars = src.chars().peekable();
+    let mut chars = Cursor {
+        chars: src.chars().peekable(),
+        line: 1,
+        col: 1,
+    };
 
-    let push = |tok: Tok, line: u32, out: &mut Vec<SpannedTok>| {
+    let push = |tok: Tok, line: u32, col: u32, out: &mut Vec<SpannedTok>| {
         // Collapse consecutive newlines and drop leading newlines.
         if tok == Tok::Newline {
             match out.last() {
@@ -187,33 +223,38 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                 _ => {}
             }
         }
-        out.push(SpannedTok { tok, line });
+        out.push(SpannedTok { tok, line, col });
     };
 
-    while let Some(&c) = chars.peek() {
+    while let Some(c) = chars.peek() {
+        // Position of the token's first character.
+        let (line, col) = (chars.line, chars.col);
         match c {
             '\n' => {
                 chars.next();
-                push(Tok::Newline, line, &mut out);
-                line += 1;
+                push(Tok::Newline, line, col, &mut out);
             }
             ' ' | '\t' | '\r' => {
                 chars.next();
             }
             ';' => {
                 // Comment to end of line.
-                for c2 in chars.by_ref() {
-                    if c2 == '\n' {
-                        push(Tok::Newline, line, &mut out);
-                        line += 1;
-                        break;
+                loop {
+                    let (nl_line, nl_col) = (chars.line, chars.col);
+                    match chars.next() {
+                        Some('\n') => {
+                            push(Tok::Newline, nl_line, nl_col, &mut out);
+                            break;
+                        }
+                        Some(_) => {}
+                        None => break,
                     }
                 }
             }
             '%' => {
                 chars.next();
                 match chars.peek() {
-                    Some(&c2) if is_ident_start(c2) || c2.is_ascii_digit() => {
+                    Some(c2) if is_ident_start(c2) || c2.is_ascii_digit() => {
                         // A register like %x / %1, except `%u` as an operator
                         // is handled by the parser via context; here `%u`
                         // would lex as register "u". The Alive corpus always
@@ -222,7 +263,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                         // register is also syntactically valid, so we lex as
                         // a register and let the parser reinterpret.
                         let mut name = String::new();
-                        while let Some(&c3) = chars.peek() {
+                        while let Some(c3) = chars.peek() {
                             if is_ident_continue(c3) {
                                 name.push(c3);
                                 chars.next();
@@ -230,14 +271,14 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                                 break;
                             }
                         }
-                        push(Tok::Reg(name), line, &mut out);
+                        push(Tok::Reg(name), line, col, &mut out);
                     }
-                    _ => push(Tok::Percent, line, &mut out),
+                    _ => push(Tok::Percent, line, col, &mut out),
                 }
             }
             '0'..='9' => {
                 let mut text = String::new();
-                while let Some(&c2) = chars.peek() {
+                while let Some(c2) = chars.peek() {
                     if c2.is_ascii_alphanumeric() {
                         text.push(c2);
                         chars.next();
@@ -251,18 +292,19 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                     text.parse::<i128>()
                 };
                 match value {
-                    Ok(v) => push(Tok::Num(v), line, &mut out),
+                    Ok(v) => push(Tok::Num(v), line, col, &mut out),
                     Err(_) => {
                         return Err(LexError {
                             message: format!("malformed number `{text}`"),
                             line,
+                            col,
                         })
                     }
                 }
             }
             c2 if is_ident_start(c2) => {
                 let mut name = String::new();
-                while let Some(&c3) = chars.peek() {
+                while let Some(c3) = chars.peek() {
                     if is_ident_continue(c3) {
                         name.push(c3);
                         chars.next();
@@ -275,82 +317,82 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                     match chars.peek() {
                         Some('<') => {
                             chars.next();
-                            if chars.peek() == Some(&'=') {
+                            if chars.peek() == Some('=') {
                                 chars.next();
-                                push(Tok::ULe, line, &mut out);
+                                push(Tok::ULe, line, col, &mut out);
                             } else {
-                                push(Tok::ULt, line, &mut out);
+                                push(Tok::ULt, line, col, &mut out);
                             }
                             continue;
                         }
                         Some('>') => {
                             chars.next();
-                            if chars.peek() == Some(&'=') {
+                            if chars.peek() == Some('=') {
                                 chars.next();
-                                push(Tok::UGe, line, &mut out);
+                                push(Tok::UGe, line, col, &mut out);
                             } else {
-                                push(Tok::UGt, line, &mut out);
+                                push(Tok::UGt, line, col, &mut out);
                             }
                             continue;
                         }
                         _ => {}
                     }
                 }
-                push(Tok::Ident(name), line, &mut out);
+                push(Tok::Ident(name), line, col, &mut out);
             }
             '=' => {
                 chars.next();
                 match chars.peek() {
                     Some('>') => {
                         chars.next();
-                        push(Tok::Arrow, line, &mut out);
+                        push(Tok::Arrow, line, col, &mut out);
                     }
                     Some('=') => {
                         chars.next();
-                        push(Tok::EqEq, line, &mut out);
+                        push(Tok::EqEq, line, col, &mut out);
                     }
-                    _ => push(Tok::Equals, line, &mut out),
+                    _ => push(Tok::Equals, line, col, &mut out),
                 }
             }
             ',' => {
                 chars.next();
-                push(Tok::Comma, line, &mut out);
+                push(Tok::Comma, line, col, &mut out);
             }
             '(' => {
                 chars.next();
-                push(Tok::LParen, line, &mut out);
+                push(Tok::LParen, line, col, &mut out);
             }
             ')' => {
                 chars.next();
-                push(Tok::RParen, line, &mut out);
+                push(Tok::RParen, line, col, &mut out);
             }
             '[' => {
                 chars.next();
-                push(Tok::LBracket, line, &mut out);
+                push(Tok::LBracket, line, col, &mut out);
             }
             ']' => {
                 chars.next();
-                push(Tok::RBracket, line, &mut out);
+                push(Tok::RBracket, line, col, &mut out);
             }
             '*' => {
                 chars.next();
-                push(Tok::Star, line, &mut out);
+                push(Tok::Star, line, col, &mut out);
             }
             '+' => {
                 chars.next();
-                push(Tok::Plus, line, &mut out);
+                push(Tok::Plus, line, col, &mut out);
             }
             '-' => {
                 chars.next();
-                push(Tok::Minus, line, &mut out);
+                push(Tok::Minus, line, col, &mut out);
             }
             '/' => {
                 chars.next();
-                if chars.peek() == Some(&'u') {
+                if chars.peek() == Some('u') {
                     chars.next();
-                    push(Tok::SlashU, line, &mut out);
+                    push(Tok::SlashU, line, col, &mut out);
                 } else {
-                    push(Tok::Slash, line, &mut out);
+                    push(Tok::Slash, line, col, &mut out);
                 }
             }
             '<' => {
@@ -358,13 +400,13 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                 match chars.peek() {
                     Some('<') => {
                         chars.next();
-                        push(Tok::Shl, line, &mut out);
+                        push(Tok::Shl, line, col, &mut out);
                     }
                     Some('=') => {
                         chars.next();
-                        push(Tok::Le, line, &mut out);
+                        push(Tok::Le, line, col, &mut out);
                     }
-                    _ => push(Tok::Lt, line, &mut out),
+                    _ => push(Tok::Lt, line, col, &mut out),
                 }
             }
             '>' => {
@@ -372,58 +414,59 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                 match chars.peek() {
                     Some('>') => {
                         chars.next();
-                        push(Tok::Shr, line, &mut out);
+                        push(Tok::Shr, line, col, &mut out);
                     }
                     Some('=') => {
                         chars.next();
-                        push(Tok::Ge, line, &mut out);
+                        push(Tok::Ge, line, col, &mut out);
                     }
-                    _ => push(Tok::Gt, line, &mut out),
+                    _ => push(Tok::Gt, line, col, &mut out),
                 }
             }
             '&' => {
                 chars.next();
-                if chars.peek() == Some(&'&') {
+                if chars.peek() == Some('&') {
                     chars.next();
-                    push(Tok::AndAnd, line, &mut out);
+                    push(Tok::AndAnd, line, col, &mut out);
                 } else {
-                    push(Tok::Amp, line, &mut out);
+                    push(Tok::Amp, line, col, &mut out);
                 }
             }
             '|' => {
                 chars.next();
-                if chars.peek() == Some(&'|') {
+                if chars.peek() == Some('|') {
                     chars.next();
-                    push(Tok::OrOr, line, &mut out);
+                    push(Tok::OrOr, line, col, &mut out);
                 } else {
-                    push(Tok::Pipe, line, &mut out);
+                    push(Tok::Pipe, line, col, &mut out);
                 }
             }
             '^' => {
                 chars.next();
-                push(Tok::Caret, line, &mut out);
+                push(Tok::Caret, line, col, &mut out);
             }
             '~' => {
                 chars.next();
-                push(Tok::Tilde, line, &mut out);
+                push(Tok::Tilde, line, col, &mut out);
             }
             '!' => {
                 chars.next();
-                if chars.peek() == Some(&'=') {
+                if chars.peek() == Some('=') {
                     chars.next();
-                    push(Tok::NotEq, line, &mut out);
+                    push(Tok::NotEq, line, col, &mut out);
                 } else {
-                    push(Tok::Bang, line, &mut out);
+                    push(Tok::Bang, line, col, &mut out);
                 }
             }
             ':' => {
                 chars.next();
-                push(Tok::Colon, line, &mut out);
+                push(Tok::Colon, line, col, &mut out);
             }
             other => {
                 return Err(LexError {
-                    message: format!("unexpected character `{other}`"),
+                    message: format!("unexpected character `{other:?}`"),
                     line,
+                    col,
                 })
             }
         }
@@ -432,12 +475,14 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
     if out.last().map(|t| t.tok != Tok::Newline).unwrap_or(false) {
         out.push(SpannedTok {
             tok: Tok::Newline,
-            line,
+            line: chars.line,
+            col: chars.col,
         });
     }
     out.push(SpannedTok {
         tok: Tok::Eof,
-        line,
+        line: chars.line,
+        col: chars.col,
     });
     Ok(out)
 }

@@ -9,18 +9,24 @@ use crate::ast::*;
 use crate::lexer::{lex, LexError, SpannedTok, Tok};
 use std::fmt;
 
-/// Parse errors with source line information.
+/// Parse errors with source line/column information.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ParseError {
     /// Human-readable message.
     pub message: String,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "parse error at line {}, col {}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -31,9 +37,18 @@ impl From<LexError> for ParseError {
         ParseError {
             message: e.message,
             line: e.line,
+            col: e.col,
         }
     }
 }
+
+/// Maximum nesting depth for recursive grammar productions (parenthesized
+/// expressions, unary chains, array types). Bounds stack growth on
+/// adversarial inputs such as a megabyte of `(` or `~`. Each level crosses
+/// the whole precedence chain (~8 stack frames), so the cap must stay well
+/// under the 2 MiB default thread stack even in debug builds; real Alive
+/// preconditions nest a handful of levels at most.
+const MAX_DEPTH: u32 = 64;
 
 /// Parses a single transformation.
 ///
@@ -60,10 +75,12 @@ pub fn parse_transform(src: &str) -> Result<Transform, ParseError> {
         0 => Err(ParseError {
             message: "no transformation found".into(),
             line: 1,
+            col: 1,
         }),
         n => Err(ParseError {
             message: format!("expected one transformation, found {n}"),
             line: 1,
+            col: 1,
         }),
     }
 }
@@ -76,7 +93,11 @@ pub fn parse_transform(src: &str) -> Result<Transform, ParseError> {
 /// Returns a [`ParseError`] describing the first syntax error.
 pub fn parse_transforms(src: &str) -> Result<Vec<Transform>, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut out = Vec::new();
     p.skip_newlines();
     while !p.at(&Tok::Eof) {
@@ -89,6 +110,7 @@ pub fn parse_transforms(src: &str) -> Result<Vec<Transform>, ParseError> {
 struct Parser {
     toks: Vec<SpannedTok>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -102,6 +124,26 @@ impl Parser {
 
     fn line(&self) -> u32 {
         self.toks[self.pos].line
+    }
+
+    fn col(&self) -> u32 {
+        self.toks[self.pos].col
+    }
+
+    /// Runs a recursive production with the nesting-depth budget charged;
+    /// the budget is released on both success and error so backtracking
+    /// (e.g. in `pred_atom`) stays balanced.
+    fn with_depth<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<T, ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("expression nesting too deep".into()));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
     }
 
     fn at(&self, t: &Tok) -> bool {
@@ -129,6 +171,7 @@ impl Parser {
         ParseError {
             message,
             line: self.line(),
+            col: self.col(),
         }
     }
 
@@ -419,9 +462,17 @@ impl Parser {
     }
 
     fn ty(&mut self) -> Result<Type, ParseError> {
+        self.with_depth(Self::ty_inner)
+    }
+
+    fn ty_inner(&mut self) -> Result<Type, ParseError> {
         let mut base = match self.bump() {
             Tok::Ident(s) if is_int_type(&s) => {
-                let w: u32 = s[1..].parse().expect("validated by is_int_type");
+                // `is_int_type` only checks the digits; the value may still
+                // overflow `u32` (e.g. `i4294967296`), so parse fallibly.
+                let w: u32 = s[1..]
+                    .parse()
+                    .map_err(|_| self.err(format!("unsupported bitwidth `{s}`")))?;
                 if w == 0 || w > 128 {
                     return Err(self.err(format!("unsupported bitwidth i{w}")));
                 }
@@ -543,6 +594,13 @@ impl Parser {
     }
 
     fn cexpr_unary(&mut self) -> Result<CExpr, ParseError> {
+        // Every recursive constant-expression path (parenthesized atoms,
+        // unary chains, function arguments) passes through here, so one
+        // depth charge bounds them all.
+        self.with_depth(Self::cexpr_unary_inner)
+    }
+
+    fn cexpr_unary_inner(&mut self) -> Result<CExpr, ParseError> {
         match self.peek() {
             Tok::Minus => {
                 self.bump();
@@ -636,6 +694,12 @@ impl Parser {
     }
 
     fn pred_unary(&mut self) -> Result<Pred, ParseError> {
+        // Covers `!` chains and parenthesized predicates (which loop back
+        // through `pred` → `pred_or` → `pred_and` → here).
+        self.with_depth(Self::pred_unary_inner)
+    }
+
+    fn pred_unary_inner(&mut self) -> Result<Pred, ParseError> {
         if self.at(&Tok::Bang) {
             self.bump();
             let p = self.pred_unary()?;

@@ -1,0 +1,114 @@
+//! Fuzz smoke tests: the lexer and parser must never panic, whatever bytes
+//! they are fed. They may (and usually do) return errors — the contract is
+//! that every failure is a structured [`alive_ir::ParseError`] with
+//! line/column info, not a process abort.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Characters the lexer actually accepts, to bias generation toward inputs
+/// that get past the first token.
+const ALPHABET: &[u8] = b"abcxyzCXR%=><!&|^~+-*/,()[]:_.0123456789 \t\r\n;iu";
+
+fn random_bytes(rng: &mut StdRng, len: usize) -> String {
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                ALPHABET[rng.gen_range(0..ALPHABET.len())] as char
+            } else {
+                // Arbitrary unicode, including NUL and multi-byte chars.
+                char::from_u32(rng.gen_range(0u32..0x1_0000)).unwrap_or('\u{fffd}')
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn lexer_and_parser_never_panic_on_random_bytes() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..2000 {
+        let len = rng.gen_range(0..160);
+        let src = random_bytes(&mut rng, len);
+        // Must return Ok or Err, never panic.
+        let _ =
+            std::panic::catch_unwind(|| alive_ir::parse_transforms(&src)).unwrap_or_else(|_| {
+                panic!("parser panicked on case {case}: {src:?}");
+            });
+    }
+}
+
+#[test]
+fn parser_never_panics_on_mutated_corpus_text() {
+    let seeds = [
+        "Pre: C2 == 0 && MaskedValueIsZero(%V, ~C1)\n%t0 = or %B, %V\n%t1 = and %t0, C1\n%t2 = and %B, C2\n%R = or %t1, %t2\n=>\n%R = and %t0, (C1 | C2)\n",
+        "%1 = xor %x, -1\n%2 = add %1, C\n=>\n%2 = sub C-1, %x\n",
+        "%r = zext i8 %x to i16\n=>\n%r = zext i8 %x to i16\n",
+        "%p = alloca i8, 4\n%v = load %p\nstore %v, %q\n%r = load %q\n=>\n%r = %v\n",
+    ];
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..2000 {
+        let mut src: Vec<u8> = seeds[rng.gen_range(0..seeds.len())].as_bytes().to_vec();
+        for _ in 0..rng.gen_range(1..8usize) {
+            match rng.gen_range(0..3u32) {
+                0 if !src.is_empty() => {
+                    let i = rng.gen_range(0..src.len());
+                    src[i] = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+                }
+                1 if !src.is_empty() => {
+                    src.remove(rng.gen_range(0..src.len()));
+                }
+                _ => {
+                    let i = rng.gen_range(0..=src.len());
+                    src.insert(i, ALPHABET[rng.gen_range(0..ALPHABET.len())]);
+                }
+            }
+        }
+        let src = String::from_utf8_lossy(&src).into_owned();
+        let _ =
+            std::panic::catch_unwind(|| alive_ir::parse_transforms(&src)).unwrap_or_else(|_| {
+                panic!("parser panicked on mutated case {case}: {src:?}");
+            });
+    }
+}
+
+#[test]
+fn oversized_width_literal_is_an_error_not_a_panic() {
+    let err = alive_ir::parse_transform("%r = add i4294967296 %x, 1\n=>\n%r = %x\n").unwrap_err();
+    assert!(
+        err.message.contains("bitwidth"),
+        "unexpected message: {}",
+        err.message
+    );
+}
+
+#[test]
+fn deep_nesting_is_an_error_not_a_stack_overflow() {
+    // ~64k of `(` would overflow the stack without a depth cap.
+    let mut src = String::from("%r = add %x, ");
+    src.push_str(&"(".repeat(65_536));
+    let err = alive_ir::parse_transform(&src).unwrap_err();
+    assert!(
+        err.message.contains("nesting too deep"),
+        "unexpected message: {}",
+        err.message
+    );
+
+    let mut pred = String::from("Pre: ");
+    pred.push_str(&"!".repeat(65_536));
+    pred.push_str("true\n%r = add %x, 1\n=>\n%r = %x\n");
+    let err = alive_ir::parse_transform(&pred).unwrap_err();
+    assert!(
+        err.message.contains("nesting too deep"),
+        "unexpected message: {}",
+        err.message
+    );
+}
+
+#[test]
+fn errors_carry_line_and_col() {
+    let err = alive_ir::parse_transform("%r = add %x, 1\n=>\n%r = bogus %x\n").unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.col > 1);
+    let shown = err.to_string();
+    assert!(shown.contains("line 3"), "missing line in: {shown}");
+    assert!(shown.contains("col"), "missing col in: {shown}");
+}

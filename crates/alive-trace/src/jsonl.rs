@@ -440,6 +440,95 @@ pub fn read_trace(path: &Path) -> Result<Vec<TraceEvent>, TraceReadError> {
     Ok(events)
 }
 
+/// Result of a [lenient](read_trace_lenient) trace load: every event that
+/// was readable before the first defect, plus a human-readable warning if
+/// anything was wrong with the file.
+#[derive(Debug)]
+pub struct LenientTrace {
+    /// Events read before the first malformed line (all of them if the
+    /// file is intact).
+    pub events: Vec<TraceEvent>,
+    /// Present when the file was empty, missing its header, or had a torn
+    /// or corrupt tail; describes what was skipped.
+    pub warning: Option<String>,
+}
+
+/// Loads a trace file tolerantly: an empty file, a missing/corrupt header,
+/// or a torn tail (e.g. the process died mid-write) yields the readable
+/// prefix plus a warning instead of an error. *Mid-file* corruption — a
+/// bad record with valid records after it — is still refused loudly
+/// ([`TraceReadError::BadLine`]): that is damage, not an interrupted
+/// write, and silently averaging over half a trace would mislead.
+/// Interactive consumers (`alive stats`) use this; CI validation keeps
+/// the strict [`read_trace`].
+pub fn read_trace_lenient(path: &Path) -> Result<LenientTrace, TraceReadError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut events = Vec::new();
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        None => {
+            return Ok(LenientTrace {
+                events,
+                warning: Some("trace file is empty".into()),
+            })
+        }
+        Some(Err(e)) => {
+            return Ok(LenientTrace {
+                events,
+                warning: Some(format!("trace header unreadable ({e}); no events loaded")),
+            })
+        }
+        Some(Ok(h)) => h,
+    };
+    if parse_header(&header).is_none() {
+        return Ok(LenientTrace {
+            events,
+            warning: Some(format!(
+                "not an {TRACE_SCHEMA} trace (bad or truncated header line); no events loaded"
+            )),
+        });
+    }
+    let mut numbered = lines.enumerate();
+    while let Some((i, line)) = numbered.next() {
+        let lineno = i + 2;
+        let torn = |what: String, events: Vec<TraceEvent>| LenientTrace {
+            warning: Some(format!(
+                "{what} at line {lineno}; showing the {} events before it",
+                events.len()
+            )),
+            events,
+        };
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => return Ok(torn(format!("unreadable trace data ({e})"), events)),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        match parse_event_line(&line) {
+            Some(ev) => events.push(ev),
+            None => {
+                // Torn tail vs. mid-file damage: if any *later* line still
+                // parses, the writer did not die here — the file is
+                // corrupt, and the prefix would be a misleading sample.
+                for (_, later) in numbered.by_ref() {
+                    let Ok(later) = later else { break };
+                    if !later.is_empty() && parse_event_line(&later).is_some() {
+                        return Err(TraceReadError::BadLine(lineno));
+                    }
+                }
+                // A torn tail from an interrupted writer: keep the prefix.
+                return Ok(torn("torn or corrupt trace record".into(), events));
+            }
+        }
+    }
+    Ok(LenientTrace {
+        events,
+        warning: None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,7 +61,10 @@ pub mod metrics;
 pub mod stats;
 
 pub use hist::Histogram;
-pub use jsonl::{read_trace, JsonlSink, TraceEvent, TraceReadError, TRACE_SCHEMA};
+pub use jsonl::{
+    read_trace, read_trace_lenient, JsonlSink, LenientTrace, TraceEvent, TraceReadError,
+    TRACE_SCHEMA,
+};
 pub use metrics::MetricsSink;
 pub use stats::TraceStats;
 

@@ -4,6 +4,10 @@
 //! ```text
 //! usage: alive [OPTIONS] <file.opt>...
 //!        alive stats <trace.jsonl> [--top <n>] [--folded]
+//!        alive fuzz [--seed <n>] [--cases <n>] [--max-width <bits>]
+//!                   [--max-insts <n>] [--jobs <n>] [--timeout <secs>]
+//!                   [--budget <conflicts>] [--corpus <dir>] [--no-minimize]
+//!                   [--trace <file>] [--replay <dir>]
 //!   --fast            verify at widths {4,8} only
 //!   --exhaustive      verify at widths 1..=64 (slow, like the paper)
 //!   --cpp             print generated C++ for verified transformations
@@ -27,11 +31,21 @@
 //!                     histogram samples) to <file> as CRC-sealed JSONL
 //!                     (schema alive-trace/v1)
 //!   --metrics         print an end-of-run metrics summary table
+//!   --paranoid        re-check every verdict with the differential
+//!                     oracle: certificates re-verified independently,
+//!                     small-width verdicts brute-forced through the
+//!                     concrete interpreter; any disagreement exits 1
 //! ```
 //!
 //! `alive stats` replays a `--trace` file offline: per-phase self-time
 //! breakdown, slowest transforms, counter totals, and (with `--folded`)
 //! flamegraph-style folded stacks consumable by `flamegraph.pl`.
+//!
+//! `alive fuzz` generates seeded random transforms, verifies them through
+//! the supervised pool, audits every verdict with the paranoid oracle,
+//! shrinks failures with the delta-debugging minimizer, and persists
+//! reproducers to a crash corpus (`--corpus`); `--replay <dir>` re-runs a
+//! checked-in corpus as a regression suite instead.
 //!
 //! `--fast` and `--exhaustive` contradict each other and are rejected,
 //! whatever their order. Without `--keep-going`, the first invalid
@@ -47,7 +61,10 @@
 //! (budget exhausted / unknown / hung), `64` usage error, `130`
 //! interrupted.
 
-use alive::trace::{read_trace, JsonlSink, MetricsSink, TeeSink, TraceSink, TraceStats, Tracer};
+use alive::fuzz::{paranoid_audit, replay_corpus, run_fuzz, FuzzConfig, OracleConfig};
+use alive::trace::{
+    read_trace_lenient, JsonlSink, MetricsSink, TeeSink, TraceSink, TraceStats, Tracer,
+};
 use alive::{
     generate_cpp, infer_attributes, parse_transforms, Certificate, Transform, VerifyConfig,
 };
@@ -65,8 +82,12 @@ use std::time::Duration;
 const USAGE: &str = "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--proof <dir>] \
      [--timeout <secs>] [--budget <conflicts>] [--retries <n>] [--keep-going] \
      [--report <file.json>] [--jobs <n>] [--grace <secs>] \
-     [--journal <file>] [--resume <file>] [--trace <file>] [--metrics] <file.opt>...\n\
-       alive stats <trace.jsonl> [--top <n>] [--folded]";
+     [--journal <file>] [--resume <file>] [--trace <file>] [--metrics] \
+     [--paranoid] <file.opt>...\n\
+       alive stats <trace.jsonl> [--top <n>] [--folded]\n\
+       alive fuzz [--seed <n>] [--cases <n>] [--max-width <bits>] [--max-insts <n>] \
+     [--jobs <n>] [--timeout <secs>] [--budget <conflicts>] [--corpus <dir>] \
+     [--no-minimize] [--trace <file>] [--replay <dir>]";
 
 /// Width-coverage mode; `--fast` and `--exhaustive` are order-independent
 /// and mutually exclusive.
@@ -116,6 +137,7 @@ struct Options {
     resume_path: Option<String>,
     trace_path: Option<String>,
     metrics: bool,
+    paranoid: bool,
 }
 
 enum ParsedArgs {
@@ -146,6 +168,7 @@ fn parse_args(args: &[String]) -> ParsedArgs {
         resume_path: None,
         trace_path: None,
         metrics: false,
+        paranoid: false,
     };
     let mut fast = false;
     let mut exhaustive = false;
@@ -178,6 +201,7 @@ fn parse_args(args: &[String]) -> ParsedArgs {
                 None => return usage_error("--trace requires a file argument"),
             },
             "--metrics" => opts.metrics = true,
+            "--paranoid" => opts.paranoid = true,
             "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(secs) if secs.is_finite() && secs >= 0.0 => {
                     opts.timeout = Some(Duration::from_secs_f64(secs));
@@ -229,6 +253,12 @@ fn parse_args(args: &[String]) -> ParsedArgs {
              re-run without --resume to produce them",
         );
     }
+    if opts.resume_path.is_some() && opts.paranoid {
+        return usage_error(
+            "--paranoid audits live verdicts; journal-replayed verdicts carry no \
+             certificates — re-run without --resume to audit them",
+        );
+    }
     if let Some(trace) = &opts.trace_path {
         // The trace and the journal are both append-streamed JSONL files;
         // pointing them at one path would interleave the two schemas and
@@ -272,10 +302,11 @@ const RESUME_ESCALATION: u32 = 8;
 /// The `alive stats <trace.jsonl>` subcommand: replay a trace offline and
 /// print the per-phase breakdown (or folded stacks for flamegraph.pl).
 ///
-/// The trace reader is strict — any line that fails its CRC or schema
-/// check aborts with exit 1, unlike the journal's torn-tail tolerance: a
-/// trace is an analysis artifact, not a recovery mechanism, and silently
-/// dropping events would skew every percentage printed below it.
+/// The trace is loaded leniently: an empty file, a missing header, or a
+/// torn tail (the traced process was killed mid-write) degrades to the
+/// readable prefix plus a stderr warning rather than an error — the
+/// percentages are then explicitly marked as partial by that warning. CI
+/// schema validation keeps using the strict reader.
 fn run_stats(args: &[String]) -> ExitCode {
     const STATS_USAGE: &str = "usage: alive stats <trace.jsonl> [--top <n>] [--folded]";
     let mut file: Option<String> = None;
@@ -312,8 +343,13 @@ fn run_stats(args: &[String]) -> ExitCode {
         eprintln!("error: no trace file given\n{STATS_USAGE}");
         return ExitCode::from(64);
     };
-    let events = match read_trace(Path::new(&file)) {
-        Ok(evs) => evs,
+    let events = match read_trace_lenient(Path::new(&file)) {
+        Ok(loaded) => {
+            if let Some(w) = &loaded.warning {
+                eprintln!("warning: {file}: {w}");
+            }
+            loaded.events
+        }
         Err(e) => {
             eprintln!("error: {file}: {e}");
             return ExitCode::FAILURE;
@@ -334,10 +370,174 @@ fn run_stats(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `alive fuzz` subcommand: generate seeded random transforms, verify
+/// them, audit every verdict with the paranoid oracle, shrink failures,
+/// and persist reproducers. `--replay <dir>` re-runs a checked-in corpus
+/// as a regression suite instead of generating fresh cases.
+fn run_fuzz_cmd(args: &[String]) -> ExitCode {
+    const FUZZ_USAGE: &str = "usage: alive fuzz [--seed <n>] [--cases <n>] \
+         [--max-width <bits>] [--max-insts <n>] [--jobs <n>] [--timeout <secs>] \
+         [--budget <conflicts>] [--corpus <dir>] [--no-minimize] [--trace <file>] \
+         [--replay <dir>]";
+    let fuzz_usage_error = |msg: &str| -> ExitCode {
+        eprintln!("error: {msg}\n{FUZZ_USAGE}");
+        ExitCode::from(64)
+    };
+    let mut cfg = FuzzConfig {
+        cases: 500,
+        ..FuzzConfig::default()
+    };
+    let mut replay: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => cfg.seed = n,
+                None => return fuzz_usage_error("--seed requires an integer"),
+            },
+            "--cases" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => cfg.cases = n,
+                None => return fuzz_usage_error("--cases requires a count"),
+            },
+            "--max-width" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if (1..=64).contains(&n) => cfg.gen.max_width = n,
+                _ => return fuzz_usage_error("--max-width requires a bitwidth in 1..=64"),
+            },
+            "--max-insts" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.gen.max_insts = n,
+                _ => return fuzz_usage_error("--max-insts requires a count of at least 1"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.jobs = n,
+                _ => return fuzz_usage_error("--jobs requires a worker count of at least 1"),
+            },
+            "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs >= 0.0 => {
+                    cfg.timeout = Some(Duration::from_secs_f64(secs));
+                }
+                _ => {
+                    return fuzz_usage_error("--timeout requires a non-negative number of seconds")
+                }
+            },
+            "--budget" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => cfg.conflict_budget = Some(n),
+                None => return fuzz_usage_error("--budget requires a conflict count"),
+            },
+            "--corpus" => match it.next() {
+                Some(d) => cfg.corpus_dir = Some(d.into()),
+                None => return fuzz_usage_error("--corpus requires a directory argument"),
+            },
+            "--replay" => match it.next() {
+                Some(d) => replay = Some(d.clone()),
+                None => return fuzz_usage_error("--replay requires a corpus directory argument"),
+            },
+            "--no-minimize" => cfg.minimize = false,
+            "--trace" => match it.next() {
+                Some(f) => trace_path = Some(f.clone()),
+                None => return fuzz_usage_error("--trace requires a file argument"),
+            },
+            "-h" | "--help" => {
+                eprintln!("{FUZZ_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fuzz_usage_error(&format!("unexpected argument '{other}'")),
+        }
+    }
+    #[cfg(feature = "fault-injection")]
+    if !install_fault_plan_from_env() {
+        return ExitCode::from(64);
+    }
+    let mut jsonl_sink: Option<Arc<JsonlSink>> = None;
+    let tracer = match &trace_path {
+        Some(path) => match JsonlSink::create(Path::new(path)) {
+            Ok(s) => {
+                let s = Arc::new(s);
+                jsonl_sink = Some(Arc::clone(&s));
+                Tracer::new(Box::new(s))
+            }
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Tracer::disabled(),
+    };
+    let report = if let Some(dir) = &replay {
+        match replay_corpus(Path::new(dir), &cfg, &tracer) {
+            Ok(r) => {
+                println!("replay: {} reproducer(s) from {dir}", r.cases);
+                r
+            }
+            Err(e) => {
+                eprintln!("error: {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "fuzz: seed {}, {} cases, widths 1..={}, jobs {}",
+            cfg.seed, cfg.cases, cfg.gen.max_width, cfg.jobs
+        );
+        run_fuzz(&cfg, &tracer)
+    };
+    for f in &report.failures {
+        println!("----------------------------------------");
+        println!(
+            "FAILURE {} (case {}): {}",
+            f.signature.slug(),
+            f.index,
+            f.detail
+        );
+        let repro = f.minimized.as_ref().unwrap_or(&f.transform);
+        let text = repro.to_string();
+        print!("{text}");
+        if !text.ends_with('\n') {
+            println!();
+        }
+        if f.shrink_steps > 0 {
+            println!("(minimized in {} accepted shrink steps)", f.shrink_steps);
+        }
+        if let Some(p) = &f.saved {
+            println!("reproducer saved: {}", p.display());
+        }
+    }
+    println!("----------------------------------------");
+    println!(
+        "{} case(s): {} valid, {} invalid, {} unknown, {} errors, {} failure signature(s)",
+        report.cases,
+        report.valid,
+        report.invalid,
+        report.unknown,
+        report.errors,
+        report.failures.len(),
+    );
+    println!(
+        "paranoid: {} concrete point(s) checked, {} audit(s) skipped",
+        report.points_checked, report.audits_skipped
+    );
+    println!(
+        "digest: {:016x} ({:.1}s)",
+        report.digest,
+        report.wall.as_secs_f64()
+    );
+    tracer.flush();
+    if let Some(sink) = &jsonl_sink {
+        if sink.had_error() {
+            eprintln!("warning: trace writes failed; the trace file is incomplete");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::from(report.exit_code())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("stats") {
         return run_stats(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return run_fuzz_cmd(&args[1..]);
     }
     let opts = match parse_args(&args) {
         ParsedArgs::Run(o) => o,
@@ -439,7 +639,7 @@ fn main() -> ExitCode {
         conflict_budget: opts.budget,
         keep_going: opts.keep_going,
         max_retries: opts.retries,
-        with_certificates: opts.proof_dir.is_some(),
+        with_certificates: opts.proof_dir.is_some() || opts.paranoid,
         ..DriverConfig::default()
     };
     let pool = PoolConfig {
@@ -551,6 +751,8 @@ fn main() -> ExitCode {
     }
 
     let mut aux_failures = 0usize;
+    let mut paranoid_disagreements = 0usize;
+    let paranoid_cfg = OracleConfig::default();
     let mut used_slugs: HashMap<String, usize> = HashMap::new();
     drop(setup_span);
     let report = run_supervised(
@@ -613,6 +815,28 @@ fn main() -> ExitCode {
                 OutcomeKind::Error => println!("error: {}", outcome.detail),
                 OutcomeKind::Hung => println!("Hung: {}", outcome.detail),
             }
+            if opts.paranoid {
+                let audit = paranoid_audit(
+                    &transforms[i].1,
+                    outcome.kind,
+                    &outcome.certificates,
+                    &verify_config,
+                    &paranoid_cfg,
+                );
+                if audit.is_clean() {
+                    if audit.points_checked > 0 {
+                        println!(
+                            "paranoid: agreed ({} concrete point(s) over {} typing(s))",
+                            audit.points_checked, audit.typings_checked
+                        );
+                    }
+                } else {
+                    for d in &audit.disagreements {
+                        println!("paranoid: DISAGREEMENT: {d}");
+                    }
+                    paranoid_disagreements += audit.disagreements.len();
+                }
+            }
         },
     );
 
@@ -638,6 +862,13 @@ fn main() -> ExitCode {
             ""
         },
     );
+    if paranoid_disagreements > 0 {
+        eprintln!(
+            "error: paranoid mode found {paranoid_disagreements} disagreement(s) \
+             between the verifier and the differential oracle"
+        );
+        aux_failures += 1;
+    }
     if report.journal_errors > 0 {
         eprintln!(
             "warning: {} journal append(s) failed; --resume would re-verify them",

@@ -57,6 +57,8 @@
 
 /// C++ code generation.
 pub use alive_codegen as codegen;
+/// Grammar-aware fuzzing and the paranoid differential oracle.
+pub use alive_fuzz as fuzz;
 /// The Alive DSL front end.
 pub use alive_ir as ir;
 /// The mini-LLVM substrate (pass, interpreter, workloads).

@@ -573,6 +573,124 @@ fn sigint_cancels_cooperatively_and_still_writes_the_report() {
     }
 }
 
+/// Satellite 2: an empty trace file must degrade to an empty (but
+/// rendered) report plus a stderr warning, not an error.
+#[test]
+fn stats_on_empty_trace_degrades_gracefully() {
+    let dir = temp_dir("stats-empty");
+    let f = dir.join("empty.jsonl");
+    std::fs::write(&f, "").unwrap();
+    let (code, stdout, stderr) = run(&["stats", f.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stderr.contains("empty"), "{stderr}");
+}
+
+/// Satellite 2: a torn tail (the traced process died mid-write) must
+/// degrade to the readable prefix plus a warning.
+#[test]
+fn stats_on_torn_trace_uses_the_readable_prefix() {
+    let dir = temp_dir("stats-torn");
+    let f = dir.join("good.opt");
+    std::fs::write(&f, EASY).unwrap();
+    let trace = dir.join("trace.jsonl");
+    let out = alive_bin()
+        .args([
+            "--fast",
+            "--trace",
+            trace.to_str().unwrap(),
+            f.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // Tear the last line in half, as if the process was killed mid-write.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.len() > 16, "trace unexpectedly tiny: {text}");
+    std::fs::write(&trace, &text.as_bytes()[..text.len() - 9]).unwrap();
+    let (code, stdout, stderr) = run(&["stats", trace.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stderr.contains("warning"), "{stderr}");
+    assert!(!stdout.is_empty(), "no report rendered");
+}
+
+/// The fuzz subcommand: a small fixed-seed run must be clean, and the
+/// digest must not depend on the worker count.
+#[test]
+fn fuzz_smoke_run_is_clean_and_deterministic() {
+    let digest_of = |stdout: &str| {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix("digest: "))
+            .map(|rest| rest.split_whitespace().next().unwrap().to_string())
+            .unwrap_or_else(|| panic!("no digest line in:\n{stdout}"))
+    };
+    let args = ["fuzz", "--seed", "7", "--cases", "40", "--max-width", "4"];
+    let (c1, o1, e1) = run(&args);
+    assert_eq!(c1, 0, "stdout:\n{o1}\nstderr:\n{e1}");
+    let (c2, o2, _) = run(&[
+        "fuzz",
+        "--seed",
+        "7",
+        "--cases",
+        "40",
+        "--max-width",
+        "4",
+        "--jobs",
+        "2",
+    ]);
+    assert_eq!(c2, 0, "{o2}");
+    assert_eq!(digest_of(&o1), digest_of(&o2));
+}
+
+#[test]
+fn fuzz_rejects_bad_arguments() {
+    for args in [
+        &["fuzz", "--cases"][..],
+        &["fuzz", "--max-width", "0"][..],
+        &["fuzz", "--jobs", "0"][..],
+        &["fuzz", "stray-positional"][..],
+    ] {
+        let (code, _, stderr) = run(args);
+        assert_eq!(code, 64, "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn fuzz_replay_of_a_missing_corpus_is_an_error() {
+    let dir = temp_dir("replay-missing");
+    let missing = dir.join("no-such-corpus");
+    let (code, _, stderr) = run(&["fuzz", "--replay", missing.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("does not exist"), "{stderr}");
+    assert!(!missing.exists(), "--replay must not create the directory");
+}
+
+/// `--paranoid` re-checks verdicts with the differential oracle; on the
+/// known-good and known-bad examples it must agree with normal mode.
+#[test]
+fn paranoid_mode_agrees_on_valid_and_invalid() {
+    let dir = temp_dir("paranoid");
+    let good = dir.join("good.opt");
+    std::fs::write(&good, GOOD).unwrap();
+    let (code, stdout, _) = run(&["--fast", "--paranoid", good.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("paranoid: agreed"), "{stdout}");
+    assert!(!stdout.contains("DISAGREEMENT"), "{stdout}");
+
+    let bad = dir.join("bad.opt");
+    std::fs::write(&bad, BAD).unwrap();
+    let (code, stdout, _) = run(&["--fast", "--paranoid", bad.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(!stdout.contains("DISAGREEMENT"), "{stdout}");
+}
+
+#[test]
+fn paranoid_with_resume_is_rejected() {
+    let (code, _, stderr) = run(&["--paranoid", "--resume", "journal.jsonl", "x.opt"]);
+    assert_eq!(code, 64, "{stderr}");
+    assert!(stderr.contains("--paranoid"), "{stderr}");
+}
+
 #[cfg(feature = "fault-injection")]
 mod faults {
     use super::*;
@@ -704,5 +822,53 @@ mod faults {
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("deadline"), "{stdout}");
         assert!(stdout.contains("1 valid, 0 invalid, 1 unknown"), "{stdout}");
+    }
+
+    /// Acceptance: an injected solver panic must be caught by the fuzzer,
+    /// shrunk by the minimizer to at most 3 instructions, and persisted
+    /// to the corpus under a stable `panic-*` signature.
+    #[test]
+    fn fuzz_shrinks_an_injected_panic_into_the_corpus() {
+        let run_with_fault = |tag: &str| -> (String, String) {
+            let dir = temp_dir(tag);
+            let corpus = dir.join("corpus");
+            let out = alive_bin()
+                .env("ALIVE_FAULT", "sat:panic@1")
+                .args([
+                    "fuzz",
+                    "--seed",
+                    "3",
+                    "--cases",
+                    "6",
+                    "--max-width",
+                    "4",
+                    "--corpus",
+                    corpus.to_str().unwrap(),
+                ])
+                .output()
+                .unwrap();
+            assert_eq!(out.status.code(), Some(1), "{out:?}");
+            let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+            assert!(stdout.contains("FAILURE panic-"), "{stdout}");
+            let mut entries: Vec<String> = std::fs::read_dir(&corpus)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            entries.sort();
+            assert_eq!(entries.len(), 1, "{entries:?}");
+            assert!(entries[0].starts_with("panic-"), "{entries:?}");
+            let text = std::fs::read_to_string(corpus.join(&entries[0])).unwrap();
+            (entries[0].clone(), text)
+        };
+        let (name_a, text) = run_with_fault("fuzz-fault-a");
+        let t = alive::parse_transform(&text).unwrap_or_else(|e| panic!("{e}:\n{text}"));
+        let insts = t.source.len() + t.target.len();
+        assert!(
+            insts <= 3,
+            "reproducer not minimized ({insts} instructions):\n{text}"
+        );
+        // Stable signature: the same seed reproduces the same filename.
+        let (name_b, _) = run_with_fault("fuzz-fault-b");
+        assert_eq!(name_a, name_b);
     }
 }
