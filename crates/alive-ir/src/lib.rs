@@ -10,7 +10,10 @@
 //!   [`parse_transforms`]);
 //! * a pretty-printer (the [`std::fmt::Display`] impls) that round-trips
 //!   with the parser;
-//! * [`validate()`] — the scoping and SSA well-formedness rules of §2.1.
+//! * [`validate()`] — the scoping and SSA well-formedness rules of §2.1;
+//! * [`canon`] — semantics-preserving canonical forms and the content
+//!   hash ([`canonical_hash`]) that gives every optimization a stable
+//!   identity (the verdict-cache key of `alive serve`).
 //!
 //! # Examples
 //!
@@ -32,10 +35,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ast;
+pub mod canon;
 pub mod lexer;
 pub mod parser;
 mod printer;
 pub mod validate;
+
+pub use canon::{canonical_hash, canonical_text, canonicalize};
 
 pub use ast::{
     BinOp, CBinop, CExpr, CExprArg, CUnop, ConvOp, Flag, ICmpPred, Inst, Operand, Pred, PredArg,

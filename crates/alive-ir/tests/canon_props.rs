@@ -1,0 +1,230 @@
+//! Property tests for the canonicalizer: the canonical hash must be
+//! invariant under alpha-renaming and commutative-operand order, and must
+//! distinguish semantically different transforms (different opcodes,
+//! different constants).
+
+use alive_ir::ast::*;
+use alive_ir::{canonical_hash, canonical_text, canonicalize, parse_transform, validate};
+use proptest::prelude::*;
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::UDiv),
+        Just(BinOp::Shl),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+    ]
+}
+
+fn is_commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+    )
+}
+
+/// A small well-formed transform: a chain of binops over inputs `%x`,
+/// `%y`, a literal, and an abstract constant, rooted at the last.
+fn transform_strategy() -> impl Strategy<Value = Transform> {
+    let stmt = (binop_strategy(), -8i128..8, any::<bool>(), any::<bool>());
+    (proptest::collection::vec(stmt, 1..4), any::<bool>()).prop_map(|(stmts, with_pre)| {
+        let mut source = Vec::new();
+        for (i, (op, lit, use_y, use_sym)) in stmts.iter().enumerate() {
+            let a: Operand = if i > 0 {
+                Operand::Reg(format!("t{}", i - 1), None)
+            } else {
+                Operand::Reg("x".to_string(), None)
+            };
+            let b: Operand = if *use_y {
+                Operand::Reg("y".to_string(), None)
+            } else if *use_sym {
+                Operand::Const(CExpr::Sym("C".to_string()), None)
+            } else {
+                Operand::Const(CExpr::Lit(*lit), None)
+            };
+            source.push(Stmt {
+                name: Some(format!("t{i}")),
+                inst: Inst::BinOp {
+                    op: *op,
+                    flags: vec![],
+                    a,
+                    b,
+                },
+            });
+        }
+        let root = format!("t{}", stmts.len() - 1);
+        let target = vec![Stmt {
+            name: Some(root),
+            inst: Inst::BinOp {
+                op: BinOp::Xor,
+                flags: vec![],
+                a: Operand::Reg("x".to_string(), None),
+                b: Operand::Reg("x".to_string(), None),
+            },
+        }];
+        let pre = if with_pre {
+            Pred::And(
+                Box::new(Pred::Cmp(
+                    PredCmpOp::Ne,
+                    CExpr::Sym("C".to_string()),
+                    CExpr::Lit(0),
+                )),
+                Box::new(Pred::Fun(
+                    "isPowerOf2".to_string(),
+                    vec![PredArg::Expr(CExpr::Sym("C".to_string()))],
+                )),
+            )
+        } else {
+            Pred::True
+        };
+        Transform {
+            name: Some("generated".to_string()),
+            pre,
+            source,
+            target,
+        }
+    })
+}
+
+/// Renames every register `r` to `q_<r>` and every `C` symbol to `K9`,
+/// producing an alpha-variant with entirely different names.
+fn alpha_variant(t: &Transform) -> Transform {
+    fn ren_op(op: &Operand) -> Operand {
+        match op {
+            Operand::Reg(n, ty) => Operand::Reg(format!("q_{n}"), ty.clone()),
+            Operand::Const(e, ty) => Operand::Const(ren_cexpr(e), ty.clone()),
+            Operand::Undef(ty) => Operand::Undef(ty.clone()),
+        }
+    }
+    fn ren_cexpr(e: &CExpr) -> CExpr {
+        match e {
+            CExpr::Sym(s) if s == "C" => CExpr::Sym("K9".to_string()),
+            CExpr::Unop(op, a) => CExpr::Unop(*op, Box::new(ren_cexpr(a))),
+            CExpr::Binop(op, a, b) => {
+                CExpr::Binop(*op, Box::new(ren_cexpr(a)), Box::new(ren_cexpr(b)))
+            }
+            other => other.clone(),
+        }
+    }
+    fn ren_stmt(s: &Stmt) -> Stmt {
+        let inst = match &s.inst {
+            Inst::BinOp { op, flags, a, b } => Inst::BinOp {
+                op: *op,
+                flags: flags.clone(),
+                a: ren_op(a),
+                b: ren_op(b),
+            },
+            other => other.clone(),
+        };
+        Stmt {
+            name: s.name.as_ref().map(|n| format!("q_{n}")),
+            inst,
+        }
+    }
+    fn ren_pred(p: &Pred) -> Pred {
+        match p {
+            Pred::True => Pred::True,
+            Pred::Not(a) => Pred::Not(Box::new(ren_pred(a))),
+            Pred::And(a, b) => Pred::And(Box::new(ren_pred(a)), Box::new(ren_pred(b))),
+            Pred::Or(a, b) => Pred::Or(Box::new(ren_pred(a)), Box::new(ren_pred(b))),
+            Pred::Cmp(op, a, b) => Pred::Cmp(*op, ren_cexpr(a), ren_cexpr(b)),
+            Pred::Fun(name, args) => Pred::Fun(
+                name.clone(),
+                args.iter()
+                    .map(|a| match a {
+                        PredArg::Reg(r) => PredArg::Reg(format!("q_{r}")),
+                        PredArg::Expr(e) => PredArg::Expr(ren_cexpr(e)),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+    Transform {
+        name: Some("renamed".to_string()),
+        pre: ren_pred(&t.pre),
+        source: t.source.iter().map(ren_stmt).collect(),
+        target: t.target.iter().map(ren_stmt).collect(),
+    }
+}
+
+/// Swaps the operands of every commutative binop.
+fn commuted_variant(t: &Transform) -> Transform {
+    fn swap_stmt(s: &Stmt) -> Stmt {
+        let inst = match &s.inst {
+            Inst::BinOp { op, flags, a, b } if is_commutative(*op) => Inst::BinOp {
+                op: *op,
+                flags: flags.clone(),
+                a: b.clone(),
+                b: a.clone(),
+            },
+            other => other.clone(),
+        };
+        Stmt {
+            name: s.name.clone(),
+            inst,
+        }
+    }
+    Transform {
+        name: t.name.clone(),
+        pre: t.pre.clone(),
+        source: t.source.iter().map(swap_stmt).collect(),
+        target: t.target.iter().map(swap_stmt).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn alpha_variants_hash_identically(t in transform_strategy()) {
+        validate(&t).expect("generated transform is well-formed");
+        let v = alpha_variant(&t);
+        prop_assert_eq!(
+            canonical_hash(&t),
+            canonical_hash(&v),
+            "alpha variant changed the hash:\n{}\nvs\n{}",
+            canonical_text(&t),
+            canonical_text(&v),
+        );
+    }
+
+    #[test]
+    fn commuted_variants_hash_identically(t in transform_strategy()) {
+        validate(&t).expect("generated transform is well-formed");
+        let v = commuted_variant(&t);
+        prop_assert_eq!(
+            canonical_hash(&t),
+            canonical_hash(&v),
+            "commuted variant changed the hash:\n{}\nvs\n{}",
+            canonical_text(&t),
+            canonical_text(&v),
+        );
+    }
+
+    #[test]
+    fn canonical_text_reparses_to_the_same_hash(t in transform_strategy()) {
+        let text = canonical_text(&t);
+        let reparsed = parse_transform(&text)
+            .unwrap_or_else(|e| panic!("canonical text failed to reparse: {e}\n{text}"));
+        prop_assert_eq!(canonical_hash(&t), canonical_hash(&reparsed));
+        // Idempotence: canonicalizing a canonical form is the identity.
+        prop_assert_eq!(canonicalize(&reparsed).to_string(), text);
+    }
+
+    #[test]
+    fn changing_the_root_opcode_changes_the_hash(t in transform_strategy()) {
+        let mut other = t.clone();
+        let last = other.source.last_mut().unwrap();
+        if let Inst::BinOp { op, flags, .. } = &mut last.inst {
+            // Swap the root op for a structurally different, never-equal
+            // one; `udiv` and `shl` are in no commutative class together.
+            *op = if *op == BinOp::UDiv { BinOp::Shl } else { BinOp::UDiv };
+            flags.clear();
+            prop_assert_ne!(canonical_hash(&t), canonical_hash(&other));
+        }
+    }
+}

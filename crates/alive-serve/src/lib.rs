@@ -1,0 +1,626 @@
+//! `alive serve` — verification as a long-running service.
+//!
+//! The paper's workflow is batch: hand Alive a file, wait ~1.5 s per
+//! query, read the verdicts. A CI fleet auditing InstCombine patches
+//! mostly re-submits transforms it has already seen. This crate turns the
+//! verifier into a daemon that never proves the same optimization twice:
+//!
+//! * every request is **canonicalized** ([`alive_ir::canon`]) so naming,
+//!   commutative operand order, and precondition shuffling all collapse
+//!   to one identity;
+//! * a persistent **content-addressed verdict store**
+//!   ([`alive_verifier::store`]) answers repeats in microseconds;
+//! * concurrent requests for the same uncached transform **coalesce** —
+//!   one verification runs, every waiter gets its verdict;
+//! * misses fall through to the real resilient driver
+//!   ([`alive_verifier::verify_single`]) under the caller's budgets.
+//!
+//! Transports: a unix socket ([`serve_unix`]) for daemon use and
+//! stdin/stdout ([`serve_stdio`]) for tests, CI, and pipelines. The wire
+//! protocol is line-delimited JSON ([`proto`]).
+//!
+//! # Example
+//!
+//! ```
+//! use alive_serve::{Server, ServeConfig};
+//! use alive_verifier::{DriverConfig, VerifyConfig};
+//!
+//! let dir = std::env::temp_dir().join("alive-serve-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! std::fs::remove_file(dir.join("store.jsonl")).ok(); // fresh cache for the demo
+//! let config = ServeConfig {
+//!     driver: DriverConfig { verify: VerifyConfig::fast(), ..Default::default() },
+//!     store_path: dir.join("store.jsonl"),
+//!     ..Default::default()
+//! };
+//! let (server, _how) = Server::open(config).unwrap();
+//!
+//! let t = alive_ir::parse_transform("%r = add %x, 0\n=>\n%r = %x").unwrap();
+//! let first = server.check("opt0", &t);
+//! assert!(!first.cached);
+//! // The alpha-renamed, operand-commuted variant is the same optimization.
+//! let v = alive_ir::parse_transform("%q = add 0, %z\n=>\n%q = %z").unwrap();
+//! let second = server.check("opt0-variant", &v);
+//! assert!(second.cached);
+//! assert_eq!(first.verdict, second.verdict);
+//! # std::fs::remove_file(dir.join("store.jsonl")).ok();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod proto;
+
+use alive_ir::canon::{canonical_text, fnv1a64};
+use alive_ir::{parse_transforms, validate, Transform};
+use alive_trace::{serve as metric, Tracer};
+use alive_verifier::store::{StoreOpen, VerdictStore};
+use alive_verifier::{verify_single, DriverConfig, OutcomeKind, TransformOutcome};
+use proto::{render_done, render_error, render_shutdown, render_stats, Request, VerdictLine};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Settings for [`Server::open`].
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Verifier settings for cache misses (budgets, retries, certificates).
+    pub driver: DriverConfig,
+    /// Path of the persistent verdict store.
+    pub store_path: PathBuf,
+    /// Eviction epoch: bump to distrust every cached verdict (toolchain
+    /// change, config change you want re-proven, ...).
+    pub epoch: u64,
+    /// Worker threads for `batch` requests (0 = available parallelism).
+    pub workers: usize,
+    /// When set, certificates produced on a miss are written here as
+    /// `<hash>.<k>.cert` and the verdict carries the reference.
+    pub cert_dir: Option<PathBuf>,
+    /// Metrics/trace destination (disabled by default).
+    pub tracer: Tracer,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            driver: DriverConfig::default(),
+            store_path: PathBuf::from("alive-store.jsonl"),
+            epoch: 0,
+            workers: 0,
+            cert_dir: None,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+/// A cached-or-fresh verdict for one request.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// Canonical content hash, 16 lower-case hex digits.
+    pub hash: String,
+    /// Final classification.
+    pub verdict: OutcomeKind,
+    /// Verdict detail.
+    pub reason: String,
+    /// Wall milliseconds of the *original* verification (not this lookup).
+    pub wall_ms: u64,
+    /// Certificate reference, empty when none.
+    pub cert: String,
+    /// True when answered from the store.
+    pub cached: bool,
+    /// True when this request joined another's in-flight verification.
+    pub coalesced: bool,
+}
+
+/// Counter snapshot ([`Server::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered from the store.
+    pub hits: u64,
+    /// Requests that ran a verification.
+    pub misses: u64,
+    /// Requests that joined an in-flight verification.
+    pub joins: u64,
+    /// Requests rejected before verification.
+    pub errors: u64,
+    /// Verifications in flight right now.
+    pub inflight: usize,
+    /// Clients currently parked on an in-flight verification.
+    pub waiters: usize,
+    /// Distinct verdicts in the store.
+    pub stored: usize,
+}
+
+/// The result slot a coalesced waiter blocks on.
+#[derive(Default)]
+struct Inflight {
+    slot: Mutex<Option<Answer>>,
+    ready: Condvar,
+    /// Clients parked on `ready` (observable progress for tests and the
+    /// `stats` op — a condvar itself cannot be asked who is waiting).
+    waiters: std::sync::atomic::AtomicUsize,
+}
+
+struct ServerInner {
+    driver: DriverConfig,
+    tracer: Tracer,
+    store: Mutex<VerdictStore>,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    cert_dir: Option<PathBuf>,
+    workers: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    joins: AtomicU64,
+    errors: AtomicU64,
+    stopping: AtomicBool,
+    /// Test/embedding seam: the function that actually verifies a miss.
+    /// Behind `RwLock<Arc<..>>` so it can be swapped on a shared server
+    /// and called without holding any lock (the read guard only lives
+    /// long enough to clone the `Arc`).
+    verifier: std::sync::RwLock<Arc<VerifyFn>>,
+}
+
+type VerifyFn = dyn Fn(&str, &Transform, &DriverConfig) -> TransformOutcome + Send + Sync;
+
+impl std::fmt::Debug for ServerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerInner")
+            .field("driver", &self.driver)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The verification service: shared verdict store, in-flight coalescing,
+/// and the request handlers behind both transports. Cheap to clone
+/// ([`Server`] is an `Arc` handle) — every connection thread holds one.
+#[derive(Clone, Debug)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+}
+
+impl Server {
+    /// Opens the verdict store and builds the service. The store is bound
+    /// to the driver's config fingerprint and `config.epoch`; a mismatch
+    /// evicts stale verdicts (the returned [`StoreOpen`] says what
+    /// happened, for logging).
+    pub fn open(config: ServeConfig) -> std::io::Result<(Server, StoreOpen)> {
+        let fingerprint = alive_verifier::config_fingerprint(&config.driver.verify);
+        let description = alive_verifier::config_description(&config.driver.verify);
+        let (store, how) = VerdictStore::open(
+            &config.store_path,
+            fingerprint,
+            config.epoch,
+            Some(&description),
+        )?;
+        if let Some(dir) = &config.cert_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            config.workers
+        };
+        Ok((
+            Server {
+                inner: Arc::new(ServerInner {
+                    driver: config.driver,
+                    tracer: config.tracer,
+                    store: Mutex::new(store),
+                    inflight: Mutex::new(HashMap::new()),
+                    cert_dir: config.cert_dir,
+                    workers,
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    joins: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                    stopping: AtomicBool::new(false),
+                    verifier: std::sync::RwLock::new(Arc::new(
+                        |name: &str, t: &Transform, driver: &DriverConfig| {
+                            verify_single(name, t, driver)
+                        },
+                    )),
+                }),
+            },
+            how,
+        ))
+    }
+
+    /// Replaces the miss-path verification function. The default is the
+    /// real [`verify_single`]; tests inject deterministic stand-ins (e.g.
+    /// one that blocks until a second client joins).
+    pub fn set_verifier(
+        &mut self,
+        f: impl Fn(&str, &Transform, &DriverConfig) -> TransformOutcome + Send + Sync + 'static,
+    ) {
+        *self
+            .inner
+            .verifier
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = Arc::new(f);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServeStats {
+        let inner = &self.inner;
+        let (inflight, waiters) = {
+            let map = inner.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            let waiters = map.values().map(|e| e.waiters.load(Ordering::SeqCst)).sum();
+            (map.len(), waiters)
+        };
+        ServeStats {
+            hits: inner.hits.load(Ordering::Relaxed),
+            misses: inner.misses.load(Ordering::Relaxed),
+            joins: inner.joins.load(Ordering::Relaxed),
+            errors: inner.errors.load(Ordering::Relaxed),
+            inflight,
+            waiters,
+            stored: inner.store.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        }
+    }
+
+    /// True once a `shutdown` request has been accepted.
+    pub fn stopping(&self) -> bool {
+        self.inner.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Answers one transform: store hit, in-flight join, or fresh
+    /// verification (in that order). This is the whole cache discipline —
+    /// both transports and the `--dedupe` client reduce to calls of this.
+    pub fn check(&self, name: &str, t: &Transform) -> Answer {
+        let start = Instant::now();
+        let inner = &self.inner;
+        let canon = canonical_text(t);
+        let hash = format!("{:016x}", fnv1a64(canon.as_bytes()));
+        loop {
+            // Fast path: the store already knows.
+            {
+                let store = inner.store.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(rec) = store.lookup(&canon) {
+                    inner.hits.fetch_add(1, Ordering::Relaxed);
+                    inner.tracer.counter(metric::HIT, 1);
+                    inner
+                        .tracer
+                        .sample(metric::HIT_US, start.elapsed().as_micros() as u64);
+                    return Answer {
+                        hash,
+                        verdict: rec.verdict,
+                        reason: rec.reason.clone(),
+                        wall_ms: rec.wall_ms,
+                        cert: rec.cert.clone(),
+                        cached: true,
+                        coalesced: false,
+                    };
+                }
+            }
+            // Not cached: become the leader for this canonical form, or
+            // join whoever already is.
+            let (entry, leader) = {
+                let mut inflight = inner.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                match inflight.get(&canon) {
+                    Some(e) => (Arc::clone(e), false),
+                    None => {
+                        let e = Arc::new(Inflight::default());
+                        inflight.insert(canon.clone(), Arc::clone(&e));
+                        inner.tracer.gauge(metric::INFLIGHT, inflight.len() as u64);
+                        (e, true)
+                    }
+                }
+            };
+            if leader {
+                // Double-check the store: between this request's store
+                // miss and winning leadership, the previous leader may
+                // have finished (verdict persisted, entry removed). Verify
+                // again and the race test's "exactly one verification"
+                // guarantee is gone.
+                let cached = {
+                    let store = inner.store.lock().unwrap_or_else(|e| e.into_inner());
+                    store.lookup(&canon).map(|rec| Answer {
+                        hash: hash.clone(),
+                        verdict: rec.verdict,
+                        reason: rec.reason.clone(),
+                        wall_ms: rec.wall_ms,
+                        cert: rec.cert.clone(),
+                        cached: true,
+                        coalesced: false,
+                    })
+                };
+                let (answer, was_hit) = match cached {
+                    Some(a) => (a, true),
+                    None => (self.verify_and_store(name, t, &canon, &hash), false),
+                };
+                {
+                    let mut slot = entry.slot.lock().unwrap_or_else(|e| e.into_inner());
+                    *slot = Some(answer.clone());
+                }
+                entry.ready.notify_all();
+                let mut inflight = inner.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                inflight.remove(&canon);
+                inner.tracer.gauge(metric::INFLIGHT, inflight.len() as u64);
+                drop(inflight);
+                let us = start.elapsed().as_micros() as u64;
+                if was_hit {
+                    inner.hits.fetch_add(1, Ordering::Relaxed);
+                    inner.tracer.counter(metric::HIT, 1);
+                    inner.tracer.sample(metric::HIT_US, us);
+                } else {
+                    inner.misses.fetch_add(1, Ordering::Relaxed);
+                    inner.tracer.counter(metric::MISS, 1);
+                    inner.tracer.sample(metric::MISS_US, us);
+                }
+                return answer;
+            }
+            // Joiner: wait for the leader's verdict.
+            entry.waiters.fetch_add(1, Ordering::SeqCst);
+            let mut slot = entry.slot.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(answer) = slot.clone() {
+                    drop(slot);
+                    entry.waiters.fetch_sub(1, Ordering::SeqCst);
+                    inner.joins.fetch_add(1, Ordering::Relaxed);
+                    inner.tracer.counter(metric::JOIN, 1);
+                    inner
+                        .tracer
+                        .sample(metric::HIT_US, start.elapsed().as_micros() as u64);
+                    return Answer {
+                        coalesced: true,
+                        cached: true,
+                        ..answer
+                    };
+                }
+                let (guard, timeout) = entry
+                    .ready
+                    .wait_timeout(slot, Duration::from_secs(1))
+                    .unwrap_or_else(|e| e.into_inner());
+                slot = guard;
+                if timeout.timed_out() && slot.is_none() {
+                    // Leader vanished without filling the slot (should be
+                    // impossible — verify_single isolates panics — but a
+                    // service must not hang on "impossible"). Retry from
+                    // the top: the store or a new leader will answer.
+                    drop(slot);
+                    entry.waiters.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The miss path: verify, persist certificates, persist the verdict.
+    fn verify_and_store(&self, name: &str, t: &Transform, canon: &str, hash: &str) -> Answer {
+        let inner = &self.inner;
+        let verifier = Arc::clone(&inner.verifier.read().unwrap_or_else(|e| e.into_inner()));
+        let outcome = verifier(name, t, &inner.driver);
+        let cert = match (&inner.cert_dir, outcome.certificates.is_empty()) {
+            (Some(dir), false) => {
+                let mut names = Vec::new();
+                for (k, cert) in outcome.certificates.iter().enumerate() {
+                    let file = dir.join(format!("{hash}.{k}.cert"));
+                    if std::fs::write(&file, cert.to_text()).is_ok() {
+                        names.push(format!("{hash}.{k}.cert"));
+                    }
+                }
+                names.join(";")
+            }
+            _ => String::new(),
+        };
+        let wall_ms = outcome.wall.as_millis() as u64;
+        {
+            let mut store = inner.store.lock().unwrap_or_else(|e| e.into_inner());
+            // A failed append leaves the verdict un-persisted but still
+            // correct for this request; the next daemon start re-verifies.
+            let _ = store.insert(canon, outcome.kind, &outcome.detail, wall_ms, &cert);
+        }
+        Answer {
+            hash: hash.to_string(),
+            verdict: outcome.kind,
+            reason: outcome.detail,
+            wall_ms,
+            cert,
+            cached: false,
+            coalesced: false,
+        }
+    }
+
+    /// Parses `text` and answers every transform in it, returning one
+    /// [`VerdictLine`] per transform in submission order. Misses are
+    /// verified on up to `workers` threads; duplicates within the batch
+    /// coalesce through the in-flight map like concurrent clients would.
+    pub fn check_batch(&self, id: &str, text: &str) -> Result<Vec<VerdictLine>, String> {
+        let transforms = parse_transforms(text).map_err(|e| format!("parse error: {e}"))?;
+        let mut items: Vec<(usize, String, Transform)> = Vec::new();
+        for (i, t) in transforms.into_iter().enumerate() {
+            validate(&t).map_err(|e| format!("transform {i}: {e}"))?;
+            let name = t.name.clone().unwrap_or_else(|| format!("opt{i}"));
+            items.push((i, name, t));
+        }
+        let results: Mutex<Vec<Option<VerdictLine>>> = Mutex::new(vec![None; items.len()]);
+        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.inner.workers.min(items.len().max(1)) {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((index, name, t)) = items.get(k) else {
+                        return;
+                    };
+                    let start = Instant::now();
+                    let answer = self.check(name, t);
+                    let line = VerdictLine {
+                        id: id.to_string(),
+                        index: *index,
+                        name: name.clone(),
+                        hash: answer.hash,
+                        verdict: answer.verdict.as_str().to_string(),
+                        cached: answer.cached,
+                        coalesced: answer.coalesced,
+                        reason: answer.reason,
+                        wall_us: start.elapsed().as_micros() as u64,
+                        cert: answer.cert,
+                    };
+                    results.lock().unwrap_or_else(|e| e.into_inner())[k] = Some(line);
+                });
+            }
+        });
+        Ok(results
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|r| r.expect("every batch item produces a line"))
+            .collect())
+    }
+
+    /// Handles one request line, writing response line(s) to `out`.
+    /// Returns `false` when the connection should close (shutdown).
+    pub fn handle_line(&self, line: &str, out: &mut impl Write) -> std::io::Result<bool> {
+        let request = match Request::parse(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                self.inner.tracer.counter(metric::ERROR, 1);
+                writeln!(out, "{}", render_error("", &e))?;
+                return Ok(true);
+            }
+        };
+        match request {
+            Request::Verify { id, text } => {
+                let start = Instant::now();
+                let parsed = parse_transforms(&text)
+                    .map_err(|e| format!("parse error: {e}"))
+                    .and_then(|ts| match ts.len() {
+                        1 => Ok(ts.into_iter().next().unwrap()),
+                        n => Err(format!("expected exactly one transform, got {n}")),
+                    })
+                    .and_then(|t| {
+                        validate(&t).map_err(|e| e.to_string())?;
+                        Ok(t)
+                    });
+                match parsed {
+                    Ok(t) => {
+                        let name = t.name.clone().unwrap_or_else(|| "opt0".to_string());
+                        let answer = self.check(&name, &t);
+                        let lineout = VerdictLine {
+                            id,
+                            index: 0,
+                            name,
+                            hash: answer.hash,
+                            verdict: answer.verdict.as_str().to_string(),
+                            cached: answer.cached,
+                            coalesced: answer.coalesced,
+                            reason: answer.reason,
+                            wall_us: start.elapsed().as_micros() as u64,
+                            cert: answer.cert,
+                        };
+                        writeln!(out, "{}", lineout.render())?;
+                    }
+                    Err(e) => {
+                        self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                        self.inner.tracer.counter(metric::ERROR, 1);
+                        writeln!(out, "{}", render_error(&id, &e))?;
+                    }
+                }
+                Ok(true)
+            }
+            Request::Batch { id, text } => {
+                match self.check_batch(&id, &text) {
+                    Ok(lines) => {
+                        let hits = lines.iter().filter(|l| l.cached).count();
+                        let misses = lines.len() - hits;
+                        for l in &lines {
+                            writeln!(out, "{}", l.render())?;
+                        }
+                        writeln!(out, "{}", render_done(&id, lines.len(), hits, misses))?;
+                    }
+                    Err(e) => {
+                        self.inner.errors.fetch_add(1, Ordering::Relaxed);
+                        self.inner.tracer.counter(metric::ERROR, 1);
+                        writeln!(out, "{}", render_error(&id, &e))?;
+                    }
+                }
+                Ok(true)
+            }
+            Request::Stats { id } => {
+                let s = self.stats();
+                writeln!(
+                    out,
+                    "{}",
+                    render_stats(&id, s.hits, s.misses, s.joins, s.errors, s.inflight, s.stored)
+                )?;
+                Ok(true)
+            }
+            Request::Shutdown { id } => {
+                self.inner.stopping.store(true, Ordering::SeqCst);
+                writeln!(out, "{}", render_shutdown(&id))?;
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// Runs one connection to completion: request lines in, response lines
+/// out, flushed per request so pipelined clients see answers promptly.
+pub fn handle_connection(
+    server: &Server,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let keep_going = server.handle_line(&line, &mut writer)?;
+        writer.flush()?;
+        if !keep_going {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves requests from stdin to stdout until EOF or `shutdown` (the
+/// test/pipeline transport: `alive serve --stdio`).
+pub fn serve_stdio(server: &Server) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    handle_connection(server, stdin.lock(), stdout.lock())
+}
+
+/// Binds a unix socket at `path` and serves until a `shutdown` request.
+/// Each connection gets its own thread; they all share the server's
+/// store and in-flight map, so clients racing on one transform coalesce.
+#[cfg(unix)]
+pub fn serve_unix(server: &Server, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a dead daemon would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let mut threads = Vec::new();
+    while !server.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                let server = server.clone();
+                threads.push(std::thread::spawn(move || {
+                    let reader = std::io::BufReader::new(match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => return,
+                    });
+                    let _ = handle_connection(&server, reader, stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

@@ -1,0 +1,417 @@
+//! The `alive serve` wire protocol: line-delimited JSON.
+//!
+//! One request per line in, one or more response lines out. The format is
+//! deliberately trivial — flat JSON objects with string/number/bool
+//! fields — so any language (or a shell script with `printf`) can be a
+//! client. Field order never matters on input and is fixed on output.
+//!
+//! # Requests
+//!
+//! ```text
+//! {"op":"verify","id":"r1","text":"%r = add %x, 0\n=>\n%r = %x"}
+//! {"op":"batch","id":"b1","text":"<multi-transform file text>"}
+//! {"op":"stats","id":"s1"}
+//! {"op":"shutdown","id":"q1"}
+//! ```
+//!
+//! # Responses
+//!
+//! A `verify` request gets exactly one verdict line; a `batch` request
+//! gets one verdict line per transform (`index` gives its position in the
+//! submitted text) followed by a `done` summary line:
+//!
+//! ```text
+//! {"id":"r1","index":0,"name":"opt0","hash":"<16 hex>","verdict":"valid",
+//!  "cached":true,"coalesced":false,"reason":"...","wall_us":42,"cert":""}
+//! {"id":"b1","done":true,"count":224,"hits":224,"misses":0}
+//! {"id":"s1","stats":true,"hits":10,"misses":2,"joins":1,"errors":0,
+//!  "inflight":0,"stored":12}
+//! {"id":"r9","error":"parse error: ..."}
+//! ```
+//!
+//! `cached` is true when the verdict came from the store; `coalesced` is
+//! true when the request joined another client's in-flight verification
+//! of the same canonical transform. Both false means this request paid
+//! for the verification itself.
+
+use std::collections::HashMap;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Verify one transform (the `text` must parse to exactly one).
+    Verify {
+        /// Client-chosen correlation id, echoed on every response line.
+        id: String,
+        /// Alive DSL text of the transform.
+        text: String,
+    },
+    /// Verify every transform in a multi-transform text.
+    Batch {
+        /// Client-chosen correlation id.
+        id: String,
+        /// Alive DSL text (any number of transforms).
+        text: String,
+    },
+    /// Report server counters.
+    Stats {
+        /// Client-chosen correlation id.
+        id: String,
+    },
+    /// Acknowledge and stop the server.
+    Shutdown {
+        /// Client-chosen correlation id.
+        id: String,
+    },
+}
+
+impl Request {
+    /// Parses one request line. Unknown keys are ignored (forward
+    /// compatibility); a missing or unknown `op` is an error.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let fields = parse_flat_object(line)?;
+        let get = |k: &str| -> Option<&str> {
+            fields.get(k).and_then(|v| match v {
+                JsonValue::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+        };
+        let id = get("id").unwrap_or("").to_string();
+        let text = || -> Result<String, String> {
+            get("text")
+                .map(str::to_string)
+                .ok_or_else(|| "missing \"text\" field".to_string())
+        };
+        match get("op") {
+            Some("verify") => Ok(Request::Verify { id, text: text()? }),
+            Some("batch") => Ok(Request::Batch { id, text: text()? }),
+            Some("stats") => Ok(Request::Stats { id }),
+            Some("shutdown") => Ok(Request::Shutdown { id }),
+            Some(other) => Err(format!("unknown op {other:?}")),
+            None => Err("missing \"op\" field".to_string()),
+        }
+    }
+}
+
+/// One verdict line (for both `verify` and `batch` items).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerdictLine {
+    /// Echo of the request id.
+    pub id: String,
+    /// Position of the transform in the submitted text (0 for `verify`).
+    pub index: usize,
+    /// Transform name (from its `Name:` header, or `opt<index>`).
+    pub name: String,
+    /// Canonical content hash, 16 lower-case hex digits.
+    pub hash: String,
+    /// Verdict label: `valid`, `invalid`, `unknown`, `error`, `hung`.
+    pub verdict: String,
+    /// Whether the verdict came from the store.
+    pub cached: bool,
+    /// Whether the request joined another client's in-flight run.
+    pub coalesced: bool,
+    /// Verdict detail (counterexample, error message, ...).
+    pub reason: String,
+    /// End-to-end latency of this request in microseconds.
+    pub wall_us: u64,
+    /// Certificate reference (a path), empty when none.
+    pub cert: String,
+}
+
+impl VerdictLine {
+    /// Serializes the verdict as one response line (no newline).
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"index\":{},\"name\":\"{}\",\"hash\":\"{}\",\
+             \"verdict\":\"{}\",\"cached\":{},\"coalesced\":{},\"reason\":\"{}\",\
+             \"wall_us\":{},\"cert\":\"{}\"}}",
+            json_escape(&self.id),
+            self.index,
+            json_escape(&self.name),
+            self.hash,
+            self.verdict,
+            self.cached,
+            self.coalesced,
+            json_escape(&self.reason),
+            self.wall_us,
+            json_escape(&self.cert),
+        )
+    }
+}
+
+/// Serializes a batch-completion summary line.
+pub fn render_done(id: &str, count: usize, hits: usize, misses: usize) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"done\":true,\"count\":{count},\"hits\":{hits},\"misses\":{misses}}}",
+        json_escape(id),
+    )
+}
+
+/// Serializes a stats response line.
+pub fn render_stats(
+    id: &str,
+    hits: u64,
+    misses: u64,
+    joins: u64,
+    errors: u64,
+    inflight: usize,
+    stored: usize,
+) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"stats\":true,\"hits\":{hits},\"misses\":{misses},\
+         \"joins\":{joins},\"errors\":{errors},\"inflight\":{inflight},\"stored\":{stored}}}",
+        json_escape(id),
+    )
+}
+
+/// Serializes an error response line.
+pub fn render_error(id: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"error\":\"{}\"}}",
+        json_escape(id),
+        json_escape(message),
+    )
+}
+
+/// Serializes the shutdown acknowledgement.
+pub fn render_shutdown(id: &str) -> String {
+    format!("{{\"id\":\"{}\",\"shutdown\":true}}", json_escape(id))
+}
+
+/// Escapes a string for embedding in a JSON string literal (the same
+/// escaping the journal and report writers use).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A scalar field value in a flat request object.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonValue {
+    /// A JSON string (escapes decoded).
+    Str(String),
+    /// An integer (the protocol uses no fractions).
+    Num(i64),
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+/// Parses a flat JSON object of scalar fields, any key order, unknown
+/// keys kept. Nested objects/arrays are rejected — no request uses them,
+/// and refusing them keeps this parser ~100 lines and obviously correct.
+pub fn parse_flat_object(line: &str) -> Result<HashMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        rest: line.trim_end_matches(['\r', '\n']),
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut out = HashMap::new();
+    p.skip_ws();
+    if p.try_take('}') {
+        p.skip_ws();
+        return p.finish(out);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        out.insert(key, value);
+        p.skip_ws();
+        if p.try_take(',') {
+            continue;
+        }
+        p.expect('}')?;
+        p.skip_ws();
+        return p.finish(out);
+    }
+}
+
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start_matches([' ', '\t']);
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.try_take(c) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {c:?} at {:?}",
+                &self.rest[..self.rest.len().min(20)]
+            ))
+        }
+    }
+
+    fn try_take(&mut self, c: char) -> bool {
+        if let Some(r) = self.rest.strip_prefix(c) {
+            self.rest = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn finish<T>(&self, out: T) -> Result<T, String> {
+        if self.rest.is_empty() {
+            Ok(out)
+        } else {
+            Err(format!("trailing input: {:?}", self.rest))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or_else(|| "dangling escape".to_string())?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars
+                                    .next()
+                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                code = code * 16
+                                    + h.to_digit(16).ok_or_else(|| "bad \\u escape".to_string())?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "bad \\u code point".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{other}")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        if self.rest.starts_with('"') {
+            return Ok(JsonValue::Str(self.string()?));
+        }
+        if let Some(r) = self.rest.strip_prefix("true") {
+            self.rest = r;
+            return Ok(JsonValue::Bool(true));
+        }
+        if let Some(r) = self.rest.strip_prefix("false") {
+            self.rest = r;
+            return Ok(JsonValue::Bool(false));
+        }
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit() && c != '-')
+            .unwrap_or(self.rest.len());
+        let (digits, rest) = self.rest.split_at(end);
+        let n: i64 = digits.parse().map_err(|_| {
+            format!(
+                "expected a value at {:?}",
+                &self.rest[..self.rest.len().min(20)]
+            )
+        })?;
+        self.rest = rest;
+        Ok(JsonValue::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse_in_any_field_order() {
+        let a = Request::parse(r#"{"op":"verify","id":"r1","text":"%r = add %x, 0\n=>\n%r = %x"}"#)
+            .unwrap();
+        let b = Request::parse(r#"{"text":"%r = add %x, 0\n=>\n%r = %x","id":"r1","op":"verify"}"#)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            Request::Verify {
+                id: "r1".to_string(),
+                text: "%r = add %x, 0\n=>\n%r = %x".to_string(),
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { id: String::new() }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"shutdown","id":"q"}"#).unwrap(),
+            Request::Shutdown {
+                id: "q".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_unknown_ops_are_not() {
+        assert!(Request::parse(r#"{"op":"stats","future":"stuff","n":3,"b":true}"#).is_ok());
+        assert!(Request::parse(r#"{"op":"reboot"}"#).is_err());
+        assert!(Request::parse(r#"{"id":"x"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"verify","id":"x"}"#).is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"op":"verify","text":{"nested":1}}"#).is_err());
+    }
+
+    #[test]
+    fn verdict_line_round_trips_through_the_flat_parser() {
+        let line = VerdictLine {
+            id: "r\"1\"".to_string(),
+            index: 3,
+            name: "opt3".to_string(),
+            hash: "00ff00ff00ff00ff".to_string(),
+            verdict: "invalid".to_string(),
+            cached: true,
+            coalesced: false,
+            reason: "counterexample:\n%x i8 = 1".to_string(),
+            wall_us: 42,
+            cert: "".to_string(),
+        };
+        let fields = parse_flat_object(&line.render()).unwrap();
+        assert_eq!(fields["id"], JsonValue::Str("r\"1\"".to_string()));
+        assert_eq!(fields["index"], JsonValue::Num(3));
+        assert_eq!(fields["cached"], JsonValue::Bool(true));
+        assert_eq!(
+            fields["reason"],
+            JsonValue::Str("counterexample:\n%x i8 = 1".to_string())
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Canonical metric names for the `alive serve` verdict cache.
+//!
+//! Counter, gauge, and sample names are plain strings throughout the
+//! tracer, which makes typos silent: a dashboard watching `serve.hit`
+//! never learns that the server started emitting `serve.hits`. Service
+//! metrics — unlike the solver's, which live next to a single call site —
+//! are emitted from several places (cache path, coalescing path, both
+//! transports) and read back by the bench harness and the CI smoke job,
+//! so their names are pinned here once and imported everywhere.
+//!
+//! ```
+//! use alive_trace::{serve, MetricsSink, Tracer};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MetricsSink::new());
+//! let tracer = Tracer::new(Box::new(Arc::clone(&sink)));
+//! tracer.counter(serve::HIT, 1);
+//! assert_eq!(sink.counter(serve::HIT), 1);
+//! ```
+
+/// Counter: requests answered from the verdict store.
+pub const HIT: &str = "serve.hit";
+
+/// Counter: requests that fell through to a real verification.
+pub const MISS: &str = "serve.miss";
+
+/// Counter: requests that joined an in-flight verification of the same
+/// canonical transform instead of starting a duplicate one.
+pub const JOIN: &str = "serve.join";
+
+/// Counter: requests rejected before verification (parse or validation
+/// failure, malformed protocol line).
+pub const ERROR: &str = "serve.error";
+
+/// Gauge: verifications currently in flight.
+pub const INFLIGHT: &str = "serve.inflight";
+
+/// Sample (µs): end-to-end latency of cache hits.
+pub const HIT_US: &str = "serve.hit_us";
+
+/// Sample (µs): end-to-end latency of cache misses (includes the
+/// verification itself).
+pub const MISS_US: &str = "serve.miss_us";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_distinct_and_prefixed() {
+        let names = [
+            super::HIT,
+            super::MISS,
+            super::JOIN,
+            super::ERROR,
+            super::INFLIGHT,
+            super::HIT_US,
+            super::MISS_US,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            assert!(a.starts_with("serve."), "{a}");
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

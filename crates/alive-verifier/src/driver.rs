@@ -493,6 +493,14 @@ pub(crate) fn verify_one(
     }
 }
 
+/// Verifies a single transform under the full resilient-driver treatment
+/// (budgets, panic isolation, escalating retries) and returns its outcome.
+/// This is the per-request entry point `alive serve` uses on a cache miss;
+/// batch runs should prefer [`run_transforms`] or the supervised pool.
+pub fn verify_single(name: &str, t: &Transform, config: &DriverConfig) -> TransformOutcome {
+    verify_one(name, t, config, &config.cancel, 1, 0, |_| {})
+}
+
 /// Runs the whole corpus through the resilient driver.
 ///
 /// Transforms are verified in order. Budget-exhausted transforms are

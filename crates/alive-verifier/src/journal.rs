@@ -63,12 +63,12 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// A stable fingerprint of the verifier settings that affect verdicts:
-/// type-enumeration widths and caps plus the CEGIS iteration policy.
-/// Budgets and timeouts are deliberately excluded — they affect whether a
-/// verdict is reached, not which verdict is correct, and `--resume` exists
-/// precisely to retry inconclusive entries under different budgets.
-pub fn config_fingerprint(vc: &VerifyConfig) -> u64 {
+/// The human-readable preimage of [`config_fingerprint`]: every verifier
+/// setting that affects verdicts, as `field=value` pairs joined by `;`.
+/// This string is stored alongside the fingerprint in journal and store
+/// headers so a mismatch can be explained field by field
+/// ([`fingerprint_diff`]) instead of refused with a bare hash.
+pub fn config_description(vc: &VerifyConfig) -> String {
     let mut s = String::new();
     s.push_str("widths=");
     for w in &vc.typeck.widths {
@@ -78,7 +78,48 @@ pub fn config_fingerprint(vc: &VerifyConfig) -> u64 {
         ";ptr={};max_assign={};cegis_iter={};seed_zero={}",
         vc.typeck.ptr_width, vc.typeck.max_assignments, vc.ef.max_iterations, vc.ef.seed_with_zero,
     ));
-    fnv1a64(s.as_bytes())
+    s
+}
+
+/// A stable fingerprint of the verifier settings that affect verdicts:
+/// type-enumeration widths and caps plus the CEGIS iteration policy.
+/// Budgets and timeouts are deliberately excluded — they affect whether a
+/// verdict is reached, not which verdict is correct, and `--resume` exists
+/// precisely to retry inconclusive entries under different budgets.
+pub fn config_fingerprint(vc: &VerifyConfig) -> u64 {
+    fnv1a64(config_description(vc).as_bytes())
+}
+
+/// Compares two [`config_description`] strings field by field, returning
+/// `(field, current value, recorded value)` for every field that differs.
+/// A field present on only one side reports the other as `"<absent>"`.
+pub fn fingerprint_diff(current: &str, recorded: &str) -> Vec<(String, String, String)> {
+    fn fields(desc: &str) -> Vec<(String, String)> {
+        desc.split(';')
+            .filter(|part| !part.is_empty())
+            .map(|part| match part.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (part.to_string(), String::new()),
+            })
+            .collect()
+    }
+    let ours = fields(current);
+    let theirs = fields(recorded);
+    let mut out = Vec::new();
+    let absent = || "<absent>".to_string();
+    for (k, v) in &ours {
+        match theirs.iter().find(|(tk, _)| tk == k) {
+            Some((_, tv)) if tv == v => {}
+            Some((_, tv)) => out.push((k.clone(), v.clone(), tv.clone())),
+            None => out.push((k.clone(), v.clone(), absent())),
+        }
+    }
+    for (k, v) in &theirs {
+        if !ours.iter().any(|(ok, _)| ok == k) {
+            out.push((k.clone(), absent(), v.clone()));
+        }
+    }
+    out
 }
 
 /// The journal key for one transform under one config: a content hash of
@@ -271,14 +312,15 @@ impl JournalRecord {
     }
 }
 
-/// Appends the CRC suffix: `body` → `body,"crc":"<16 hex>"}`.
-fn seal(body: String) -> String {
+/// Appends the CRC suffix: `body` → `body,"crc":"<16 hex>"}`. Shared with
+/// the verdict store, which reuses the same line-sealing discipline.
+pub(crate) fn seal(body: String) -> String {
     let crc = fnv1a64(body.as_bytes());
     format!("{body},\"crc\":\"{crc:016x}\"}}")
 }
 
 /// Strips and verifies the CRC suffix, returning the body.
-fn unseal(line: &str) -> Option<&str> {
+pub(crate) fn unseal(line: &str) -> Option<&str> {
     let line = line.strip_suffix('\r').unwrap_or(line);
     let rest = line.strip_suffix("\"}")?;
     let marker = ",\"crc\":\"";
@@ -297,21 +339,22 @@ fn unseal(line: &str) -> Option<&str> {
 
 /// Strict cursor over a record body; every helper returns `None` on any
 /// deviation from the exact written format (that is the torn-write check).
-struct Scanner<'a> {
+/// Shared with the verdict store's record parser.
+pub(crate) struct Scanner<'a> {
     rest: &'a str,
 }
 
 impl<'a> Scanner<'a> {
-    fn new(s: &'a str) -> Scanner<'a> {
+    pub(crate) fn new(s: &'a str) -> Scanner<'a> {
         Scanner { rest: s }
     }
 
-    fn lit(&mut self, lit: &str) -> Option<()> {
+    pub(crate) fn lit(&mut self, lit: &str) -> Option<()> {
         self.rest = self.rest.strip_prefix(lit)?;
         Some(())
     }
 
-    fn try_lit(&mut self, lit: &str) -> bool {
+    pub(crate) fn try_lit(&mut self, lit: &str) -> bool {
         if let Some(r) = self.rest.strip_prefix(lit) {
             self.rest = r;
             true
@@ -320,11 +363,11 @@ impl<'a> Scanner<'a> {
         }
     }
 
-    fn at_end(&self) -> bool {
+    pub(crate) fn at_end(&self) -> bool {
         self.rest.is_empty()
     }
 
-    fn hex16(&mut self) -> Option<String> {
+    pub(crate) fn hex16(&mut self) -> Option<String> {
         if self.rest.len() < 16 {
             return None;
         }
@@ -336,7 +379,7 @@ impl<'a> Scanner<'a> {
         Some(hex.to_string())
     }
 
-    fn number(&mut self) -> Option<u64> {
+    pub(crate) fn number(&mut self) -> Option<u64> {
         let end = self
             .rest
             .find(|c: char| !c.is_ascii_digit())
@@ -351,7 +394,7 @@ impl<'a> Scanner<'a> {
 
     /// Reads an escaped JSON string body up to (not including) the closing
     /// quote, leaving the cursor on the quote.
-    fn string_body(&mut self) -> Option<String> {
+    pub(crate) fn string_body(&mut self) -> Option<String> {
         let mut out = String::new();
         let rest = self.rest;
         let mut chars = rest.char_indices();
@@ -397,6 +440,9 @@ pub struct LoadedJournal {
     pub discarded: usize,
     /// Config fingerprint from the header, if a header was readable.
     pub fingerprint: Option<u64>,
+    /// Config description from the header, if the journal was written by a
+    /// version that records one ([`Journal::create_described`]).
+    pub description: Option<String>,
 }
 
 /// An open, append-only journal. Every [`Journal::append`] writes one
@@ -411,14 +457,28 @@ pub struct Journal {
 impl Journal {
     /// Creates (truncating) a fresh journal and writes the sealed header.
     pub fn create(path: &Path, fingerprint: u64) -> std::io::Result<Journal> {
+        Journal::create_described(path, fingerprint, None)
+    }
+
+    /// Like [`Journal::create`], also recording the human-readable config
+    /// description in the header so a later `--resume` under different
+    /// settings can say *which* fields changed ([`fingerprint_diff`]).
+    pub fn create_described(
+        path: &Path,
+        fingerprint: u64,
+        description: Option<&str>,
+    ) -> std::io::Result<Journal> {
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        let header = seal(format!(
-            "{{\"journal\":\"alive-journal/v1\",\"config\":\"{fingerprint:016x}\""
-        ));
+        let mut body =
+            format!("{{\"journal\":\"alive-journal/v1\",\"config\":\"{fingerprint:016x}\"");
+        if let Some(desc) = description {
+            body.push_str(&format!(",\"desc\":\"{}\"", json_escape(desc)));
+        }
+        let header = seal(body);
         file.write_all(header.as_bytes())?;
         file.write_all(b"\n")?;
         file.sync_data()?;
@@ -491,8 +551,9 @@ impl Journal {
                 break;
             }
             if i == 0 {
-                if let Some(fp) = parse_header(line) {
+                if let Some((fp, desc)) = parse_header(line) {
                     loaded.fingerprint = Some(fp);
+                    loaded.description = desc;
                     continue;
                 }
                 // No (valid) header: fall through and try it as a record,
@@ -510,16 +571,25 @@ impl Journal {
     }
 }
 
-/// Parses the sealed header line, returning the config fingerprint.
-fn parse_header(line: &str) -> Option<u64> {
+/// Parses the sealed header line, returning the config fingerprint and
+/// (when the writing version recorded one) the config description.
+fn parse_header(line: &str) -> Option<(u64, Option<String>)> {
     let body = unseal(line)?;
-    let rest = body
-        .strip_prefix("{\"journal\":\"alive-journal/v1\",\"config\":\"")?
-        .strip_suffix('"')?;
-    if rest.len() != 16 {
+    let mut sc = Scanner::new(body);
+    sc.lit("{\"journal\":\"alive-journal/v1\",\"config\":\"")?;
+    let fp = u64::from_str_radix(&sc.hex16()?, 16).ok()?;
+    sc.lit("\"")?;
+    let desc = if sc.try_lit(",\"desc\":\"") {
+        let d = sc.string_body()?;
+        sc.lit("\"")?;
+        Some(d)
+    } else {
+        None
+    };
+    if !sc.at_end() {
         return None;
     }
-    u64::from_str_radix(rest, 16).ok()
+    Some((fp, desc))
 }
 
 /// How a resumed run should treat each transform of the corpus.
@@ -571,9 +641,52 @@ mod tests {
         let header = seal(format!(
             "{{\"journal\":\"alive-journal/v1\",\"config\":\"{fingerprint:016x}\""
         ));
-        assert_eq!(parse_header(&header), Some(fingerprint));
+        assert_eq!(parse_header(&header), Some((fingerprint, None)));
         // A header is not a record, and a record is not a header.
         assert!(JournalRecord::parse_line(&header).is_none());
+    }
+
+    #[test]
+    fn described_header_round_trips() {
+        let dir = std::env::temp_dir().join("alive-journal-desc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let desc = "widths=4,8,;ptr=64;max_assign=4;cegis_iter=8;seed_zero=true";
+        Journal::create_described(&path, 0xabcd, Some(desc)).unwrap();
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.fingerprint, Some(0xabcd));
+        assert_eq!(loaded.description.as_deref(), Some(desc));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_diff_names_the_changed_fields() {
+        let a = "widths=4,8,;ptr=64;max_assign=4;cegis_iter=8;seed_zero=true";
+        let b = "widths=4,8,16,;ptr=64;max_assign=4;cegis_iter=32;seed_zero=true";
+        let diff = fingerprint_diff(a, b);
+        assert_eq!(
+            diff,
+            vec![
+                (
+                    "widths".to_string(),
+                    "4,8,".to_string(),
+                    "4,8,16,".to_string()
+                ),
+                ("cegis_iter".to_string(), "8".to_string(), "32".to_string()),
+            ]
+        );
+        assert!(fingerprint_diff(a, a).is_empty());
+        // A field only one side knows about is reported as absent.
+        let c = "widths=4,8,;ptr=64;max_assign=4;cegis_iter=8";
+        let diff = fingerprint_diff(a, c);
+        assert_eq!(
+            diff,
+            vec![(
+                "seed_zero".to_string(),
+                "true".to_string(),
+                "<absent>".to_string()
+            )]
+        );
     }
 
     fn sample_outcome() -> TransformOutcome {

@@ -36,19 +36,21 @@ mod counterexample;
 mod driver;
 pub mod journal;
 mod pool;
+pub mod store;
 mod verify;
 
 pub use attrs::{infer_attributes, AttrInferenceResult, FlagPos};
 pub use counterexample::{Counterexample, FailureKind};
 pub use driver::{
-    run_transforms, run_transforms_with, Attempt, DriverConfig, OutcomeKind, RunReport,
-    TransformOutcome,
+    run_transforms, run_transforms_with, verify_single, Attempt, DriverConfig, OutcomeKind,
+    RunReport, TransformOutcome,
 };
 pub use journal::{
-    config_fingerprint, plan_resume, transform_key, Journal, JournalRecord, LoadedJournal,
-    ResumePlan,
+    config_description, config_fingerprint, fingerprint_diff, plan_resume, transform_key, Journal,
+    JournalRecord, LoadedJournal, ResumePlan,
 };
 pub use pool::{run_supervised, run_transforms_parallel, PoolConfig, TaskSpec};
+pub use store::{StoreOpen, StoreRecord, VerdictStore};
 pub use verify::{
     verify, verify_with_certificates, verify_with_stats, PhaseTimes, Verdict, VerifyConfig,
     VerifyError, VerifyStats,

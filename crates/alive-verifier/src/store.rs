@@ -1,0 +1,535 @@
+//! The persistent content-addressed verdict store.
+//!
+//! `alive serve` must answer "has this optimization ever been verified
+//! under these settings?" in microseconds. The store is that answer's
+//! home: an append-only JSONL file mapping the **canonical content hash**
+//! of a transform (see [`alive_ir::canon`]) to its verdict, reusing the
+//! journal's CRC-sealed line discipline ([`crate::journal`]) so a torn
+//! tail after `kill -9` is truncated, never trusted.
+//!
+//! # Record format (`alive-store/v1`)
+//!
+//! Line 1 is a sealed header binding the store to a config fingerprint
+//! and an eviction epoch; every other line is one verdict record:
+//!
+//! ```text
+//! {"store":"alive-store/v1","config":"<16 hex>","epoch":0,
+//!  "desc":"widths=4,8,...","crc":"<16 hex>"}
+//! {"hash":"<16 hex>","canon":"%v1 = add %v0, C1\n=>\n%v1 = %v0",
+//!  "verdict":"valid","reason":"...","wall_ms":1412,"cert":"",
+//!  "crc":"<16 hex>"}
+//! ```
+//!
+//! (wrapped for display; each record is a single `\n`-terminated line).
+//!
+//! * `hash` is the FNV-1a 64 of the canonical text. A 64-bit hash can
+//!   collide, so the canonical text itself is stored and **compared on
+//!   every lookup** — the hash only buckets, the text decides.
+//! * `cert` is a certificate reference (a path or slug), empty when the
+//!   verdict carries none.
+//! * When one hash appears in several records the **last wins**, so
+//!   re-verification under an escalated budget (say `unknown` → `valid`)
+//!   supersedes the stale row without rewriting the file.
+//!
+//! # Epoch-based eviction
+//!
+//! The header binds every record to `(config fingerprint, epoch)`. Opening
+//! a store whose header disagrees with the caller's fingerprint or epoch
+//! **evicts** it: the old file is rotated to `<path>.evicted` and a fresh
+//! store is started. Bumping `--epoch` is therefore the operator's "the
+//! toolchain changed, trust nothing" lever, and a config change can never
+//! replay verdicts computed under different verifier semantics.
+
+use crate::driver::{json_escape, OutcomeKind};
+use crate::journal::{fnv1a64, seal, unseal, Scanner};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One cached verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreRecord {
+    /// FNV-1a 64 of `canon`, 16 lower-case hex digits.
+    pub hash: String,
+    /// The canonical printed text of the transform (the real key).
+    pub canon: String,
+    /// Cached classification.
+    pub verdict: OutcomeKind,
+    /// Verdict detail (counterexample text, error message, ...).
+    pub reason: String,
+    /// Wall milliseconds the original verification took.
+    pub wall_ms: u64,
+    /// Certificate reference (path or slug); empty when none.
+    pub cert: String,
+}
+
+impl StoreRecord {
+    fn body(&self) -> String {
+        format!(
+            "{{\"hash\":\"{}\",\"canon\":\"{}\",\"verdict\":\"{}\",\"reason\":\"{}\",\
+             \"wall_ms\":{},\"cert\":\"{}\"",
+            self.hash,
+            json_escape(&self.canon),
+            self.verdict.as_str(),
+            json_escape(&self.reason),
+            self.wall_ms,
+            json_escape(&self.cert),
+        )
+    }
+
+    /// Serializes one full, CRC-sealed store line (without the newline).
+    pub fn to_line(&self) -> String {
+        seal(self.body())
+    }
+
+    /// Parses one store line (CRC check included).
+    pub fn parse_line(line: &str) -> Option<StoreRecord> {
+        let body = unseal(line)?;
+        let mut sc = Scanner::new(body);
+        sc.lit("{\"hash\":\"")?;
+        let hash = sc.hex16()?;
+        sc.lit("\",\"canon\":\"")?;
+        let canon = sc.string_body()?;
+        sc.lit("\",\"verdict\":\"")?;
+        let verdict = OutcomeKind::from_label(&sc.string_body()?)?;
+        sc.lit("\",\"reason\":\"")?;
+        let reason = sc.string_body()?;
+        sc.lit("\",\"wall_ms\":")?;
+        let wall_ms = sc.number()?;
+        sc.lit(",\"cert\":\"")?;
+        let cert = sc.string_body()?;
+        sc.lit("\"")?;
+        if !sc.at_end() {
+            return None;
+        }
+        Some(StoreRecord {
+            hash,
+            canon,
+            verdict,
+            reason,
+            wall_ms,
+            cert,
+        })
+    }
+}
+
+/// What [`VerdictStore::open`] found on disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreOpen {
+    /// No store existed; a fresh one was created.
+    Created,
+    /// A matching store was loaded.
+    Loaded {
+        /// Distinct cached verdicts available after dedup.
+        records: usize,
+        /// Torn or corrupt lines discarded from the tail.
+        discarded: usize,
+    },
+    /// The store's header disagreed with the caller's `(config, epoch)`;
+    /// the old file was rotated to `<path>.evicted` and a fresh store
+    /// started.
+    Evicted {
+        /// Fingerprint the old store was bound to.
+        prior_config: u64,
+        /// Epoch the old store was bound to.
+        prior_epoch: u64,
+    },
+}
+
+/// An open verdict store: in-memory index over an append-only, CRC-sealed
+/// JSONL file. Every [`VerdictStore::insert`] is fsync'd before returning.
+#[derive(Debug)]
+pub struct VerdictStore {
+    file: File,
+    path: PathBuf,
+    fingerprint: u64,
+    epoch: u64,
+    /// hash (as u64) → index into `records`; last inserted wins.
+    index: HashMap<u64, usize>,
+    records: Vec<StoreRecord>,
+}
+
+/// Path an evicted store is rotated to: `.evicted` is *appended*
+/// (`store.jsonl` → `store.jsonl.evicted`), never substituted for the
+/// existing extension, so the original file name stays recognizable.
+pub fn evicted_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".evicted");
+    std::path::PathBuf::from(name)
+}
+
+impl VerdictStore {
+    /// Opens (or creates) the store at `path`, bound to the given config
+    /// fingerprint and eviction epoch. A header mismatch evicts the old
+    /// store (see module docs); a torn tail is truncated away.
+    pub fn open(
+        path: &Path,
+        fingerprint: u64,
+        epoch: u64,
+        description: Option<&str>,
+    ) -> std::io::Result<(VerdictStore, StoreOpen)> {
+        if !path.exists() {
+            let store = VerdictStore::create(path, fingerprint, epoch, description)?;
+            return Ok((store, StoreOpen::Created));
+        }
+        let text = std::fs::read_to_string(path)?;
+        let mut lines = text.split('\n');
+        let header = lines.next().and_then(parse_store_header);
+        match header {
+            Some((fp, ep)) if fp == fingerprint && ep == epoch => {}
+            other => {
+                // Wrong config, wrong epoch, or unreadable header: never
+                // serve these verdicts. Keep the old file around for
+                // post-mortems rather than deleting data.
+                let _ = std::fs::rename(path, evicted_path(path));
+                let store = VerdictStore::create(path, fingerprint, epoch, description)?;
+                let (prior_config, prior_epoch) = other.unwrap_or((0, 0));
+                return Ok((
+                    store,
+                    StoreOpen::Evicted {
+                        prior_config,
+                        prior_epoch,
+                    },
+                ));
+            }
+        }
+        // Parse records; stop at the first bad line and truncate the file
+        // to the good prefix (same discard-everything-after rule as the
+        // journal: appends-only means a bad line poisons the tail).
+        let mut records = Vec::new();
+        let mut good_bytes = text.find('\n').map_or(text.len(), |p| p + 1);
+        let mut discarded = 0usize;
+        let mut rest: Vec<&str> = lines.collect();
+        let torn_tail = match rest.last() {
+            Some(&"") => {
+                rest.pop();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        };
+        let total = rest.len();
+        for (i, line) in rest.iter().enumerate() {
+            if i + 1 == total && torn_tail {
+                discarded += 1;
+                break;
+            }
+            match StoreRecord::parse_line(line) {
+                Some(rec) => {
+                    good_bytes += line.len() + 1;
+                    records.push(rec);
+                }
+                None => {
+                    discarded += total - i;
+                    break;
+                }
+            }
+        }
+        let file = OpenOptions::new().read(true).append(true).open(path)?;
+        if (good_bytes as u64) < file.metadata()?.len() {
+            file.set_len(good_bytes as u64)?;
+            file.sync_data()?;
+        }
+        let mut index = HashMap::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            if let Ok(h) = u64::from_str_radix(&rec.hash, 16) {
+                index.insert(h, i);
+            }
+        }
+        let distinct = index.len();
+        Ok((
+            VerdictStore {
+                file,
+                path: path.to_path_buf(),
+                fingerprint,
+                epoch,
+                index,
+                records,
+            },
+            StoreOpen::Loaded {
+                records: distinct,
+                discarded,
+            },
+        ))
+    }
+
+    fn create(
+        path: &Path,
+        fingerprint: u64,
+        epoch: u64,
+        description: Option<&str>,
+    ) -> std::io::Result<VerdictStore> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut body = format!(
+            "{{\"store\":\"alive-store/v1\",\"config\":\"{fingerprint:016x}\",\"epoch\":{epoch}"
+        );
+        if let Some(desc) = description {
+            body.push_str(&format!(",\"desc\":\"{}\"", json_escape(desc)));
+        }
+        let header = seal(body);
+        file.write_all(header.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+        // Re-open in append mode so later inserts cannot clobber the header.
+        drop(file);
+        let file = OpenOptions::new().read(true).append(true).open(path)?;
+        Ok(VerdictStore {
+            file,
+            path: path.to_path_buf(),
+            fingerprint,
+            epoch,
+            index: HashMap::new(),
+            records: Vec::new(),
+        })
+    }
+
+    /// The store's path (for messages).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The config fingerprint this store is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The eviction epoch this store is bound to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of distinct cached verdicts.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Looks up the cached verdict for a transform's canonical text.
+    /// Returns `None` on a hash-bucket hit whose stored canonical text
+    /// differs (a 64-bit collision): colliding entries must re-verify.
+    pub fn lookup(&self, canon: &str) -> Option<&StoreRecord> {
+        let h = fnv1a64(canon.as_bytes());
+        let rec = &self.records[*self.index.get(&h)?];
+        (rec.canon == canon).then_some(rec)
+    }
+
+    /// Inserts (or supersedes) the verdict for a canonical text, fsync'ing
+    /// the record before returning.
+    pub fn insert(
+        &mut self,
+        canon: &str,
+        verdict: OutcomeKind,
+        reason: &str,
+        wall_ms: u64,
+        cert: &str,
+    ) -> std::io::Result<()> {
+        let h = fnv1a64(canon.as_bytes());
+        let rec = StoreRecord {
+            hash: format!("{h:016x}"),
+            canon: canon.to_string(),
+            verdict,
+            reason: reason.to_string(),
+            wall_ms,
+            cert: cert.to_string(),
+        };
+        let line = rec.to_line();
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()?;
+        self.index.insert(h, self.records.len());
+        self.records.push(rec);
+        Ok(())
+    }
+}
+
+/// Parses the sealed store header, returning `(config, epoch)`. The
+/// description field, when present, is tolerated and ignored here — the
+/// fingerprint is what gates reuse.
+fn parse_store_header(line: &str) -> Option<(u64, u64)> {
+    let body = unseal(line)?;
+    let mut sc = Scanner::new(body);
+    sc.lit("{\"store\":\"alive-store/v1\",\"config\":\"")?;
+    let fp = u64::from_str_radix(&sc.hex16()?, 16).ok()?;
+    sc.lit("\",\"epoch\":")?;
+    let epoch = sc.number()?;
+    if sc.try_lit(",\"desc\":\"") {
+        sc.string_body()?;
+        sc.lit("\"")?;
+    }
+    if !sc.at_end() {
+        return None;
+    }
+    Some((fp, epoch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("alive-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(evicted_path(&path)).ok();
+        path
+    }
+
+    const CANON: &str = "%v1 = add %v0, C1\n=>\n%v1 = %v0";
+
+    #[test]
+    fn record_round_trips() {
+        let rec = StoreRecord {
+            hash: format!("{:016x}", fnv1a64(CANON.as_bytes())),
+            canon: CANON.to_string(),
+            verdict: OutcomeKind::Invalid,
+            reason: "counterexample:\n%x = 1".to_string(),
+            wall_ms: 1412,
+            cert: "certs/add-identity.cert".to_string(),
+        };
+        let line = rec.to_line();
+        assert_eq!(StoreRecord::parse_line(&line), Some(rec));
+        // Any truncation fails the CRC or the strict parse.
+        for cut in 1..line.len() {
+            assert!(StoreRecord::parse_line(&line[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn store_persists_across_reopen() {
+        let path = tmp("persist.jsonl");
+        {
+            let (mut store, how) = VerdictStore::open(&path, 42, 0, Some("widths=4,")).unwrap();
+            assert_eq!(how, StoreOpen::Created);
+            assert!(store.lookup(CANON).is_none());
+            store
+                .insert(CANON, OutcomeKind::Valid, "valid", 12, "")
+                .unwrap();
+            assert_eq!(store.lookup(CANON).unwrap().verdict, OutcomeKind::Valid);
+        }
+        let (store, how) = VerdictStore::open(&path, 42, 0, Some("widths=4,")).unwrap();
+        assert_eq!(
+            how,
+            StoreOpen::Loaded {
+                records: 1,
+                discarded: 0
+            }
+        );
+        let rec = store.lookup(CANON).unwrap();
+        assert_eq!(rec.verdict, OutcomeKind::Valid);
+        assert_eq!(rec.wall_ms, 12);
+    }
+
+    #[test]
+    fn last_record_wins() {
+        let path = tmp("supersede.jsonl");
+        let (mut store, _) = VerdictStore::open(&path, 1, 0, None).unwrap();
+        store
+            .insert(CANON, OutcomeKind::Unknown, "budget", 5, "")
+            .unwrap();
+        store
+            .insert(CANON, OutcomeKind::Valid, "valid", 90, "")
+            .unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup(CANON).unwrap().verdict, OutcomeKind::Valid);
+        // And after a reload.
+        drop(store);
+        let (store, _) = VerdictStore::open(&path, 1, 0, None).unwrap();
+        assert_eq!(store.lookup(CANON).unwrap().verdict, OutcomeKind::Valid);
+    }
+
+    #[test]
+    fn config_or_epoch_mismatch_evicts() {
+        let path = tmp("evict.jsonl");
+        {
+            let (mut store, _) = VerdictStore::open(&path, 7, 3, None).unwrap();
+            store
+                .insert(CANON, OutcomeKind::Valid, "valid", 1, "")
+                .unwrap();
+        }
+        // Same config, bumped epoch: evicted.
+        let (store, how) = VerdictStore::open(&path, 7, 4, None).unwrap();
+        assert_eq!(
+            how,
+            StoreOpen::Evicted {
+                prior_config: 7,
+                prior_epoch: 3
+            }
+        );
+        assert!(store.lookup(CANON).is_none());
+        assert!(evicted_path(&path).exists());
+        drop(store);
+        // Different config, same epoch: evicted again.
+        let (store, how) = VerdictStore::open(&path, 8, 4, None).unwrap();
+        assert!(matches!(
+            how,
+            StoreOpen::Evicted {
+                prior_config: 7,
+                ..
+            }
+        ));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_trusted() {
+        let path = tmp("torn.jsonl");
+        {
+            let (mut store, _) = VerdictStore::open(&path, 9, 0, None).unwrap();
+            store
+                .insert(CANON, OutcomeKind::Valid, "valid", 1, "")
+                .unwrap();
+        }
+        // Simulate a torn write: half a record, no newline.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"hash\":\"0011223344556677\",\"canon\":\"%v0 = ")
+            .unwrap();
+        drop(f);
+        let (store, how) = VerdictStore::open(&path, 9, 0, None).unwrap();
+        assert_eq!(
+            how,
+            StoreOpen::Loaded {
+                records: 1,
+                discarded: 1
+            }
+        );
+        assert_eq!(store.lookup(CANON).unwrap().verdict, OutcomeKind::Valid);
+        // The file itself was repaired: a re-open discards nothing.
+        drop(store);
+        let (_, how) = VerdictStore::open(&path, 9, 0, None).unwrap();
+        assert_eq!(
+            how,
+            StoreOpen::Loaded {
+                records: 1,
+                discarded: 0
+            }
+        );
+    }
+
+    #[test]
+    fn collision_buckets_compare_text() {
+        let path = tmp("collision.jsonl");
+        let (mut store, _) = VerdictStore::open(&path, 1, 0, None).unwrap();
+        store
+            .insert(CANON, OutcomeKind::Valid, "valid", 1, "")
+            .unwrap();
+        // Forge an index collision: same bucket, different canonical text.
+        let other = "%v1 = sub %v0, C1\n=>\n%v1 = %v0";
+        let h = fnv1a64(CANON.as_bytes());
+        store
+            .index
+            .insert(fnv1a64(other.as_bytes()), store.index[&h]);
+        assert!(store.lookup(other).is_none(), "collision must miss");
+        assert!(store.lookup(CANON).is_some());
+    }
+}

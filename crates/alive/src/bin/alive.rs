@@ -8,6 +8,12 @@
 //!                   [--max-insts <n>] [--jobs <n>] [--timeout <secs>]
 //!                   [--budget <conflicts>] [--corpus <dir>] [--no-minimize]
 //!                   [--trace <file>] [--replay <dir>]
+//!        alive serve [--store <file>] [--stdio | --socket <path>]
+//!                    [--epoch <n>] [--workers <n>] [--fast|--exhaustive]
+//!                    [--timeout <secs>] [--budget <conflicts>]
+//!                    [--retries <n>] [--cert-dir <dir>] [--trace <file>]
+//!                    [--metrics]
+//!        alive hash <file.opt>...
 //!   --fast            verify at widths {4,8} only
 //!   --exhaustive      verify at widths 1..=64 (slow, like the paper)
 //!   --cpp             print generated C++ for verified transformations
@@ -35,7 +41,20 @@
 //!                     oracle: certificates re-verified independently,
 //!                     small-width verdicts brute-forced through the
 //!                     concrete interpreter; any disagreement exits 1
+//!   --dedupe          collapse transforms that share a canonical form
+//!                     (alpha-renaming, commutative operand order) before
+//!                     verification; each duplicate reports its
+//!                     representative's verdict
 //! ```
+//!
+//! `alive serve` runs verification as a long-running service: requests
+//! arrive as line-delimited JSON (stdin/stdout with `--stdio`, a unix
+//! socket with `--socket`), every transform is canonicalized, and a
+//! persistent content-addressed verdict store answers repeats without
+//! touching the solver. See docs/SERVING.md for the protocol.
+//!
+//! `alive hash` prints each transform's canonical content hash (16 hex
+//! digits) — the identity the serve cache and `--dedupe` key on.
 //!
 //! `alive stats` replays a `--trace` file offline: per-phase self-time
 //! breakdown, slowest transforms, counter totals, and (with `--folded`)
@@ -62,6 +81,8 @@
 //! interrupted.
 
 use alive::fuzz::{paranoid_audit, replay_corpus, run_fuzz, FuzzConfig, OracleConfig};
+use alive::ir::{canonical_hash, canonical_text};
+use alive::serve::{serve_stdio, ServeConfig, Server};
 use alive::trace::{
     read_trace_lenient, JsonlSink, MetricsSink, TeeSink, TraceSink, TraceStats, Tracer,
 };
@@ -69,8 +90,9 @@ use alive::{
     generate_cpp, infer_attributes, parse_transforms, Certificate, Transform, VerifyConfig,
 };
 use alive_verifier::{
-    config_fingerprint, plan_resume, run_supervised, transform_key, DriverConfig, Journal,
-    OutcomeKind, PoolConfig, RunReport, TaskSpec, TransformOutcome,
+    config_description, config_fingerprint, fingerprint_diff, plan_resume, run_supervised,
+    transform_key, DriverConfig, Journal, OutcomeKind, PoolConfig, RunReport, StoreOpen, TaskSpec,
+    TransformOutcome,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -83,11 +105,15 @@ const USAGE: &str = "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--pro
      [--timeout <secs>] [--budget <conflicts>] [--retries <n>] [--keep-going] \
      [--report <file.json>] [--jobs <n>] [--grace <secs>] \
      [--journal <file>] [--resume <file>] [--trace <file>] [--metrics] \
-     [--paranoid] <file.opt>...\n\
+     [--paranoid] [--dedupe] <file.opt>...\n\
        alive stats <trace.jsonl> [--top <n>] [--folded]\n\
        alive fuzz [--seed <n>] [--cases <n>] [--max-width <bits>] [--max-insts <n>] \
      [--jobs <n>] [--timeout <secs>] [--budget <conflicts>] [--corpus <dir>] \
-     [--no-minimize] [--trace <file>] [--replay <dir>]";
+     [--no-minimize] [--trace <file>] [--replay <dir>]\n\
+       alive serve [--store <file>] [--stdio | --socket <path>] [--epoch <n>] \
+     [--workers <n>] [--fast|--exhaustive] [--timeout <secs>] [--budget <conflicts>] \
+     [--retries <n>] [--cert-dir <dir>] [--trace <file>] [--metrics]\n\
+       alive hash <file.opt>...";
 
 /// Width-coverage mode; `--fast` and `--exhaustive` are order-independent
 /// and mutually exclusive.
@@ -138,6 +164,7 @@ struct Options {
     trace_path: Option<String>,
     metrics: bool,
     paranoid: bool,
+    dedupe: bool,
 }
 
 enum ParsedArgs {
@@ -169,6 +196,7 @@ fn parse_args(args: &[String]) -> ParsedArgs {
         trace_path: None,
         metrics: false,
         paranoid: false,
+        dedupe: false,
     };
     let mut fast = false;
     let mut exhaustive = false;
@@ -202,6 +230,7 @@ fn parse_args(args: &[String]) -> ParsedArgs {
             },
             "--metrics" => opts.metrics = true,
             "--paranoid" => opts.paranoid = true,
+            "--dedupe" => opts.dedupe = true,
             "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(secs) if secs.is_finite() && secs >= 0.0 => {
                     opts.timeout = Some(Duration::from_secs_f64(secs));
@@ -531,6 +560,274 @@ fn run_fuzz_cmd(args: &[String]) -> ExitCode {
     ExitCode::from(report.exit_code())
 }
 
+/// The `alive hash` subcommand: print each transform's canonical content
+/// hash — the identity the serve cache and `--dedupe` key on. Alpha
+/// renamings and commuted commutative operands print the same hash.
+fn run_hash(args: &[String]) -> ExitCode {
+    const HASH_USAGE: &str = "usage: alive hash <file.opt>...";
+    let mut files = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "-h" | "--help" => {
+                eprintln!("{HASH_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option '{other}'\n{HASH_USAGE}");
+                return ExitCode::from(64);
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no input files\n{HASH_USAGE}");
+        return ExitCode::from(64);
+    }
+    let mut failures = 0usize;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match parse_transforms(&text) {
+            Ok(ts) => {
+                for (i, t) in ts.into_iter().enumerate() {
+                    let name = t
+                        .name
+                        .clone()
+                        .unwrap_or_else(|| format!("{path}#{}", i + 1));
+                    println!("{:016x}  {name}", canonical_hash(&t));
+                }
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The `alive serve` subcommand: a verification daemon with a persistent
+/// content-addressed verdict cache. All diagnostics go to stderr — in
+/// `--stdio` mode stdout is the protocol channel.
+fn run_serve(args: &[String]) -> ExitCode {
+    const SERVE_USAGE: &str = "usage: alive serve [--store <file>] [--stdio | --socket <path>] \
+         [--epoch <n>] [--workers <n>] [--fast|--exhaustive] [--timeout <secs>] \
+         [--budget <conflicts>] [--retries <n>] [--cert-dir <dir>] [--trace <file>] \
+         [--metrics]";
+    let serve_usage_error = |msg: &str| -> ExitCode {
+        eprintln!("error: {msg}\n{SERVE_USAGE}");
+        ExitCode::from(64)
+    };
+    let mut store = "alive-store.jsonl".to_string();
+    let mut socket: Option<String> = None;
+    let mut stdio = false;
+    let mut epoch = 0u64;
+    let mut workers = 0usize;
+    let mut fast = false;
+    let mut exhaustive = false;
+    let mut timeout: Option<Duration> = None;
+    let mut budget: Option<u64> = None;
+    let mut retries = 1u32;
+    let mut cert_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => match it.next() {
+                Some(f) => store = f.clone(),
+                None => return serve_usage_error("--store requires a file argument"),
+            },
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => return serve_usage_error("--socket requires a path argument"),
+            },
+            "--stdio" => stdio = true,
+            "--epoch" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => epoch = n,
+                None => return serve_usage_error("--epoch requires an integer"),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => workers = n,
+                None => return serve_usage_error("--workers requires a count"),
+            },
+            "--fast" => fast = true,
+            "--exhaustive" => exhaustive = true,
+            "--timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs >= 0.0 => {
+                    timeout = Some(Duration::from_secs_f64(secs));
+                }
+                _ => {
+                    return serve_usage_error("--timeout requires a non-negative number of seconds")
+                }
+            },
+            "--budget" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => budget = Some(n),
+                None => return serve_usage_error("--budget requires a conflict count"),
+            },
+            "--retries" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => retries = n,
+                None => return serve_usage_error("--retries requires a count"),
+            },
+            "--cert-dir" => match it.next() {
+                Some(d) => cert_dir = Some(d.clone()),
+                None => return serve_usage_error("--cert-dir requires a directory argument"),
+            },
+            "--trace" => match it.next() {
+                Some(f) => trace_path = Some(f.clone()),
+                None => return serve_usage_error("--trace requires a file argument"),
+            },
+            "--metrics" => metrics = true,
+            "-h" | "--help" => {
+                eprintln!("{SERVE_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return serve_usage_error(&format!("unexpected argument '{other}'")),
+        }
+    }
+    if fast && exhaustive {
+        return serve_usage_error("--fast and --exhaustive contradict each other; pick one");
+    }
+    if stdio && socket.is_some() {
+        return serve_usage_error("--stdio and --socket are alternative transports; pick one");
+    }
+    if !stdio && socket.is_none() {
+        stdio = true; // the portable default
+    }
+
+    // Tracer: JSONL stream, in-process metrics, both, or disabled.
+    let mut jsonl_sink: Option<Arc<JsonlSink>> = None;
+    let mut metrics_sink: Option<Arc<MetricsSink>> = None;
+    let tracer = {
+        let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+        if let Some(path) = &trace_path {
+            match JsonlSink::create(Path::new(path)) {
+                Ok(s) => {
+                    let s = Arc::new(s);
+                    jsonl_sink = Some(Arc::clone(&s));
+                    sinks.push(Box::new(s));
+                }
+                Err(e) => {
+                    eprintln!("error: cannot create trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if metrics {
+            let s = Arc::new(MetricsSink::new());
+            metrics_sink = Some(Arc::clone(&s));
+            sinks.push(Box::new(s));
+        }
+        match sinks.len() {
+            0 => Tracer::disabled(),
+            1 => Tracer::new(sinks.pop().expect("one sink")),
+            _ => Tracer::new(Box::new(TeeSink::new(sinks))),
+        }
+    };
+
+    let verify_config = if fast {
+        VerifyConfig::fast()
+    } else if exhaustive {
+        VerifyConfig {
+            typeck: alive::TypeckConfig::exhaustive(),
+            ..VerifyConfig::default()
+        }
+    } else {
+        VerifyConfig::default()
+    };
+    let mut traced_verify = verify_config;
+    traced_verify.ef.tracer = tracer.clone();
+    let config = ServeConfig {
+        driver: DriverConfig {
+            verify: traced_verify,
+            timeout,
+            conflict_budget: budget,
+            max_retries: retries,
+            with_certificates: cert_dir.is_some(),
+            ..DriverConfig::default()
+        },
+        store_path: store.clone().into(),
+        epoch,
+        workers,
+        cert_dir: cert_dir.map(Into::into),
+        tracer: tracer.clone(),
+    };
+    let (server, how) = match Server::open(config) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: cannot open verdict store {store}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match how {
+        StoreOpen::Created => eprintln!("serve: fresh store {store} (epoch {epoch})"),
+        StoreOpen::Loaded { records, discarded } => {
+            eprintln!("serve: loaded {records} cached verdict(s) from {store}");
+            if discarded > 0 {
+                eprintln!("serve: discarded {discarded} torn/corrupt store line(s)");
+            }
+        }
+        StoreOpen::Evicted {
+            prior_config,
+            prior_epoch,
+        } => eprintln!(
+            "serve: evicted stale store (was config {prior_config:016x}, epoch \
+             {prior_epoch}); rotated to {store}.evicted"
+        ),
+    }
+
+    let served = if stdio {
+        serve_stdio(&server)
+    } else {
+        #[cfg(unix)]
+        {
+            let path = socket.expect("socket transport implies a path");
+            eprintln!("serve: listening on {path}");
+            alive::serve::serve_unix(&server, Path::new(&path))
+        }
+        #[cfg(not(unix))]
+        {
+            eprintln!("error: --socket requires a unix platform; use --stdio");
+            return ExitCode::from(64);
+        }
+    };
+    let s = server.stats();
+    eprintln!(
+        "serve: {} hit(s), {} miss(es), {} join(s), {} error(s), {} stored",
+        s.hits, s.misses, s.joins, s.errors, s.stored
+    );
+    tracer.flush();
+    if let Some(sink) = &metrics_sink {
+        eprint!("{}", sink.render());
+    }
+    let mut failed = false;
+    if let Some(sink) = &jsonl_sink {
+        if sink.had_error() {
+            eprintln!("warning: trace writes failed; the trace file is incomplete");
+            failed = true;
+        }
+    }
+    if let Err(e) = served {
+        eprintln!("error: serve transport failed: {e}");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("stats") {
@@ -538,6 +835,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         return run_fuzz_cmd(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("hash") {
+        return run_hash(&args[1..]);
     }
     let opts = match parse_args(&args) {
         ParsedArgs::Run(o) => o,
@@ -618,6 +921,35 @@ fn main() -> ExitCode {
         }
     }
 
+    // --dedupe: collapse transforms sharing a canonical form (alpha
+    // renaming, commutative operand order). One representative is
+    // verified; each duplicate reports the representative's verdict.
+    let mut dup_names: Vec<Vec<String>> = Vec::new();
+    let mut duplicates = 0usize;
+    if opts.dedupe {
+        let mut rep_of: HashMap<String, usize> = HashMap::new();
+        let mut kept: Vec<(String, Transform)> = Vec::new();
+        for (name, t) in transforms.drain(..) {
+            match rep_of.entry(canonical_text(&t)) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    dup_names[*e.get()].push(name);
+                    duplicates += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(kept.len());
+                    kept.push((name, t));
+                    dup_names.push(Vec::new());
+                }
+            }
+        }
+        transforms = kept;
+        println!(
+            "dedupe: {} transform(s) collapse to {} canonical form(s)",
+            transforms.len() + duplicates,
+            transforms.len(),
+        );
+    }
+
     // Covers config assembly, corpus fingerprinting, and journal/resume
     // planning — closed before the driver starts so its spans don't nest.
     let setup_span = tracer.span("setup");
@@ -681,6 +1013,18 @@ fn main() -> ExitCode {
                     "warning: {path}: journal was written under different verifier \
                      settings; no verdicts will be reused"
                 );
+                match &loaded.description {
+                    Some(recorded) => {
+                        let current = config_description(&verify_config);
+                        for (field, cur, rec) in fingerprint_diff(&current, recorded) {
+                            eprintln!("  {field}: this run {cur}, journal {rec}");
+                        }
+                    }
+                    None => eprintln!(
+                        "  (journal header predates recorded settings; cannot say \
+                         which fields differ)"
+                    ),
+                }
             }
         }
         let plan = plan_resume(&loaded.records, &keys);
@@ -715,7 +1059,11 @@ fn main() -> ExitCode {
     } else {
         tasks = (0..transforms.len()).map(TaskSpec::fresh).collect();
         if let Some(path) = &opts.journal_path {
-            match Journal::create(Path::new(path), fingerprint) {
+            match Journal::create_described(
+                Path::new(path),
+                fingerprint,
+                Some(&config_description(&verify_config)),
+            ) {
                 Ok(j) => journal = Some(j),
                 Err(e) => {
                     eprintln!("error: cannot create journal {path}: {e}");
@@ -837,6 +1185,24 @@ fn main() -> ExitCode {
                     paranoid_disagreements += audit.disagreements.len();
                 }
             }
+            // --dedupe: every duplicate reports its representative's
+            // verdict (they are the same transform up to renaming).
+            for dup in dup_names.get(i).map_or(&[][..], Vec::as_slice) {
+                println!("----------------------------------------");
+                println!("Name: {dup}");
+                let verdict = match outcome.kind {
+                    OutcomeKind::Valid | OutcomeKind::Invalid => outcome.detail.clone(),
+                    OutcomeKind::Unknown => {
+                        format!("Verification inconclusive: {}", outcome.detail)
+                    }
+                    OutcomeKind::Error => format!("error: {}", outcome.detail),
+                    OutcomeKind::Hung => format!("Hung: {}", outcome.detail),
+                };
+                println!(
+                    "{verdict} [deduped: canonically identical to {}]",
+                    outcome.name
+                );
+            }
         },
     );
 
@@ -862,6 +1228,12 @@ fn main() -> ExitCode {
             ""
         },
     );
+    if duplicates > 0 {
+        println!(
+            "dedupe: {duplicates} duplicate(s) answered by their canonical \
+             representative's verdict"
+        );
+    }
     if paranoid_disagreements > 0 {
         eprintln!(
             "error: paranoid mode found {paranoid_disagreements} disagreement(s) \

@@ -67,6 +67,8 @@ pub use alive_opt as opt;
 pub use alive_proof as proof;
 /// The SAT solver substrate.
 pub use alive_sat as sat;
+/// Verification as a service: daemon, protocol, verdict cache.
+pub use alive_serve as serve;
 /// The SMT (bitvector) layer.
 pub use alive_smt as smt;
 /// The InstCombine corpus.

@@ -691,6 +691,182 @@ fn paranoid_with_resume_is_rejected() {
     assert!(stderr.contains("--paranoid"), "{stderr}");
 }
 
+/// `alive hash`: alpha renaming and commuted commutative operands print
+/// one hash; a genuinely different transform prints another.
+#[test]
+fn hash_collapses_alpha_and_commuted_variants() {
+    let dir = temp_dir("hash");
+    let f = dir.join("variants.opt");
+    std::fs::write(
+        &f,
+        "Name: orig\n%r = add %x, %y\n=>\n%r = shl %x, 1\n\
+         Name: variant\n%s = add %w, %u\n=>\n%s = shl %u, 1\n\
+         Name: different\n%r = add %x, %y\n=>\n%r = shl %x, 2\n",
+    )
+    .unwrap();
+    let (code, stdout, stderr) = run(&["hash", f.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    let hashes: Vec<(&str, &str)> = stdout
+        .lines()
+        .map(|l| l.split_once("  ").expect(l))
+        .collect();
+    assert_eq!(hashes.len(), 3, "{stdout}");
+    for (h, _) in &hashes {
+        assert_eq!(h.len(), 16, "{h}");
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()), "{h}");
+    }
+    assert_eq!(hashes[0].0, hashes[1].0, "variants must collide:\n{stdout}");
+    assert_ne!(
+        hashes[0].0, hashes[2].0,
+        "distinct transforms must not collide:\n{stdout}"
+    );
+
+    let (code, _, _) = run(&["hash"]);
+    assert_eq!(code, 64);
+    let ghost = dir.join("ghost.opt");
+    let (code, _, stderr) = run(&["hash", ghost.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stderr}");
+}
+
+/// Starts `alive serve --stdio`, feeds it `requests`, returns stdout.
+fn serve_stdio(store: &std::path::Path, requests: &str) -> String {
+    use std::io::Write as _;
+    let mut child = alive_bin()
+        .args([
+            "serve",
+            "--stdio",
+            "--fast",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(requests.as_bytes())
+        .unwrap();
+    drop(child.stdin.take());
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The serve daemon over stdio: a fresh store verifies, a second daemon
+/// sharing the store answers the same (alpha-renamed) transform from
+/// cache without re-verifying.
+#[test]
+fn serve_stdio_caches_across_daemon_restarts() {
+    let dir = temp_dir("serve-stdio");
+    let store = dir.join("store.jsonl");
+    let first = serve_stdio(
+        &store,
+        "{\"op\":\"verify\",\"id\":\"a\",\"text\":\"%r = add %x, 0\\n=>\\n%r = %x\"}\n\
+         {\"op\":\"shutdown\",\"id\":\"q\"}\n",
+    );
+    let verdict = first.lines().next().expect(&first);
+    assert!(verdict.contains("\"verdict\":\"valid\""), "{first}");
+    assert!(verdict.contains("\"cached\":false"), "{first}");
+    assert!(first.contains("\"shutdown\":true"), "{first}");
+
+    // Alpha-renamed resubmission to a new daemon over the same store.
+    let second = serve_stdio(
+        &store,
+        "{\"op\":\"verify\",\"id\":\"b\",\"text\":\"%q = add %z, 0\\n=>\\n%q = %z\"}\n\
+         {\"op\":\"stats\",\"id\":\"s\"}\n\
+         {\"op\":\"shutdown\",\"id\":\"q\"}\n",
+    );
+    let verdict = second.lines().next().expect(&second);
+    assert!(verdict.contains("\"verdict\":\"valid\""), "{second}");
+    assert!(verdict.contains("\"cached\":true"), "{second}");
+    let stats = second
+        .lines()
+        .find(|l| l.contains("\"stats\":true"))
+        .expect(&second);
+    assert!(stats.contains("\"hits\":1"), "{stats}");
+    assert!(stats.contains("\"misses\":0"), "{stats}");
+}
+
+#[test]
+fn serve_rejects_bad_arguments() {
+    for args in [
+        &["serve", "--store"][..],
+        &["serve", "--epoch", "soon"][..],
+        &["serve", "--workers"][..],
+        &["serve", "--fast", "--exhaustive"][..],
+        &["serve", "--stdio", "--socket", "/tmp/x.sock"][..],
+        &["serve", "stray-positional"][..],
+    ] {
+        let (code, _, stderr) = run(args);
+        assert_eq!(code, 64, "args {args:?}: {stderr}");
+    }
+}
+
+/// `--dedupe`: canonically identical transforms are verified once; each
+/// duplicate reports the representative's verdict.
+#[test]
+fn dedupe_collapses_identical_transforms() {
+    let dir = temp_dir("dedupe");
+    let f = dir.join("dups.opt");
+    std::fs::write(
+        &f,
+        format!(
+            "{EASY}\nName: alpha-twin\n%s = add %w, %w\n=>\n%s = shl %w, 1\n\
+             Name: lone\n%r = add %x, 0\n=>\n%r = %x\n"
+        ),
+    )
+    .unwrap();
+    let (code, stdout, _) = run(&["--fast", "--dedupe", f.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(
+        stdout.contains("dedupe: 3 transform(s) collapse to 2 canonical form(s)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("[deduped: canonically identical to double-to-shl]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Name: alpha-twin"), "{stdout}");
+    assert!(stdout.contains("Name: lone"), "{stdout}");
+    // Only the two representatives were verified and counted.
+    assert!(stdout.contains("2 valid, 0 invalid"), "{stdout}");
+    assert!(
+        stdout.contains("dedupe: 1 duplicate(s) answered"),
+        "{stdout}"
+    );
+}
+
+/// Satellite 2: a `--resume` under different verifier settings must name
+/// the fields that differ, not just refuse with a bare warning.
+#[test]
+fn resume_fingerprint_mismatch_names_the_changed_fields() {
+    let dir = temp_dir("resume-mismatch");
+    let f = dir.join("easy.opt");
+    std::fs::write(&f, EASY).unwrap();
+    let journal = dir.join("run.jsonl");
+    let (code, _, _) = run(&[
+        "--fast",
+        "--journal",
+        journal.to_str().unwrap(),
+        f.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0);
+    // Resume under the default (non-fast) widths: nothing is reused, and
+    // the warning says exactly which settings moved.
+    let (code, stdout, stderr) = run(&["--resume", journal.to_str().unwrap(), f.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stderr.contains("different verifier settings"), "{stderr}");
+    assert!(
+        stderr.contains("widths: this run"),
+        "mismatch report must name the changed field:\n{stderr}"
+    );
+    assert!(stdout.contains("resume: 0 verdict(s) reused"), "{stdout}");
+}
+
 #[cfg(feature = "fault-injection")]
 mod faults {
     use super::*;
