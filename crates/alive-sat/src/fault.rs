@@ -11,8 +11,13 @@
 //!
 //! Plans are written `site:kind@n` (1-based), comma-separated:
 //! `sat:panic@3,sat:hang@7`. Sites are `sat` (every
-//! `Solver::solve_with_assumptions`) and `smt` (every `SmtSolver` check).
-//! Kinds are `unknown`, `panic`, `hang`, `hang-hard`, and `corrupt-model`.
+//! `Solver::solve_with_assumptions`), `smt` (every `SmtSolver` check),
+//! `store` (every verdict-store append), and `serve` (every daemon
+//! verify/batch request). Kinds are `unknown`, `panic`, `hang`,
+//! `hang-hard`, `corrupt-model`, `io-error`, and `torn` — the last two
+//! model disk/socket failures and only make sense at the `store`/`serve`
+//! sites, where the handlers map them to a failed or half-completed
+//! write.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -35,6 +40,13 @@ pub enum FaultKind {
     /// Solve normally, then flip every model value of a `Sat` answer,
     /// exercising the verifier's concrete model re-validation.
     CorruptModel,
+    /// Fail an I/O operation cleanly (nothing written), simulating a full
+    /// disk on a store append or a broken pipe on a response write.
+    IoError,
+    /// Complete an I/O operation *partially* — half a record hits the file
+    /// or socket, then the error fires — simulating a torn write the way
+    /// `kill -9` mid-append produces one.
+    TornWrite,
 }
 
 /// Which layer's query counter a fault is keyed to.
@@ -44,6 +56,10 @@ pub enum FaultSite {
     Sat,
     /// `alive-smt`: one count per `check`/`check_assuming` call.
     Smt,
+    /// `alive-verifier::store`: one count per verdict-store append.
+    Store,
+    /// `alive-serve`: one count per daemon `verify`/`batch` request.
+    Serve,
 }
 
 /// One scheduled fault: fire `kind` at the `at`-th (1-based) query
@@ -83,6 +99,8 @@ impl FailurePlan {
             let site = match site_s {
                 "sat" => FaultSite::Sat,
                 "smt" => FaultSite::Smt,
+                "store" => FaultSite::Store,
+                "serve" => FaultSite::Serve,
                 other => return Err(format!("fault '{part}': unknown site '{other}'")),
             };
             let kind = match kind_s {
@@ -91,6 +109,8 @@ impl FailurePlan {
                 "hang" => FaultKind::Hang,
                 "hang-hard" => FaultKind::HangHard,
                 "corrupt-model" => FaultKind::CorruptModel,
+                "io-error" => FaultKind::IoError,
+                "torn" => FaultKind::TornWrite,
                 other => return Err(format!("fault '{part}': unknown kind '{other}'")),
             };
             let at: u64 = at_s
@@ -111,14 +131,18 @@ impl FailurePlan {
 static PLAN: Mutex<Option<FailurePlan>> = Mutex::new(None);
 static SAT_QUERIES: AtomicU64 = AtomicU64::new(0);
 static SMT_QUERIES: AtomicU64 = AtomicU64::new(0);
+static STORE_QUERIES: AtomicU64 = AtomicU64::new(0);
+static SERVE_QUERIES: AtomicU64 = AtomicU64::new(0);
 
-/// Installs a plan (or clears it with `None`) and resets both query
-/// counters. The plan is process-global; concurrent tests sharing one
+/// Installs a plan (or clears it with `None`) and resets every query
+/// counter. The plan is process-global; concurrent tests sharing one
 /// process must serialize around it.
 pub fn install(plan: Option<FailurePlan>) {
     let mut slot = PLAN.lock().unwrap_or_else(|e| e.into_inner());
     SAT_QUERIES.store(0, Ordering::SeqCst);
     SMT_QUERIES.store(0, Ordering::SeqCst);
+    STORE_QUERIES.store(0, Ordering::SeqCst);
+    SERVE_QUERIES.store(0, Ordering::SeqCst);
     *slot = plan;
 }
 
@@ -131,6 +155,8 @@ pub fn fire(site: FaultSite) -> Option<FaultKind> {
     let counter = match site {
         FaultSite::Sat => &SAT_QUERIES,
         FaultSite::Smt => &SMT_QUERIES,
+        FaultSite::Store => &STORE_QUERIES,
+        FaultSite::Serve => &SERVE_QUERIES,
     };
     let ordinal = counter.fetch_add(1, Ordering::SeqCst) + 1;
     plan.faults
@@ -144,12 +170,39 @@ pub fn queries_seen(site: FaultSite) -> u64 {
     match site {
         FaultSite::Sat => SAT_QUERIES.load(Ordering::SeqCst),
         FaultSite::Smt => SMT_QUERIES.load(Ordering::SeqCst),
+        FaultSite::Store => STORE_QUERIES.load(Ordering::SeqCst),
+        FaultSite::Serve => SERVE_QUERIES.load(Ordering::SeqCst),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn io_sites_and_kinds_parse() {
+        let plan = FailurePlan::parse("store:io-error@1,store:torn@2,serve:hang@3").unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault {
+                    site: FaultSite::Store,
+                    kind: FaultKind::IoError,
+                    at: 1
+                },
+                Fault {
+                    site: FaultSite::Store,
+                    kind: FaultKind::TornWrite,
+                    at: 2
+                },
+                Fault {
+                    site: FaultSite::Serve,
+                    kind: FaultKind::Hang,
+                    at: 3
+                },
+            ]
+        );
+    }
 
     #[test]
     fn plan_parsing_round_trips() {

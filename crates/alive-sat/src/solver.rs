@@ -743,7 +743,10 @@ impl Solver {
                     }
                     return r;
                 }
-                None => {}
+                // I/O fault kinds model disk/socket failures; a solver call
+                // has no I/O to fail, so they are inert here.
+                Some(crate::fault::FaultKind::IoError | crate::fault::FaultKind::TornWrite)
+                | None => {}
             }
         }
         self.solve_inner(assumptions)

@@ -17,7 +17,16 @@
 //!
 //! Transports: a unix socket ([`serve_unix`]) for daemon use and
 //! stdin/stdout ([`serve_stdio`]) for tests, CI, and pipelines. The wire
-//! protocol is line-delimited JSON ([`proto`]).
+//! protocol is line-delimited JSON ([`proto`]); [`client`] is the
+//! retrying client half.
+//!
+//! The daemon is **crash-only and overload-safe** ([`ServeLimits`]):
+//! past `max_connections` or `queue_depth` it answers a structured
+//! `busy` refusal instead of queueing unbounded work, silent connections
+//! are closed after an idle timeout, every miss runs under a per-request
+//! deadline, and shutdown drains in-flight requests before force-closing.
+//! The store beneath it takes a single-writer lock and refuses corrupt
+//! state rather than guessing (see `alive_verifier::store`).
 //!
 //! # Example
 //!
@@ -49,6 +58,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(unix)]
+pub mod client;
 pub mod proto;
 
 use alive_ir::canon::{canonical_text, fnv1a64};
@@ -56,13 +67,52 @@ use alive_ir::{parse_transforms, validate, Transform};
 use alive_trace::{serve as metric, Tracer};
 use alive_verifier::store::{StoreOpen, VerdictStore};
 use alive_verifier::{verify_single, DriverConfig, OutcomeKind, TransformOutcome};
-use proto::{render_done, render_error, render_shutdown, render_stats, Request, VerdictLine};
+use proto::{
+    render_busy, render_done, render_error, render_shutdown, Request, StatsLine, VerdictLine,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Overload and lifecycle limits for the daemon. Zero disables a cap;
+/// the defaults are deliberately finite — a daemon that accepts
+/// unbounded work does not degrade, it falls over.
+#[derive(Clone, Debug)]
+pub struct ServeLimits {
+    /// Concurrent socket connections; one past the cap is answered with
+    /// a `busy` line and closed (`serve.shed`). 0 = unlimited.
+    pub max_connections: usize,
+    /// In-flight verifications; a request that would *start* one past
+    /// the cap is refused `busy` (`serve.busy`). Store hits and joins to
+    /// an existing in-flight run cost no worker and are always admitted.
+    /// 0 = unlimited.
+    pub queue_depth: usize,
+    /// Deadline for each miss verification, applied when the driver has
+    /// no timeout of its own, so one pathological transform cannot
+    /// monopolize a worker forever.
+    pub request_timeout: Option<Duration>,
+    /// How long a graceful shutdown waits for in-flight connections
+    /// before cancelling their verifications and force-closing.
+    pub drain_timeout: Duration,
+    /// Close a socket connection that sends nothing for this long
+    /// (`serve.idle_close` — the slow-loris defense). Zero disables.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            max_connections: 256,
+            queue_depth: 64,
+            request_timeout: Some(Duration::from_secs(60)),
+            drain_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(300),
+        }
+    }
+}
 
 /// Settings for [`Server::open`].
 #[derive(Debug)]
@@ -81,6 +131,8 @@ pub struct ServeConfig {
     pub cert_dir: Option<PathBuf>,
     /// Metrics/trace destination (disabled by default).
     pub tracer: Tracer,
+    /// Overload and lifecycle limits.
+    pub limits: ServeLimits,
 }
 
 impl Default for ServeConfig {
@@ -92,8 +144,18 @@ impl Default for ServeConfig {
             workers: 0,
             cert_dir: None,
             tracer: Tracer::disabled(),
+            limits: ServeLimits::default(),
         }
     }
+}
+
+/// Admission refusal from [`Server::try_check`]: the verification queue
+/// is at [`ServeLimits::queue_depth`], and taking more work would only
+/// grow latency for everyone already in line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Busy {
+    /// Hint: wait at least this long (plus jitter) before retrying.
+    pub retry_after_ms: u64,
 }
 
 /// A cached-or-fresh verdict for one request.
@@ -126,12 +188,22 @@ pub struct ServeStats {
     pub joins: u64,
     /// Requests rejected before verification.
     pub errors: u64,
+    /// Requests refused `busy` at the verification queue.
+    pub busy: u64,
+    /// Connections shed at the connection cap.
+    pub shed: u64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: u64,
     /// Verifications in flight right now.
     pub inflight: usize,
     /// Clients currently parked on an in-flight verification.
     pub waiters: usize,
     /// Distinct verdicts in the store.
     pub stored: usize,
+    /// Socket connections open right now.
+    pub connections: usize,
+    /// Milliseconds since the server opened.
+    pub uptime_ms: u64,
 }
 
 /// The result slot a coalesced waiter blocks on.
@@ -151,10 +223,17 @@ struct ServerInner {
     inflight: Mutex<HashMap<String, Arc<Inflight>>>,
     cert_dir: Option<PathBuf>,
     workers: usize,
+    limits: ServeLimits,
+    started: Instant,
     hits: AtomicU64,
     misses: AtomicU64,
     joins: AtomicU64,
     errors: AtomicU64,
+    busy: AtomicU64,
+    shed: AtomicU64,
+    idle_closed: AtomicU64,
+    /// Socket connections currently open (owned by `serve_unix`).
+    connections: AtomicUsize,
     stopping: AtomicBool,
     /// Test/embedding seam: the function that actually verifies a miss.
     /// Behind `RwLock<Arc<..>>` so it can be swapped on a shared server
@@ -204,6 +283,13 @@ impl Server {
         } else {
             config.workers
         };
+        if let StoreOpen::Loaded { discarded, .. } = &how {
+            if *discarded > 0 {
+                config
+                    .tracer
+                    .counter(metric::QUARANTINED, *discarded as u64);
+            }
+        }
         Ok((
             Server {
                 inner: Arc::new(ServerInner {
@@ -213,10 +299,16 @@ impl Server {
                     inflight: Mutex::new(HashMap::new()),
                     cert_dir: config.cert_dir,
                     workers,
+                    limits: config.limits,
+                    started: Instant::now(),
                     hits: AtomicU64::new(0),
                     misses: AtomicU64::new(0),
                     joins: AtomicU64::new(0),
                     errors: AtomicU64::new(0),
+                    busy: AtomicU64::new(0),
+                    shed: AtomicU64::new(0),
+                    idle_closed: AtomicU64::new(0),
+                    connections: AtomicUsize::new(0),
                     stopping: AtomicBool::new(false),
                     verifier: std::sync::RwLock::new(Arc::new(
                         |name: &str, t: &Transform, driver: &DriverConfig| {
@@ -256,9 +348,14 @@ impl Server {
             misses: inner.misses.load(Ordering::Relaxed),
             joins: inner.joins.load(Ordering::Relaxed),
             errors: inner.errors.load(Ordering::Relaxed),
+            busy: inner.busy.load(Ordering::Relaxed),
+            shed: inner.shed.load(Ordering::Relaxed),
+            idle_closed: inner.idle_closed.load(Ordering::Relaxed),
             inflight,
             waiters,
             stored: inner.store.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            connections: inner.connections.load(Ordering::SeqCst),
+            uptime_ms: inner.started.elapsed().as_millis() as u64,
         }
     }
 
@@ -267,10 +364,47 @@ impl Server {
         self.inner.stopping.load(Ordering::SeqCst)
     }
 
+    /// Begins a graceful shutdown: transports stop accepting, idle
+    /// connections close on their next read tick, and [`serve_unix`]
+    /// enters its drain. The signal handlers' entry point — equivalent to
+    /// a `shutdown` wire request, minus the acknowledgement line.
+    pub fn begin_stop(&self) {
+        self.inner.stopping.store(true, Ordering::SeqCst);
+    }
+
+    /// Cancels every in-flight verification through the driver's shared
+    /// cancel token. The force-close half of drain: cooperative
+    /// cancellation points in the solvers unwind the work within
+    /// milliseconds, and waiters get their (cancelled) verdicts instead
+    /// of hanging.
+    pub fn cancel_inflight(&self) {
+        self.inner.driver.cancel.cancel();
+    }
+
+    /// The overload and lifecycle limits this server runs under.
+    pub fn limits(&self) -> &ServeLimits {
+        &self.inner.limits
+    }
+
     /// Answers one transform: store hit, in-flight join, or fresh
     /// verification (in that order). This is the whole cache discipline —
     /// both transports and the `--dedupe` client reduce to calls of this.
+    ///
+    /// Embedding API: never refuses. The daemon transports go through
+    /// [`Server::try_check`], which applies admission control.
     pub fn check(&self, name: &str, t: &Transform) -> Answer {
+        self.check_admit(name, t, false)
+            .unwrap_or_else(|_| unreachable!("check() never applies admission control"))
+    }
+
+    /// Like [`Server::check`], but refuses with [`Busy`] when the request
+    /// would *start* a verification past [`ServeLimits::queue_depth`].
+    /// Hits and joins are always admitted — they cost no worker.
+    pub fn try_check(&self, name: &str, t: &Transform) -> Result<Answer, Busy> {
+        self.check_admit(name, t, true)
+    }
+
+    fn check_admit(&self, name: &str, t: &Transform, admit: bool) -> Result<Answer, Busy> {
         let start = Instant::now();
         let inner = &self.inner;
         let canon = canonical_text(t);
@@ -285,7 +419,7 @@ impl Server {
                     inner
                         .tracer
                         .sample(metric::HIT_US, start.elapsed().as_micros() as u64);
-                    return Answer {
+                    return Ok(Answer {
                         hash,
                         verdict: rec.verdict,
                         reason: rec.reason.clone(),
@@ -293,7 +427,7 @@ impl Server {
                         cert: rec.cert.clone(),
                         cached: true,
                         coalesced: false,
-                    };
+                    });
                 }
             }
             // Not cached: become the leader for this canonical form, or
@@ -303,6 +437,18 @@ impl Server {
                 match inflight.get(&canon) {
                     Some(e) => (Arc::clone(e), false),
                     None => {
+                        let depth = inner.limits.queue_depth;
+                        if admit && depth != 0 && inflight.len() >= depth {
+                            // Taking the work would start verification
+                            // number depth+1; refuse with a hint scaled
+                            // to the queue we would have joined.
+                            drop(inflight);
+                            inner.busy.fetch_add(1, Ordering::Relaxed);
+                            inner.tracer.counter(metric::BUSY, 1);
+                            return Err(Busy {
+                                retry_after_ms: (depth as u64 * 250).clamp(100, 5_000),
+                            });
+                        }
                         let e = Arc::new(Inflight::default());
                         inflight.insert(canon.clone(), Arc::clone(&e));
                         inner.tracer.gauge(metric::INFLIGHT, inflight.len() as u64);
@@ -351,7 +497,7 @@ impl Server {
                     inner.tracer.counter(metric::MISS, 1);
                     inner.tracer.sample(metric::MISS_US, us);
                 }
-                return answer;
+                return Ok(answer);
             }
             // Joiner: wait for the leader's verdict.
             entry.waiters.fetch_add(1, Ordering::SeqCst);
@@ -365,11 +511,11 @@ impl Server {
                     inner
                         .tracer
                         .sample(metric::HIT_US, start.elapsed().as_micros() as u64);
-                    return Answer {
+                    return Ok(Answer {
                         coalesced: true,
                         cached: true,
                         ..answer
-                    };
+                    });
                 }
                 let (guard, timeout) = entry
                     .ready
@@ -393,7 +539,14 @@ impl Server {
     fn verify_and_store(&self, name: &str, t: &Transform, canon: &str, hash: &str) -> Answer {
         let inner = &self.inner;
         let verifier = Arc::clone(&inner.verifier.read().unwrap_or_else(|e| e.into_inner()));
-        let outcome = verifier(name, t, &inner.driver);
+        // Per-request deadline: a driver with no timeout of its own runs
+        // under the serve limit, so one pathological transform times out
+        // (an honest `unknown`) instead of monopolizing a worker.
+        let mut driver = inner.driver.clone();
+        if driver.timeout.is_none() {
+            driver.timeout = inner.limits.request_timeout;
+        }
+        let outcome = verifier(name, t, &driver);
         let cert = match (&inner.cert_dir, outcome.certificates.is_empty()) {
             (Some(dir), false) => {
                 let mut names = Vec::new();
@@ -410,9 +563,17 @@ impl Server {
         let wall_ms = outcome.wall.as_millis() as u64;
         {
             let mut store = inner.store.lock().unwrap_or_else(|e| e.into_inner());
-            // A failed append leaves the verdict un-persisted but still
-            // correct for this request; the next daemon start re-verifies.
-            let _ = store.insert(canon, outcome.kind, &outcome.detail, wall_ms, &cert);
+            // A failed append (disk full, injected fault) leaves the
+            // verdict un-persisted but still correct for this request;
+            // the next daemon start re-verifies. Operators see it as
+            // `serve.error` without a tracer attached.
+            if store
+                .insert(canon, outcome.kind, &outcome.detail, wall_ms, &cert)
+                .is_err()
+            {
+                inner.errors.fetch_add(1, Ordering::Relaxed);
+                inner.tracer.counter(metric::ERROR, 1);
+            }
         }
         Answer {
             hash: hash.to_string(),
@@ -472,6 +633,59 @@ impl Server {
             .collect())
     }
 
+    /// Checks the verification queue without taking work: `Some(Busy)`
+    /// when at `queue_depth`, counting the refusal.
+    fn admission_refusal(&self) -> Option<Busy> {
+        let inner = &self.inner;
+        let depth = inner.limits.queue_depth;
+        if depth == 0 {
+            return None;
+        }
+        let len = inner
+            .inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len();
+        if len < depth {
+            return None;
+        }
+        inner.busy.fetch_add(1, Ordering::Relaxed);
+        inner.tracer.counter(metric::BUSY, 1);
+        Some(Busy {
+            retry_after_ms: (depth as u64 * 250).clamp(100, 5_000),
+        })
+    }
+
+    /// Fires the `serve` fault site for one verify/batch request: a
+    /// bounded hang (a stuck handler), a clean response-write error, or a
+    /// torn response (half a line on the wire, then the connection dies).
+    /// The error returns propagate out of `handle_line`, which closes the
+    /// connection — exactly what a real broken pipe does.
+    #[cfg(feature = "fault-injection")]
+    fn serve_fault(&self, out: &mut impl Write) -> std::io::Result<()> {
+        use alive_sat::fault::{fire, FaultKind, FaultSite};
+        match fire(FaultSite::Serve) {
+            Some(FaultKind::Hang) => {
+                // Bounded so an un-killed daemon still answers: stall
+                // until shutdown begins or the cap elapses, then proceed.
+                let start = Instant::now();
+                while !self.stopping() && start.elapsed() < Duration::from_secs(2) {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Ok(())
+            }
+            Some(FaultKind::IoError) => Err(std::io::Error::other(
+                "injected fault: response write error",
+            )),
+            Some(FaultKind::TornWrite) => {
+                out.write_all(b"{\"id\":\"")?;
+                out.flush()?;
+                Err(std::io::Error::other("injected fault: torn response"))
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Handles one request line, writing response line(s) to `out`.
     /// Returns `false` when the connection should close (shutdown).
     pub fn handle_line(&self, line: &str, out: &mut impl Write) -> std::io::Result<bool> {
@@ -486,6 +700,8 @@ impl Server {
         };
         match request {
             Request::Verify { id, text } => {
+                #[cfg(feature = "fault-injection")]
+                self.serve_fault(out)?;
                 let start = Instant::now();
                 let parsed = parse_transforms(&text)
                     .map_err(|e| format!("parse error: {e}"))
@@ -500,7 +716,13 @@ impl Server {
                 match parsed {
                     Ok(t) => {
                         let name = t.name.clone().unwrap_or_else(|| "opt0".to_string());
-                        let answer = self.check(&name, &t);
+                        let answer = match self.try_check(&name, &t) {
+                            Ok(a) => a,
+                            Err(b) => {
+                                writeln!(out, "{}", render_busy(&id, b.retry_after_ms))?;
+                                return Ok(true);
+                            }
+                        };
                         let lineout = VerdictLine {
                             id,
                             index: 0,
@@ -524,6 +746,14 @@ impl Server {
                 Ok(true)
             }
             Request::Batch { id, text } => {
+                #[cfg(feature = "fault-injection")]
+                self.serve_fault(out)?;
+                // Coarse up-front admission for the whole batch: inside
+                // it, the bounded worker pool caps parallelism anyway.
+                if let Some(b) = self.admission_refusal() {
+                    writeln!(out, "{}", render_busy(&id, b.retry_after_ms))?;
+                    return Ok(true);
+                }
                 match self.check_batch(&id, &text) {
                     Ok(lines) => {
                         let hits = lines.iter().filter(|l| l.cached).count();
@@ -543,11 +773,21 @@ impl Server {
             }
             Request::Stats { id } => {
                 let s = self.stats();
-                writeln!(
-                    out,
-                    "{}",
-                    render_stats(&id, s.hits, s.misses, s.joins, s.errors, s.inflight, s.stored)
-                )?;
+                let line = StatsLine {
+                    id,
+                    hits: s.hits,
+                    misses: s.misses,
+                    joins: s.joins,
+                    errors: s.errors,
+                    busy: s.busy,
+                    shed: s.shed,
+                    idle_closed: s.idle_closed,
+                    inflight: s.inflight as u64,
+                    stored: s.stored as u64,
+                    connections: s.connections as u64,
+                    uptime_ms: s.uptime_ms,
+                };
+                writeln!(out, "{}", line.render())?;
                 Ok(true)
             }
             Request::Shutdown { id } => {
@@ -588,28 +828,73 @@ pub fn serve_stdio(server: &Server) -> std::io::Result<()> {
     handle_connection(server, stdin.lock(), stdout.lock())
 }
 
-/// Binds a unix socket at `path` and serves until a `shutdown` request.
-/// Each connection gets its own thread; they all share the server's
-/// store and in-flight map, so clients racing on one transform coalesce.
+/// Binds a unix socket at `path` and serves until a `shutdown` request
+/// (or [`Server::begin_stop`]). Each connection gets its own thread; they
+/// all share the server's store and in-flight map, so clients racing on
+/// one transform coalesce.
+///
+/// Lifecycle, in order of defense:
+/// * an existing socket file is **probed**, never blindly deleted — a
+///   live daemon is a refusal to start, only a connection-refused file
+///   (dead daemon) is removed;
+/// * past [`ServeLimits::max_connections`], a new connection gets one
+///   `busy` line and is closed (`serve.shed`);
+/// * connections that send nothing for [`ServeLimits::idle_timeout`] are
+///   closed (`serve.idle_close`), so a slow-loris client cannot pin the
+///   daemon open;
+/// * shutdown stops accepting, waits up to [`ServeLimits::drain_timeout`]
+///   for in-flight connections, then cancels their verifications and
+///   force-closes; the drain duration is sampled as `serve.drain_ms`.
 #[cfg(unix)]
 pub fn serve_unix(server: &Server, path: &std::path::Path) -> std::io::Result<()> {
-    use std::os::unix::net::UnixListener;
-    // A stale socket file from a dead daemon would make bind fail.
-    let _ = std::fs::remove_file(path);
+    use std::os::unix::net::{UnixListener, UnixStream};
+    match UnixStream::connect(path) {
+        Ok(_) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!(
+                    "{}: a live daemon already answers on this socket; refusing to start",
+                    path.display()
+                ),
+            ));
+        }
+        // Nothing there: the common first start.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        // A socket file nobody listens on: the previous daemon died
+        // without cleanup. Safe — and necessary — to remove.
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+            std::fs::remove_file(path)?;
+        }
+        // Anything else (not a socket, permission trouble): this is not
+        // our stale file to delete.
+        Err(e) => return Err(e),
+    }
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
-    let mut threads = Vec::new();
+    let inner = &server.inner;
+    let mut threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !server.stopping() {
+        // Reap finished connection threads so the vec stays bounded by
+        // the number of *live* connections, not total ever accepted.
+        threads.retain(|t| !t.is_finished());
         match listener.accept() {
             Ok((stream, _)) => {
+                let cap = inner.limits.max_connections;
+                if cap != 0 && inner.connections.load(Ordering::SeqCst) >= cap {
+                    inner.shed.fetch_add(1, Ordering::Relaxed);
+                    inner.tracer.counter(metric::SHED, 1);
+                    let mut stream = stream;
+                    let _ = stream.set_nonblocking(false);
+                    // Best-effort refusal line; dropping the stream closes it.
+                    let _ = writeln!(stream, "{}", render_busy("", 1_000));
+                    continue;
+                }
                 stream.set_nonblocking(false)?;
+                inner.connections.fetch_add(1, Ordering::SeqCst);
                 let server = server.clone();
                 threads.push(std::thread::spawn(move || {
-                    let reader = std::io::BufReader::new(match stream.try_clone() {
-                        Ok(s) => s,
-                        Err(_) => return,
-                    });
-                    let _ = handle_connection(&server, reader, stream);
+                    let _ = serve_socket_connection(&server, stream);
+                    server.inner.connections.fetch_sub(1, Ordering::SeqCst);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -618,9 +903,98 @@ pub fn serve_unix(server: &Server, path: &std::path::Path) -> std::io::Result<()
             Err(e) => return Err(e),
         }
     }
+    // Drain: in-flight connections notice `stopping` at their next read
+    // tick and close once idle; wait for them up to the limit.
+    let drain_start = Instant::now();
+    while inner.connections.load(Ordering::SeqCst) > 0
+        && drain_start.elapsed() < inner.limits.drain_timeout
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if inner.connections.load(Ordering::SeqCst) > 0 {
+        // Stragglers are mid-verification. Cancel the work — the solvers'
+        // cooperative cancellation points unwind in milliseconds and the
+        // clients still get (cancelled) verdict lines — then give the
+        // threads a short grace to flush and exit.
+        server.cancel_inflight();
+        let grace = Instant::now();
+        while inner.connections.load(Ordering::SeqCst) > 0
+            && grace.elapsed() < Duration::from_millis(500)
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    inner
+        .tracer
+        .sample(metric::DRAIN_MS, drain_start.elapsed().as_millis() as u64);
     for t in threads {
-        let _ = t.join();
+        if t.is_finished() {
+            let _ = t.join();
+        }
+        // Still running: abandoned (the handle drop detaches). A thread
+        // that survived cancel + grace is wedged on something external;
+        // blocking exit on it would turn one bad client into a hung
+        // daemon, the exact wedge drain exists to prevent.
     }
     let _ = std::fs::remove_file(path);
     Ok(())
+}
+
+/// One socket connection: a poll-style read loop over 100 ms ticks so the
+/// thread can notice shutdown and idle expiry without a dedicated timer.
+/// Partial lines are preserved across ticks; requests are dispatched to
+/// [`Server::handle_line`] as each newline completes.
+#[cfg(unix)]
+fn serve_socket_connection(
+    server: &Server,
+    stream: std::os::unix::net::UnixStream,
+) -> std::io::Result<()> {
+    use std::io::Read;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_data = Instant::now();
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client EOF
+            Ok(n) => {
+                last_data = Instant::now();
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let keep_going = server.handle_line(&line, &mut writer)?;
+                    writer.flush()?;
+                    if !keep_going {
+                        return Ok(());
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if server.stopping() {
+                    // Draining and this connection is between requests:
+                    // nothing in flight to finish, so close it.
+                    return Ok(());
+                }
+                let idle = server.inner.limits.idle_timeout;
+                if idle != Duration::ZERO && last_data.elapsed() >= idle {
+                    server.inner.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    server.inner.tracer.counter(metric::IDLE_CLOSE, 1);
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
 }

@@ -25,14 +25,22 @@
 //!  "cached":true,"coalesced":false,"reason":"...","wall_us":42,"cert":""}
 //! {"id":"b1","done":true,"count":224,"hits":224,"misses":0}
 //! {"id":"s1","stats":true,"hits":10,"misses":2,"joins":1,"errors":0,
-//!  "inflight":0,"stored":12}
+//!  "busy":0,"shed":0,"idle_closed":0,"inflight":0,"stored":12,
+//!  "connections":1,"uptime_ms":6000}
 //! {"id":"r9","error":"parse error: ..."}
+//! {"id":"r2","busy":true,"retry_after_ms":250}
 //! ```
 //!
 //! `cached` is true when the verdict came from the store; `coalesced` is
 //! true when the request joined another client's in-flight verification
 //! of the same canonical transform. Both false means this request paid
 //! for the verification itself.
+//!
+//! A `busy` line is the admission-control refusal: the daemon is at its
+//! connection cap or verification queue depth and did **not** take the
+//! work. `retry_after_ms` is a backoff hint; a well-behaved client waits
+//! at least that long (with jitter) before resubmitting. Overload never
+//! silently drops a request — every refusal is answered.
 
 use std::collections::HashMap;
 
@@ -147,19 +155,64 @@ pub fn render_done(id: &str, count: usize, hits: usize, misses: usize) -> String
     )
 }
 
-/// Serializes a stats response line.
-pub fn render_stats(
-    id: &str,
-    hits: u64,
-    misses: u64,
-    joins: u64,
-    errors: u64,
-    inflight: usize,
-    stored: usize,
-) -> String {
+/// One `stats` response line: every server counter an operator can see
+/// without attaching a tracer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsLine {
+    /// Echo of the request id.
+    pub id: String,
+    /// Requests answered from the store.
+    pub hits: u64,
+    /// Requests that ran a verification.
+    pub misses: u64,
+    /// Requests that joined an in-flight verification.
+    pub joins: u64,
+    /// Requests rejected before verification.
+    pub errors: u64,
+    /// Requests refused `busy` at the verification queue.
+    pub busy: u64,
+    /// Connections shed at the connection cap.
+    pub shed: u64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: u64,
+    /// Verifications in flight right now.
+    pub inflight: u64,
+    /// Distinct verdicts in the store.
+    pub stored: u64,
+    /// Socket connections open right now.
+    pub connections: u64,
+    /// Milliseconds since the server opened its store.
+    pub uptime_ms: u64,
+}
+
+impl StatsLine {
+    /// Serializes the stats response (no newline).
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"stats\":true,\"hits\":{},\"misses\":{},\"joins\":{},\
+             \"errors\":{},\"busy\":{},\"shed\":{},\"idle_closed\":{},\"inflight\":{},\
+             \"stored\":{},\"connections\":{},\"uptime_ms\":{}}}",
+            json_escape(&self.id),
+            self.hits,
+            self.misses,
+            self.joins,
+            self.errors,
+            self.busy,
+            self.shed,
+            self.idle_closed,
+            self.inflight,
+            self.stored,
+            self.connections,
+            self.uptime_ms,
+        )
+    }
+}
+
+/// Serializes an admission-control refusal: the server did not take the
+/// request; retry after the hinted delay.
+pub fn render_busy(id: &str, retry_after_ms: u64) -> String {
     format!(
-        "{{\"id\":\"{}\",\"stats\":true,\"hits\":{hits},\"misses\":{misses},\
-         \"joins\":{joins},\"errors\":{errors},\"inflight\":{inflight},\"stored\":{stored}}}",
+        "{{\"id\":\"{}\",\"busy\":true,\"retry_after_ms\":{retry_after_ms}}}",
         json_escape(id),
     )
 }
@@ -176,6 +229,121 @@ pub fn render_error(id: &str, message: &str) -> String {
 /// Serializes the shutdown acknowledgement.
 pub fn render_shutdown(id: &str) -> String {
     format!("{{\"id\":\"{}\",\"shutdown\":true}}", json_escape(id))
+}
+
+/// A parsed server response line — the client half of the protocol,
+/// used by the retrying [`crate::client`] and by test harnesses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// One verdict (a `verify` answer or a `batch` item).
+    Verdict(VerdictLine),
+    /// Batch completion summary.
+    Done {
+        /// Echo of the request id.
+        id: String,
+        /// Transforms answered.
+        count: u64,
+        /// How many came from the store.
+        hits: u64,
+        /// How many ran a verification.
+        misses: u64,
+    },
+    /// Admission refusal: resubmit after the hint.
+    Busy {
+        /// Echo of the request id (may be empty when shed at accept).
+        id: String,
+        /// Backoff hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Counter snapshot.
+    Stats(StatsLine),
+    /// Request-level failure (parse error, bad transform, ...).
+    Error {
+        /// Echo of the request id.
+        id: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Shutdown acknowledgement.
+    Shutdown {
+        /// Echo of the request id.
+        id: String,
+    },
+}
+
+/// Parses one server response line. The discriminating key decides the
+/// variant (`busy`, `done`, `stats`, `error`, `shutdown`, else a verdict
+/// line with its `verdict` field).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let fields = parse_flat_object(line)?;
+    let str_of = |k: &str| -> String {
+        match fields.get(k) {
+            Some(JsonValue::Str(s)) => s.clone(),
+            _ => String::new(),
+        }
+    };
+    let num_of = |k: &str| -> u64 {
+        match fields.get(k) {
+            Some(JsonValue::Num(n)) => u64::try_from(*n).unwrap_or(0),
+            _ => 0,
+        }
+    };
+    let bool_of = |k: &str| -> bool { matches!(fields.get(k), Some(JsonValue::Bool(true))) };
+    let id = str_of("id");
+    if bool_of("busy") {
+        return Ok(Response::Busy {
+            id,
+            retry_after_ms: num_of("retry_after_ms"),
+        });
+    }
+    if bool_of("done") {
+        return Ok(Response::Done {
+            id,
+            count: num_of("count"),
+            hits: num_of("hits"),
+            misses: num_of("misses"),
+        });
+    }
+    if bool_of("stats") {
+        return Ok(Response::Stats(StatsLine {
+            id,
+            hits: num_of("hits"),
+            misses: num_of("misses"),
+            joins: num_of("joins"),
+            errors: num_of("errors"),
+            busy: num_of("busy"),
+            shed: num_of("shed"),
+            idle_closed: num_of("idle_closed"),
+            inflight: num_of("inflight"),
+            stored: num_of("stored"),
+            connections: num_of("connections"),
+            uptime_ms: num_of("uptime_ms"),
+        }));
+    }
+    if let Some(JsonValue::Str(message)) = fields.get("error") {
+        return Ok(Response::Error {
+            id,
+            message: message.clone(),
+        });
+    }
+    if bool_of("shutdown") {
+        return Ok(Response::Shutdown { id });
+    }
+    if let Some(JsonValue::Str(verdict)) = fields.get("verdict") {
+        return Ok(Response::Verdict(VerdictLine {
+            id,
+            index: num_of("index") as usize,
+            name: str_of("name"),
+            hash: str_of("hash"),
+            verdict: verdict.clone(),
+            cached: bool_of("cached"),
+            coalesced: bool_of("coalesced"),
+            reason: str_of("reason"),
+            wall_us: num_of("wall_us"),
+            cert: str_of("cert"),
+        }));
+    }
+    Err(format!("unrecognized response line: {line:?}"))
 }
 
 /// Escapes a string for embedding in a JSON string literal (the same
@@ -389,6 +557,67 @@ mod tests {
         assert!(Request::parse(r#"{"op":"verify","id":"x"}"#).is_err());
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse(r#"{"op":"verify","text":{"nested":1}}"#).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_through_parse_response() {
+        let verdict = VerdictLine {
+            id: "r1".to_string(),
+            index: 2,
+            name: "opt2".to_string(),
+            hash: "00ff00ff00ff00ff".to_string(),
+            verdict: "valid".to_string(),
+            cached: true,
+            coalesced: false,
+            reason: String::new(),
+            wall_us: 7,
+            cert: String::new(),
+        };
+        assert_eq!(
+            parse_response(&verdict.render()).unwrap(),
+            Response::Verdict(verdict)
+        );
+        assert_eq!(
+            parse_response(&render_busy("r2", 250)).unwrap(),
+            Response::Busy {
+                id: "r2".to_string(),
+                retry_after_ms: 250
+            }
+        );
+        assert_eq!(
+            parse_response(&render_done("b1", 3, 2, 1)).unwrap(),
+            Response::Done {
+                id: "b1".to_string(),
+                count: 3,
+                hits: 2,
+                misses: 1
+            }
+        );
+        let stats = StatsLine {
+            id: "s1".to_string(),
+            hits: 10,
+            busy: 4, // numeric counter, must not read as a busy refusal
+            uptime_ms: 12345,
+            ..StatsLine::default()
+        };
+        assert_eq!(
+            parse_response(&stats.render()).unwrap(),
+            Response::Stats(stats)
+        );
+        assert_eq!(
+            parse_response(&render_error("x", "nope")).unwrap(),
+            Response::Error {
+                id: "x".to_string(),
+                message: "nope".to_string()
+            }
+        );
+        assert_eq!(
+            parse_response(&render_shutdown("q")).unwrap(),
+            Response::Shutdown {
+                id: "q".to_string()
+            }
+        );
+        assert!(parse_response(r#"{"id":"x"}"#).is_err());
     }
 
     #[test]

@@ -331,6 +331,9 @@ impl SmtSolver {
                 }
                 Some(r)
             }
+            // I/O fault kinds model disk/socket failures; an SMT check has
+            // no I/O to fail, so they are inert here.
+            FaultKind::IoError | FaultKind::TornWrite => None,
         }
     }
 

@@ -42,6 +42,26 @@ pub const HIT_US: &str = "serve.hit_us";
 /// verification itself).
 pub const MISS_US: &str = "serve.miss_us";
 
+/// Counter: requests refused with a `busy` response because the
+/// verification queue was at `--queue-depth`.
+pub const BUSY: &str = "serve.busy";
+
+/// Counter: connections shed at accept because `--max-connections`
+/// were already open.
+pub const SHED: &str = "serve.shed";
+
+/// Sample (ms): how long the drain phase of a graceful shutdown took
+/// (accept stop → last connection closed or force-close).
+pub const DRAIN_MS: &str = "serve.drain_ms";
+
+/// Counter: connections closed for sending nothing within the idle
+/// timeout (the slow-loris defense).
+pub const IDLE_CLOSE: &str = "serve.idle_close";
+
+/// Counter: corrupt store lines quarantined by `alive scrub` (and torn
+/// tail lines truncated at store open).
+pub const QUARANTINED: &str = "store.quarantined";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -54,6 +74,10 @@ mod tests {
             super::INFLIGHT,
             super::HIT_US,
             super::MISS_US,
+            super::BUSY,
+            super::SHED,
+            super::DRAIN_MS,
+            super::IDLE_CLOSE,
         ];
         for (i, a) in names.iter().enumerate() {
             assert!(a.starts_with("serve."), "{a}");
@@ -61,5 +85,7 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+        // The scrub counter is store-scoped, not serve-scoped.
+        assert!(super::QUARANTINED.starts_with("store."));
     }
 }

@@ -50,7 +50,10 @@ pub use journal::{
     JournalRecord, LoadedJournal, ResumePlan,
 };
 pub use pool::{run_supervised, run_transforms_parallel, PoolConfig, TaskSpec};
-pub use store::{StoreOpen, StoreRecord, VerdictStore};
+pub use store::{
+    lock_path, quarantine_path, scrub_store, ScrubReport, StoreLock, StoreOpen, StoreRecord,
+    VerdictStore,
+};
 pub use verify::{
     verify, verify_with_certificates, verify_with_stats, PhaseTimes, Verdict, VerifyConfig,
     VerifyError, VerifyStats,

@@ -39,12 +39,26 @@
 //! store is started. Bumping `--epoch` is therefore the operator's "the
 //! toolchain changed, trust nothing" lever, and a config change can never
 //! replay verdicts computed under different verifier semantics.
+//!
+//! # Single writer, crash-only recovery
+//!
+//! A store is guarded by a `<path>.lock` file naming the owning pid
+//! ([`StoreLock`]); a second daemon pointed at the same store gets a clean
+//! refusal instead of interleaved appends, and a lock left by a crashed
+//! process is reclaimed after a liveness probe. Damage is handled in two
+//! tiers: a torn **tail** (the `kill -9` case) is truncated away on open,
+//! but a corrupt line with intact records *after* it means something other
+//! than an append crash happened, so [`VerdictStore::open`] refuses rather
+//! than silently discarding the good suffix — [`scrub_store`] is the
+//! offline salvage tool, CRC-validating every line independently,
+//! quarantining the bad ones to `<path>.quarantine`, and rewriting the
+//! survivors into a fresh sealed store.
 
 use crate::driver::{json_escape, OutcomeKind};
 use crate::journal::{fnv1a64, seal, unseal, Scanner};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 /// One cached verdict.
@@ -148,6 +162,14 @@ pub struct VerdictStore {
     /// hash (as u64) → index into `records`; last inserted wins.
     index: HashMap<u64, usize>,
     records: Vec<StoreRecord>,
+    /// Bytes of known-good sealed lines; a failed append truncates back
+    /// to this so the file never holds a half-record while we own it.
+    good_bytes: u64,
+    /// Set when an append failed *and* the truncate-back repair also
+    /// failed: the on-disk tail is untrusted, so further appends refuse.
+    poisoned: bool,
+    /// Held for the store's lifetime; dropping releases `<path>.lock`.
+    _lock: StoreLock,
 }
 
 /// Path an evicted store is rotated to: `.evicted` is *appended*
@@ -159,18 +181,127 @@ pub fn evicted_path(path: &Path) -> std::path::PathBuf {
     std::path::PathBuf::from(name)
 }
 
+fn suffixed(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+/// Path of the single-writer lock guarding a store: `<store>.lock`.
+pub fn lock_path(path: &Path) -> PathBuf {
+    suffixed(path, ".lock")
+}
+
+/// Path corrupt lines are quarantined to by [`scrub_store`]:
+/// `<store>.quarantine`.
+pub fn quarantine_path(path: &Path) -> PathBuf {
+    suffixed(path, ".quarantine")
+}
+
+#[cfg(unix)]
+fn process_alive(pid: u32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // Signal 0 performs the permission/existence check without delivering
+    // anything. An EPERM failure reads as "dead" here; stores are per-user
+    // files, so a pid we cannot even probe is not a daemon we could race.
+    pid != 0 && unsafe { kill(pid as i32, 0) } == 0
+}
+
+#[cfg(not(unix))]
+fn process_alive(_pid: u32) -> bool {
+    // No portable liveness probe: never reclaim, so a crash leaves a lock
+    // the operator must remove by hand. Conservative beats interleaved
+    // appends from two writers.
+    true
+}
+
+/// A held single-writer lock on a store. Dropping it removes the lock
+/// file; a file left behind by `kill -9` names a dead pid and is
+/// reclaimed by the next [`StoreLock::acquire`].
+#[derive(Debug)]
+pub struct StoreLock {
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// Takes the single-writer lock for the store at `store`.
+    ///
+    /// # Errors
+    ///
+    /// Refuses with a `"locked by live process"` error when the lock file
+    /// names a pid that is still running — the "two daemons, one store"
+    /// footgun. A lock naming a dead pid (a crashed daemon) is reclaimed.
+    pub fn acquire(store: &Path) -> io::Result<StoreLock> {
+        let path = lock_path(store);
+        // create_new is the atomic claim; the reclaim path removes a stale
+        // file and retries, bounded so two processes reclaiming in
+        // lockstep degenerate into an error instead of a livelock.
+        for _ in 0..16 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    let _ = f.sync_data();
+                    return Ok(StoreLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if process_alive(pid) => {
+                            return Err(io::Error::other(format!(
+                                "{} is locked by live process {pid}; one writer per \
+                                 store — stop that daemon, or remove {} if the pid is \
+                                 not an alive daemon",
+                                store.display(),
+                                path.display()
+                            )));
+                        }
+                        // Dead pid or unreadable/partial lock file: stale.
+                        _ => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::other(format!(
+            "{}: lock contended, giving up",
+            store.display()
+        )))
+    }
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 impl VerdictStore {
     /// Opens (or creates) the store at `path`, bound to the given config
-    /// fingerprint and eviction epoch. A header mismatch evicts the old
-    /// store (see module docs); a torn tail is truncated away.
+    /// fingerprint and eviction epoch, taking the single-writer lock for
+    /// the store's lifetime. A header mismatch evicts the old store (see
+    /// module docs); a torn tail is truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Refuses when another live process holds the store's lock, and when
+    /// a corrupt line is followed by intact records — the good suffix
+    /// proves the damage was not a crashed append, so nothing is silently
+    /// discarded; run `alive scrub` to salvage.
     pub fn open(
         path: &Path,
         fingerprint: u64,
         epoch: u64,
         description: Option<&str>,
     ) -> std::io::Result<(VerdictStore, StoreOpen)> {
+        let lock = StoreLock::acquire(path)?;
         if !path.exists() {
-            let store = VerdictStore::create(path, fingerprint, epoch, description)?;
+            let store = VerdictStore::create(path, fingerprint, epoch, description, lock)?;
             return Ok((store, StoreOpen::Created));
         }
         let text = std::fs::read_to_string(path)?;
@@ -183,7 +314,7 @@ impl VerdictStore {
                 // serve these verdicts. Keep the old file around for
                 // post-mortems rather than deleting data.
                 let _ = std::fs::rename(path, evicted_path(path));
-                let store = VerdictStore::create(path, fingerprint, epoch, description)?;
+                let store = VerdictStore::create(path, fingerprint, epoch, description, lock)?;
                 let (prior_config, prior_epoch) = other.unwrap_or((0, 0));
                 return Ok((
                     store,
@@ -194,9 +325,12 @@ impl VerdictStore {
                 ));
             }
         }
-        // Parse records; stop at the first bad line and truncate the file
-        // to the good prefix (same discard-everything-after rule as the
-        // journal: appends-only means a bad line poisons the tail).
+        // Parse records. Only *tail* damage — a torn final line, or a
+        // complete final line failing its CRC — is self-healed by
+        // truncation, because that is the signature of a crashed append.
+        // A bad line with good records after it is a different disease
+        // (bit rot, manual edits, an interleaved writer) and discarding
+        // the good suffix would throw away verdicts, so refuse instead.
         let mut records = Vec::new();
         let mut good_bytes = text.find('\n').map_or(text.len(), |p| p + 1);
         let mut discarded = 0usize;
@@ -211,7 +345,8 @@ impl VerdictStore {
         };
         let total = rest.len();
         for (i, line) in rest.iter().enumerate() {
-            if i + 1 == total && torn_tail {
+            let last = i + 1 == total;
+            if last && torn_tail {
                 discarded += 1;
                 break;
             }
@@ -220,9 +355,23 @@ impl VerdictStore {
                     good_bytes += line.len() + 1;
                     records.push(rec);
                 }
-                None => {
-                    discarded += total - i;
+                None if last => {
+                    discarded += 1;
                     break;
+                }
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{}: corrupt record at line {} with {} intact-looking line(s) \
+                             after it; refusing to discard them — run `alive scrub {}` to \
+                             salvage the store",
+                            path.display(),
+                            i + 2,
+                            total - i - 1,
+                            path.display()
+                        ),
+                    ));
                 }
             }
         }
@@ -246,6 +395,9 @@ impl VerdictStore {
                 epoch,
                 index,
                 records,
+                good_bytes: good_bytes as u64,
+                poisoned: false,
+                _lock: lock,
             },
             StoreOpen::Loaded {
                 records: distinct,
@@ -259,6 +411,7 @@ impl VerdictStore {
         fingerprint: u64,
         epoch: u64,
         description: Option<&str>,
+        lock: StoreLock,
     ) -> std::io::Result<VerdictStore> {
         let mut file = OpenOptions::new()
             .write(true)
@@ -275,6 +428,7 @@ impl VerdictStore {
         file.write_all(header.as_bytes())?;
         file.write_all(b"\n")?;
         file.sync_data()?;
+        let good_bytes = header.len() as u64 + 1;
         // Re-open in append mode so later inserts cannot clobber the header.
         drop(file);
         let file = OpenOptions::new().read(true).append(true).open(path)?;
@@ -285,6 +439,9 @@ impl VerdictStore {
             epoch,
             index: HashMap::new(),
             records: Vec::new(),
+            good_bytes,
+            poisoned: false,
+            _lock: lock,
         })
     }
 
@@ -324,6 +481,15 @@ impl VerdictStore {
 
     /// Inserts (or supersedes) the verdict for a canonical text, fsync'ing
     /// the record before returning.
+    ///
+    /// # Errors
+    ///
+    /// A failed append (disk full, injected fault) leaves the file
+    /// truncated back to its last good record when possible; when even
+    /// that repair fails the store is poisoned and every later insert
+    /// returns an error immediately. Either way the in-memory index is
+    /// untouched, so lookups keep answering — the verdict just is not
+    /// durable.
     pub fn insert(
         &mut self,
         canon: &str,
@@ -332,6 +498,12 @@ impl VerdictStore {
         wall_ms: u64,
         cert: &str,
     ) -> std::io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(format!(
+                "{}: store poisoned by an earlier failed append; restart to recover",
+                self.path.display()
+            )));
+        }
         let h = fnv1a64(canon.as_bytes());
         let rec = StoreRecord {
             hash: format!("{h:016x}"),
@@ -342,11 +514,39 @@ impl VerdictStore {
             cert: cert.to_string(),
         };
         let line = rec.to_line();
+        if let Err(e) = self.append_line(&line) {
+            // Roll the file back to the last good record so the tail never
+            // holds a half-written line while this process owns the store.
+            if self.file.set_len(self.good_bytes).is_err() || self.file.sync_data().is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.good_bytes += line.len() as u64 + 1;
+        self.index.insert(h, self.records.len());
+        self.records.push(rec);
+        Ok(())
+    }
+
+    fn append_line(&mut self, line: &str) -> std::io::Result<()> {
+        #[cfg(feature = "fault-injection")]
+        match alive_sat::fault::fire(alive_sat::fault::FaultSite::Store) {
+            Some(alive_sat::fault::FaultKind::IoError) => {
+                return Err(io::Error::other("injected fault: store append io-error"));
+            }
+            Some(alive_sat::fault::FaultKind::TornWrite) => {
+                // Land half the sealed line, then fail — the same on-disk
+                // state a `kill -9` mid-append produces. The caller's
+                // truncate-back repair must erase it.
+                let _ = self.file.write_all(&line.as_bytes()[..line.len() / 2]);
+                let _ = self.file.sync_data();
+                return Err(io::Error::other("injected fault: store append torn"));
+            }
+            _ => {}
+        }
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
         self.file.sync_data()?;
-        self.index.insert(h, self.records.len());
-        self.records.push(rec);
         Ok(())
     }
 }
@@ -371,6 +571,130 @@ fn parse_store_header(line: &str) -> Option<(u64, u64)> {
     Some((fp, epoch))
 }
 
+/// What [`scrub_store`] did, for the operator's report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Record lines examined (the header is not counted).
+    pub examined: usize,
+    /// Intact records rewritten into the fresh sealed store.
+    pub salvaged: usize,
+    /// Distinct canonical texts among the salvaged records.
+    pub distinct: usize,
+    /// Corrupt lines moved to `<store>.quarantine`.
+    pub quarantined: usize,
+    /// Where the corrupt lines went; `None` when nothing was quarantined
+    /// (the store was already clean and was left untouched).
+    pub quarantine: Option<PathBuf>,
+    /// Config fingerprint from the preserved header.
+    pub fingerprint: u64,
+    /// Eviction epoch from the preserved header.
+    pub epoch: u64,
+}
+
+/// Salvages a corrupted verdict store in place.
+///
+/// Unlike [`VerdictStore::open`] — which only self-heals tail damage —
+/// this validates every line's CRC *independently*, so one corrupt line
+/// mid-file costs exactly that line. Intact records (and the original
+/// header, byte for byte) are rewritten to a temp file that atomically
+/// replaces the store; corrupt lines are appended to `<store>.quarantine`
+/// under a `#`-prefixed report header, preserved for post-mortems rather
+/// than discarded. A store with nothing wrong is left untouched.
+///
+/// # Errors
+///
+/// Refuses when a live process holds the store's lock, and when the
+/// header itself is unreadable — records without a trustworthy
+/// `(config, epoch)` binding must not be replayed, so that store can only
+/// be deleted or left for the daemon's eviction path.
+pub fn scrub_store(path: &Path) -> io::Result<ScrubReport> {
+    let _lock = StoreLock::acquire(path)?;
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.split('\n');
+    let header_line = lines.next().unwrap_or("");
+    let Some((fingerprint, epoch)) = parse_store_header(header_line) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{}: store header is unreadable, so its records have no trustworthy \
+                 config binding; delete the file or let the daemon evict it",
+                path.display()
+            ),
+        ));
+    };
+    let rest: Vec<&str> = lines.collect();
+    let mut good: Vec<&str> = Vec::new();
+    let mut bad: Vec<(usize, &str)> = Vec::new();
+    let mut distinct: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let total = rest.len();
+    for (i, line) in rest.iter().enumerate() {
+        if line.is_empty() && i + 1 == total {
+            // The final newline's empty remainder, not a record.
+            continue;
+        }
+        match StoreRecord::parse_line(line) {
+            Some(rec) => {
+                distinct.insert(fnv1a64(rec.canon.as_bytes()));
+                good.push(line);
+            }
+            // 1-based in the file, counting the header as line 1.
+            None => bad.push((i + 2, line)),
+        }
+    }
+    let examined = good.len() + bad.len();
+    if bad.is_empty() {
+        return Ok(ScrubReport {
+            examined,
+            salvaged: good.len(),
+            distinct: distinct.len(),
+            quarantined: 0,
+            quarantine: None,
+            fingerprint,
+            epoch,
+        });
+    }
+    // Quarantine first: until the rewrite lands, the damaged original is
+    // still on disk, so a crash between these steps loses nothing.
+    let qpath = quarantine_path(path);
+    {
+        let mut q = OpenOptions::new().create(true).append(true).open(&qpath)?;
+        writeln!(
+            q,
+            "# alive scrub: {} corrupt line(s) quarantined from {}",
+            bad.len(),
+            path.display()
+        )?;
+        for (lineno, line) in &bad {
+            writeln!(q, "# line {lineno}")?;
+            writeln!(q, "{line}")?;
+        }
+        q.sync_data()?;
+    }
+    let tmp = suffixed(path, ".scrub-tmp");
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        writeln!(f, "{header_line}")?;
+        for line in &good {
+            writeln!(f, "{line}")?;
+        }
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(ScrubReport {
+        examined,
+        salvaged: good.len(),
+        distinct: distinct.len(),
+        quarantined: bad.len(),
+        quarantine: Some(qpath),
+        fingerprint,
+        epoch,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +705,8 @@ mod tests {
         let path = dir.join(name);
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(evicted_path(&path)).ok();
+        std::fs::remove_file(lock_path(&path)).ok();
+        std::fs::remove_file(quarantine_path(&path)).ok();
         path
     }
 
@@ -514,6 +840,120 @@ mod tests {
                 discarded: 0
             }
         );
+    }
+
+    #[test]
+    fn second_writer_is_refused_and_crashed_lock_is_reclaimed() {
+        let path = tmp("locked.jsonl");
+        let (store, _) = VerdictStore::open(&path, 1, 0, None).unwrap();
+        // Same store, second open while the first is alive: refused.
+        let err = VerdictStore::open(&path, 1, 0, None).unwrap_err();
+        assert!(err.to_string().contains("locked by live process"), "{err}");
+        drop(store);
+        // Clean drop releases the lock.
+        assert!(!lock_path(&path).exists());
+        // A lock left by a crashed process (here: a pid that cannot be
+        // alive, and an unreadable lock body) is reclaimed, not fatal.
+        std::fs::write(lock_path(&path), "999999999\n").unwrap();
+        let (store, _) = VerdictStore::open(&path, 1, 0, None).unwrap();
+        drop(store);
+        std::fs::write(lock_path(&path), "not a pid").unwrap();
+        VerdictStore::open(&path, 1, 0, None).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_refused_not_discarded() {
+        let path = tmp("midfile.jsonl");
+        let other = "%v1 = or %v0, 0\n=>\n%v1 = %v0";
+        {
+            let (mut store, _) = VerdictStore::open(&path, 5, 0, None).unwrap();
+            store
+                .insert(CANON, OutcomeKind::Valid, "valid", 1, "")
+                .unwrap();
+            store
+                .insert(other, OutcomeKind::Valid, "valid", 2, "")
+                .unwrap();
+        }
+        // Flip a byte inside the *first* record, leaving an intact record
+        // after it: open must refuse, pointing at scrub, and must not
+        // truncate anything.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.split('\n').collect();
+        let corrupted = format!(
+            "{}\n{}\n{}\n",
+            lines[0],
+            lines[1].replace("valid", "vALid"),
+            lines[2]
+        );
+        std::fs::write(&path, &corrupted).unwrap();
+        let err = VerdictStore::open(&path, 5, 0, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("alive scrub"), "{err}");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), corrupted);
+        // And the refusal released the lock for the scrub that follows.
+        assert!(!lock_path(&path).exists());
+    }
+
+    #[test]
+    fn scrub_salvages_good_lines_and_quarantines_bad_ones() {
+        let path = tmp("scrub.jsonl");
+        let other = "%v1 = or %v0, 0\n=>\n%v1 = %v0";
+        {
+            let (mut store, _) = VerdictStore::open(&path, 5, 2, None).unwrap();
+            store
+                .insert(CANON, OutcomeKind::Valid, "valid", 1, "")
+                .unwrap();
+            store
+                .insert(other, OutcomeKind::Invalid, "cex", 2, "")
+                .unwrap();
+        }
+        // Corrupt the middle record and tear the tail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.split('\n').collect();
+        let corrupted = format!(
+            "{}\n{}\n{}\n{{\"hash\":\"00",
+            lines[0],
+            lines[1].replace("crc", "cRc"),
+            lines[2]
+        );
+        std::fs::write(&path, &corrupted).unwrap();
+        let report = scrub_store(&path).unwrap();
+        assert_eq!(report.examined, 3);
+        assert_eq!(report.salvaged, 1);
+        assert_eq!(report.distinct, 1);
+        assert_eq!(report.quarantined, 2);
+        assert_eq!(report.fingerprint, 5);
+        assert_eq!(report.epoch, 2);
+        let qpath = report.quarantine.unwrap();
+        let quarantine = std::fs::read_to_string(&qpath).unwrap();
+        assert!(quarantine.contains("cRc"), "bad line preserved verbatim");
+        assert!(quarantine.contains("{\"hash\":\"00"), "torn tail preserved");
+        // The scrubbed store loads cleanly and still serves the survivor.
+        let (store, how) = VerdictStore::open(&path, 5, 2, None).unwrap();
+        assert_eq!(
+            how,
+            StoreOpen::Loaded {
+                records: 1,
+                discarded: 0
+            }
+        );
+        assert_eq!(store.lookup(other).unwrap().verdict, OutcomeKind::Invalid);
+        assert!(store.lookup(CANON).is_none(), "corrupt record not replayed");
+        // Scrubbing a clean store is a no-op with no quarantine.
+        drop(store);
+        let report = scrub_store(&path).unwrap();
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.quarantine, None);
+        assert_eq!(report.salvaged, 1);
+    }
+
+    #[test]
+    fn scrub_refuses_an_unreadable_header() {
+        let path = tmp("scrub-header.jsonl");
+        std::fs::write(&path, "not a store header\n").unwrap();
+        let err = scrub_store(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("header"), "{err}");
     }
 
     #[test]

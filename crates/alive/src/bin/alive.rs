@@ -12,7 +12,12 @@
 //!                    [--epoch <n>] [--workers <n>] [--fast|--exhaustive]
 //!                    [--timeout <secs>] [--budget <conflicts>]
 //!                    [--retries <n>] [--cert-dir <dir>] [--trace <file>]
-//!                    [--metrics]
+//!                    [--metrics] [--max-connections <n>] [--queue-depth <n>]
+//!                    [--request-timeout <secs>] [--idle-timeout <secs>]
+//!                    [--drain-timeout <secs>]
+//!        alive client --socket <path> [--max-retries <n>] [--seed <n>]
+//!                     <file.opt>...
+//!        alive scrub <store.jsonl>
 //!        alive hash <file.opt>...
 //!   --fast            verify at widths {4,8} only
 //!   --exhaustive      verify at widths 1..=64 (slow, like the paper)
@@ -51,7 +56,21 @@
 //! arrive as line-delimited JSON (stdin/stdout with `--stdio`, a unix
 //! socket with `--socket`), every transform is canonicalized, and a
 //! persistent content-addressed verdict store answers repeats without
-//! touching the solver. See docs/SERVING.md for the protocol.
+//! touching the solver. The daemon is crash-only: connection and queue
+//! limits shed overload with structured `busy` refusals, a lock file
+//! enforces one writer per store, SIGINT/SIGTERM drain in-flight work
+//! before exiting, and idle connections are closed. See docs/SERVING.md
+//! for the protocol and docs/ROBUSTNESS.md for the failure modes.
+//!
+//! `alive client` submits `.opt` files to a running daemon over its unix
+//! socket, absorbing `busy` refusals and daemon restarts with jittered
+//! exponential backoff. Exit code `69` means the daemon stayed
+//! unavailable through every retry.
+//!
+//! `alive scrub` salvages a corrupted verdict store offline: every line
+//! is CRC-checked independently, corrupt lines are quarantined (not
+//! discarded) to `<store>.quarantine`, and the intact records are
+//! rewritten as a fresh sealed store.
 //!
 //! `alive hash` prints each transform's canonical content hash (16 hex
 //! digits) — the identity the serve cache and `--dedupe` key on.
@@ -77,12 +96,12 @@
 //!
 //! Exit codes: `0` all transformations verified, `1` at least one
 //! refinement failure (or parse/IO error), `2` inconclusive only
-//! (budget exhausted / unknown / hung), `64` usage error, `130`
-//! interrupted.
+//! (budget exhausted / unknown / hung), `64` usage error, `69` server
+//! unavailable (`alive client` only), `130` interrupted.
 
 use alive::fuzz::{paranoid_audit, replay_corpus, run_fuzz, FuzzConfig, OracleConfig};
 use alive::ir::{canonical_hash, canonical_text};
-use alive::serve::{serve_stdio, ServeConfig, Server};
+use alive::serve::{serve_stdio, ServeConfig, ServeLimits, Server};
 use alive::trace::{
     read_trace_lenient, JsonlSink, MetricsSink, TeeSink, TraceSink, TraceStats, Tracer,
 };
@@ -91,8 +110,8 @@ use alive::{
 };
 use alive_verifier::{
     config_description, config_fingerprint, fingerprint_diff, plan_resume, run_supervised,
-    transform_key, DriverConfig, Journal, OutcomeKind, PoolConfig, RunReport, StoreOpen, TaskSpec,
-    TransformOutcome,
+    scrub_store, transform_key, DriverConfig, Journal, OutcomeKind, PoolConfig, RunReport,
+    StoreOpen, TaskSpec, TransformOutcome,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -112,7 +131,11 @@ const USAGE: &str = "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--pro
      [--no-minimize] [--trace <file>] [--replay <dir>]\n\
        alive serve [--store <file>] [--stdio | --socket <path>] [--epoch <n>] \
      [--workers <n>] [--fast|--exhaustive] [--timeout <secs>] [--budget <conflicts>] \
-     [--retries <n>] [--cert-dir <dir>] [--trace <file>] [--metrics]\n\
+     [--retries <n>] [--cert-dir <dir>] [--trace <file>] [--metrics] \
+     [--max-connections <n>] [--queue-depth <n>] [--request-timeout <secs>] \
+     [--idle-timeout <secs>] [--drain-timeout <secs>]\n\
+       alive client --socket <path> [--max-retries <n>] [--seed <n>] <file.opt>...\n\
+       alive scrub <store.jsonl>\n\
        alive hash <file.opt>...";
 
 /// Width-coverage mode; `--fast` and `--exhaustive` are order-independent
@@ -143,6 +166,21 @@ fn install_sigint_handler() {
     const SIGINT: i32 = 2;
     unsafe {
         signal(SIGINT, on_sigint);
+    }
+}
+
+/// Installs the same counting handler for SIGINT *and* SIGTERM. The serve
+/// daemon treats both as "drain and exit": process supervisors send
+/// SIGTERM, terminals send SIGINT, and both deserve the graceful path.
+fn install_stop_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_sigint);
+        signal(SIGTERM, on_sigint);
     }
 }
 
@@ -623,7 +661,8 @@ fn run_serve(args: &[String]) -> ExitCode {
     const SERVE_USAGE: &str = "usage: alive serve [--store <file>] [--stdio | --socket <path>] \
          [--epoch <n>] [--workers <n>] [--fast|--exhaustive] [--timeout <secs>] \
          [--budget <conflicts>] [--retries <n>] [--cert-dir <dir>] [--trace <file>] \
-         [--metrics]";
+         [--metrics] [--max-connections <n>] [--queue-depth <n>] \
+         [--request-timeout <secs>] [--idle-timeout <secs>] [--drain-timeout <secs>]";
     let serve_usage_error = |msg: &str| -> ExitCode {
         eprintln!("error: {msg}\n{SERVE_USAGE}");
         ExitCode::from(64)
@@ -641,6 +680,7 @@ fn run_serve(args: &[String]) -> ExitCode {
     let mut cert_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics = false;
+    let mut limits = ServeLimits::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -688,6 +728,48 @@ fn run_serve(args: &[String]) -> ExitCode {
                 None => return serve_usage_error("--trace requires a file argument"),
             },
             "--metrics" => metrics = true,
+            "--max-connections" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => limits.max_connections = n,
+                None => return serve_usage_error("--max-connections requires a count (0 = off)"),
+            },
+            "--queue-depth" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => limits.queue_depth = n,
+                None => return serve_usage_error("--queue-depth requires a count (0 = off)"),
+            },
+            "--request-timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs >= 0.0 => {
+                    limits.request_timeout = if secs == 0.0 {
+                        None
+                    } else {
+                        Some(Duration::from_secs_f64(secs))
+                    };
+                }
+                _ => {
+                    return serve_usage_error(
+                        "--request-timeout requires a non-negative number of seconds (0 = off)",
+                    )
+                }
+            },
+            "--idle-timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs >= 0.0 => {
+                    limits.idle_timeout = Duration::from_secs_f64(secs);
+                }
+                _ => {
+                    return serve_usage_error(
+                        "--idle-timeout requires a non-negative number of seconds (0 = off)",
+                    )
+                }
+            },
+            "--drain-timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs >= 0.0 => {
+                    limits.drain_timeout = Duration::from_secs_f64(secs);
+                }
+                _ => {
+                    return serve_usage_error(
+                        "--drain-timeout requires a non-negative number of seconds",
+                    )
+                }
+            },
             "-h" | "--help" => {
                 eprintln!("{SERVE_USAGE}");
                 return ExitCode::SUCCESS;
@@ -703,6 +785,13 @@ fn run_serve(args: &[String]) -> ExitCode {
     }
     if !stdio && socket.is_none() {
         stdio = true; // the portable default
+    }
+
+    // The daemon honours ALIVE_FAULT too: `store:*` and `serve:*` sites
+    // live on this side of the wire.
+    #[cfg(feature = "fault-injection")]
+    if !install_fault_plan_from_env() {
+        return ExitCode::from(64);
     }
 
     // Tracer: JSONL stream, in-process metrics, both, or disabled.
@@ -761,6 +850,7 @@ fn run_serve(args: &[String]) -> ExitCode {
         workers,
         cert_dir: cert_dir.map(Into::into),
         tracer: tracer.clone(),
+        limits,
     };
     let (server, how) = match Server::open(config) {
         Ok(pair) => pair,
@@ -786,6 +876,57 @@ fn run_serve(args: &[String]) -> ExitCode {
         ),
     }
 
+    {
+        let l = server.limits();
+        let fmt_count = |n: usize| -> String {
+            if n == 0 {
+                "unlimited".to_string()
+            } else {
+                n.to_string()
+            }
+        };
+        let fmt_secs = |d: Duration| -> String {
+            if d.is_zero() {
+                "off".to_string()
+            } else {
+                format!("{}s", d.as_secs_f64())
+            }
+        };
+        eprintln!(
+            "serve: limits: {} connection(s), queue depth {}, request timeout {}, \
+             idle timeout {}, drain timeout {}",
+            fmt_count(l.max_connections),
+            fmt_count(l.queue_depth),
+            l.request_timeout.map_or("off".to_string(), fmt_secs),
+            fmt_secs(l.idle_timeout),
+            fmt_secs(l.drain_timeout),
+        );
+    }
+
+    // First SIGINT/SIGTERM begins the drain: stop accepting, finish (or
+    // cancel) in-flight work, close the socket. A second signal while the
+    // drain runs force-exits — a hung solver cannot wedge shutdown.
+    install_stop_handlers();
+    {
+        let watched = server.clone();
+        std::thread::spawn(move || {
+            let mut draining = false;
+            loop {
+                let n = SIGINT_COUNT.load(Ordering::SeqCst);
+                if n >= 2 {
+                    eprintln!("second signal: exiting immediately");
+                    std::process::exit(130);
+                }
+                if n >= 1 && !draining {
+                    eprintln!("signal: draining connections (again to force exit)");
+                    watched.begin_stop();
+                    draining = true;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+    }
+
     let served = if stdio {
         serve_stdio(&server)
     } else {
@@ -805,6 +946,14 @@ fn run_serve(args: &[String]) -> ExitCode {
     eprintln!(
         "serve: {} hit(s), {} miss(es), {} join(s), {} error(s), {} stored",
         s.hits, s.misses, s.joins, s.errors, s.stored
+    );
+    eprintln!(
+        "serve: {} busy refusal(s), {} shed connection(s), {} idle close(s); \
+         up {:.1}s",
+        s.busy,
+        s.shed,
+        s.idle_closed,
+        s.uptime_ms as f64 / 1000.0
     );
     tracer.flush();
     if let Some(sink) = &metrics_sink {
@@ -828,6 +977,170 @@ fn run_serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `alive scrub` subcommand: offline salvage of a corrupted verdict
+/// store. Corrupt lines are quarantined, never discarded; the intact
+/// records are rewritten as a fresh sealed store the daemon will load.
+fn run_scrub(args: &[String]) -> ExitCode {
+    const SCRUB_USAGE: &str = "usage: alive scrub <store.jsonl>";
+    let mut stores = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "-h" | "--help" => {
+                eprintln!("{SCRUB_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option '{other}'\n{SCRUB_USAGE}");
+                return ExitCode::from(64);
+            }
+            other => stores.push(other.to_string()),
+        }
+    }
+    if stores.len() != 1 {
+        eprintln!("error: scrub takes exactly one store file\n{SCRUB_USAGE}");
+        return ExitCode::from(64);
+    }
+    let path = &stores[0];
+    match scrub_store(Path::new(path)) {
+        Ok(report) => {
+            println!(
+                "scrub: {path}: {} record line(s) examined (config {:016x}, epoch {})",
+                report.examined, report.fingerprint, report.epoch
+            );
+            println!(
+                "scrub: {} salvaged ({} distinct transform(s)), {} quarantined",
+                report.salvaged, report.distinct, report.quarantined
+            );
+            match report.quarantine {
+                Some(q) => println!("scrub: corrupt lines preserved in {}", q.display()),
+                None => println!("scrub: store was already clean; left untouched"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot scrub {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `alive client` subcommand: submit `.opt` files to a running serve
+/// daemon over its unix socket, retrying through `busy` refusals and
+/// daemon restarts with jittered exponential backoff.
+///
+/// Exit codes follow the verify path (`0` valid, `1` invalid/error, `2`
+/// inconclusive) plus `69` when the daemon stayed unavailable through
+/// every retry.
+#[cfg(unix)]
+fn run_client(args: &[String]) -> ExitCode {
+    use alive::serve::client::{Client, ClientConfig, ClientError};
+    const CLIENT_USAGE: &str =
+        "usage: alive client --socket <path> [--max-retries <n>] [--seed <n>] <file.opt>...";
+    let client_usage_error = |msg: &str| -> ExitCode {
+        eprintln!("error: {msg}\n{CLIENT_USAGE}");
+        ExitCode::from(64)
+    };
+    let mut config = ClientConfig::default();
+    let mut socket: Option<String> = None;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => return client_usage_error("--socket requires a path argument"),
+            },
+            "--max-retries" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => config.max_retries = n,
+                None => return client_usage_error("--max-retries requires a count"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => config.seed = n,
+                None => return client_usage_error("--seed requires an integer"),
+            },
+            "-h" | "--help" => {
+                eprintln!("{CLIENT_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return client_usage_error(&format!("unknown option '{other}'"))
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    let Some(socket) = socket else {
+        return client_usage_error("--socket is required");
+    };
+    if files.is_empty() {
+        return client_usage_error("no input files");
+    }
+    config.socket = socket.into();
+    let mut client = Client::new(config);
+    let mut invalid = 0usize;
+    let mut inconclusive = 0usize;
+    let mut errors = 0usize;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        match client.batch(&text) {
+            Ok(verdicts) => {
+                for v in verdicts {
+                    println!(
+                        "{}  {}  {}{}{}",
+                        v.hash,
+                        v.verdict,
+                        v.name,
+                        if v.cached { " [cached]" } else { "" },
+                        if v.coalesced { " [coalesced]" } else { "" },
+                    );
+                    if !v.reason.is_empty() && v.verdict != "valid" {
+                        for line in v.reason.lines() {
+                            println!("    {line}");
+                        }
+                    }
+                    match v.verdict.as_str() {
+                        "valid" => {}
+                        "invalid" => invalid += 1,
+                        "unknown" | "hung" => inconclusive += 1,
+                        _ => errors += 1,
+                    }
+                }
+            }
+            Err(ClientError::Request(m)) => {
+                eprintln!("{path}: {m}");
+                errors += 1;
+            }
+            Err(ClientError::Unavailable(m)) => {
+                eprintln!(
+                    "error: {m} ({} retry(ies), {} busy refusal(s))",
+                    client.retries(),
+                    client.busy_seen()
+                );
+                return ExitCode::from(69);
+            }
+        }
+    }
+    if invalid > 0 || errors > 0 {
+        ExitCode::FAILURE
+    } else if inconclusive > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(not(unix))]
+fn run_client(_args: &[String]) -> ExitCode {
+    eprintln!("error: alive client needs unix sockets; use `alive serve --stdio` instead");
+    ExitCode::from(64)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("stats") {
@@ -841,6 +1154,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("hash") {
         return run_hash(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("scrub") {
+        return run_scrub(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("client") {
+        return run_client(&args[1..]);
     }
     let opts = match parse_args(&args) {
         ParsedArgs::Run(o) => o,
