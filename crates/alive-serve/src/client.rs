@@ -97,6 +97,8 @@ pub struct Client {
     next_id: u64,
     retries: u64,
     busy_seen: u64,
+    attempts: u64,
+    backoff_total: Duration,
 }
 
 impl std::fmt::Debug for Client {
@@ -129,6 +131,8 @@ impl Client {
             next_id: 0,
             retries: 0,
             busy_seen: 0,
+            attempts: 0,
+            backoff_total: Duration::ZERO,
         }
     }
 
@@ -140,6 +144,16 @@ impl Client {
     /// Total `busy` refusals absorbed so far.
     pub fn busy_seen(&self) -> u64 {
         self.busy_seen
+    }
+
+    /// Total request rounds attempted (first tries plus retries).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Total time spent sleeping in backoff, milliseconds.
+    pub fn backoff_total_ms(&self) -> u64 {
+        self.backoff_total.as_millis() as u64
     }
 
     /// Verifies one transform, retrying through `busy`, disconnects, and
@@ -214,7 +228,7 @@ impl Client {
         let request = format!("{{\"op\":\"stats\",\"id\":\"{}\"}}", json_escape(&id));
         self.with_retries(|client| {
             let round = client.round_trip(&request, |response, _: &mut ()| match response {
-                Response::Stats(s) => Some(Round::Done(s)),
+                Response::Stats(s) => Some(Round::Done(*s)),
                 Response::Busy { retry_after_ms, .. } => Some(Round::Busy(retry_after_ms)),
                 Response::Error { message, .. } => Some(Round::RequestError(message)),
                 _ => Some(Round::ConnFailed),
@@ -256,6 +270,7 @@ impl Client {
     ) -> Result<T, ClientError> {
         let mut tries = 0u32;
         loop {
+            self.attempts += 1;
             match attempt(self) {
                 Round::Done(v) => return Ok(v),
                 Round::RequestError(m) => return Err(ClientError::Request(m)),
@@ -289,6 +304,7 @@ impl Client {
             None => jittered,
         };
         std::thread::sleep(wait);
+        self.backoff_total += wait;
         *tries += 1;
         self.retries += 1;
         Ok(())

@@ -61,14 +61,16 @@
 #[cfg(unix)]
 pub mod client;
 pub mod proto;
+pub mod slowlog;
 
 use alive_ir::canon::{canonical_text, fnv1a64};
 use alive_ir::{parse_transforms, validate, Transform};
-use alive_trace::{serve as metric, Tracer};
+use alive_trace::{serve as metric, Telemetry, Tracer};
 use alive_verifier::store::{StoreOpen, VerdictStore};
 use alive_verifier::{verify_single, DriverConfig, OutcomeKind, TransformOutcome};
 use proto::{
     render_busy, render_done, render_error, render_shutdown, Request, StatsLine, VerdictLine,
+    PROTO_VERSION,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -133,6 +135,11 @@ pub struct ServeConfig {
     pub tracer: Tracer,
     /// Overload and lifecycle limits.
     pub limits: ServeLimits,
+    /// Slow-query log threshold: a miss whose verification takes at
+    /// least this many milliseconds appends a sealed record to
+    /// `<store_path>.slowlog` (0 logs every miss). `None` disables the
+    /// log entirely.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +152,7 @@ impl Default for ServeConfig {
             cert_dir: None,
             tracer: Tracer::disabled(),
             limits: ServeLimits::default(),
+            slow_ms: None,
         }
     }
 }
@@ -156,6 +164,23 @@ impl Default for ServeConfig {
 pub struct Busy {
     /// Hint: wait at least this long (plus jitter) before retrying.
     pub retry_after_ms: u64,
+}
+
+/// Server-side phase timings for one request, echoed on proto-2
+/// verdict lines so a client can see where its latency went without a
+/// trace file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Canonicalization + hashing, microseconds.
+    pub canon_us: u64,
+    /// Verdict-store lookups (all attempts), microseconds.
+    pub lookup_us: u64,
+    /// Wait before verification started (leader) or the joined verdict
+    /// arrived (follower), microseconds.
+    pub queue_us: u64,
+    /// Verification paid by this request (0 on hits and joins),
+    /// microseconds.
+    pub verify_us: u64,
 }
 
 /// A cached-or-fresh verdict for one request.
@@ -175,6 +200,8 @@ pub struct Answer {
     pub cached: bool,
     /// True when this request joined another's in-flight verification.
     pub coalesced: bool,
+    /// Where this request's latency went.
+    pub timing: RequestTiming,
 }
 
 /// Counter snapshot ([`Server::stats`]).
@@ -219,12 +246,19 @@ struct Inflight {
 struct ServerInner {
     driver: DriverConfig,
     tracer: Tracer,
+    /// Windowed latency registry: always on (recording is a few relaxed
+    /// atomic adds), feeds the proto-2 `telemetry` stats block.
+    telemetry: Telemetry,
     store: Mutex<VerdictStore>,
     inflight: Mutex<HashMap<String, Arc<Inflight>>>,
     cert_dir: Option<PathBuf>,
     workers: usize,
     limits: ServeLimits,
     started: Instant,
+    /// Mints `rq-<n>` request ids for clients that send an empty `id`.
+    next_rid: AtomicU64,
+    /// The slow-query log and its threshold, when `slow_ms` was set.
+    slowlog: Option<(Mutex<slowlog::SlowLog>, u64)>,
     hits: AtomicU64,
     misses: AtomicU64,
     joins: AtomicU64,
@@ -290,17 +324,29 @@ impl Server {
                     .counter(metric::QUARANTINED, *discarded as u64);
             }
         }
+        let slowlog = match config.slow_ms {
+            Some(threshold) => {
+                let mut path = config.store_path.as_os_str().to_owned();
+                path.push(".slowlog");
+                let log = slowlog::SlowLog::open(&PathBuf::from(path), 0)?;
+                Some((Mutex::new(log), threshold))
+            }
+            None => None,
+        };
         Ok((
             Server {
                 inner: Arc::new(ServerInner {
                     driver: config.driver,
                     tracer: config.tracer,
+                    telemetry: Telemetry::default(),
                     store: Mutex::new(store),
                     inflight: Mutex::new(HashMap::new()),
                     cert_dir: config.cert_dir,
                     workers,
                     limits: config.limits,
                     started: Instant::now(),
+                    next_rid: AtomicU64::new(0),
+                    slowlog,
                     hits: AtomicU64::new(0),
                     misses: AtomicU64::new(0),
                     joins: AtomicU64::new(0),
@@ -393,7 +439,13 @@ impl Server {
     /// Embedding API: never refuses. The daemon transports go through
     /// [`Server::try_check`], which applies admission control.
     pub fn check(&self, name: &str, t: &Transform) -> Answer {
-        self.check_admit(name, t, false)
+        self.check_rid(name, t, "")
+    }
+
+    /// [`Server::check`] with an explicit request id, recorded on any
+    /// slow-query log entry this request produces.
+    pub fn check_rid(&self, name: &str, t: &Transform, rid: &str) -> Answer {
+        self.check_admit(name, t, false, rid)
             .unwrap_or_else(|_| unreachable!("check() never applies admission control"))
     }
 
@@ -401,33 +453,81 @@ impl Server {
     /// would *start* a verification past [`ServeLimits::queue_depth`].
     /// Hits and joins are always admitted — they cost no worker.
     pub fn try_check(&self, name: &str, t: &Transform) -> Result<Answer, Busy> {
-        self.check_admit(name, t, true)
+        self.check_admit(name, t, true, "")
     }
 
-    fn check_admit(&self, name: &str, t: &Transform, admit: bool) -> Result<Answer, Busy> {
+    /// [`Server::try_check`] with an explicit request id.
+    pub fn try_check_rid(&self, name: &str, t: &Transform, rid: &str) -> Result<Answer, Busy> {
+        self.check_admit(name, t, true, rid)
+    }
+
+    /// The request id for one wire request: the client's `id` when it
+    /// sent one, otherwise a daemon-minted `rq-<n>` — every request is
+    /// traceable either way.
+    fn mint_rid(&self, id: &str) -> String {
+        if id.is_empty() {
+            format!(
+                "rq-{}",
+                self.inner.next_rid.fetch_add(1, Ordering::Relaxed) + 1
+            )
+        } else {
+            id.to_string()
+        }
+    }
+
+    /// A point-in-time snapshot of the windowed latency telemetry (what
+    /// the `stats` wire op reports as the `telemetry` block).
+    pub fn telemetry(&self) -> alive_trace::TelemetrySnapshot {
+        self.inner.telemetry.snapshot()
+    }
+
+    fn check_admit(
+        &self,
+        name: &str,
+        t: &Transform,
+        admit: bool,
+        rid: &str,
+    ) -> Result<Answer, Busy> {
         let start = Instant::now();
         let inner = &self.inner;
         let canon = canonical_text(t);
         let hash = format!("{:016x}", fnv1a64(canon.as_bytes()));
+        let canon_us = start.elapsed().as_micros() as u64;
+        inner.tracer.sample(metric::CANON_US, canon_us);
+        inner
+            .telemetry
+            .canon
+            .record_at(canon_us, inner.telemetry.now_ms());
+        let mut timing = RequestTiming {
+            canon_us,
+            ..RequestTiming::default()
+        };
         loop {
             // Fast path: the store already knows.
             {
+                let lookup_start = Instant::now();
+                let _lookup_span = inner.tracer.span(metric::LOOKUP);
                 let store = inner.store.lock().unwrap_or_else(|e| e.into_inner());
-                if let Some(rec) = store.lookup(&canon) {
+                let found = store.lookup(&canon).map(|rec| Answer {
+                    hash: hash.clone(),
+                    verdict: rec.verdict,
+                    reason: rec.reason.clone(),
+                    wall_ms: rec.wall_ms,
+                    cert: rec.cert.clone(),
+                    cached: true,
+                    coalesced: false,
+                    timing: RequestTiming::default(),
+                });
+                drop(store);
+                timing.lookup_us += lookup_start.elapsed().as_micros() as u64;
+                if let Some(mut answer) = found {
+                    let us = start.elapsed().as_micros() as u64;
                     inner.hits.fetch_add(1, Ordering::Relaxed);
                     inner.tracer.counter(metric::HIT, 1);
-                    inner
-                        .tracer
-                        .sample(metric::HIT_US, start.elapsed().as_micros() as u64);
-                    return Ok(Answer {
-                        hash,
-                        verdict: rec.verdict,
-                        reason: rec.reason.clone(),
-                        wall_ms: rec.wall_ms,
-                        cert: rec.cert.clone(),
-                        cached: true,
-                        coalesced: false,
-                    });
+                    inner.tracer.sample(metric::HIT_US, us);
+                    inner.telemetry.hit.record_at(us, inner.telemetry.now_ms());
+                    answer.timing = timing;
+                    return Ok(answer);
                 }
             }
             // Not cached: become the leader for this canonical form, or
@@ -462,7 +562,9 @@ impl Server {
                 // have finished (verdict persisted, entry removed). Verify
                 // again and the race test's "exactly one verification"
                 // guarantee is gone.
+                let lookup_start = Instant::now();
                 let cached = {
+                    let _lookup_span = inner.tracer.span(metric::LOOKUP);
                     let store = inner.store.lock().unwrap_or_else(|e| e.into_inner());
                     store.lookup(&canon).map(|rec| Answer {
                         hash: hash.clone(),
@@ -472,11 +574,27 @@ impl Server {
                         cert: rec.cert.clone(),
                         cached: true,
                         coalesced: false,
+                        timing: RequestTiming::default(),
                     })
                 };
+                timing.lookup_us += lookup_start.elapsed().as_micros() as u64;
+                // Everything before the verification starts is queue time
+                // from this request's point of view.
+                let queue_us = start.elapsed().as_micros() as u64;
+                timing.queue_us = queue_us;
+                inner.tracer.sample(metric::QUEUE_WAIT_US, queue_us);
+                inner
+                    .telemetry
+                    .queue_wait
+                    .record_at(queue_us, inner.telemetry.now_ms());
                 let (answer, was_hit) = match cached {
                     Some(a) => (a, true),
-                    None => (self.verify_and_store(name, t, &canon, &hash), false),
+                    None => {
+                        let verify_start = Instant::now();
+                        let a = self.verify_and_store(name, t, &canon, &hash, rid);
+                        timing.verify_us = verify_start.elapsed().as_micros() as u64;
+                        (a, false)
+                    }
                 };
                 {
                     let mut slot = entry.slot.lock().unwrap_or_else(|e| e.into_inner());
@@ -492,28 +610,40 @@ impl Server {
                     inner.hits.fetch_add(1, Ordering::Relaxed);
                     inner.tracer.counter(metric::HIT, 1);
                     inner.tracer.sample(metric::HIT_US, us);
+                    inner.telemetry.hit.record_at(us, inner.telemetry.now_ms());
                 } else {
                     inner.misses.fetch_add(1, Ordering::Relaxed);
                     inner.tracer.counter(metric::MISS, 1);
                     inner.tracer.sample(metric::MISS_US, us);
+                    inner.telemetry.miss.record_at(us, inner.telemetry.now_ms());
                 }
-                return Ok(answer);
+                return Ok(Answer { timing, ..answer });
             }
             // Joiner: wait for the leader's verdict.
+            let coalesce_start = Instant::now();
+            let coalesce_span = inner.tracer.span(metric::COALESCE);
             entry.waiters.fetch_add(1, Ordering::SeqCst);
             let mut slot = entry.slot.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(answer) = slot.clone() {
                     drop(slot);
+                    drop(coalesce_span);
                     entry.waiters.fetch_sub(1, Ordering::SeqCst);
+                    let queue_us = coalesce_start.elapsed().as_micros() as u64;
+                    timing.queue_us += queue_us;
+                    let us = start.elapsed().as_micros() as u64;
                     inner.joins.fetch_add(1, Ordering::Relaxed);
                     inner.tracer.counter(metric::JOIN, 1);
-                    inner
-                        .tracer
-                        .sample(metric::HIT_US, start.elapsed().as_micros() as u64);
+                    inner.tracer.sample(metric::HIT_US, us);
+                    inner.tracer.sample(metric::JOIN_US, us);
+                    inner.tracer.sample(metric::QUEUE_WAIT_US, queue_us);
+                    let now = inner.telemetry.now_ms();
+                    inner.telemetry.join.record_at(us, now);
+                    inner.telemetry.queue_wait.record_at(queue_us, now);
                     return Ok(Answer {
                         coalesced: true,
                         cached: true,
+                        timing,
                         ..answer
                     });
                 }
@@ -536,7 +666,16 @@ impl Server {
     }
 
     /// The miss path: verify, persist certificates, persist the verdict.
-    fn verify_and_store(&self, name: &str, t: &Transform, canon: &str, hash: &str) -> Answer {
+    /// Misses at or above the configured `--slow-ms` threshold also
+    /// append a record to the slow-query log.
+    fn verify_and_store(
+        &self,
+        name: &str,
+        t: &Transform,
+        canon: &str,
+        hash: &str,
+        rid: &str,
+    ) -> Answer {
         let inner = &self.inner;
         let verifier = Arc::clone(&inner.verifier.read().unwrap_or_else(|e| e.into_inner()));
         // Per-request deadline: a driver with no timeout of its own runs
@@ -545,6 +684,12 @@ impl Server {
         let mut driver = inner.driver.clone();
         if driver.timeout.is_none() {
             driver.timeout = inner.limits.request_timeout;
+        }
+        // Thread the daemon's tracer into the verifier so solver spans
+        // (typeck/encode/sat.solve) nest under this request's
+        // serve.request span — unless the driver brought its own.
+        if !driver.verify.ef.tracer.enabled() {
+            driver.verify.ef.tracer = inner.tracer.clone();
         }
         let outcome = verifier(name, t, &driver);
         let cert = match (&inner.cert_dir, outcome.certificates.is_empty()) {
@@ -562,6 +707,7 @@ impl Server {
         };
         let wall_ms = outcome.wall.as_millis() as u64;
         {
+            let append_start = Instant::now();
             let mut store = inner.store.lock().unwrap_or_else(|e| e.into_inner());
             // A failed append (disk full, injected fault) leaves the
             // verdict un-persisted but still correct for this request;
@@ -574,6 +720,39 @@ impl Server {
                 inner.errors.fetch_add(1, Ordering::Relaxed);
                 inner.tracer.counter(metric::ERROR, 1);
             }
+            drop(store);
+            let append_us = append_start.elapsed().as_micros() as u64;
+            inner.tracer.sample(metric::APPEND_US, append_us);
+            inner
+                .telemetry
+                .append
+                .record_at(append_us, inner.telemetry.now_ms());
+        }
+        if let Some((log, threshold)) = &inner.slowlog {
+            if wall_ms >= *threshold {
+                inner.tracer.counter(metric::SLOW, 1);
+                let record = slowlog::SlowRecord {
+                    rid: rid.to_string(),
+                    name: name.to_string(),
+                    hash: hash.to_string(),
+                    verdict: outcome.kind.as_str().to_string(),
+                    wall_ms,
+                    threshold_ms: *threshold,
+                    typeck_us: outcome.phases.typeck.as_micros() as u64,
+                    encode_us: outcome.phases.encode.as_micros() as u64,
+                    solve_us: outcome.phases.solve.as_micros() as u64,
+                    check_us: outcome.phases.check.as_micros() as u64,
+                    conflicts: outcome.conflicts,
+                    retries: u64::from(outcome.retries),
+                };
+                let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+                // A slowlog write failure is observability loss, not a
+                // verification failure; count it and move on.
+                if log.append(&record).is_err() {
+                    inner.errors.fetch_add(1, Ordering::Relaxed);
+                    inner.tracer.counter(metric::ERROR, 1);
+                }
+            }
         }
         Answer {
             hash: hash.to_string(),
@@ -583,6 +762,7 @@ impl Server {
             cert,
             cached: false,
             coalesced: false,
+            timing: RequestTiming::default(),
         }
     }
 
@@ -590,7 +770,7 @@ impl Server {
     /// [`VerdictLine`] per transform in submission order. Misses are
     /// verified on up to `workers` threads; duplicates within the batch
     /// coalesce through the in-flight map like concurrent clients would.
-    pub fn check_batch(&self, id: &str, text: &str) -> Result<Vec<VerdictLine>, String> {
+    pub fn check_batch(&self, id: &str, rid: &str, text: &str) -> Result<Vec<VerdictLine>, String> {
         let transforms = parse_transforms(text).map_err(|e| format!("parse error: {e}"))?;
         let mut items: Vec<(usize, String, Transform)> = Vec::new();
         for (i, t) in transforms.into_iter().enumerate() {
@@ -607,8 +787,17 @@ impl Server {
                     let Some((index, name, t)) = items.get(k) else {
                         return;
                     };
+                    // Each batch item is its own traceable work unit:
+                    // `<rid>#<index>` keys the item's span subtree so
+                    // `alive stats --request` can pull out one item.
+                    let item_rid = format!("{rid}#{index}");
+                    let span = self
+                        .inner
+                        .tracer
+                        .span_with(metric::REQUEST, || item_rid.clone());
                     let start = Instant::now();
-                    let answer = self.check(name, t);
+                    let answer = self.check_rid(name, t, &item_rid);
+                    drop(span);
                     let line = VerdictLine {
                         id: id.to_string(),
                         index: *index,
@@ -620,6 +809,11 @@ impl Server {
                         reason: answer.reason,
                         wall_us: start.elapsed().as_micros() as u64,
                         cert: answer.cert,
+                        rid: item_rid,
+                        canon_us: answer.timing.canon_us,
+                        lookup_us: answer.timing.lookup_us,
+                        queue_us: answer.timing.queue_us,
+                        verify_us: answer.timing.verify_us,
                     };
                     results.lock().unwrap_or_else(|e| e.into_inner())[k] = Some(line);
                 });
@@ -702,6 +896,10 @@ impl Server {
             Request::Verify { id, text } => {
                 #[cfg(feature = "fault-injection")]
                 self.serve_fault(out)?;
+                // The request id: client-supplied when non-empty, minted
+                // otherwise, so every wire request is traceable.
+                let rid = self.mint_rid(&id);
+                let span = self.inner.tracer.span_with(metric::REQUEST, || rid.clone());
                 let start = Instant::now();
                 let parsed = parse_transforms(&text)
                     .map_err(|e| format!("parse error: {e}"))
@@ -716,9 +914,12 @@ impl Server {
                 match parsed {
                     Ok(t) => {
                         let name = t.name.clone().unwrap_or_else(|| "opt0".to_string());
-                        let answer = match self.try_check(&name, &t) {
+                        // Verification runs on this connection thread, so
+                        // its SAT-level spans nest under serve.request.
+                        let answer = match self.try_check_rid(&name, &t, &rid) {
                             Ok(a) => a,
                             Err(b) => {
+                                drop(span);
                                 writeln!(out, "{}", render_busy(&id, b.retry_after_ms))?;
                                 return Ok(true);
                             }
@@ -734,10 +935,17 @@ impl Server {
                             reason: answer.reason,
                             wall_us: start.elapsed().as_micros() as u64,
                             cert: answer.cert,
+                            rid,
+                            canon_us: answer.timing.canon_us,
+                            lookup_us: answer.timing.lookup_us,
+                            queue_us: answer.timing.queue_us,
+                            verify_us: answer.timing.verify_us,
                         };
+                        drop(span);
                         writeln!(out, "{}", lineout.render())?;
                     }
                     Err(e) => {
+                        drop(span);
                         self.inner.errors.fetch_add(1, Ordering::Relaxed);
                         self.inner.tracer.counter(metric::ERROR, 1);
                         writeln!(out, "{}", render_error(&id, &e))?;
@@ -754,7 +962,8 @@ impl Server {
                     writeln!(out, "{}", render_busy(&id, b.retry_after_ms))?;
                     return Ok(true);
                 }
-                match self.check_batch(&id, &text) {
+                let rid = self.mint_rid(&id);
+                match self.check_batch(&id, &rid, &text) {
                     Ok(lines) => {
                         let hits = lines.iter().filter(|l| l.cached).count();
                         let misses = lines.len() - hits;
@@ -775,6 +984,7 @@ impl Server {
                 let s = self.stats();
                 let line = StatsLine {
                     id,
+                    proto: PROTO_VERSION,
                     hits: s.hits,
                     misses: s.misses,
                     joins: s.joins,
@@ -786,6 +996,7 @@ impl Server {
                     stored: s.stored as u64,
                     connections: s.connections as u64,
                     uptime_ms: s.uptime_ms,
+                    telemetry: Some((&self.inner.telemetry.snapshot()).into()),
                 };
                 writeln!(out, "{}", line.render())?;
                 Ok(true)

@@ -22,14 +22,22 @@
 //!
 //! ```text
 //! {"id":"r1","index":0,"name":"opt0","hash":"<16 hex>","verdict":"valid",
-//!  "cached":true,"coalesced":false,"reason":"...","wall_us":42,"cert":""}
+//!  "cached":true,"coalesced":false,"reason":"...","wall_us":42,"cert":"",
+//!  "rid":"r1","canon_us":3,"lookup_us":1,"queue_us":0,"verify_us":0}
 //! {"id":"b1","done":true,"count":224,"hits":224,"misses":0}
-//! {"id":"s1","stats":true,"hits":10,"misses":2,"joins":1,"errors":0,
+//! {"id":"s1","stats":true,"proto":2,"hits":10,"misses":2,"joins":1,"errors":0,
 //!  "busy":0,"shed":0,"idle_closed":0,"inflight":0,"stored":12,
-//!  "connections":1,"uptime_ms":6000}
+//!  "connections":1,"uptime_ms":6000,"telemetry":{"v":1,"window_ms":60000,
+//!  "hit_count":10,"hit_p50_us":31,...}}
 //! {"id":"r9","error":"parse error: ..."}
 //! {"id":"r2","busy":true,"retry_after_ms":250}
 //! ```
+//!
+//! The protocol is versioned by the `proto` field of the `stats`
+//! response ([`PROTO_VERSION`]). Version 2 added `proto` itself, the
+//! nested `telemetry` block, and the `rid`/`*_us` timing fields on
+//! verdict lines. Every addition is ignorable: a v1 client skips the
+//! unknown keys, and a v1-shaped request still gets a full answer.
 //!
 //! `cached` is true when the verdict came from the store; `coalesced` is
 //! true when the request joined another client's in-flight verification
@@ -102,7 +110,7 @@ impl Request {
 }
 
 /// One verdict line (for both `verify` and `batch` items).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VerdictLine {
     /// Echo of the request id.
     pub id: String,
@@ -124,15 +132,33 @@ pub struct VerdictLine {
     pub wall_us: u64,
     /// Certificate reference (a path), empty when none.
     pub cert: String,
+    /// Server-side request id (the client's `id`, or a daemon-minted
+    /// `rq-<n>` when the client sent none; batch items get
+    /// `<id>#<index>`) — the key that finds this request in a `--trace`
+    /// file via `alive stats --request`.
+    pub rid: String,
+    /// Canonicalization + hashing time, microseconds.
+    pub canon_us: u64,
+    /// Verdict-store lookup time, microseconds.
+    pub lookup_us: u64,
+    /// Wait before the verification started (leader) or the joined
+    /// verdict arrived (follower), microseconds.
+    pub queue_us: u64,
+    /// Verification time paid by this request (0 on hits and joins),
+    /// microseconds.
+    pub verify_us: u64,
 }
 
 impl VerdictLine {
-    /// Serializes the verdict as one response line (no newline).
+    /// Serializes the verdict as one response line (no newline). The
+    /// proto-1 fields keep their fixed order; the proto-2 timing block
+    /// is appended after them (old clients ignore unknown keys).
     pub fn render(&self) -> String {
         format!(
             "{{\"id\":\"{}\",\"index\":{},\"name\":\"{}\",\"hash\":\"{}\",\
              \"verdict\":\"{}\",\"cached\":{},\"coalesced\":{},\"reason\":\"{}\",\
-             \"wall_us\":{},\"cert\":\"{}\"}}",
+             \"wall_us\":{},\"cert\":\"{}\",\"rid\":\"{}\",\"canon_us\":{},\
+             \"lookup_us\":{},\"queue_us\":{},\"verify_us\":{}}}",
             json_escape(&self.id),
             self.index,
             json_escape(&self.name),
@@ -143,6 +169,11 @@ impl VerdictLine {
             json_escape(&self.reason),
             self.wall_us,
             json_escape(&self.cert),
+            json_escape(&self.rid),
+            self.canon_us,
+            self.lookup_us,
+            self.queue_us,
+            self.verify_us,
         )
     }
 }
@@ -155,12 +186,21 @@ pub fn render_done(id: &str, count: usize, hits: usize, misses: usize) -> String
     )
 }
 
+/// The wire-protocol version the daemon speaks. Version 2 added the
+/// `proto` field itself, the `telemetry` stats block, and the per-request
+/// `rid`/timing fields on verdict lines — all additive, so a v1 client
+/// keeps working (unknown fields are ignored on both sides).
+pub const PROTO_VERSION: u64 = 2;
+
 /// One `stats` response line: every server counter an operator can see
 /// without attaching a tracer.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsLine {
     /// Echo of the request id.
     pub id: String,
+    /// Wire-protocol version ([`PROTO_VERSION`]); 0 when the response
+    /// predates versioning (a v1 daemon).
+    pub proto: u64,
     /// Requests answered from the store.
     pub hits: u64,
     /// Requests that ran a verification.
@@ -183,16 +223,20 @@ pub struct StatsLine {
     pub connections: u64,
     /// Milliseconds since the server opened its store.
     pub uptime_ms: u64,
+    /// The windowed latency telemetry block (proto ≥ 2); `None` from a
+    /// v1 daemon.
+    pub telemetry: Option<TelemetryBlock>,
 }
 
 impl StatsLine {
     /// Serializes the stats response (no newline).
     pub fn render(&self) -> String {
-        format!(
-            "{{\"id\":\"{}\",\"stats\":true,\"hits\":{},\"misses\":{},\"joins\":{},\
-             \"errors\":{},\"busy\":{},\"shed\":{},\"idle_closed\":{},\"inflight\":{},\
-             \"stored\":{},\"connections\":{},\"uptime_ms\":{}}}",
+        let mut out = format!(
+            "{{\"id\":\"{}\",\"stats\":true,\"proto\":{},\"hits\":{},\"misses\":{},\
+             \"joins\":{},\"errors\":{},\"busy\":{},\"shed\":{},\"idle_closed\":{},\
+             \"inflight\":{},\"stored\":{},\"connections\":{},\"uptime_ms\":{}",
             json_escape(&self.id),
+            self.proto,
             self.hits,
             self.misses,
             self.joins,
@@ -204,7 +248,159 @@ impl StatsLine {
             self.stored,
             self.connections,
             self.uptime_ms,
-        )
+        );
+        if let Some(t) = &self.telemetry {
+            out.push_str(",\"telemetry\":");
+            out.push_str(&t.render());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Latency summary for one telemetry series, as carried on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatSummary {
+    /// Lifetime sample count.
+    pub count: u64,
+    /// Lifetime p50 upper bound, microseconds.
+    pub p50_us: u64,
+    /// Lifetime p90 upper bound, microseconds.
+    pub p90_us: u64,
+    /// Lifetime p99 upper bound, microseconds.
+    pub p99_us: u64,
+    /// Lifetime maximum, microseconds.
+    pub max_us: u64,
+    /// Samples inside the sliding window.
+    pub window: u64,
+    /// Window rate in milli-events per second.
+    pub rate_x1000: u64,
+}
+
+/// The versioned `telemetry` block of a proto-2 `stats` response: one
+/// nested object of integer fields (`<series>_<stat>`), so a flat-JSON
+/// client one level smarter than proto 1 can read it, and a proto-1
+/// client ignores the whole key.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryBlock {
+    /// Telemetry block schema version (1).
+    pub v: u64,
+    /// Sliding-window span shared by every series, milliseconds.
+    pub window_ms: u64,
+    /// Store-hit request latency.
+    pub hit: LatSummary,
+    /// Cache-miss request latency.
+    pub miss: LatSummary,
+    /// Coalesced-join request latency.
+    pub join: LatSummary,
+    /// Queue-wait before verification/join delivery.
+    pub queue_wait: LatSummary,
+    /// Canonicalization + hashing time.
+    pub canon: LatSummary,
+    /// Verdict-store append time.
+    pub append: LatSummary,
+}
+
+/// The six series of a telemetry block with their wire-key prefixes, in
+/// render order.
+const TELEMETRY_SERIES: [&str; 6] = ["hit", "miss", "join", "queue_wait", "canon", "append"];
+
+impl TelemetryBlock {
+    fn series(&self, name: &str) -> &LatSummary {
+        match name {
+            "hit" => &self.hit,
+            "miss" => &self.miss,
+            "join" => &self.join,
+            "queue_wait" => &self.queue_wait,
+            "canon" => &self.canon,
+            "append" => &self.append,
+            _ => unreachable!("unknown telemetry series {name}"),
+        }
+    }
+
+    fn series_mut(&mut self, name: &str) -> &mut LatSummary {
+        match name {
+            "hit" => &mut self.hit,
+            "miss" => &mut self.miss,
+            "join" => &mut self.join,
+            "queue_wait" => &mut self.queue_wait,
+            "canon" => &mut self.canon,
+            "append" => &mut self.append,
+            _ => unreachable!("unknown telemetry series {name}"),
+        }
+    }
+
+    /// Serializes the block as one nested JSON object (no newline).
+    pub fn render(&self) -> String {
+        let mut out = format!("{{\"v\":{},\"window_ms\":{}", self.v, self.window_ms);
+        for name in TELEMETRY_SERIES {
+            let s = self.series(name);
+            out.push_str(&format!(
+                ",\"{name}_count\":{},\"{name}_p50_us\":{},\"{name}_p90_us\":{},\
+                 \"{name}_p99_us\":{},\"{name}_max_us\":{},\"{name}_window\":{},\
+                 \"{name}_rate_x1000\":{}",
+                s.count, s.p50_us, s.p90_us, s.p99_us, s.max_us, s.window, s.rate_x1000,
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Reconstructs a block from the parsed nested object. Missing
+    /// fields read as 0 (forward compatibility within the block).
+    pub fn from_fields(fields: &HashMap<String, JsonValue>) -> TelemetryBlock {
+        let num = |k: &str| -> u64 {
+            match fields.get(k) {
+                Some(JsonValue::Num(n)) => u64::try_from(*n).unwrap_or(0),
+                _ => 0,
+            }
+        };
+        let mut block = TelemetryBlock {
+            v: num("v"),
+            window_ms: num("window_ms"),
+            ..TelemetryBlock::default()
+        };
+        for name in TELEMETRY_SERIES {
+            *block.series_mut(name) = LatSummary {
+                count: num(&format!("{name}_count")),
+                p50_us: num(&format!("{name}_p50_us")),
+                p90_us: num(&format!("{name}_p90_us")),
+                p99_us: num(&format!("{name}_p99_us")),
+                max_us: num(&format!("{name}_max_us")),
+                window: num(&format!("{name}_window")),
+                rate_x1000: num(&format!("{name}_rate_x1000")),
+            };
+        }
+        block
+    }
+}
+
+impl From<&alive_trace::SeriesSnapshot> for LatSummary {
+    fn from(s: &alive_trace::SeriesSnapshot) -> LatSummary {
+        LatSummary {
+            count: s.count,
+            p50_us: s.p50_us,
+            p90_us: s.p90_us,
+            p99_us: s.p99_us,
+            max_us: s.max_us,
+            window: s.window_count,
+            rate_x1000: s.rate_x1000,
+        }
+    }
+}
+
+impl From<&alive_trace::TelemetrySnapshot> for TelemetryBlock {
+    fn from(t: &alive_trace::TelemetrySnapshot) -> TelemetryBlock {
+        TelemetryBlock {
+            v: 1,
+            window_ms: t.window_ms,
+            hit: (&t.hit).into(),
+            miss: (&t.miss).into(),
+            join: (&t.join).into(),
+            queue_wait: (&t.queue_wait).into(),
+            canon: (&t.canon).into(),
+            append: (&t.append).into(),
+        }
     }
 }
 
@@ -255,8 +451,9 @@ pub enum Response {
         /// Backoff hint in milliseconds.
         retry_after_ms: u64,
     },
-    /// Counter snapshot.
-    Stats(StatsLine),
+    /// Counter snapshot (boxed: the telemetry block makes it much
+    /// larger than the other variants).
+    Stats(Box<StatsLine>),
     /// Request-level failure (parse error, bad transform, ...).
     Error {
         /// Echo of the request id.
@@ -305,8 +502,13 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         });
     }
     if bool_of("stats") {
-        return Ok(Response::Stats(StatsLine {
+        let telemetry = match fields.get("telemetry") {
+            Some(JsonValue::Obj(t)) => Some(TelemetryBlock::from_fields(t)),
+            _ => None,
+        };
+        return Ok(Response::Stats(Box::new(StatsLine {
             id,
+            proto: num_of("proto"),
             hits: num_of("hits"),
             misses: num_of("misses"),
             joins: num_of("joins"),
@@ -318,7 +520,8 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             stored: num_of("stored"),
             connections: num_of("connections"),
             uptime_ms: num_of("uptime_ms"),
-        }));
+            telemetry,
+        })));
     }
     if let Some(JsonValue::Str(message)) = fields.get("error") {
         return Ok(Response::Error {
@@ -341,6 +544,11 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             reason: str_of("reason"),
             wall_us: num_of("wall_us"),
             cert: str_of("cert"),
+            rid: str_of("rid"),
+            canon_us: num_of("canon_us"),
+            lookup_us: num_of("lookup_us"),
+            queue_us: num_of("queue_us"),
+            verify_us: num_of("verify_us"),
         }));
     }
     Err(format!("unrecognized response line: {line:?}"))
@@ -364,7 +572,7 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// A scalar field value in a flat request object.
+/// A field value in a protocol object.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JsonValue {
     /// A JSON string (escapes decoded).
@@ -373,39 +581,24 @@ pub enum JsonValue {
     Num(i64),
     /// `true` / `false`.
     Bool(bool),
+    /// A nested object of scalar fields — used only by the proto-2
+    /// `telemetry` stats block; requests stay flat by construction.
+    Obj(HashMap<String, JsonValue>),
 }
 
-/// Parses a flat JSON object of scalar fields, any key order, unknown
-/// keys kept. Nested objects/arrays are rejected — no request uses them,
-/// and refusing them keeps this parser ~100 lines and obviously correct.
+/// Parses a protocol object of scalar fields, any key order, unknown
+/// keys kept. One level of object nesting is allowed (the proto-2
+/// `telemetry` stats block); arrays and deeper nesting are rejected —
+/// nothing on the wire uses them, and refusing them keeps this parser
+/// small and obviously correct.
 pub fn parse_flat_object(line: &str) -> Result<HashMap<String, JsonValue>, String> {
     let mut p = Parser {
         rest: line.trim_end_matches(['\r', '\n']),
     };
     p.skip_ws();
-    p.expect('{')?;
-    let mut out = HashMap::new();
+    let out = p.object(0)?;
     p.skip_ws();
-    if p.try_take('}') {
-        p.skip_ws();
-        return p.finish(out);
-    }
-    loop {
-        p.skip_ws();
-        let key = p.string()?;
-        p.skip_ws();
-        p.expect(':')?;
-        p.skip_ws();
-        let value = p.value()?;
-        out.insert(key, value);
-        p.skip_ws();
-        if p.try_take(',') {
-            continue;
-        }
-        p.expect('}')?;
-        p.skip_ws();
-        return p.finish(out);
-    }
+    p.finish(out)
 }
 
 struct Parser<'a> {
@@ -491,7 +684,37 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<JsonValue, String> {
+    fn object(&mut self, depth: u32) -> Result<HashMap<String, JsonValue>, String> {
+        self.expect('{')?;
+        let mut out = HashMap::new();
+        self.skip_ws();
+        if self.try_take('}') {
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value(depth)?;
+            out.insert(key, value);
+            self.skip_ws();
+            if self.try_take(',') {
+                continue;
+            }
+            self.expect('}')?;
+            return Ok(out);
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<JsonValue, String> {
+        if self.rest.starts_with('{') {
+            if depth >= 1 {
+                return Err("object nested deeper than one level".to_string());
+            }
+            return Ok(JsonValue::Obj(self.object(depth + 1)?));
+        }
         if self.rest.starts_with('"') {
             return Ok(JsonValue::Str(self.string()?));
         }
@@ -568,10 +791,14 @@ mod tests {
             hash: "00ff00ff00ff00ff".to_string(),
             verdict: "valid".to_string(),
             cached: true,
-            coalesced: false,
             reason: String::new(),
             wall_us: 7,
-            cert: String::new(),
+            rid: "r1".to_string(),
+            canon_us: 3,
+            lookup_us: 1,
+            queue_us: 2,
+            verify_us: 0,
+            ..VerdictLine::default()
         };
         assert_eq!(
             parse_response(&verdict.render()).unwrap(),
@@ -595,14 +822,29 @@ mod tests {
         );
         let stats = StatsLine {
             id: "s1".to_string(),
+            proto: PROTO_VERSION,
             hits: 10,
             busy: 4, // numeric counter, must not read as a busy refusal
             uptime_ms: 12345,
+            telemetry: Some(TelemetryBlock {
+                v: 1,
+                window_ms: 60_000,
+                hit: LatSummary {
+                    count: 10,
+                    p50_us: 31,
+                    p90_us: 63,
+                    p99_us: 127,
+                    max_us: 90,
+                    window: 4,
+                    rate_x1000: 66,
+                },
+                ..TelemetryBlock::default()
+            }),
             ..StatsLine::default()
         };
         assert_eq!(
             parse_response(&stats.render()).unwrap(),
-            Response::Stats(stats)
+            Response::Stats(Box::new(stats))
         );
         assert_eq!(
             parse_response(&render_error("x", "nope")).unwrap(),
@@ -629,18 +871,78 @@ mod tests {
             hash: "00ff00ff00ff00ff".to_string(),
             verdict: "invalid".to_string(),
             cached: true,
-            coalesced: false,
             reason: "counterexample:\n%x i8 = 1".to_string(),
             wall_us: 42,
-            cert: "".to_string(),
+            rid: "rq-7".to_string(),
+            ..VerdictLine::default()
         };
         let fields = parse_flat_object(&line.render()).unwrap();
         assert_eq!(fields["id"], JsonValue::Str("r\"1\"".to_string()));
         assert_eq!(fields["index"], JsonValue::Num(3));
         assert_eq!(fields["cached"], JsonValue::Bool(true));
+        assert_eq!(fields["rid"], JsonValue::Str("rq-7".to_string()));
         assert_eq!(
             fields["reason"],
             JsonValue::Str("counterexample:\n%x i8 = 1".to_string())
         );
+    }
+
+    #[test]
+    fn proto_v1_responses_still_parse() {
+        // A literal v1 daemon stats line: no proto, no telemetry.
+        let v1 = r#"{"id":"s1","stats":true,"hits":10,"misses":2,"joins":1,"errors":0,"busy":0,"shed":0,"idle_closed":0,"inflight":0,"stored":12,"connections":1,"uptime_ms":6000}"#;
+        let Response::Stats(s) = parse_response(v1).unwrap() else {
+            panic!("not a stats line");
+        };
+        assert_eq!(s.proto, 0);
+        assert_eq!(s.telemetry, None);
+        assert_eq!(s.hits, 10);
+        // A literal v1 verdict line: no rid, no timing fields.
+        let v1 = r#"{"id":"r1","index":0,"name":"opt0","hash":"00ff00ff00ff00ff","verdict":"valid","cached":true,"coalesced":false,"reason":"","wall_us":42,"cert":""}"#;
+        let Response::Verdict(v) = parse_response(v1).unwrap() else {
+            panic!("not a verdict line");
+        };
+        assert_eq!(v.rid, "");
+        assert_eq!(v.verify_us, 0);
+        assert_eq!(v.wall_us, 42);
+    }
+
+    #[test]
+    fn telemetry_block_renders_nested_and_round_trips() {
+        let stats = StatsLine {
+            id: "s".to_string(),
+            proto: PROTO_VERSION,
+            telemetry: Some(TelemetryBlock {
+                v: 1,
+                window_ms: 6_000,
+                miss: LatSummary {
+                    count: 3,
+                    p50_us: 8191,
+                    p90_us: 16_383,
+                    p99_us: 16_383,
+                    max_us: 12_000,
+                    window: 3,
+                    rate_x1000: 500,
+                },
+                ..TelemetryBlock::default()
+            }),
+            ..StatsLine::default()
+        };
+        let line = stats.render();
+        assert!(line.contains("\"telemetry\":{\"v\":1"));
+        assert!(line.contains("\"miss_p99_us\":16383"));
+        assert_eq!(
+            parse_response(&line).unwrap(),
+            Response::Stats(Box::new(stats))
+        );
+        // Nesting deeper than the telemetry block is still rejected.
+        assert!(parse_flat_object(r#"{"a":{"b":{"c":1}}}"#).is_err());
+        // Unknown keys inside the block are ignored, not fatal.
+        let future = r#"{"id":"s","stats":true,"proto":3,"telemetry":{"v":2,"new_field":9}}"#;
+        let Response::Stats(s) = parse_response(future).unwrap() else {
+            panic!("not a stats line");
+        };
+        assert_eq!(s.proto, 3);
+        assert_eq!(s.telemetry.unwrap().v, 2);
     }
 }

@@ -108,18 +108,7 @@ impl Histogram {
     /// high end of the first bucket whose cumulative count reaches
     /// `q * count`. `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 {
-            return None;
-        }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= target {
-                return Some(Self::bounds(i).1.min(self.max));
-            }
-        }
-        Some(self.max)
+        quantile_over(&self.buckets, self.count, self.max, q)
     }
 
     /// Non-empty buckets as `(lo, hi, count)` triples, low to high.
@@ -134,6 +123,26 @@ impl Histogram {
             })
             .collect()
     }
+}
+
+/// Quantile over a raw log2 bucket array: the inclusive high end of the
+/// first bucket whose cumulative count reaches `ceil(q * count)`,
+/// capped at `max`. Shared by [`Histogram::quantile`] and the atomic
+/// windowed telemetry registry, which snapshots its `AtomicU64` buckets
+/// into a plain array before asking for percentiles.
+pub fn quantile_over(buckets: &[u64; NUM_BUCKETS], count: u64, max: u64, q: f64) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let target = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            return Some(Histogram::bounds(i).1.min(max));
+        }
+    }
+    Some(max)
 }
 
 #[cfg(test)]

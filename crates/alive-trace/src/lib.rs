@@ -60,6 +60,7 @@ pub mod jsonl;
 pub mod metrics;
 pub mod serve;
 pub mod stats;
+pub mod telemetry;
 
 pub use hist::Histogram;
 pub use jsonl::{
@@ -68,6 +69,7 @@ pub use jsonl::{
 };
 pub use metrics::MetricsSink;
 pub use stats::TraceStats;
+pub use telemetry::{SeriesSnapshot, Telemetry, TelemetrySnapshot, Windowed};
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};

@@ -62,6 +62,36 @@ pub const IDLE_CLOSE: &str = "serve.idle_close";
 /// tail lines truncated at store open).
 pub const QUARANTINED: &str = "store.quarantined";
 
+/// Span: one wire request, end to end; `arg` carries the request id
+/// (client-supplied `id` or daemon-minted `rq-<n>`), so `alive stats
+/// --request <rid>` can carve out a single request's subtree.
+pub const REQUEST: &str = "serve.request";
+
+/// Span: one verdict-store lookup (lock acquisition + hash-bucket
+/// probe + full-text compare).
+pub const LOOKUP: &str = "serve.lookup";
+
+/// Span: the wait a coalesced request spends joined to another
+/// client's in-flight verification.
+pub const COALESCE: &str = "serve.coalesce";
+
+/// Sample (µs): end-to-end latency of coalesced joins.
+pub const JOIN_US: &str = "serve.join_us";
+
+/// Sample (µs): time a request waits before its verification starts
+/// (leader) or its joined verdict arrives (follower).
+pub const QUEUE_WAIT_US: &str = "serve.queue_wait_us";
+
+/// Sample (µs): canonicalization + hashing time per request.
+pub const CANON_US: &str = "serve.canon_us";
+
+/// Sample (µs): verdict-store append time per miss.
+pub const APPEND_US: &str = "serve.append_us";
+
+/// Counter: misses whose verification exceeded the `--slow-ms`
+/// threshold and were recorded in the slow-query log.
+pub const SLOW: &str = "serve.slow";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -78,6 +108,14 @@ mod tests {
             super::SHED,
             super::DRAIN_MS,
             super::IDLE_CLOSE,
+            super::REQUEST,
+            super::LOOKUP,
+            super::COALESCE,
+            super::JOIN_US,
+            super::QUEUE_WAIT_US,
+            super::CANON_US,
+            super::APPEND_US,
+            super::SLOW,
         ];
         for (i, a) in names.iter().enumerate() {
             assert!(a.starts_with("serve."), "{a}");

@@ -142,7 +142,11 @@ impl TraceStats {
                     agg.total_us += dur;
                     agg.self_us += self_us;
                     *stats.folded.entry(top.path.clone()).or_insert(0) += self_us;
-                    if top.name == "pool.task" {
+                    // Work units for the slowest-list: a pool task (arg =
+                    // transform name) or a serve request (arg = request
+                    // id). Without this, serve-side spans would only show
+                    // up as anonymous phase rows.
+                    if top.name == "pool.task" || top.name == "serve.request" {
                         let label = if top.arg.is_empty() {
                             format!("task-{}", top.id)
                         } else {
@@ -178,6 +182,58 @@ impl TraceStats {
             .tasks
             .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(stats)
+    }
+
+    /// Aggregates only the events belonging to one request: the
+    /// `serve.request` span whose `arg` equals `rid` (or, for batch
+    /// items, the per-item span tagged `<batch-id>#<index>`) and
+    /// everything nested inside it on the same thread. Returns
+    /// `Ok(None)` when no span carries that request id.
+    ///
+    /// The subtree is carved out by span id: once the tagged start is
+    /// seen on a thread, every event on that thread is included until
+    /// the matching end closes it. Multiple spans with the same rid
+    /// (a retried request) all contribute.
+    pub fn for_request(
+        events: &[TraceEvent],
+        rid: &str,
+    ) -> Result<Option<TraceStats>, NestingError> {
+        // tid → id of the open serve.request span being captured.
+        let mut capture: HashMap<u32, u64> = HashMap::new();
+        let mut picked: Vec<TraceEvent> = Vec::new();
+        for ev in events {
+            match capture.get(&ev.tid).copied() {
+                Some(root_id) => {
+                    picked.push(ev.clone());
+                    if ev.kind == EventKind::End && ev.id == root_id {
+                        capture.remove(&ev.tid);
+                    }
+                }
+                None => {
+                    if ev.kind == EventKind::Start && ev.name == "serve.request" && ev.arg == rid {
+                        capture.insert(ev.tid, ev.id);
+                        picked.push(ev.clone());
+                    }
+                }
+            }
+        }
+        if picked.is_empty() {
+            return Ok(None);
+        }
+        // The captured roots had parents in the full trace (e.g. a batch
+        // item's span under the connection's request span); reparent them
+        // so the replay's nesting check accepts the carved-out subtree.
+        let roots: std::collections::HashSet<u64> = picked
+            .iter()
+            .filter(|e| e.kind == EventKind::Start && e.name == "serve.request" && e.arg == rid)
+            .map(|e| e.id)
+            .collect();
+        for ev in &mut picked {
+            if ev.kind == EventKind::Start && roots.contains(&ev.id) {
+                ev.parent = 0;
+            }
+        }
+        TraceStats::from_events(&picked).map(Some)
     }
 
     /// Total traced self time across all phases (µs). Because self times
@@ -342,6 +398,35 @@ mod tests {
         assert_eq!(stats.open_spans, 1);
         assert_eq!(stats.phases["pool.task"].count, 1);
         assert!(stats.render(3).contains("never closed"));
+    }
+
+    #[test]
+    fn for_request_carves_out_one_request_subtree() {
+        let mut r1 = ev(EventKind::Start, 1, 0, 0, 0, "serve.request", 0);
+        r1.arg = "c1-1".to_string();
+        let mut r2 = ev(EventKind::Start, 4, 0, 1, 5, "serve.request", 0);
+        r2.arg = "c1-2".to_string();
+        let events = vec![
+            r1,
+            ev(EventKind::Start, 2, 1, 0, 1, "serve.lookup", 0),
+            ev(EventKind::End, 2, 0, 0, 3, "serve.lookup", 2),
+            ev(EventKind::Start, 3, 1, 0, 4, "sat.solve", 0),
+            ev(EventKind::End, 3, 0, 0, 40, "sat.solve", 36),
+            ev(EventKind::End, 1, 0, 0, 50, "serve.request", 50),
+            // A different request on another thread: must be excluded.
+            r2,
+            ev(EventKind::End, 4, 0, 1, 9, "serve.request", 4),
+        ];
+        let stats = TraceStats::for_request(&events, "c1-1").unwrap().unwrap();
+        assert_eq!(stats.phases["serve.request"].count, 1);
+        assert_eq!(stats.phases["serve.lookup"].total_us, 2);
+        assert_eq!(stats.phases["sat.solve"].total_us, 36);
+        assert_eq!(stats.phases["serve.request"].self_us, 50 - 2 - 36);
+        assert_eq!(stats.tasks, vec![("c1-1".to_string(), 50)]);
+        assert!(TraceStats::for_request(&events, "nope").unwrap().is_none());
+        // Full-trace view lists both requests as work units.
+        let all = TraceStats::from_events(&events).unwrap();
+        assert_eq!(all.tasks.len(), 2);
     }
 
     #[test]

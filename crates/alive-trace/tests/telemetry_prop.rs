@@ -1,0 +1,94 @@
+//! Property tests for the telemetry percentile math and the sliding
+//! window: quantile estimates must land in the same log2 bucket as the
+//! exact order statistic, and window counts must decay to zero once
+//! traffic stops.
+
+use alive_trace::hist::Histogram;
+use alive_trace::telemetry::{Windowed, SLOTS};
+use proptest::prelude::*;
+
+/// The exact `q`-quantile by the same rank convention the histogram
+/// uses: the `ceil(q * n)`-th smallest sample (1-based, at least 1).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// p50/p90/p99 from the log2 histogram are upper bounds on the
+    /// exact quantiles and never leave the exact quantile's bucket.
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+        q in prop_oneof![Just(0.5), Just(0.9), Just(0.99)],
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q).unwrap();
+        prop_assert!(est >= exact, "estimate {est} below exact {exact}");
+        prop_assert_eq!(
+            Histogram::index(est), Histogram::index(exact),
+            "estimate {} in a different bucket than exact {}", est, exact
+        );
+        prop_assert!(est <= *sorted.last().unwrap());
+    }
+
+    /// The windowed series agrees with a plain histogram on lifetime
+    /// percentiles regardless of when samples arrive.
+    #[test]
+    fn windowed_lifetime_percentiles_match_plain_histogram(
+        samples in proptest::collection::vec((any::<u64>(), 0u64..100_000), 1..100),
+    ) {
+        let w = Windowed::new(1_000);
+        let mut h = Histogram::new();
+        for &(v, t) in &samples {
+            w.record_at(v, t);
+            h.record(v);
+        }
+        let s = w.snapshot_at(200_000);
+        prop_assert_eq!(s.count, h.count());
+        prop_assert_eq!(s.p50_us, h.quantile(0.5).unwrap());
+        prop_assert_eq!(s.p90_us, h.quantile(0.9).unwrap());
+        prop_assert_eq!(s.p99_us, h.quantile(0.99).unwrap());
+        prop_assert_eq!(s.max_us, h.max().unwrap());
+    }
+
+    /// Rate decay: a burst is fully inside the window right after it
+    /// lands, partially aged after each slot boundary, and gone once a
+    /// full window has passed — while lifetime counts never decay.
+    #[test]
+    fn window_rates_decay_across_boundaries(
+        burst in 1usize..50,
+        slot_ms in 1u64..1_000,
+    ) {
+        let w = Windowed::new(slot_ms);
+        let window = slot_ms * SLOTS as u64;
+        for _ in 0..burst {
+            w.record_at(1, 0);
+        }
+        // Immediately after the burst: everything in-window.
+        let now0 = slot_ms / 2;
+        let s0 = w.snapshot_at(now0);
+        prop_assert_eq!(s0.window_count, burst as u64);
+        prop_assert!(s0.rate_x1000 > 0);
+        // One full window later: the burst slot has aged out.
+        let s1 = w.snapshot_at(window);
+        prop_assert_eq!(s1.window_count, 0);
+        prop_assert_eq!(s1.rate_x1000, 0);
+        prop_assert_eq!(s1.count, burst as u64);
+        // Monotone decay: counts never grow as time passes.
+        let mut prev = u64::MAX;
+        for t in [now0, slot_ms, 2 * slot_ms, window, 2 * window] {
+            let cur = w.snapshot_at(t).window_count;
+            prop_assert!(cur <= prev);
+            prev = cur;
+        }
+    }
+}

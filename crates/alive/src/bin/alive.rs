@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! usage: alive [OPTIONS] <file.opt>...
-//!        alive stats <trace.jsonl> [--top <n>] [--folded]
+//!        alive stats <trace.jsonl> [--top <n>] [--folded] [--request <rid>]
 //!        alive fuzz [--seed <n>] [--cases <n>] [--max-width <bits>]
 //!                   [--max-insts <n>] [--jobs <n>] [--timeout <secs>]
 //!                   [--budget <conflicts>] [--corpus <dir>] [--no-minimize]
@@ -12,11 +12,13 @@
 //!                    [--epoch <n>] [--workers <n>] [--fast|--exhaustive]
 //!                    [--timeout <secs>] [--budget <conflicts>]
 //!                    [--retries <n>] [--cert-dir <dir>] [--trace <file>]
-//!                    [--metrics] [--max-connections <n>] [--queue-depth <n>]
-//!                    [--request-timeout <secs>] [--idle-timeout <secs>]
-//!                    [--drain-timeout <secs>]
+//!                    [--metrics] [--slow-ms <ms>] [--max-connections <n>]
+//!                    [--queue-depth <n>] [--request-timeout <secs>]
+//!                    [--idle-timeout <secs>] [--drain-timeout <secs>]
 //!        alive client --socket <path> [--max-retries <n>] [--seed <n>]
-//!                     <file.opt>...
+//!                     [--trace-requests] <file.opt>...
+//!        alive top --socket <path> [--interval <secs>] [--count <n>]
+//!        alive slowlog <store.slowlog> [--top <n>]
 //!        alive scrub <store.jsonl>
 //!        alive hash <file.opt>...
 //!   --fast            verify at widths {4,8} only
@@ -72,6 +74,13 @@
 //! discarded) to `<store>.quarantine`, and the intact records are
 //! rewritten as a fresh sealed store.
 //!
+//! `alive top` polls a running daemon's `stats` wire op and refreshes a
+//! single-screen operator view: request counters, poll-to-poll rates,
+//! overload counters, and windowed latency percentiles per series.
+//!
+//! `alive slowlog` reads the daemon's slow-query log (`--slow-ms`) and
+//! ranks the worst verifications per canonical hash.
+//!
 //! `alive hash` prints each transform's canonical content hash (16 hex
 //! digits) — the identity the serve cache and `--dedupe` key on.
 //!
@@ -125,16 +134,19 @@ const USAGE: &str = "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--pro
      [--report <file.json>] [--jobs <n>] [--grace <secs>] \
      [--journal <file>] [--resume <file>] [--trace <file>] [--metrics] \
      [--paranoid] [--dedupe] <file.opt>...\n\
-       alive stats <trace.jsonl> [--top <n>] [--folded]\n\
+       alive stats <trace.jsonl> [--top <n>] [--folded] [--request <rid>]\n\
        alive fuzz [--seed <n>] [--cases <n>] [--max-width <bits>] [--max-insts <n>] \
      [--jobs <n>] [--timeout <secs>] [--budget <conflicts>] [--corpus <dir>] \
      [--no-minimize] [--trace <file>] [--replay <dir>]\n\
        alive serve [--store <file>] [--stdio | --socket <path>] [--epoch <n>] \
      [--workers <n>] [--fast|--exhaustive] [--timeout <secs>] [--budget <conflicts>] \
-     [--retries <n>] [--cert-dir <dir>] [--trace <file>] [--metrics] \
+     [--retries <n>] [--cert-dir <dir>] [--trace <file>] [--metrics] [--slow-ms <ms>] \
      [--max-connections <n>] [--queue-depth <n>] [--request-timeout <secs>] \
      [--idle-timeout <secs>] [--drain-timeout <secs>]\n\
-       alive client --socket <path> [--max-retries <n>] [--seed <n>] <file.opt>...\n\
+       alive client --socket <path> [--max-retries <n>] [--seed <n>] \
+     [--trace-requests] <file.opt>...\n\
+       alive top --socket <path> [--interval <secs>] [--count <n>]\n\
+       alive slowlog <store.slowlog> [--top <n>]\n\
        alive scrub <store.jsonl>\n\
        alive hash <file.opt>...";
 
@@ -375,10 +387,12 @@ const RESUME_ESCALATION: u32 = 8;
 /// percentages are then explicitly marked as partial by that warning. CI
 /// schema validation keeps using the strict reader.
 fn run_stats(args: &[String]) -> ExitCode {
-    const STATS_USAGE: &str = "usage: alive stats <trace.jsonl> [--top <n>] [--folded]";
+    const STATS_USAGE: &str =
+        "usage: alive stats <trace.jsonl> [--top <n>] [--folded] [--request <rid>]";
     let mut file: Option<String> = None;
     let mut top = 10usize;
     let mut folded = false;
+    let mut request: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -390,6 +404,13 @@ fn run_stats(args: &[String]) -> ExitCode {
                 }
             },
             "--folded" => folded = true,
+            "--request" => match it.next() {
+                Some(rid) => request = Some(rid.clone()),
+                None => {
+                    eprintln!("error: --request requires a request id\n{STATS_USAGE}");
+                    return ExitCode::from(64);
+                }
+            },
             "-h" | "--help" => {
                 eprintln!("{STATS_USAGE}");
                 return ExitCode::SUCCESS;
@@ -422,12 +443,31 @@ fn run_stats(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let stats = match TraceStats::from_events(&events) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {file}: {e}");
-            return ExitCode::FAILURE;
-        }
+    // --request carves out one request's span subtree (a serve.request
+    // span tagged with the id) before aggregating, so the phase table
+    // is that request's own breakdown.
+    let stats = match &request {
+        Some(rid) => match TraceStats::for_request(&events, rid) {
+            Ok(Some(s)) => {
+                eprintln!("request {rid}:");
+                s
+            }
+            Ok(None) => {
+                eprintln!("error: {file}: no serve.request span with id '{rid}'");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match TraceStats::from_events(&events) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     if folded {
         print!("{}", stats.folded_output());
@@ -661,7 +701,7 @@ fn run_serve(args: &[String]) -> ExitCode {
     const SERVE_USAGE: &str = "usage: alive serve [--store <file>] [--stdio | --socket <path>] \
          [--epoch <n>] [--workers <n>] [--fast|--exhaustive] [--timeout <secs>] \
          [--budget <conflicts>] [--retries <n>] [--cert-dir <dir>] [--trace <file>] \
-         [--metrics] [--max-connections <n>] [--queue-depth <n>] \
+         [--metrics] [--slow-ms <ms>] [--max-connections <n>] [--queue-depth <n>] \
          [--request-timeout <secs>] [--idle-timeout <secs>] [--drain-timeout <secs>]";
     let serve_usage_error = |msg: &str| -> ExitCode {
         eprintln!("error: {msg}\n{SERVE_USAGE}");
@@ -680,6 +720,7 @@ fn run_serve(args: &[String]) -> ExitCode {
     let mut cert_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics = false;
+    let mut slow_ms: Option<u64> = None;
     let mut limits = ServeLimits::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -728,6 +769,14 @@ fn run_serve(args: &[String]) -> ExitCode {
                 None => return serve_usage_error("--trace requires a file argument"),
             },
             "--metrics" => metrics = true,
+            "--slow-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => slow_ms = Some(n),
+                None => {
+                    return serve_usage_error(
+                        "--slow-ms requires a millisecond threshold (0 logs every miss)",
+                    )
+                }
+            },
             "--max-connections" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => limits.max_connections = n,
                 None => return serve_usage_error("--max-connections requires a count (0 = off)"),
@@ -851,6 +900,7 @@ fn run_serve(args: &[String]) -> ExitCode {
         cert_dir: cert_dir.map(Into::into),
         tracer: tracer.clone(),
         limits,
+        slow_ms,
     };
     let (server, how) = match Server::open(config) {
         Ok(pair) => pair,
@@ -900,6 +950,15 @@ fn run_serve(args: &[String]) -> ExitCode {
             l.request_timeout.map_or("off".to_string(), fmt_secs),
             fmt_secs(l.idle_timeout),
             fmt_secs(l.drain_timeout),
+        );
+        let tel = server.telemetry();
+        eprintln!(
+            "serve: telemetry: {}s sliding window; slow-query log {}",
+            tel.window_ms / 1_000,
+            match slow_ms {
+                Some(ms) => format!("{store}.slowlog (threshold {ms} ms)"),
+                None => "off".to_string(),
+            }
         );
     }
 
@@ -955,6 +1014,24 @@ fn run_serve(args: &[String]) -> ExitCode {
         s.idle_closed,
         s.uptime_ms as f64 / 1000.0
     );
+    {
+        let tel = server.telemetry();
+        let fmt = |series: &alive::trace::SeriesSnapshot| -> String {
+            if series.count == 0 {
+                "none".to_string()
+            } else {
+                format!(
+                    "p50 {}µs p90 {}µs p99 {}µs max {}µs (n={})",
+                    series.p50_us, series.p90_us, series.p99_us, series.max_us, series.count
+                )
+            }
+        };
+        eprintln!("serve: hit latency: {}", fmt(&tel.hit));
+        eprintln!("serve: miss latency: {}", fmt(&tel.miss));
+        if tel.join.count > 0 {
+            eprintln!("serve: join latency: {}", fmt(&tel.join));
+        }
+    }
     tracer.flush();
     if let Some(sink) = &metrics_sink {
         eprint!("{}", sink.render());
@@ -1034,14 +1111,15 @@ fn run_scrub(args: &[String]) -> ExitCode {
 #[cfg(unix)]
 fn run_client(args: &[String]) -> ExitCode {
     use alive::serve::client::{Client, ClientConfig, ClientError};
-    const CLIENT_USAGE: &str =
-        "usage: alive client --socket <path> [--max-retries <n>] [--seed <n>] <file.opt>...";
+    const CLIENT_USAGE: &str = "usage: alive client --socket <path> [--max-retries <n>] \
+         [--seed <n>] [--trace-requests] <file.opt>...";
     let client_usage_error = |msg: &str| -> ExitCode {
         eprintln!("error: {msg}\n{CLIENT_USAGE}");
         ExitCode::from(64)
     };
     let mut config = ClientConfig::default();
     let mut socket: Option<String> = None;
+    let mut trace_requests = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1050,6 +1128,7 @@ fn run_client(args: &[String]) -> ExitCode {
                 Some(p) => socket = Some(p.clone()),
                 None => return client_usage_error("--socket requires a path argument"),
             },
+            "--trace-requests" => trace_requests = true,
             "--max-retries" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) => config.max_retries = n,
                 None => return client_usage_error("--max-retries requires a count"),
@@ -1099,6 +1178,15 @@ fn run_client(args: &[String]) -> ExitCode {
                         if v.cached { " [cached]" } else { "" },
                         if v.coalesced { " [coalesced]" } else { "" },
                     );
+                    if trace_requests {
+                        // Server-side timing block, keyed by the request
+                        // id traceable in the daemon's --trace file.
+                        println!(
+                            "    rid {}: wall {}µs = canon {}µs + lookup {}µs + queue {}µs \
+                             + verify {}µs",
+                            v.rid, v.wall_us, v.canon_us, v.lookup_us, v.queue_us, v.verify_us
+                        );
+                    }
                     if !v.reason.is_empty() && v.verdict != "valid" {
                         for line in v.reason.lines() {
                             println!("    {line}");
@@ -1126,6 +1214,13 @@ fn run_client(args: &[String]) -> ExitCode {
             }
         }
     }
+    eprintln!(
+        "client: {} attempt(s), {} retry(ies), {} busy refusal(s), {} ms backing off",
+        client.attempts(),
+        client.retries(),
+        client.busy_seen(),
+        client.backoff_total_ms()
+    );
     if invalid > 0 || errors > 0 {
         ExitCode::FAILURE
     } else if inconclusive > 0 {
@@ -1138,6 +1233,211 @@ fn run_client(args: &[String]) -> ExitCode {
 #[cfg(not(unix))]
 fn run_client(_args: &[String]) -> ExitCode {
     eprintln!("error: alive client needs unix sockets; use `alive serve --stdio` instead");
+    ExitCode::from(64)
+}
+
+/// The `alive slowlog` subcommand: read a daemon's slow-query log and
+/// rank the worst offenders (per canonical hash, slowest verification
+/// first). Torn tail records are skipped with a warning, not fatal —
+/// the log is appended by a live daemon.
+fn run_slowlog(args: &[String]) -> ExitCode {
+    const SLOWLOG_USAGE: &str = "usage: alive slowlog <store.slowlog> [--top <n>]";
+    let mut file: Option<String> = None;
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => top = n,
+                _ => {
+                    eprintln!("error: --top requires a count of at least 1\n{SLOWLOG_USAGE}");
+                    return ExitCode::from(64);
+                }
+            },
+            "-h" | "--help" => {
+                eprintln!("{SLOWLOG_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option '{other}'\n{SLOWLOG_USAGE}");
+                return ExitCode::from(64);
+            }
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    eprintln!("error: exactly one slowlog file expected\n{SLOWLOG_USAGE}");
+                    return ExitCode::from(64);
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: no slowlog file given\n{SLOWLOG_USAGE}");
+        return ExitCode::from(64);
+    };
+    let (records, skipped) = match alive::serve::slowlog::read_slowlog(Path::new(&file)) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if skipped > 0 {
+        eprintln!("warning: {file}: {skipped} torn/corrupt record(s) skipped");
+    }
+    if records.is_empty() {
+        println!("slowlog: no records");
+        return ExitCode::SUCCESS;
+    }
+    let offenders = alive::serve::slowlog::rank(&records);
+    println!(
+        "{} slow verification(s) across {} distinct transform(s)",
+        records.len(),
+        offenders.len()
+    );
+    println!(
+        "{:<16}  {:>5}  {:>8}  {:>9}  {:>9}  {:<8}  name",
+        "hash", "count", "max ms", "total ms", "conflicts", "verdict"
+    );
+    for o in offenders.iter().take(top) {
+        println!(
+            "{:<16}  {:>5}  {:>8}  {:>9}  {:>9}  {:<8}  {}",
+            o.hash, o.count, o.max_ms, o.total_ms, o.conflicts, o.verdict, o.name
+        );
+    }
+    if offenders.len() > top {
+        println!("... and {} more (raise --top)", offenders.len() - top);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The `alive top` subcommand: a live operator view over a daemon's
+/// `stats` wire op — lifetime counters, windowed rates, and latency
+/// percentiles, refreshed in place until interrupted.
+#[cfg(unix)]
+fn run_top(args: &[String]) -> ExitCode {
+    use alive::serve::client::{Client, ClientConfig};
+    use std::io::IsTerminal;
+    const TOP_USAGE: &str = "usage: alive top --socket <path> [--interval <secs>] [--count <n>]";
+    let top_usage_error = |msg: &str| -> ExitCode {
+        eprintln!("error: {msg}\n{TOP_USAGE}");
+        ExitCode::from(64)
+    };
+    let mut socket: Option<String> = None;
+    let mut interval = Duration::from_secs(2);
+    let mut count = 0u64; // 0 = until interrupted
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => return top_usage_error("--socket requires a path argument"),
+            },
+            "--interval" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(secs) if secs.is_finite() && secs > 0.0 => {
+                    interval = Duration::from_secs_f64(secs);
+                }
+                _ => return top_usage_error("--interval requires a positive number of seconds"),
+            },
+            "--count" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => count = n,
+                None => return top_usage_error("--count requires an integer (0 = forever)"),
+            },
+            "-h" | "--help" => {
+                eprintln!("{TOP_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return top_usage_error(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let Some(socket) = socket else {
+        return top_usage_error("--socket is required");
+    };
+    let mut client = Client::new(ClientConfig {
+        socket: socket.clone().into(),
+        max_retries: 2,
+        ..ClientConfig::default()
+    });
+    let live_screen = std::io::stdout().is_terminal() && count != 1;
+    let mut prev: Option<(u64, std::time::Instant)> = None;
+    let mut polls = 0u64;
+    loop {
+        let s = match client.stats() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(69);
+            }
+        };
+        let now = std::time::Instant::now();
+        let total = s.hits + s.misses + s.joins;
+        // Poll-to-poll request rate; the first screen has no baseline.
+        let rate = prev
+            .map(|(before, t)| {
+                total.saturating_sub(before) as f64 / now.duration_since(t).as_secs_f64().max(1e-9)
+            })
+            .unwrap_or(0.0);
+        prev = Some((total, now));
+        if live_screen {
+            // Clear and home: a single-screen refresh, not a scroll.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "alive top — {socket} — proto {} — up {:.1}s",
+            s.proto,
+            s.uptime_ms as f64 / 1000.0
+        );
+        println!(
+            "requests: {} hit(s), {} miss(es), {} join(s)  ({rate:.1}/s since last poll)",
+            s.hits, s.misses, s.joins
+        );
+        println!(
+            "overload: {} busy, {} shed, {} idle-closed, {} error(s); {} in flight, \
+             {} connection(s)",
+            s.busy, s.shed, s.idle_closed, s.errors, s.inflight, s.connections
+        );
+        println!("store:    {} record(s)", s.stored);
+        match &s.telemetry {
+            Some(t) => {
+                println!("latency µs (lifetime; window {}s):", t.window_ms / 1_000);
+                println!(
+                    "  {:<11} {:>8} {:>9} {:>9} {:>9} {:>9} {:>7} {:>10}",
+                    "series", "count", "p50", "p90", "p99", "max", "in win", "win rate/s"
+                );
+                for (name, l) in [
+                    ("hit", &t.hit),
+                    ("miss", &t.miss),
+                    ("join", &t.join),
+                    ("queue_wait", &t.queue_wait),
+                    ("canon", &t.canon),
+                    ("append", &t.append),
+                ] {
+                    println!(
+                        "  {:<11} {:>8} {:>9} {:>9} {:>9} {:>9} {:>7} {:>6}.{:03}",
+                        name,
+                        l.count,
+                        l.p50_us,
+                        l.p90_us,
+                        l.p99_us,
+                        l.max_us,
+                        l.window,
+                        l.rate_x1000 / 1000,
+                        l.rate_x1000 % 1000
+                    );
+                }
+            }
+            None => println!("latency: daemon predates proto 2; no telemetry block"),
+        }
+        polls += 1;
+        if count != 0 && polls >= count {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(not(unix))]
+fn run_top(_args: &[String]) -> ExitCode {
+    eprintln!("error: alive top needs unix sockets");
     ExitCode::from(64)
 }
 
@@ -1160,6 +1460,12 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("client") {
         return run_client(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return run_top(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("slowlog") {
+        return run_slowlog(&args[1..]);
     }
     let opts = match parse_args(&args) {
         ParsedArgs::Run(o) => o,

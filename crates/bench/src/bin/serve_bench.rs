@@ -25,6 +25,7 @@ struct Lat {
     total_us: u64,
     mean_us: u64,
     p50_us: u64,
+    p90_us: u64,
     p99_us: u64,
     max_us: u64,
 }
@@ -39,6 +40,7 @@ fn summarize(mut micros: Vec<u64>) -> Lat {
         total_us,
         mean_us: total_us / count.max(1) as u64,
         p50_us: pct(50),
+        p90_us: pct(90),
         p99_us: pct(99),
         max_us: *micros.last().unwrap_or(&0),
     }
@@ -47,8 +49,8 @@ fn summarize(mut micros: Vec<u64>) -> Lat {
 fn render(l: &Lat) -> String {
     format!(
         "{{\"count\": {}, \"total_us\": {}, \"mean_us\": {}, \"p50_us\": {}, \
-         \"p99_us\": {}, \"max_us\": {}}}",
-        l.count, l.total_us, l.mean_us, l.p50_us, l.p99_us, l.max_us
+         \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        l.count, l.total_us, l.mean_us, l.p50_us, l.p90_us, l.p99_us, l.max_us
     )
 }
 
@@ -129,7 +131,7 @@ fn main() {
     let speedup = cold_wall_us as f64 / warm_wall_us.max(1) as f64;
 
     let json = format!(
-        "{{\n  \"schema\": \"alive-bench-serve/v1\",\n  \"corpus\": {},\n  \
+        "{{\n  \"schema\": \"alive-bench-serve/v2\",\n  \"corpus\": {},\n  \
          \"distinct_canonical\": {distinct},\n  \"dedupe_ratio\": {dedupe_ratio:.4},\n  \
          \"cold_pass_hits\": {cold_hits},\n  \"warm_pass_hits\": {warm_hits},\n  \
          \"cold_wall_us\": {cold_wall_us},\n  \"warm_wall_us\": {warm_wall_us},\n  \
