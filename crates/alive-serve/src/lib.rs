@@ -63,10 +63,15 @@ pub mod client;
 pub mod proto;
 pub mod slowlog;
 
+/// The shared durable-I/O seam (re-exported from `alive-verifier`): every
+/// artifact the daemon persists — store, slowlog, journal — writes through
+/// it, and the crash-point torture harness counts its operations.
+pub use alive_verifier::durable;
+
 use alive_ir::canon::{canonical_text, fnv1a64};
 use alive_ir::{parse_transforms, validate, Transform};
 use alive_trace::{serve as metric, Telemetry, Tracer};
-use alive_verifier::store::{StoreOpen, VerdictStore};
+use alive_verifier::store::{needs_compaction, CompactReport, StoreOpen, VerdictStore};
 use alive_verifier::{verify_single, DriverConfig, OutcomeKind, TransformOutcome};
 use proto::{
     render_busy, render_done, render_error, render_shutdown, Request, StatsLine, VerdictLine,
@@ -259,6 +264,9 @@ struct ServerInner {
     next_rid: AtomicU64,
     /// The slow-query log and its threshold, when `slow_ms` was set.
     slowlog: Option<(Mutex<slowlog::SlowLog>, u64)>,
+    /// What the automatic open-time compaction did, if it ran (for the
+    /// startup banner; `None` when the store was below threshold).
+    compaction: Option<CompactReport>,
     hits: AtomicU64,
     misses: AtomicU64,
     joins: AtomicU64,
@@ -303,12 +311,22 @@ impl Server {
     pub fn open(config: ServeConfig) -> std::io::Result<(Server, StoreOpen)> {
         let fingerprint = alive_verifier::config_fingerprint(&config.driver.verify);
         let description = alive_verifier::config_description(&config.driver.verify);
-        let (store, how) = VerdictStore::open(
+        let (mut store, how) = VerdictStore::open(
             &config.store_path,
             fingerprint,
             config.epoch,
             Some(&description),
         )?;
+        // A store that is mostly dead records (superseded re-verifications)
+        // pays replay cost forever; compact it now, while no request is in
+        // flight. Failure is tolerated — the uncompacted store is still
+        // correct — but a failure that poisoned the write handle will
+        // surface on the first insert, which is the honest place for it.
+        let compaction = if needs_compaction(store.replayed(), store.len()) {
+            store.compact().ok()
+        } else {
+            None
+        };
         if let Some(dir) = &config.cert_dir {
             std::fs::create_dir_all(dir)?;
         }
@@ -347,6 +365,7 @@ impl Server {
                     started: Instant::now(),
                     next_rid: AtomicU64::new(0),
                     slowlog,
+                    compaction,
                     hits: AtomicU64::new(0),
                     misses: AtomicU64::new(0),
                     joins: AtomicU64::new(0),
@@ -365,6 +384,13 @@ impl Server {
             },
             how,
         ))
+    }
+
+    /// What the automatic open-time compaction did, if it ran: `None`
+    /// when the store's dead-record ratio was below threshold (or the
+    /// rewrite failed and the store was kept as-is).
+    pub fn compaction(&self) -> Option<&CompactReport> {
+        self.inner.compaction.as_ref()
     }
 
     /// Replaces the miss-path verification function. The default is the

@@ -17,9 +17,10 @@
 
 use crate::proto::{json_escape, parse_flat_object, JsonValue};
 use alive_ir::canon::fnv1a64;
+use alive_verifier::durable::{self, DurableFile};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
 /// Schema tag on the header line of every slowlog file.
@@ -127,10 +128,14 @@ fn unseal(line: &str) -> Option<&str> {
 }
 
 /// The appending side: owned by the daemon, one instance per store.
+///
+/// Writes go through the [`durable`] seam: each record is appended and
+/// fsync'd, sync failures are propagated (poisoning the handle until
+/// rotation/reopen), and rotation's rename persists the directory entry.
 #[derive(Debug)]
 pub struct SlowLog {
     path: PathBuf,
-    file: File,
+    file: DurableFile,
     len: u64,
     max_bytes: u64,
 }
@@ -140,10 +145,12 @@ impl SlowLog {
     /// header if the file is new or empty. `max_bytes` caps the file
     /// before rotation (0 means [`DEFAULT_MAX_BYTES`]).
     pub fn open(path: &Path, max_bytes: u64) -> io::Result<SlowLog> {
-        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
-        let mut len = file.metadata()?.len();
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut file = DurableFile::from_file(file);
+        let mut len = file.file().metadata()?.len();
         if len == 0 {
             len += Self::write_header(&mut file)?;
+            durable::fsync_parent(path)?;
         }
         Ok(SlowLog {
             path: path.to_path_buf(),
@@ -157,37 +164,44 @@ impl SlowLog {
         })
     }
 
-    fn write_header(file: &mut File) -> io::Result<u64> {
+    fn write_header(file: &mut DurableFile) -> io::Result<u64> {
         let line = seal(format!("{{\"slowlog\":\"{SLOWLOG_SCHEMA}\"")) + "\n";
-        file.write_all(line.as_bytes())?;
-        file.flush()?;
+        file.append(line.as_bytes())?;
+        file.sync()?;
         Ok(line.len() as u64)
     }
 
     /// Appends one sealed record, rotating first if the file is at its
-    /// cap. Returns the record's line length in bytes.
+    /// cap, and fsyncs before returning. Returns the record's line length
+    /// in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates append/sync failures; a failed sync poisons the handle
+    /// (fsyncgate), and later appends refuse until the log rotates or the
+    /// daemon reopens it.
     pub fn append(&mut self, rec: &SlowRecord) -> io::Result<u64> {
         if self.len >= self.max_bytes {
             self.rotate()?;
         }
         let line = seal(rec.render_body()) + "\n";
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()?;
+        self.file.append(line.as_bytes())?;
+        self.file.sync()?;
         self.len += line.len() as u64;
         Ok(line.len() as u64)
     }
 
     /// Renames the current file to `<path>.1` (replacing any previous
-    /// rotation) and starts a fresh log with a new header.
+    /// rotation) and starts a fresh log with a new header. The rename and
+    /// the fresh file's name are both made durable via the parent
+    /// directory fsync inside the seam.
     fn rotate(&mut self) -> io::Result<()> {
         let mut rotated = self.path.as_os_str().to_owned();
         rotated.push(".1");
-        std::fs::rename(&self.path, PathBuf::from(rotated))?;
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&self.path)?;
+        durable::rename(&self.path, &PathBuf::from(rotated))?;
+        let mut file = DurableFile::from_file(durable::create(&self.path)?);
         self.len = Self::write_header(&mut file)?;
+        durable::fsync_parent(&self.path)?;
         self.file = file;
         Ok(())
     }

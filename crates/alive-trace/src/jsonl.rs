@@ -165,19 +165,44 @@ fn event_line(ev: &Event) -> String {
 /// buffered write. I/O errors after creation are swallowed (tracing is
 /// advisory and must never take the verification run down with it), but
 /// the first one latches and is reported by [`JsonlSink::had_error`].
+///
+/// The sink follows the workspace durability discipline (mirrored here
+/// locally — this crate is dependency-free and sits *below* the
+/// `alive_verifier::durable` seam): the trace file's directory entry is
+/// fsync'd at creation, [`TraceSink::flush`] follows the buffer flush
+/// with `sync_data`, and neither result is ever silently dropped — both
+/// latch into [`JsonlSink::had_error`].
 #[derive(Debug)]
 pub struct JsonlSink {
     out: Mutex<BufWriter<File>>,
     errored: std::sync::atomic::AtomicBool,
 }
 
+/// Fsyncs the directory containing `path` so the freshly created trace
+/// file's *name* is durable, not just its contents.
+fn fsync_parent(path: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
 impl JsonlSink {
-    /// Creates (truncating) the trace file and writes the header line.
+    /// Creates (truncating) the trace file, writes the header line, and
+    /// makes the file's directory entry durable.
     pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
         let file = File::create(path)?;
         let mut out = BufWriter::new(file);
         let header = seal(format!("{{\"trace\":\"{TRACE_SCHEMA}\""));
         writeln!(out, "{header}")?;
+        fsync_parent(path)?;
         Ok(JsonlSink {
             out: Mutex::new(out),
             errored: std::sync::atomic::AtomicBool::new(false),
@@ -206,7 +231,10 @@ impl TraceSink for JsonlSink {
 
     fn flush(&self) {
         let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // Flush the userspace buffer, then fsync: a flushed-but-unsynced
+        // trace still evaporates on power loss. Both results latch.
         self.note(out.flush());
+        self.note(out.get_ref().sync_data());
     }
 }
 

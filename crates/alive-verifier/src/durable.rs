@@ -1,0 +1,458 @@
+//! The single durable-I/O seam every persistent artifact writes through.
+//!
+//! Before this module existed, the journal, the verdict store, the
+//! slow-query log, and the scrub rewrite each hand-rolled their own
+//! write/fsync/rename sequence — and each copy had a different gap:
+//! ignored `sync_data` results, no parent-directory fsync after a create
+//! or rename, rotation that clobbered its predecessor. This module is the
+//! one audited copy of the discipline; the callers keep their formats and
+//! recovery semantics but route every durability-relevant syscall through
+//! here.
+//!
+//! Three rules, uniformly enforced:
+//!
+//! * **Syncs are propagated, never ignored.** Every fsync result reaches
+//!   the caller. [`DurableFile`] additionally *poisons itself* on the
+//!   first failed sync: after a failed fsync the kernel may have dropped
+//!   the dirty pages while clearing the error, so a later fsync returning
+//!   `Ok` proves nothing about the earlier write (the "fsyncgate" failure
+//!   mode). The only honest reaction is to refuse every subsequent write
+//!   until the file is reopened and its contents re-validated.
+//! * **A file exists when its directory entry is durable.** `fsync` on
+//!   the file alone does not persist a freshly created name or a rename;
+//!   [`fsync_parent`] closes that gap and [`rename`] performs it
+//!   automatically, so a crash can neither forget a newly created store
+//!   nor resurrect the pre-rename file after an atomic rewrite.
+//! * **Every durable operation is a numbered crash point.** With the
+//!   `fault-injection` feature, `ALIVE_CRASH_AT=N[:kind]` makes the Nth
+//!   durable operation process-wide misbehave: `abort` (the default)
+//!   kills the process on the spot the way a power cut would, `torn`
+//!   first lands half of an append's bytes, and `sync-fail` makes the
+//!   operation return an injected I/O error instead of performing —
+//!   exercising the propagation/poisoning path in-process. The torture
+//!   harness (`crates/alive/tests/torture.rs`) sweeps N across whole
+//!   serve/journal workloads through the real binaries and asserts
+//!   recovery after every single crash point. Without the feature the
+//!   hooks do not exist and cost nothing.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Deterministic crash-point injection (`ALIVE_CRASH_AT=N[:kind]`).
+///
+/// Counts every durable operation process-globally; at the Nth one the
+/// scheduled [`CrashKind`] fires. Mirrors the `ALIVE_FAULT` machinery in
+/// `alive-sat` but lives here because the ops being counted are the
+/// durability seam's own.
+#[cfg(feature = "fault-injection")]
+pub mod crash {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, Once};
+
+    /// What the Nth durable operation does instead of its job.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum CrashKind {
+        /// Abort the process before the operation performs — the moral
+        /// equivalent of a power cut at this exact durability boundary.
+        Abort,
+        /// For an append: land half the bytes, then abort — the torn
+        /// write `kill -9` mid-`write` produces. For any other
+        /// operation, identical to [`CrashKind::Abort`].
+        Torn,
+        /// Return an injected I/O error instead of performing, leaving
+        /// the process alive — exercises error propagation and the
+        /// fsyncgate poisoning path.
+        SyncFail,
+    }
+
+    /// One scheduled crash: fire `kind` at the `at`-th (1-based) durable
+    /// operation.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub struct CrashPlan {
+        /// 1-based ordinal of the durable operation to sabotage.
+        pub at: u64,
+        /// The sabotage.
+        pub kind: CrashKind,
+    }
+
+    impl CrashPlan {
+        /// Parses `N` or `N:kind` (kinds: `abort`, `torn`, `sync-fail`).
+        ///
+        /// # Errors
+        ///
+        /// Returns a human-readable message for malformed specs.
+        pub fn parse(spec: &str) -> Result<CrashPlan, String> {
+            let (at_s, kind_s) = match spec.split_once(':') {
+                Some((a, k)) => (a, Some(k)),
+                None => (spec, None),
+            };
+            let at: u64 = at_s
+                .trim()
+                .parse()
+                .map_err(|_| format!("crash point '{spec}': bad ordinal '{}'", at_s.trim()))?;
+            if at == 0 {
+                return Err(format!("crash point '{spec}': ordinals are 1-based"));
+            }
+            let kind = match kind_s.map(str::trim) {
+                None | Some("abort") => CrashKind::Abort,
+                Some("torn") => CrashKind::Torn,
+                Some("sync-fail") => CrashKind::SyncFail,
+                Some(other) => {
+                    return Err(format!("crash point '{spec}': unknown kind '{other}'"));
+                }
+            };
+            Ok(CrashPlan { at, kind })
+        }
+    }
+
+    static PLAN: Mutex<Option<CrashPlan>> = Mutex::new(None);
+    static OPS: AtomicU64 = AtomicU64::new(0);
+    static ENV: Once = Once::new();
+
+    /// Installs a plan (or clears it with `None`) and resets the op
+    /// counter. Also disarms the one-shot `ALIVE_CRASH_AT` environment
+    /// load, so tests installing plans directly cannot be clobbered.
+    pub fn install(plan: Option<CrashPlan>) {
+        ENV.call_once(|| {});
+        OPS.store(0, Ordering::SeqCst);
+        *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    /// Durable operations counted since the last [`install`] (or process
+    /// start). Only counted while a plan is armed.
+    pub fn ops_seen() -> u64 {
+        OPS.load(Ordering::SeqCst)
+    }
+
+    /// Counts one durable operation and returns the scheduled crash for
+    /// that ordinal, if any. A malformed `ALIVE_CRASH_AT` spec is ignored
+    /// here — binaries validate it at startup where they can exit 64.
+    pub(super) fn fire() -> Option<CrashKind> {
+        ENV.call_once(|| {
+            if let Ok(spec) = std::env::var("ALIVE_CRASH_AT") {
+                if let Ok(plan) = CrashPlan::parse(&spec) {
+                    *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+                }
+            }
+        });
+        let plan = (*PLAN.lock().unwrap_or_else(|e| e.into_inner()))?;
+        let ordinal = OPS.fetch_add(1, Ordering::SeqCst) + 1;
+        (ordinal == plan.at).then_some(plan.kind)
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+fn injected() -> io::Error {
+    io::Error::other("injected durable-op failure (ALIVE_CRASH_AT sync-fail)")
+}
+
+/// Crash hook for every durable op except appends (which tear). Returns
+/// the injected error for `sync-fail`, aborts for the other kinds, and is
+/// a no-op when no crash point is armed (or the feature is off).
+#[inline]
+fn crash_point() -> io::Result<()> {
+    #[cfg(feature = "fault-injection")]
+    match crash::fire() {
+        Some(crash::CrashKind::SyncFail) => return Err(injected()),
+        Some(_) => std::process::abort(),
+        None => {}
+    }
+    Ok(())
+}
+
+/// Creates (or truncates) the file at `path` for writing.
+///
+/// The new *name* is not durable until [`fsync_parent`] — callers write
+/// and sync the initial contents first, then persist the entry, so a
+/// crash leaves either no file or a complete one.
+///
+/// # Errors
+///
+/// Propagates the underlying `open`, plus any armed crash point.
+pub fn create(path: &Path) -> io::Result<File> {
+    crash_point()?;
+    OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)
+}
+
+/// Opens an existing file for reading and appending. Not a durable
+/// operation (nothing is modified), so not a crash point.
+///
+/// # Errors
+///
+/// Propagates the underlying `open`.
+pub fn open_append(path: &Path) -> io::Result<File> {
+    OpenOptions::new().read(true).append(true).open(path)
+}
+
+/// Appends `bytes` to `file`. The data is not durable until [`sync`].
+///
+/// # Errors
+///
+/// Propagates the underlying write, plus any armed crash point (the
+/// `torn` kind lands half the bytes before aborting — exactly the state
+/// `kill -9` mid-`write` leaves behind).
+pub fn append(file: &mut File, bytes: &[u8]) -> io::Result<()> {
+    #[cfg(feature = "fault-injection")]
+    match crash::fire() {
+        Some(crash::CrashKind::Torn) => {
+            // The bytes reach the page cache (a syscall, not a userspace
+            // buffer), so the torn prefix is visible to the recovering
+            // process even though this one dies before returning.
+            let _ = file.write_all(&bytes[..bytes.len() / 2]);
+            std::process::abort();
+        }
+        Some(crash::CrashKind::SyncFail) => return Err(injected()),
+        Some(crash::CrashKind::Abort) => std::process::abort(),
+        None => {}
+    }
+    file.write_all(bytes)
+}
+
+/// Fsyncs `file`'s data. A record only counts as durable after this
+/// returns `Ok` — and per fsyncgate, after it returns `Err` the file's
+/// recent writes must be considered lost even if a retry would succeed.
+///
+/// # Errors
+///
+/// Propagates the underlying `sync_data`, plus any armed crash point.
+pub fn sync(file: &File) -> io::Result<()> {
+    crash_point()?;
+    file.sync_data()
+}
+
+/// Truncates `file` to `len` bytes and syncs the new length — the
+/// rollback primitive that erases a half-written tail.
+///
+/// # Errors
+///
+/// Propagates `set_len`/`sync_data`, plus any armed crash point (the
+/// truncate and its sync are separate crash points).
+pub fn truncate(file: &File, len: u64) -> io::Result<()> {
+    crash_point()?;
+    file.set_len(len)?;
+    sync(file)
+}
+
+/// Atomically replaces `to` with `from`, then fsyncs the parent
+/// directory so the swap itself is durable — a crash after this returns
+/// can no longer resurrect the old file.
+///
+/// # Errors
+///
+/// Propagates the rename or directory sync, plus any armed crash point.
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    crash_point()?;
+    std::fs::rename(from, to)?;
+    fsync_parent(to)
+}
+
+/// Fsyncs the directory containing `path`, making `path`'s directory
+/// entry (a fresh create, a completed rename) durable.
+///
+/// # Errors
+///
+/// Propagates the directory open/sync, plus any armed crash point. On
+/// non-unix platforms directories cannot be opened for syncing; the call
+/// degrades to the armed-crash-point check only.
+pub fn fsync_parent(path: &Path) -> io::Result<()> {
+    crash_point()?;
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// An append-only file handle enforcing the fsyncgate discipline: the
+/// first failed sync (or unrepaired truncate) poisons the handle, and
+/// every later operation refuses until the file is reopened.
+#[derive(Debug)]
+pub struct DurableFile {
+    file: File,
+    poisoned: bool,
+}
+
+impl DurableFile {
+    /// Wraps an already-open handle.
+    pub fn from_file(file: File) -> DurableFile {
+        DurableFile {
+            file,
+            poisoned: false,
+        }
+    }
+
+    /// Opens an existing file for reading and appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `open`.
+    pub fn open_append(path: &Path) -> io::Result<DurableFile> {
+        Ok(DurableFile::from_file(open_append(path)?))
+    }
+
+    /// The underlying handle (for reads and metadata).
+    pub fn file(&self) -> &File {
+        &self.file
+    }
+
+    /// Whether a failed sync has poisoned this handle.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Marks the handle untrusted; every later operation refuses. Used by
+    /// callers whose *repair* of a failed write itself failed.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    fn guard(&self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "file poisoned by an earlier failed sync; reopen to recover",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Appends `bytes`; not durable until [`DurableFile::sync`]. A failed
+    /// write does *not* poison — the caller may still roll the file back
+    /// with [`DurableFile::truncate`].
+    ///
+    /// # Errors
+    ///
+    /// Refuses when poisoned; otherwise propagates [`append`].
+    pub fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.guard()?;
+        append(&mut self.file, bytes)
+    }
+
+    /// Fsyncs pending data. A failure poisons the handle permanently:
+    /// the kernel may have dropped the dirty pages while clearing the
+    /// error, so no later success can vouch for the earlier writes.
+    ///
+    /// # Errors
+    ///
+    /// Refuses when poisoned; otherwise propagates [`sync`] (poisoning on
+    /// failure).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.guard()?;
+        sync(&self.file).inspect_err(|_| self.poisoned = true)
+    }
+
+    /// Truncates to `len` and syncs the new length. A failed sync
+    /// poisons; a failed `set_len` is returned for the caller to judge
+    /// (its rollback context knows whether the tail is now garbage).
+    ///
+    /// # Errors
+    ///
+    /// Refuses when poisoned; otherwise propagates [`truncate`].
+    pub fn truncate(&mut self, len: u64) -> io::Result<()> {
+        self.guard()?;
+        crash_point()?;
+        self.file.set_len(len)?;
+        self.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("alive-durable-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    #[test]
+    fn create_append_sync_round_trips() {
+        let path = tmp("roundtrip.bin");
+        let mut f = create(&path).unwrap();
+        append(&mut f, b"hello ").unwrap();
+        append(&mut f, b"world\n").unwrap();
+        sync(&f).unwrap();
+        fsync_parent(&path).unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello world\n");
+    }
+
+    #[test]
+    fn truncate_erases_the_tail() {
+        let path = tmp("truncate.bin");
+        let mut f = create(&path).unwrap();
+        append(&mut f, b"good\nbadtail").unwrap();
+        sync(&f).unwrap();
+        truncate(&f, 5).unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"good\n");
+    }
+
+    #[test]
+    fn rename_replaces_atomically() {
+        let path = tmp("rename.bin");
+        let tmp_path = tmp("rename.bin.tmp");
+        std::fs::write(&path, b"old").unwrap();
+        std::fs::write(&tmp_path, b"new").unwrap();
+        rename(&tmp_path, &path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        assert!(!tmp_path.exists());
+    }
+
+    #[test]
+    fn poisoned_handle_refuses_everything() {
+        let path = tmp("poison.bin");
+        drop(create(&path).unwrap());
+        let mut f = DurableFile::open_append(&path).unwrap();
+        f.append(b"x").unwrap();
+        f.sync().unwrap();
+        f.poison();
+        assert!(f.append(b"y").is_err());
+        assert!(f.sync().is_err());
+        assert!(f.truncate(0).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"x", "no write landed");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn crash_plan_parses_and_rejects() {
+        use crash::{CrashKind, CrashPlan};
+        assert_eq!(
+            CrashPlan::parse("7").unwrap(),
+            CrashPlan {
+                at: 7,
+                kind: CrashKind::Abort
+            }
+        );
+        assert_eq!(
+            CrashPlan::parse("3:torn").unwrap(),
+            CrashPlan {
+                at: 3,
+                kind: CrashKind::Torn
+            }
+        );
+        assert_eq!(
+            CrashPlan::parse("12:sync-fail").unwrap(),
+            CrashPlan {
+                at: 12,
+                kind: CrashKind::SyncFail
+            }
+        );
+        for bad in ["", "x", "0", "1:boom", ":torn"] {
+            assert!(CrashPlan::parse(bad).is_err(), "{bad}");
+        }
+    }
+}

@@ -45,10 +45,10 @@
 //! `hung`/`unknown` entry.
 
 use crate::driver::{json_escape, Attempt, OutcomeKind, TransformOutcome};
+use crate::durable::{self, DurableFile};
 use crate::verify::VerifyConfig;
 use alive_ir::Transform;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -447,10 +447,12 @@ pub struct LoadedJournal {
 
 /// An open, append-only journal. Every [`Journal::append`] writes one
 /// sealed line and fsyncs before returning, so a record that the caller
-/// has seen acknowledged survives `kill -9`.
+/// has seen acknowledged survives `kill -9`. All writes go through the
+/// [`durable`] seam: a failed fsync poisons the handle (fsyncgate), and
+/// every later append refuses rather than pretend the record landed.
 #[derive(Debug)]
 pub struct Journal {
-    file: File,
+    file: DurableFile,
     path: PathBuf,
 }
 
@@ -468,22 +470,20 @@ impl Journal {
         fingerprint: u64,
         description: Option<&str>,
     ) -> std::io::Result<Journal> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let mut file = durable::create(path)?;
         let mut body =
             format!("{{\"journal\":\"alive-journal/v1\",\"config\":\"{fingerprint:016x}\"");
         if let Some(desc) = description {
             body.push_str(&format!(",\"desc\":\"{}\"", json_escape(desc)));
         }
         let header = seal(body);
-        file.write_all(header.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_data()?;
+        durable::append(&mut file, format!("{header}\n").as_bytes())?;
+        durable::sync(&file)?;
+        // The header is durable; now make the journal's *name* durable too,
+        // so a crash right after create cannot forget the file existed.
+        durable::fsync_parent(path)?;
         Ok(Journal {
-            file,
+            file: DurableFile::from_file(file),
             path: path.to_path_buf(),
         })
     }
@@ -495,16 +495,18 @@ impl Journal {
     /// place would turn it into a mid-file corrupt line that poisons every
     /// record appended after it under the discard-everything-after rule.
     pub fn open_append(path: &Path) -> std::io::Result<Journal> {
-        let mut file = OpenOptions::new().read(true).append(true).open(path)?;
+        let mut file = DurableFile::open_append(path)?;
         let mut contents = Vec::new();
-        file.read_to_end(&mut contents)?;
+        {
+            let mut reader = file.file();
+            reader.read_to_end(&mut contents)?;
+        }
         if !contents.is_empty() && contents.last() != Some(&b'\n') {
             let keep = contents
                 .iter()
                 .rposition(|&b| b == b'\n')
                 .map_or(0, |p| p + 1);
-            file.set_len(keep as u64)?;
-            file.sync_data()?;
+            file.truncate(keep as u64)?;
         }
         Ok(Journal {
             file,
@@ -517,12 +519,15 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one outcome under `key`, fsync'ing before returning.
+    /// Appends one outcome under `key`, fsync'ing before returning. The
+    /// record counts as journaled only when this returns `Ok`; a failed
+    /// sync poisons the handle, and later appends refuse (the torn tail
+    /// this leaves behind is exactly what [`Journal::load`] recovers
+    /// from).
     pub fn append(&mut self, key: &str, outcome: &TransformOutcome) -> std::io::Result<()> {
         let line = JournalRecord::from_outcome(key, outcome).to_line();
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.sync_data()
+        self.file.append(format!("{line}\n").as_bytes())?;
+        self.file.sync()
     }
 
     /// Loads a journal from disk, applying the torn-write recovery rules:

@@ -34,6 +34,7 @@
 mod attrs;
 mod counterexample;
 mod driver;
+pub mod durable;
 pub mod journal;
 mod pool;
 pub mod store;
@@ -51,8 +52,8 @@ pub use journal::{
 };
 pub use pool::{run_supervised, run_transforms_parallel, PoolConfig, TaskSpec};
 pub use store::{
-    lock_path, quarantine_path, scrub_store, ScrubReport, StoreLock, StoreOpen, StoreRecord,
-    VerdictStore,
+    compact_store, evicted_path, lock_path, needs_compaction, quarantine_path, scrub_store,
+    CompactReport, ScrubReport, StoreLock, StoreOpen, StoreRecord, VerdictStore,
 };
 pub use verify::{
     verify, verify_with_certificates, verify_with_stats, PhaseTimes, Verdict, VerifyConfig,

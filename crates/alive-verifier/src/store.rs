@@ -35,10 +35,25 @@
 //!
 //! The header binds every record to `(config fingerprint, epoch)`. Opening
 //! a store whose header disagrees with the caller's fingerprint or epoch
-//! **evicts** it: the old file is rotated to `<path>.evicted` and a fresh
-//! store is started. Bumping `--epoch` is therefore the operator's "the
-//! toolchain changed, trust nothing" lever, and a config change can never
-//! replay verdicts computed under different verifier semantics.
+//! **evicts** it: the old file is rotated to `<path>.evicted.<epoch>`
+//! (the *prior* store's epoch, so each eviction generation keeps its own
+//! file) and a fresh store is started. Bumping `--epoch` is therefore the
+//! operator's "the toolchain changed, trust nothing" lever, and a config
+//! change can never replay verdicts computed under different verifier
+//! semantics.
+//!
+//! # Compaction
+//!
+//! Last-record-wins means a superseding re-verification (`unknown` →
+//! `valid` under an escalated budget) appends rather than rewrites, so a
+//! long-lived store accumulates dead records and pays replay cost for
+//! them on every open. [`VerdictStore::compact`] (in-process) and
+//! [`compact_store`] (offline, `alive compact`) rewrite the live records
+//! — header preserved byte for byte — to a temp file that atomically
+//! replaces the store via the [`crate::durable`] rename discipline
+//! (tmp + fsync + rename + parent-directory fsync). The daemon compacts
+//! automatically on open when [`needs_compaction`] says the dead-record
+//! ratio crossed its threshold.
 //!
 //! # Single writer, crash-only recovery
 //!
@@ -55,9 +70,10 @@
 //! survivors into a fresh sealed store.
 
 use crate::driver::{json_escape, OutcomeKind};
+use crate::durable::{self, DurableFile};
 use crate::journal::{fnv1a64, seal, unseal, Scanner};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
+use std::fs::OpenOptions;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
@@ -141,8 +157,8 @@ pub enum StoreOpen {
         discarded: usize,
     },
     /// The store's header disagreed with the caller's `(config, epoch)`;
-    /// the old file was rotated to `<path>.evicted` and a fresh store
-    /// started.
+    /// the old file was rotated to `<path>.evicted.<prior_epoch>` and a
+    /// fresh store started.
     Evicted {
         /// Fingerprint the old store was bound to.
         prior_config: u64,
@@ -155,7 +171,7 @@ pub enum StoreOpen {
 /// JSONL file. Every [`VerdictStore::insert`] is fsync'd before returning.
 #[derive(Debug)]
 pub struct VerdictStore {
-    file: File,
+    file: DurableFile,
     path: PathBuf,
     fingerprint: u64,
     epoch: u64,
@@ -165,19 +181,19 @@ pub struct VerdictStore {
     /// Bytes of known-good sealed lines; a failed append truncates back
     /// to this so the file never holds a half-record while we own it.
     good_bytes: u64,
-    /// Set when an append failed *and* the truncate-back repair also
-    /// failed: the on-disk tail is untrusted, so further appends refuse.
-    poisoned: bool,
     /// Held for the store's lifetime; dropping releases `<path>.lock`.
     _lock: StoreLock,
 }
 
-/// Path an evicted store is rotated to: `.evicted` is *appended*
-/// (`store.jsonl` → `store.jsonl.evicted`), never substituted for the
-/// existing extension, so the original file name stays recognizable.
-pub fn evicted_path(path: &Path) -> std::path::PathBuf {
+/// Path an evicted store is rotated to: `.evicted.<epoch>` is *appended*
+/// (`store.jsonl` evicted at epoch 3 → `store.jsonl.evicted.3`), never
+/// substituted for the existing extension, so the original file name
+/// stays recognizable. The generation suffix is the *evicted* store's
+/// epoch: bumping `--epoch` twice rotates to two distinct files instead
+/// of the second eviction destroying the first.
+pub fn evicted_path(path: &Path, epoch: u64) -> std::path::PathBuf {
     let mut name = path.as_os_str().to_os_string();
-    name.push(".evicted");
+    name.push(format!(".evicted.{epoch}"));
     std::path::PathBuf::from(name)
 }
 
@@ -241,8 +257,16 @@ impl StoreLock {
         for _ in 0..16 {
             match OpenOptions::new().write(true).create_new(true).open(&path) {
                 Ok(mut f) => {
-                    let _ = writeln!(f, "{}", std::process::id());
-                    let _ = f.sync_data();
+                    // A lock body we could not write (or sync) may read as
+                    // an empty/garbage pid to the next claimant and be
+                    // reclaimed under us — surrender the claim instead.
+                    if let Err(e) =
+                        writeln!(f, "{}", std::process::id()).and_then(|()| f.sync_data())
+                    {
+                        drop(f);
+                        let _ = std::fs::remove_file(&path);
+                        return Err(e);
+                    }
                     return Ok(StoreLock { path });
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
@@ -312,10 +336,12 @@ impl VerdictStore {
             other => {
                 // Wrong config, wrong epoch, or unreadable header: never
                 // serve these verdicts. Keep the old file around for
-                // post-mortems rather than deleting data.
-                let _ = std::fs::rename(path, evicted_path(path));
-                let store = VerdictStore::create(path, fingerprint, epoch, description, lock)?;
+                // post-mortems rather than deleting data — under its own
+                // generation suffix, so repeated evictions cannot destroy
+                // each other's rotated files.
                 let (prior_config, prior_epoch) = other.unwrap_or((0, 0));
+                durable::rename(path, &evicted_path(path, prior_epoch))?;
+                let store = VerdictStore::create(path, fingerprint, epoch, description, lock)?;
                 return Ok((
                     store,
                     StoreOpen::Evicted {
@@ -325,67 +351,12 @@ impl VerdictStore {
                 ));
             }
         }
-        // Parse records. Only *tail* damage — a torn final line, or a
-        // complete final line failing its CRC — is self-healed by
-        // truncation, because that is the signature of a crashed append.
-        // A bad line with good records after it is a different disease
-        // (bit rot, manual edits, an interleaved writer) and discarding
-        // the good suffix would throw away verdicts, so refuse instead.
-        let mut records = Vec::new();
-        let mut good_bytes = text.find('\n').map_or(text.len(), |p| p + 1);
-        let mut discarded = 0usize;
-        let mut rest: Vec<&str> = lines.collect();
-        let torn_tail = match rest.last() {
-            Some(&"") => {
-                rest.pop();
-                false
-            }
-            Some(_) => true,
-            None => false,
-        };
-        let total = rest.len();
-        for (i, line) in rest.iter().enumerate() {
-            let last = i + 1 == total;
-            if last && torn_tail {
-                discarded += 1;
-                break;
-            }
-            match StoreRecord::parse_line(line) {
-                Some(rec) => {
-                    good_bytes += line.len() + 1;
-                    records.push(rec);
-                }
-                None if last => {
-                    discarded += 1;
-                    break;
-                }
-                None => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "{}: corrupt record at line {} with {} intact-looking line(s) \
-                             after it; refusing to discard them — run `alive scrub {}` to \
-                             salvage the store",
-                            path.display(),
-                            i + 2,
-                            total - i - 1,
-                            path.display()
-                        ),
-                    ));
-                }
-            }
+        let loaded = load_records(path, &text)?;
+        let mut file = DurableFile::open_append(path)?;
+        if (loaded.good_bytes as u64) < file.file().metadata()?.len() {
+            file.truncate(loaded.good_bytes as u64)?;
         }
-        let file = OpenOptions::new().read(true).append(true).open(path)?;
-        if (good_bytes as u64) < file.metadata()?.len() {
-            file.set_len(good_bytes as u64)?;
-            file.sync_data()?;
-        }
-        let mut index = HashMap::with_capacity(records.len());
-        for (i, rec) in records.iter().enumerate() {
-            if let Ok(h) = u64::from_str_radix(&rec.hash, 16) {
-                index.insert(h, i);
-            }
-        }
+        let index = build_index(&loaded.records);
         let distinct = index.len();
         Ok((
             VerdictStore {
@@ -394,14 +365,13 @@ impl VerdictStore {
                 fingerprint,
                 epoch,
                 index,
-                records,
-                good_bytes: good_bytes as u64,
-                poisoned: false,
+                records: loaded.records,
+                good_bytes: loaded.good_bytes as u64,
                 _lock: lock,
             },
             StoreOpen::Loaded {
                 records: distinct,
-                discarded,
+                discarded: loaded.discarded,
             },
         ))
     }
@@ -413,11 +383,7 @@ impl VerdictStore {
         description: Option<&str>,
         lock: StoreLock,
     ) -> std::io::Result<VerdictStore> {
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let mut file = durable::create(path)?;
         let mut body = format!(
             "{{\"store\":\"alive-store/v1\",\"config\":\"{fingerprint:016x}\",\"epoch\":{epoch}"
         );
@@ -425,13 +391,15 @@ impl VerdictStore {
             body.push_str(&format!(",\"desc\":\"{}\"", json_escape(desc)));
         }
         let header = seal(body);
-        file.write_all(header.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.sync_data()?;
+        durable::append(&mut file, format!("{header}\n").as_bytes())?;
+        durable::sync(&file)?;
+        // The header is on disk but the file *name* is not durable until
+        // its directory entry is.
+        durable::fsync_parent(path)?;
         let good_bytes = header.len() as u64 + 1;
         // Re-open in append mode so later inserts cannot clobber the header.
         drop(file);
-        let file = OpenOptions::new().read(true).append(true).open(path)?;
+        let file = DurableFile::open_append(path)?;
         Ok(VerdictStore {
             file,
             path: path.to_path_buf(),
@@ -440,7 +408,6 @@ impl VerdictStore {
             index: HashMap::new(),
             records: Vec::new(),
             good_bytes,
-            poisoned: false,
             _lock: lock,
         })
     }
@@ -498,9 +465,9 @@ impl VerdictStore {
         wall_ms: u64,
         cert: &str,
     ) -> std::io::Result<()> {
-        if self.poisoned {
+        if self.file.poisoned() {
             return Err(io::Error::other(format!(
-                "{}: store poisoned by an earlier failed append; restart to recover",
+                "{}: store poisoned by an earlier failed append or sync; restart to recover",
                 self.path.display()
             )));
         }
@@ -517,8 +484,10 @@ impl VerdictStore {
         if let Err(e) = self.append_line(&line) {
             // Roll the file back to the last good record so the tail never
             // holds a half-written line while this process owns the store.
-            if self.file.set_len(self.good_bytes).is_err() || self.file.sync_data().is_err() {
-                self.poisoned = true;
+            // A failed repair (or repair sync) poisons the handle — per
+            // fsyncgate, nothing after a failed sync can be trusted.
+            if self.file.truncate(self.good_bytes).is_err() {
+                self.file.poison();
             }
             return Err(e);
         }
@@ -537,17 +506,103 @@ impl VerdictStore {
             Some(alive_sat::fault::FaultKind::TornWrite) => {
                 // Land half the sealed line, then fail — the same on-disk
                 // state a `kill -9` mid-append produces. The caller's
-                // truncate-back repair must erase it.
-                let _ = self.file.write_all(&line.as_bytes()[..line.len() / 2]);
-                let _ = self.file.sync_data();
+                // truncate-back repair must erase it. The half-write may
+                // itself fail (an even shorter tear); the sync pushes the
+                // torn bytes to disk so recovery sees them, and a *real*
+                // sync failure here poisons the handle via the seam.
+                let _ = self.file.append(&line.as_bytes()[..line.len() / 2]);
+                let _ = self.file.sync();
                 return Err(io::Error::other("injected fault: store append torn"));
             }
             _ => {}
         }
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.sync_data()?;
-        Ok(())
+        self.file.append(format!("{line}\n").as_bytes())?;
+        self.file.sync()
+    }
+
+    /// Records replayed from disk at open plus records appended since —
+    /// including dead (superseded) ones. `replayed() - len()` is the
+    /// compaction payoff.
+    pub fn replayed(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The live records — the latest record per canonical text, in
+    /// append order. Exactly what [`VerdictStore::compact`] keeps.
+    pub fn live_records(&self) -> impl Iterator<Item = &StoreRecord> + '_ {
+        let mut live: Vec<usize> = self.index.values().copied().collect();
+        live.sort_unstable();
+        live.into_iter().map(|i| &self.records[i])
+    }
+
+    /// Rewrites the store down to its live records, in place.
+    ///
+    /// The header line is preserved byte for byte (fingerprint, epoch,
+    /// and description all survive), the live records keep their append
+    /// order, and the swap is the durable tmp + fsync + rename +
+    /// parent-directory-fsync sequence — a crash at any point leaves
+    /// either the old complete store or the new complete store, never a
+    /// mix.
+    ///
+    /// # Errors
+    ///
+    /// Refuses when the handle is poisoned. A failure before the rename
+    /// leaves the store untouched and usable; a failure *after* (the
+    /// reopen of the freshly renamed file) poisons the handle, because
+    /// the old append handle now points at an unlinked inode.
+    pub fn compact(&mut self) -> io::Result<CompactReport> {
+        if self.file.poisoned() {
+            return Err(io::Error::other(format!(
+                "{}: store poisoned; restart before compacting",
+                self.path.display()
+            )));
+        }
+        let bytes_before = self.good_bytes;
+        let text = std::fs::read_to_string(&self.path)?;
+        let header_line = text.split('\n').next().unwrap_or("").to_string();
+        if parse_store_header(&header_line).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: store header unreadable", self.path.display()),
+            ));
+        }
+        let live: Vec<StoreRecord> = self.live_records().cloned().collect();
+        let mut buf = String::with_capacity(self.good_bytes as usize);
+        buf.push_str(&header_line);
+        buf.push('\n');
+        for rec in &live {
+            buf.push_str(&rec.to_line());
+            buf.push('\n');
+        }
+        let tmp = suffixed(&self.path, ".compact-tmp");
+        {
+            let mut f = durable::create(&tmp)?;
+            durable::append(&mut f, buf.as_bytes())?;
+            durable::sync(&f)?;
+        }
+        durable::rename(&tmp, &self.path)?;
+        // The old append handle points at the pre-compaction inode; a
+        // write through it would vanish. Reopen or refuse.
+        match DurableFile::open_append(&self.path) {
+            Ok(f) => self.file = f,
+            Err(e) => {
+                self.file.poison();
+                return Err(e);
+            }
+        }
+        let dropped = self.records.len() - live.len();
+        self.records = live;
+        self.index = build_index(&self.records);
+        self.good_bytes = buf.len() as u64;
+        Ok(CompactReport {
+            replayed: self.records.len() + dropped,
+            live: self.records.len(),
+            dropped,
+            bytes_before,
+            bytes_after: self.good_bytes,
+            fingerprint: self.fingerprint,
+            epoch: self.epoch,
+        })
     }
 }
 
@@ -569,6 +624,172 @@ fn parse_store_header(line: &str) -> Option<(u64, u64)> {
         return None;
     }
     Some((fp, epoch))
+}
+
+/// Record lines parsed with [`VerdictStore::open`]'s crash-signature
+/// semantics: tail damage dropped, mid-file damage refused.
+struct LoadedRecords {
+    records: Vec<StoreRecord>,
+    /// Bytes of the header plus every intact record line.
+    good_bytes: usize,
+    /// Torn or corrupt lines discarded from the tail.
+    discarded: usize,
+}
+
+/// Parses the record region of a store file. Only *tail* damage — a torn
+/// final line, or a complete final line failing its CRC — is self-healed
+/// by discarding, because that is the signature of a crashed append. A
+/// bad line with good records after it is a different disease (bit rot,
+/// manual edits, an interleaved writer) and discarding the good suffix
+/// would throw away verdicts, so refuse instead.
+fn load_records(path: &Path, text: &str) -> io::Result<LoadedRecords> {
+    let mut lines = text.split('\n');
+    let _header = lines.next();
+    let mut records = Vec::new();
+    let mut good_bytes = text.find('\n').map_or(text.len(), |p| p + 1);
+    let mut discarded = 0usize;
+    let mut rest: Vec<&str> = lines.collect();
+    let torn_tail = match rest.last() {
+        Some(&"") => {
+            rest.pop();
+            false
+        }
+        Some(_) => true,
+        None => false,
+    };
+    let total = rest.len();
+    for (i, line) in rest.iter().enumerate() {
+        let last = i + 1 == total;
+        if last && torn_tail {
+            discarded += 1;
+            break;
+        }
+        match StoreRecord::parse_line(line) {
+            Some(rec) => {
+                good_bytes += line.len() + 1;
+                records.push(rec);
+            }
+            None if last => {
+                discarded += 1;
+                break;
+            }
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: corrupt record at line {} with {} intact-looking line(s) \
+                         after it; refusing to discard them — run `alive scrub {}` to \
+                         salvage the store",
+                        path.display(),
+                        i + 2,
+                        total - i - 1,
+                        path.display()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(LoadedRecords {
+        records,
+        good_bytes,
+        discarded,
+    })
+}
+
+fn build_index(records: &[StoreRecord]) -> HashMap<u64, usize> {
+    let mut index = HashMap::with_capacity(records.len());
+    for (i, rec) in records.iter().enumerate() {
+        if let Ok(h) = u64::from_str_radix(&rec.hash, 16) {
+            index.insert(h, i);
+        }
+    }
+    index
+}
+
+/// What [`VerdictStore::compact`] / [`compact_store`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Records examined (live plus dead).
+    pub replayed: usize,
+    /// Live records kept (latest per canonical text).
+    pub live: usize,
+    /// Dead (superseded) records dropped.
+    pub dropped: usize,
+    /// Record-region bytes before the rewrite.
+    pub bytes_before: u64,
+    /// Record-region bytes after (equals before when nothing was dead).
+    pub bytes_after: u64,
+    /// Config fingerprint from the preserved header.
+    pub fingerprint: u64,
+    /// Eviction epoch from the preserved header.
+    pub epoch: u64,
+}
+
+/// Whether a store's dead-record ratio justifies an automatic compaction
+/// on daemon open: at least half the replayed records are dead, and the
+/// rewrite would drop more than a token amount. Conservative on purpose —
+/// a store that was never superseded never pays a rewrite.
+pub fn needs_compaction(replayed: usize, live: usize) -> bool {
+    replayed >= live.saturating_mul(2) && replayed - live >= 2
+}
+
+/// Compacts the store at `path` down to its live records, offline
+/// (`alive compact`). Takes the single-writer lock; the header is
+/// preserved byte for byte, and the swap is the durable tmp + fsync +
+/// rename + parent-directory-fsync sequence. Tail damage is dropped
+/// exactly as [`VerdictStore::open`] would drop it.
+///
+/// # Errors
+///
+/// Refuses when a live process holds the store's lock, when the header is
+/// unreadable (no trustworthy config binding), and when a corrupt line is
+/// followed by intact records — run `alive scrub` first.
+pub fn compact_store(path: &Path) -> io::Result<CompactReport> {
+    let _lock = StoreLock::acquire(path)?;
+    let text = std::fs::read_to_string(path)?;
+    let header_line = text.split('\n').next().unwrap_or("");
+    let Some((fingerprint, epoch)) = parse_store_header(header_line) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{}: store header is unreadable, so its records have no trustworthy \
+                 config binding; delete the file or let the daemon evict it",
+                path.display()
+            ),
+        ));
+    };
+    let loaded = load_records(path, &text)?;
+    let index = build_index(&loaded.records);
+    let mut live: Vec<usize> = index.values().copied().collect();
+    live.sort_unstable();
+    let report = |bytes_after: u64| CompactReport {
+        replayed: loaded.records.len(),
+        live: live.len(),
+        dropped: loaded.records.len() - live.len(),
+        bytes_before: loaded.good_bytes as u64,
+        bytes_after,
+        fingerprint,
+        epoch,
+    };
+    if live.len() == loaded.records.len() && loaded.discarded == 0 {
+        // Nothing dead and no tail to trim: leave the file untouched.
+        return Ok(report(loaded.good_bytes as u64));
+    }
+    let mut buf = String::with_capacity(loaded.good_bytes);
+    buf.push_str(header_line);
+    buf.push('\n');
+    for &i in &live {
+        buf.push_str(&loaded.records[i].to_line());
+        buf.push('\n');
+    }
+    let tmp = suffixed(path, ".compact-tmp");
+    {
+        let mut f = durable::create(&tmp)?;
+        durable::append(&mut f, buf.as_bytes())?;
+        durable::sync(&f)?;
+    }
+    durable::rename(&tmp, path)?;
+    Ok(report(buf.len() as u64))
 }
 
 /// What [`scrub_store`] did, for the operator's report.
@@ -657,33 +878,34 @@ pub fn scrub_store(path: &Path) -> io::Result<ScrubReport> {
     // still on disk, so a crash between these steps loses nothing.
     let qpath = quarantine_path(path);
     {
-        let mut q = OpenOptions::new().create(true).append(true).open(&qpath)?;
-        writeln!(
-            q,
-            "# alive scrub: {} corrupt line(s) quarantined from {}",
+        let file = OpenOptions::new().create(true).append(true).open(&qpath)?;
+        let mut q = DurableFile::from_file(file);
+        let mut buf = format!(
+            "# alive scrub: {} corrupt line(s) quarantined from {}\n",
             bad.len(),
             path.display()
-        )?;
+        );
         for (lineno, line) in &bad {
-            writeln!(q, "# line {lineno}")?;
-            writeln!(q, "{line}")?;
+            buf.push_str(&format!("# line {lineno}\n{line}\n"));
         }
-        q.sync_data()?;
+        q.append(buf.as_bytes())?;
+        q.sync()?;
     }
+    // The quarantine may be a fresh file; persist its directory entry
+    // before touching the store, or a crash could keep the rewrite while
+    // forgetting the quarantined evidence.
+    durable::fsync_parent(&qpath)?;
     let tmp = suffixed(path, ".scrub-tmp");
     {
-        let mut f = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&tmp)?;
-        writeln!(f, "{header_line}")?;
+        let mut f = durable::create(&tmp)?;
+        let mut buf = format!("{header_line}\n");
         for line in &good {
-            writeln!(f, "{line}")?;
+            buf.push_str(&format!("{line}\n"));
         }
-        f.sync_data()?;
+        durable::append(&mut f, buf.as_bytes())?;
+        durable::sync(&f)?;
     }
-    std::fs::rename(&tmp, path)?;
+    durable::rename(&tmp, path)?;
     Ok(ScrubReport {
         examined,
         salvaged: good.len(),
@@ -703,10 +925,13 @@ mod tests {
         let dir = std::env::temp_dir().join("alive-store-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(name);
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(evicted_path(&path)).ok();
-        std::fs::remove_file(lock_path(&path)).ok();
-        std::fs::remove_file(quarantine_path(&path)).ok();
+        // Sweep the store plus every sibling artifact (lock, quarantine,
+        // and all generation-suffixed .evicted.<epoch> files).
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            if entry.file_name().to_string_lossy().starts_with(name) {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
         path
     }
 
@@ -782,7 +1007,8 @@ mod tests {
                 .insert(CANON, OutcomeKind::Valid, "valid", 1, "")
                 .unwrap();
         }
-        // Same config, bumped epoch: evicted.
+        // Same config, bumped epoch: evicted under the prior epoch's
+        // generation suffix.
         let (store, how) = VerdictStore::open(&path, 7, 4, None).unwrap();
         assert_eq!(
             how,
@@ -792,9 +1018,10 @@ mod tests {
             }
         );
         assert!(store.lookup(CANON).is_none());
-        assert!(evicted_path(&path).exists());
+        assert!(evicted_path(&path, 3).exists());
         drop(store);
-        // Different config, same epoch: evicted again.
+        // Different config, same epoch: evicted again — to a *different*
+        // generation file, leaving the first eviction intact.
         let (store, how) = VerdictStore::open(&path, 8, 4, None).unwrap();
         assert!(matches!(
             how,
@@ -804,6 +1031,14 @@ mod tests {
             }
         ));
         assert!(store.is_empty());
+        assert!(evicted_path(&path, 4).exists());
+        assert!(
+            evicted_path(&path, 3).exists(),
+            "a second eviction must not clobber the first generation"
+        );
+        // The first generation still holds the original record.
+        let first = std::fs::read_to_string(evicted_path(&path, 3)).unwrap();
+        assert!(first.contains("\"epoch\":3"), "{first}");
     }
 
     #[test]
@@ -954,6 +1189,197 @@ mod tests {
         let err = scrub_store(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("header"), "{err}");
+    }
+
+    fn canon_n(i: usize) -> String {
+        format!("%v1 = add %v0, C{i}\n=>\n%v1 = %v0")
+    }
+
+    #[test]
+    fn needs_compaction_thresholds() {
+        // Fresh store, or one with no dead weight: never.
+        assert!(!needs_compaction(0, 0));
+        assert!(!needs_compaction(5, 5));
+        // A single superseded record is not worth a rewrite.
+        assert!(!needs_compaction(2, 1));
+        assert!(!needs_compaction(3, 2));
+        // Half-dead and at least two dead records: compact.
+        assert!(needs_compaction(4, 2));
+        assert!(needs_compaction(6, 2));
+        assert!(needs_compaction(100, 10));
+    }
+
+    #[test]
+    fn live_compaction_preserves_lookups_and_header() {
+        let path = tmp("compact-live.jsonl");
+        let (mut store, _) = VerdictStore::open(&path, 11, 2, Some("widths=4,")).unwrap();
+        for i in 0..4 {
+            store
+                .insert(&canon_n(i), OutcomeKind::Unknown, "budget", 5, "")
+                .unwrap();
+        }
+        // Supersede two of them (escalated re-verification decided them).
+        store
+            .insert(&canon_n(0), OutcomeKind::Valid, "valid", 90, "")
+            .unwrap();
+        store
+            .insert(&canon_n(2), OutcomeKind::Invalid, "cex", 80, "")
+            .unwrap();
+        assert_eq!(store.replayed(), 6);
+        assert_eq!(store.len(), 4);
+        let before: Vec<StoreRecord> = (0..4)
+            .map(|i| store.lookup(&canon_n(i)).unwrap().clone())
+            .collect();
+        let report = store.compact().unwrap();
+        assert_eq!(report.replayed, 6);
+        assert_eq!(report.live, 4);
+        assert_eq!(report.dropped, 2);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(report.fingerprint, 11);
+        assert_eq!(report.epoch, 2);
+        // Every lookup is byte-identical, and the store keeps serving
+        // writes through the reopened handle.
+        for (i, old) in before.iter().enumerate() {
+            assert_eq!(store.lookup(&canon_n(i)).unwrap(), old);
+        }
+        store
+            .insert(&canon_n(9), OutcomeKind::Valid, "valid", 7, "")
+            .unwrap();
+        drop(store);
+        // Reopen with the same config: no eviction, nothing discarded,
+        // nothing dead.
+        let (store, how) = VerdictStore::open(&path, 11, 2, Some("widths=4,")).unwrap();
+        assert_eq!(
+            how,
+            StoreOpen::Loaded {
+                records: 5,
+                discarded: 0
+            }
+        );
+        assert_eq!(store.replayed(), 5);
+        for (i, old) in before.iter().enumerate() {
+            assert_eq!(store.lookup(&canon_n(i)).unwrap(), old);
+        }
+    }
+
+    #[test]
+    fn torn_tail_after_compaction_truncates_cleanly() {
+        let path = tmp("compact-torn.jsonl");
+        {
+            let (mut store, _) = VerdictStore::open(&path, 3, 0, None).unwrap();
+            store
+                .insert(CANON, OutcomeKind::Unknown, "budget", 1, "")
+                .unwrap();
+            store
+                .insert(CANON, OutcomeKind::Valid, "valid", 2, "")
+                .unwrap();
+            store.compact().unwrap();
+        }
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"hash\":\"0011").unwrap();
+        drop(f);
+        let (store, how) = VerdictStore::open(&path, 3, 0, None).unwrap();
+        assert_eq!(
+            how,
+            StoreOpen::Loaded {
+                records: 1,
+                discarded: 1
+            }
+        );
+        assert_eq!(store.lookup(CANON).unwrap().verdict, OutcomeKind::Valid);
+    }
+
+    #[test]
+    fn offline_compaction_matches_and_noops_when_clean() {
+        let path = tmp("compact-offline.jsonl");
+        {
+            let (mut store, _) = VerdictStore::open(&path, 6, 1, None).unwrap();
+            for i in 0..3 {
+                store
+                    .insert(&canon_n(i), OutcomeKind::Unknown, "budget", 1, "")
+                    .unwrap();
+                store
+                    .insert(&canon_n(i), OutcomeKind::Valid, "valid", 2, "")
+                    .unwrap();
+            }
+        }
+        let report = compact_store(&path).unwrap();
+        assert_eq!(report.replayed, 6);
+        assert_eq!(report.live, 3);
+        assert_eq!(report.dropped, 3);
+        assert_eq!(report.fingerprint, 6);
+        assert_eq!(report.epoch, 1);
+        // Second pass: nothing dead, the file is left untouched.
+        let clean = std::fs::read_to_string(&path).unwrap();
+        let report = compact_store(&path).unwrap();
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.bytes_before, report.bytes_after);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), clean);
+        let (store, how) = VerdictStore::open(&path, 6, 1, None).unwrap();
+        assert_eq!(
+            how,
+            StoreOpen::Loaded {
+                records: 3,
+                discarded: 0
+            }
+        );
+        for i in 0..3 {
+            assert_eq!(
+                store.lookup(&canon_n(i)).unwrap().verdict,
+                OutcomeKind::Valid
+            );
+        }
+    }
+
+    #[test]
+    fn thrice_superseded_store_compacts_near_fresh_size() {
+        // Acceptance bound: after every record is superseded three times,
+        // the compacted store is at most 1.5x a fresh store holding only
+        // the live records.
+        let live = tmp("compact-fresh.jsonl");
+        {
+            let (mut store, _) = VerdictStore::open(&live, 2, 0, None).unwrap();
+            for i in 0..8 {
+                store
+                    .insert(&canon_n(i), OutcomeKind::Valid, "valid", 3, "")
+                    .unwrap();
+            }
+        }
+        let churned = tmp("compact-churned.jsonl");
+        {
+            let (mut store, _) = VerdictStore::open(&churned, 2, 0, None).unwrap();
+            for round in 0..3 {
+                for i in 0..8 {
+                    let (verdict, reason) = if round == 2 {
+                        (OutcomeKind::Valid, "valid")
+                    } else {
+                        (OutcomeKind::Unknown, "budget")
+                    };
+                    store.insert(&canon_n(i), verdict, reason, 3, "").unwrap();
+                }
+            }
+            assert_eq!(store.replayed(), 24);
+            assert!(needs_compaction(store.replayed(), store.len()));
+            let report = store.compact().unwrap();
+            assert_eq!(report.dropped, 16);
+        }
+        let fresh = std::fs::metadata(&live).unwrap().len();
+        let compacted = std::fs::metadata(&churned).unwrap().len();
+        assert!(
+            compacted * 2 <= fresh * 3,
+            "compacted store is {compacted} bytes, fresh equivalent {fresh}; \
+             bound is 1.5x"
+        );
+        // And it serves the same verdicts as the fresh one.
+        let (a, _) = VerdictStore::open(&live, 2, 0, None).unwrap();
+        let (b, _) = VerdictStore::open(&churned, 2, 0, None).unwrap();
+        for i in 0..8 {
+            assert_eq!(
+                a.lookup(&canon_n(i)).unwrap().verdict,
+                b.lookup(&canon_n(i)).unwrap().verdict
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!        alive top --socket <path> [--interval <secs>] [--count <n>]
 //!        alive slowlog <store.slowlog> [--top <n>]
 //!        alive scrub <store.jsonl>
+//!        alive compact <store.jsonl>
 //!        alive hash <file.opt>...
 //!   --fast            verify at widths {4,8} only
 //!   --exhaustive      verify at widths 1..=64 (slow, like the paper)
@@ -74,6 +75,14 @@
 //! discarded) to `<store>.quarantine`, and the intact records are
 //! rewritten as a fresh sealed store.
 //!
+//! `alive compact` rewrites a verdict store offline keeping only the live
+//! (last-wins) record per canonical form — superseded re-verifications
+//! stop costing replay time and disk forever. The rewrite is atomic
+//! (tmp + fsync + rename + directory fsync) and preserves the header's
+//! config fingerprint and epoch byte for byte; the daemon also compacts
+//! automatically at open when at least half the replayed records are
+//! dead.
+//!
 //! `alive top` polls a running daemon's `stats` wire op and refreshes a
 //! single-screen operator view: request counters, poll-to-poll rates,
 //! overload counters, and windowed latency percentiles per series.
@@ -118,9 +127,9 @@ use alive::{
     generate_cpp, infer_attributes, parse_transforms, Certificate, Transform, VerifyConfig,
 };
 use alive_verifier::{
-    config_description, config_fingerprint, fingerprint_diff, plan_resume, run_supervised,
-    scrub_store, transform_key, DriverConfig, Journal, OutcomeKind, PoolConfig, RunReport,
-    StoreOpen, TaskSpec, TransformOutcome,
+    compact_store, config_description, config_fingerprint, fingerprint_diff, plan_resume,
+    run_supervised, scrub_store, transform_key, DriverConfig, Journal, OutcomeKind, PoolConfig,
+    RunReport, StoreOpen, TaskSpec, TransformOutcome,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -148,6 +157,7 @@ const USAGE: &str = "usage: alive [--fast|--exhaustive] [--cpp] [--infer] [--pro
        alive top --socket <path> [--interval <secs>] [--count <n>]\n\
        alive slowlog <store.slowlog> [--top <n>]\n\
        alive scrub <store.jsonl>\n\
+       alive compact <store.jsonl>\n\
        alive hash <file.opt>...";
 
 /// Width-coverage mode; `--fast` and `--exhaustive` are order-independent
@@ -355,11 +365,14 @@ fn parse_args(args: &[String]) -> ParsedArgs {
     ParsedArgs::Run(Box::new(opts))
 }
 
-/// Installs the fault plan named by `ALIVE_FAULT` (fault-injection builds
-/// only). Returns `false` when the spec fails to parse.
+/// Installs the fault plan named by `ALIVE_FAULT` and the crash plan
+/// named by `ALIVE_CRASH_AT` (fault-injection builds only). Returns
+/// `false` when either spec fails to parse — the library layer ignores a
+/// malformed spec, so binaries validate it here where exit 64 is
+/// possible.
 #[cfg(feature = "fault-injection")]
 fn install_fault_plan_from_env() -> bool {
-    match std::env::var("ALIVE_FAULT") {
+    let fault_ok = match std::env::var("ALIVE_FAULT") {
         Ok(spec) if !spec.is_empty() => match alive::sat::fault::FailurePlan::parse(&spec) {
             Ok(plan) => {
                 alive::sat::fault::install(Some(plan));
@@ -371,7 +384,23 @@ fn install_fault_plan_from_env() -> bool {
             }
         },
         _ => true,
-    }
+    };
+    let crash_ok = match std::env::var("ALIVE_CRASH_AT") {
+        Ok(spec) if !spec.is_empty() => {
+            match alive_verifier::durable::crash::CrashPlan::parse(&spec) {
+                Ok(plan) => {
+                    alive_verifier::durable::crash::install(Some(plan));
+                    true
+                }
+                Err(e) => {
+                    eprintln!("error: bad ALIVE_CRASH_AT spec: {e}");
+                    false
+                }
+            }
+        }
+        _ => true,
+    };
+    fault_ok && crash_ok
 }
 
 /// Budget escalation factor applied to journal entries requeued by
@@ -922,8 +951,15 @@ fn run_serve(args: &[String]) -> ExitCode {
             prior_epoch,
         } => eprintln!(
             "serve: evicted stale store (was config {prior_config:016x}, epoch \
-             {prior_epoch}); rotated to {store}.evicted"
+             {prior_epoch}); rotated to {store}.evicted.{prior_epoch}"
         ),
+    }
+    if let Some(c) = server.compaction() {
+        eprintln!(
+            "serve: compacted store: {} record(s) replayed, {} live, {} dead \
+             dropped ({} -> {} bytes)",
+            c.replayed, c.live, c.dropped, c.bytes_before, c.bytes_after
+        );
     }
 
     {
@@ -1096,6 +1132,54 @@ fn run_scrub(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: cannot scrub {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `alive compact` subcommand: offline rewrite of a verdict store
+/// keeping only the live record per canonical form. Refuses a store held
+/// by a live daemon (the daemon compacts its own store at open).
+fn run_compact(args: &[String]) -> ExitCode {
+    const COMPACT_USAGE: &str = "usage: alive compact <store.jsonl>";
+    let mut stores = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "-h" | "--help" => {
+                eprintln!("{COMPACT_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option '{other}'\n{COMPACT_USAGE}");
+                return ExitCode::from(64);
+            }
+            other => stores.push(other.to_string()),
+        }
+    }
+    if stores.len() != 1 {
+        eprintln!("error: compact takes exactly one store file\n{COMPACT_USAGE}");
+        return ExitCode::from(64);
+    }
+    let path = &stores[0];
+    match compact_store(Path::new(path)) {
+        Ok(report) => {
+            println!(
+                "compact: {path}: {} record(s) replayed (config {:016x}, epoch {})",
+                report.replayed, report.fingerprint, report.epoch
+            );
+            if report.dropped == 0 {
+                println!("compact: nothing dead; store left untouched");
+            } else {
+                println!(
+                    "compact: kept {} live record(s), dropped {} superseded \
+                     ({} -> {} bytes)",
+                    report.live, report.dropped, report.bytes_before, report.bytes_after
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot compact {path}: {e}");
             ExitCode::FAILURE
         }
     }
@@ -1457,6 +1541,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("scrub") {
         return run_scrub(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("compact") {
+        return run_compact(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("client") {
         return run_client(&args[1..]);

@@ -791,6 +791,71 @@ fn serve_stdio_caches_across_daemon_restarts() {
     assert!(stats.contains("\"misses\":0"), "{stats}");
 }
 
+/// `alive compact` round-trip: a daemon fills a store, dead records are
+/// manufactured by duplicating the sealed verdict line (a superseding
+/// re-insertion under last-record-wins replay), compaction rewrites the
+/// file live-only, and the next daemon serves the verdict warm from the
+/// compacted store — nothing acknowledged was lost to the rewrite.
+#[test]
+fn compact_cli_drops_dead_records_and_keeps_the_store_warm() {
+    let dir = temp_dir("compact-cli");
+    let store = dir.join("store.jsonl");
+    let request = "{\"op\":\"verify\",\"id\":\"a\",\"text\":\"%r = add %x, 0\\n=>\\n%r = %x\"}\n\
+         {\"op\":\"shutdown\",\"id\":\"q\"}\n";
+    let first = serve_stdio(&store, request);
+    assert!(first.contains("\"verdict\":\"valid\""), "{first}");
+
+    // Header + one record; append two byte-identical copies of the
+    // record. Replay sees 3 records, the last wins, 2 are dead.
+    let text = std::fs::read_to_string(&store).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    let record = lines[1];
+    std::fs::write(&store, format!("{text}{record}\n{record}\n")).unwrap();
+    let bloated = std::fs::metadata(&store).unwrap().len();
+
+    let (code, stdout, stderr) = run(&["compact", store.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("3 record(s) replayed"), "{stdout}");
+    assert!(
+        stdout.contains("kept 1 live record(s), dropped 2 superseded"),
+        "{stdout}"
+    );
+    assert!(
+        std::fs::metadata(&store).unwrap().len() < bloated,
+        "compaction must shrink a store with dead records"
+    );
+
+    // A second pass finds nothing dead and leaves the file untouched.
+    let before = std::fs::read(&store).unwrap();
+    let (code, stdout, _) = run(&["compact", store.to_str().unwrap()]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("nothing dead"), "{stdout}");
+    assert_eq!(std::fs::read(&store).unwrap(), before);
+
+    // The compacted store still answers warm (alpha-renamed resubmission).
+    let second = serve_stdio(
+        &store,
+        "{\"op\":\"verify\",\"id\":\"b\",\"text\":\"%q = add %z, 0\\n=>\\n%q = %z\"}\n\
+         {\"op\":\"shutdown\",\"id\":\"q\"}\n",
+    );
+    let verdict = second.lines().next().expect(&second);
+    assert!(verdict.contains("\"verdict\":\"valid\""), "{second}");
+    assert!(verdict.contains("\"cached\":true"), "{second}");
+}
+
+/// `alive compact` argument and error handling: no path, a stray flag,
+/// and a missing store are all failures, not silent no-ops.
+#[test]
+fn compact_rejects_bad_arguments_and_missing_stores() {
+    for args in [&["compact"][..], &["compact", "a.jsonl", "b.jsonl"][..]] {
+        let (code, _, stderr) = run(args);
+        assert_eq!(code, 64, "args {args:?}: {stderr}");
+    }
+    let (code, _, stderr) = run(&["compact", "/nonexistent/store.jsonl"]);
+    assert_ne!(code, 0, "{stderr}");
+}
+
 #[test]
 fn serve_rejects_bad_arguments() {
     for args in [

@@ -11,6 +11,11 @@
 //!    ratio).
 //! 2. **warm pass** — the same corpus again; every request must be a
 //!    cache hit, and the pass must run ≥10x faster than the cold one.
+//! 3. **compaction pass** — the store is bloated with 3x superseding
+//!    churn (every record re-appended twice; replay is last-record-wins,
+//!    so the copies are dead), then compacted; store bytes and
+//!    warm-reopen time are recorded before and after — the numbers
+//!    behind the store-growth guidance in `docs/SERVING.md`.
 //!
 //! Run with: `cargo run --release -p bench --bin serve_bench [out.json] [limit]`
 
@@ -130,15 +135,59 @@ fn main() {
     let hit = summarize(hit_us);
     let speedup = cold_wall_us as f64 / warm_wall_us.max(1) as f64;
 
+    // Compaction pass: release the store lock, inject 3x superseding
+    // churn, and measure size + warm-reopen latency around the rewrite.
+    drop(server);
+    let store_path = dir.join("store.jsonl");
+    let text = std::fs::read_to_string(&store_path).expect("read store");
+    let records: Vec<&str> = text.lines().skip(1).collect();
+    let mut bloated = text.clone();
+    for _ in 0..2 {
+        for r in &records {
+            bloated.push_str(r);
+            bloated.push('\n');
+        }
+    }
+    std::fs::write(&store_path, &bloated).expect("bloat store");
+
+    let fingerprint = alive::verifier::config_fingerprint(&VerifyConfig::fast());
+    let reopen = |label: &str| -> (u64, f64) {
+        let bytes = std::fs::metadata(&store_path)
+            .expect("store metadata")
+            .len();
+        let start = Instant::now();
+        let (store, _how) = alive::verifier::VerdictStore::open(&store_path, fingerprint, 0, None)
+            .expect("warm reopen");
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        drop(store);
+        println!("{label}: {bytes} bytes, warm reopen {ms:.3}ms");
+        (bytes, ms)
+    };
+    let (bytes_pre, reopen_ms_pre) = reopen("pre-compact");
+    let report = alive::verifier::compact_store(&store_path).expect("compact");
+    let (bytes_post, reopen_ms_post) = reopen("post-compact");
+    assert!(
+        bytes_post < bytes_pre,
+        "compaction must shrink a store with dead records ({bytes_pre} -> {bytes_post})"
+    );
+
     let json = format!(
-        "{{\n  \"schema\": \"alive-bench-serve/v2\",\n  \"corpus\": {},\n  \
+        "{{\n  \"schema\": \"alive-bench-serve/v3\",\n  \"corpus\": {},\n  \
          \"distinct_canonical\": {distinct},\n  \"dedupe_ratio\": {dedupe_ratio:.4},\n  \
          \"cold_pass_hits\": {cold_hits},\n  \"warm_pass_hits\": {warm_hits},\n  \
          \"cold_wall_us\": {cold_wall_us},\n  \"warm_wall_us\": {warm_wall_us},\n  \
-         \"warm_speedup\": {speedup:.1},\n  \"miss\": {},\n  \"hit\": {}\n}}\n",
+         \"warm_speedup\": {speedup:.1},\n  \"miss\": {},\n  \"hit\": {},\n  \
+         \"store\": {{\"bytes_pre_compact\": {bytes_pre}, \
+         \"reopen_ms_pre_compact\": {reopen_ms_pre:.3}, \
+         \"bytes_post_compact\": {bytes_post}, \
+         \"reopen_ms_post_compact\": {reopen_ms_post:.3}, \
+         \"replayed\": {}, \"live\": {}, \"dropped\": {}}}\n}}\n",
         corpus.len(),
         render(&miss),
         render(&hit),
+        report.replayed,
+        report.live,
+        report.dropped,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     print!("{json}");
